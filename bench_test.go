@@ -1,0 +1,154 @@
+package supercharged
+
+// One benchmark per table/figure of the paper's evaluation (§4), per
+// DESIGN.md's experiment index. Absolute numbers come from the simulated
+// substrate (see DESIGN.md §1); the asserted artifacts are the shapes —
+// linear vs flat, crossover, improvement factor, n(n-1).
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"supercharged/internal/lab"
+	"supercharged/internal/metrics"
+	"supercharged/internal/sim"
+)
+
+// BenchmarkFig5 regenerates Fig. 5 cell by cell: per prefix count and
+// mode, one lab run per iteration. Custom metrics report the measured
+// convergence distribution alongside the paper's reference maxima.
+func BenchmarkFig5(b *testing.B) {
+	paperMax := map[int]float64{
+		1_000: 0.9, 5_000: 1.6, 10_000: 3.4, 50_000: 13.8, 100_000: 29.2,
+		200_000: 56.9, 300_000: 86.4, 400_000: 113.1, 500_000: 140.9,
+	}
+	for _, n := range lab.Fig5Sweep {
+		for _, mode := range []sim.Mode{sim.Standalone, sim.Supercharged} {
+			name := fmt.Sprintf("%s/prefixes=%d", mode, n)
+			b.Run(name, func(b *testing.B) {
+				var last metrics.Summary
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(sim.Config{Mode: mode, NumPrefixes: n, Seed: int64(i + 1)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = metrics.SummarizeDurations(res.Durations())
+				}
+				b.ReportMetric(last.Median, "median-s")
+				b.ReportMetric(last.Max, "max-s")
+				if mode == sim.Standalone {
+					b.ReportMetric(paperMax[n], "paper-max-s")
+				} else {
+					b.ReportMetric(lab.Fig5PaperSuperchargedSeconds, "paper-max-s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFirstEntry regenerates E2: the standalone router's best case —
+// the time to update the first FIB entry (paper: 375 ms).
+func BenchmarkFirstEntry(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		d, err := lab.FirstEntry(1_000, 3, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = d.Seconds()
+	}
+	b.ReportMetric(best, "best-case-s")
+	b.ReportMetric(0.375, "paper-s")
+}
+
+// BenchmarkControllerUpdate regenerates E3: per-UPDATE processing latency
+// through the controller (decision process + Listing 1 + rewrite) over two
+// full feeds. The default feed is scaled to 100k prefixes per peer to keep
+// a bench iteration under a few seconds; pass -timeout accordingly and see
+// cmd/lab -experiment micro for the full 2×500k replay.
+func BenchmarkControllerUpdate(b *testing.B) {
+	var last *lab.MicroResult
+	for i := 0; i < b.N; i++ {
+		res, err := lab.RunMicro(lab.MicroConfig{Prefixes: 100_000, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		perUpdate := last.Total.Seconds() / float64(last.Updates)
+		b.ReportMetric(perUpdate*1e6, "µs/update")
+		b.ReportMetric(last.Summary.P99*1e6, "p99-µs")
+		b.ReportMetric(0.125*1e6, "paper-p99-µs")
+	}
+}
+
+// BenchmarkBackupGroups regenerates E4: the number of backup-groups as a
+// function of the peer count (paper: n(n-1), e.g. 90 groups at 10 peers).
+func BenchmarkBackupGroups(b *testing.B) {
+	var rows []lab.GroupsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = lab.RunGroups(lab.GroupsConfig{MaxPeers: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		lastRow := rows[len(rows)-1]
+		b.ReportMetric(float64(lastRow.Groups), "groups@10peers")
+		b.ReportMetric(float64(lastRow.Expected), "paper-n(n-1)")
+	}
+}
+
+// BenchmarkImprovementFactor regenerates E5: the headline speed-up at the
+// largest table size the bench budget allows per iteration (50k; the full
+// 512k factor is reported by cmd/lab -experiment fig5).
+func BenchmarkImprovementFactor(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		std, err := sim.Run(sim.Config{Mode: sim.Standalone, NumPrefixes: 50_000, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup, err := sim.Run(sim.Config{Mode: sim.Supercharged, NumPrefixes: 50_000, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = metrics.SummarizeDurations(std.Durations()).Max /
+			metrics.SummarizeDurations(sup.Durations()).Max
+	}
+	b.ReportMetric(factor, "x-improvement@50k")
+	b.ReportMetric(900, "paper-x@512k")
+}
+
+// BenchmarkAblationBFDSweep regenerates A3: detection share of the
+// supercharged convergence budget.
+func BenchmarkAblationBFDSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunBFDSweep(5_000, nil, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationK3 regenerates A2: k=3 groups under double failure.
+func BenchmarkAblationK3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunK3(2_000, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReplicas regenerates A1: replica VNH agreement under
+// reordered delivery, sequential vs deterministic allocation.
+func BenchmarkAblationReplicas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunReplicaDeterminism(2_000, 4, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command bgpcat decodes wire-format messages from hex input — a debug
+// companion for the protocol substrates.
+//
+//	echo ffffffffffffffffffffffffffffffff001304 | bgpcat           # BGP
+//	bgpcat -proto of   < openflow-hex.txt                          # OpenFlow
+//	bgpcat -proto bfd  < bfd-hex.txt                               # BFD
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"supercharged/internal/bfd"
+	"supercharged/internal/bgp"
+	"supercharged/internal/openflow"
+)
+
+func main() {
+	proto := flag.String("proto", "bgp", "bgp|of|bfd")
+	asn4 := flag.Bool("asn4", true, "decode BGP AS_PATH with 4-octet ASNs")
+	flag.Parse()
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		text := strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' || r == ':' {
+				return -1
+			}
+			return r
+		}, scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		raw, err := hex.DecodeString(text)
+		if err != nil {
+			log.Printf("line %d: %v", lineNo, err)
+			continue
+		}
+		switch *proto {
+		case "bgp":
+			msg, err := (bgp.Codec{ASN4: *asn4}).Unmarshal(raw)
+			if err != nil {
+				log.Printf("line %d: %v", lineNo, err)
+				continue
+			}
+			switch m := msg.(type) {
+			case *bgp.Open:
+				fmt.Printf("OPEN version=%d as=%d hold=%d id=%s caps=%d\n", m.Version, m.AS, m.HoldTime, m.ID, len(m.Caps))
+			case *bgp.Update:
+				fmt.Printf("UPDATE %s\n", m)
+			case *bgp.Notification:
+				fmt.Printf("%s\n", m)
+			case *bgp.Keepalive:
+				fmt.Println("KEEPALIVE")
+			}
+		case "of":
+			msg, xid, err := openflow.Unmarshal(raw)
+			if err != nil {
+				log.Printf("line %d: %v", lineNo, err)
+				continue
+			}
+			fmt.Printf("%s xid=%d %+v\n", msg.MsgType(), xid, msg)
+		case "bfd":
+			var p bfd.ControlPacket
+			if err := p.Unmarshal(raw); err != nil {
+				log.Printf("line %d: %v", lineNo, err)
+				continue
+			}
+			fmt.Printf("BFD state=%s diag=%s my=%d your=%d tx=%v mult=%d\n",
+				p.State, p.Diag, p.MyDiscr, p.YourDiscr, p.DesiredMinTx, p.DetectMult)
+		default:
+			log.Fatalf("unknown -proto %q", *proto)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command feedgen generates a synthetic full-table BGP feed (the RIPE RIS
+// stand-in) and either prints it or serves it as a BGP speaker — handy as
+// the "provider" end of a supercharged deployment.
+//
+//	feedgen -n 500000 -print | head              # dump prefixes
+//	feedgen -n 100000 -serve 127.0.0.1:1791 \
+//	        -as 65002 -nh 203.0.113.1            # act as provider R2
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/feed"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of prefixes")
+	seed := flag.Int64("seed", 1, "generator seed")
+	doPrint := flag.Bool("print", false, "print prefixes to stdout")
+	serve := flag.String("serve", "", "serve the feed as a BGP speaker on this address")
+	as := flag.Uint("as", 65002, "local AS when serving")
+	peerAS := flag.Uint("peer-as", 0, "expected peer AS (0 accepts any)")
+	nh := flag.String("nh", "203.0.113.1", "next-hop (and router id) to announce")
+	flag.Parse()
+
+	table := feed.Generate(feed.Config{N: *n, Seed: *seed})
+	nhAddr := netip.MustParseAddr(*nh)
+
+	if *doPrint {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for _, r := range table.Routes {
+			tmpl := table.Templates[r.Template]
+			fmt.Fprintf(w, "%s via %s as-path [%s]\n", r.Prefix, nhAddr, tmpl.ASPath)
+		}
+		return
+	}
+	if *serve == "" {
+		log.Fatal("pass -print or -serve")
+	}
+
+	l, err := net.Listen("tcp", *serve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("feedgen: serving %d prefixes as AS%d on %s", *n, *as, *serve)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func(conn net.Conn) {
+			sess := bgp.NewSession(bgp.SessionConfig{
+				LocalAS: uint32(*as), LocalID: nhAddr,
+				PeerAS: uint32(*peerAS),
+				Logf:   log.Printf,
+				OnEstablished: func() {
+					log.Printf("feedgen: session up, pushing table")
+				},
+			})
+			go func() {
+				if err := sess.WaitEstablished(30_000_000_000); err != nil {
+					return
+				}
+				ups, err := table.Updates(uint32(*as), nhAddr, sess.Codec())
+				if err != nil {
+					log.Printf("feedgen: %v", err)
+					return
+				}
+				for _, u := range ups {
+					if err := sess.Send(u); err != nil {
+						log.Printf("feedgen: send: %v", err)
+						return
+					}
+				}
+				log.Printf("feedgen: table pushed (%d messages)", len(ups))
+			}()
+			sess.Accept(conn)
+		}(conn)
+	}
+}

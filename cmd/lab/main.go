@@ -1,0 +1,120 @@
+// Command lab regenerates the paper's evaluation artifacts (DESIGN.md's
+// experiment index):
+//
+//	lab -experiment fig5       # Fig. 5: convergence vs prefix count (E1/E2/E5)
+//	lab -experiment micro      # controller per-update latency (E3)
+//	lab -experiment groups     # backup-group count vs peers (E4)
+//	lab -experiment ablation   # A1 replicas, A2 k=3, A3 BFD sweep
+//	lab -experiment all
+//
+// The fig5 sweep defaults to the paper's full 1k..500k; -sizes trims it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"supercharged/internal/lab"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig5|micro|groups|ablation|all")
+	sizes := flag.String("sizes", "", "comma-separated prefix counts for fig5 (default: paper sweep)")
+	runs := flag.Int("runs", 3, "repetitions per fig5 cell (paper: 3)")
+	prefixes := flag.Int("prefixes", 500_000, "feed size for the micro benchmark (paper: 500k)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	var progress *os.File
+	if !*quiet {
+		progress = os.Stderr
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("fig5") {
+		run("fig5 — convergence vs prefixes (E1/E2/E5)", func() error {
+			cfg := lab.Fig5Config{Runs: *runs, Flows: 100, Seed: 1}
+			if *sizes != "" {
+				for _, s := range strings.Split(*sizes, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(s))
+					if err != nil {
+						return err
+					}
+					cfg.Sizes = append(cfg.Sizes, n)
+				}
+			}
+			res, err := lab.RunFig5(cfg, progress)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			best, err := lab.FirstEntry(1_000, *runs, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("standalone best case (first FIB entry): %v (paper: 375ms)\n", best.Round(time.Millisecond))
+			return nil
+		})
+	}
+	if want("micro") {
+		run("micro — controller per-update latency (E3)", func() error {
+			res, err := lab.RunMicro(lab.MicroConfig{Prefixes: *prefixes, Seed: 1})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			return nil
+		})
+	}
+	if want("groups") {
+		run("groups — backup-group scaling (E4)", func() error {
+			rows, err := lab.RunGroups(lab.GroupsConfig{MaxPeers: 10})
+			if err != nil {
+				return err
+			}
+			fmt.Println(lab.RenderGroups(rows))
+			return nil
+		})
+	}
+	if want("ablation") {
+		run("ablation A1 — replica determinism", func() error {
+			rows, err := lab.RunReplicaDeterminism(2_000, 4, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(lab.RenderReplicaDeterminism(rows))
+			return nil
+		})
+		run("ablation A2 — backup-group size k=3, double failure", func() error {
+			res, err := lab.RunK3(5_000, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			return nil
+		})
+		run("ablation A3 — BFD interval sweep", func() error {
+			rows, err := lab.RunBFDSweep(10_000, nil, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(lab.RenderBFDSweep(rows))
+			return nil
+		})
+	}
+}

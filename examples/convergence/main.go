@@ -1,0 +1,33 @@
+// Convergence: regenerate the paper's Fig. 5 — convergence-time
+// distribution versus table size, supercharged and not.
+//
+//	go run ./examples/convergence            # reduced sweep (seconds)
+//	go run ./examples/convergence -full      # full 1k..500k sweep (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"supercharged/internal/lab"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper's full 1k..500k sweep")
+	runs := flag.Int("runs", 3, "repetitions per size (paper: 3)")
+	flag.Parse()
+
+	cfg := lab.Fig5Config{Runs: *runs, Flows: 100, Seed: 1}
+	if !*full {
+		cfg.Sizes = []int{1_000, 5_000, 10_000, 50_000}
+		fmt.Println("(reduced sweep — pass -full for the paper's 1k..500k)")
+	}
+	res, err := lab.RunFig5(cfg, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,32 @@
+// Failover: the paper's §3 reliability story. Two controller replicas
+// consume the same BGP feeds delivered in different interleavings, with no
+// state synchronization. With deterministic VNH allocation their outputs
+// agree byte-for-byte, so the backup can take over mid-flight; the paper's
+// sequential allocation (Listing 1's get_new_vnh_vmac) is shown alongside.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"supercharged/internal/lab"
+)
+
+func main() {
+	fmt.Println("Replica agreement under reordered BGP delivery (2000 prefixes, 4 peers):")
+	fmt.Println()
+	rows, err := lab.RunReplicaDeterminism(2000, 4, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lab.RenderReplicaDeterminism(rows))
+	fmt.Println(`Reading the table:
+  - "prefix agree" counts prefixes both replicas advertise with the same
+    (virtual) next-hop — what the router actually sees;
+  - VMACs are hash-derived from the group tuple, so the switch rules agree
+    in both modes;
+  - deterministic VNH allocation makes replicas interchangeable without
+    any synchronization, hardening the paper's §3 argument.`)
+}

@@ -1,0 +1,276 @@
+package supercharged
+
+// Full-system integration test in real mode: every protocol on real
+// transports (BGP over net.Pipe transports, OpenFlow over net.Pipe,
+// data-plane frames over emulated links), the complete Fig. 4 topology,
+// live traffic, a link failure, and the supercharged failover — scaled
+// down from the paper's 512k prefixes to stay CI-friendly.
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/clock"
+	"supercharged/internal/core"
+	"supercharged/internal/feed"
+	"supercharged/internal/netem"
+	"supercharged/internal/openflow"
+	"supercharged/internal/packet"
+	"supercharged/internal/router"
+	"supercharged/internal/trafficgen"
+)
+
+// provider is R2/R3: a BGP speaker plus a data-plane endpoint that answers
+// ARP for its address and sinks probe traffic.
+type provider struct {
+	addr netip.Addr
+	as   uint32
+	mac  packet.MAC
+	sess *bgp.Session
+	sink *trafficgen.Sink
+}
+
+func newProvider(addr netip.Addr, as uint32, mac packet.MAC, port *netem.Port, dests []netip.Addr) *provider {
+	p := &provider{addr: addr, as: as, mac: mac}
+	p.sink = trafficgen.NewSink(trafficgen.SinkConfig{Expected: dests})
+	port.Handle(func(frame []byte) {
+		var eth packet.Ethernet
+		if eth.DecodeFromBytes(frame) != nil {
+			return
+		}
+		switch eth.Type {
+		case packet.EtherTypeARP:
+			var arp packet.ARP
+			if arp.DecodeFromBytes(eth.Payload) == nil && arp.Op == packet.ARPRequest && arp.TargetIP == p.addr {
+				reply, _ := packet.ARPReplyFrame(packet.NewBuffer(), p.mac, p.addr, arp)
+				port.Send(reply)
+			}
+		case packet.EtherTypeIPv4:
+			if eth.Dst == p.mac {
+				p.sink.HandleFrame(frame)
+			}
+		}
+	})
+	return p
+}
+
+func pipePair() (func() (net.Conn, error), chan net.Conn) {
+	ch := make(chan net.Conn, 4)
+	return func() (net.Conn, error) {
+		a, b := net.Pipe()
+		ch <- b
+		return a, nil
+	}, ch
+}
+
+func waitCond(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFullSystemSuperchargedFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system test skipped in -short mode")
+	}
+	const (
+		nPrefixes = 300
+		nFlows    = 20
+	)
+	var (
+		routerIP  = netip.MustParseAddr("203.0.113.254")
+		ctrlIP    = netip.MustParseAddr("203.0.113.253")
+		r2IP      = netip.MustParseAddr("203.0.113.1")
+		r3IP      = netip.MustParseAddr("198.51.100.2")
+		routerMAC = packet.MustParseMAC("00:ff:00:00:00:01")
+		r2MAC     = packet.MustParseMAC("01:aa:00:00:00:01")
+		r3MAC     = packet.MustParseMAC("02:bb:00:00:00:01")
+		srcMAC    = packet.MustParseMAC("00:01:00:00:00:99")
+	)
+
+	// --- data plane: switch in the middle of everything (Fig. 4) ---
+	clk := clock.Real{}
+	linkR1 := netem.NewLink(clk, "r1", "sw1", 0)
+	linkR2 := netem.NewLink(clk, "r2", "sw2", 0)
+	linkR3 := netem.NewLink(clk, "r3", "sw3", 0)
+	linkSrc := netem.NewLink(clk, "src", "sw4", 0)
+	r1Port, sw1 := linkR1.Ports()
+	r2Port, sw2 := linkR2.Ports()
+	r3Port, sw3 := linkR3.Ports()
+	srcPort, sw4 := linkSrc.Ports()
+
+	// --- control plane plumbing ---
+	ofDial, _ := func() (func() (net.Conn, error), chan net.Conn) { return nil, nil }()
+	_ = ofDial
+
+	table := feed.Generate(feed.Config{N: nPrefixes, Seed: 42})
+	dests := table.SamplePrefixes(nFlows, 1)
+	destIPs := make([]netip.Addr, len(dests))
+	for i, p := range dests {
+		destIPs[i] = p.Addr().Next() // first host in the prefix
+	}
+
+	p2Dial, p2Accepted := pipePair()
+	p3Dial, p3Accepted := pipePair()
+	routerDial, routerAccepted := pipePair()
+
+	ctrl := core.NewController(core.ControllerConfig{
+		LocalAS:  65001,
+		RouterID: ctrlIP,
+		Peers: []core.PeerConfig{
+			{Addr: r2IP, AS: 65002, MAC: r2MAC, SwitchPort: 2, Weight: 200, Dial: p2Dial},
+			{Addr: r3IP, AS: 65003, MAC: r3MAC, SwitchPort: 3, Weight: 100, Dial: p3Dial},
+		},
+		Router:     core.RouterConfig{Addr: routerIP, AS: 65000, MAC: routerMAC, SwitchPort: 1},
+		SwitchDPID: 0x53,
+		AllocMode:  core.AllocDeterministic,
+	})
+
+	sw := openflow.NewSwitch(openflow.SwitchConfig{
+		DPID:  0x53,
+		Ports: map[uint16]*netem.Port{1: sw1, 2: sw2, 3: sw3, 4: sw4},
+		Dial: func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go ctrl.OpenFlow().HandleConn(b)
+			return a, nil
+		},
+		InstallLatency: time.Millisecond,
+		PuntOnMiss:     true,
+	})
+
+	r1 := router.New(router.Config{
+		AS: 65000, RouterID: routerIP, IfIP: routerIP, IfMAC: routerMAC,
+		Port: r1Port, PerEntry: 100 * time.Microsecond,
+		Neighbors: []router.NeighborConfig{{Addr: ctrlIP, AS: 65001, Dial: routerDial}},
+	})
+
+	prov2 := newProvider(r2IP, 65002, r2MAC, r2Port, destIPs)
+	prov3 := newProvider(r3IP, 65003, r3MAC, r3Port, destIPs)
+	prov2.sess = bgp.NewSession(bgp.SessionConfig{LocalAS: 65002, LocalID: r2IP, PeerAS: 65001, PeerAddr: ctrlIP})
+	prov3.sess = bgp.NewSession(bgp.SessionConfig{LocalAS: 65003, LocalID: r3IP, PeerAS: 65001, PeerAddr: ctrlIP})
+	go func() {
+		for conn := range p2Accepted {
+			go prov2.sess.Accept(conn)
+		}
+	}()
+	go func() {
+		for conn := range p3Accepted {
+			go prov3.sess.Accept(conn)
+		}
+	}()
+	go func() {
+		for conn := range routerAccepted {
+			ctrl.AcceptRouter(conn)
+		}
+	}()
+
+	// --- bring-up ---
+	ctrl.Start()
+	defer ctrl.Stop()
+	sw.Start()
+	defer sw.Stop()
+	r1.Start()
+	defer r1.Stop()
+
+	waitCond(t, "peer sessions", 10*time.Second, func() bool {
+		return prov2.sess.Established() && prov3.sess.Established()
+	})
+	waitCond(t, "router session", 10*time.Second, ctrl.RouterEstablished)
+
+	// --- providers advertise the same table ---
+	codec := bgp.Codec{ASN4: true}
+	for _, pr := range []*provider{prov2, prov3} {
+		ups, err := table.Updates(pr.as, pr.addr, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range ups {
+			if err := pr.sess.Send(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The router must learn every prefix, resolve the VNH via ARP through
+	// the switch/controller and install VMAC-tagged FIB entries. Plain
+	// entries are a legitimate transient while the second feed is still
+	// arriving, so the steady-state predicate is "every probe prefix is
+	// VMAC-tagged", not just "table full".
+	waitCond(t, "router FIB population (VMAC-tagged)", 30*time.Second, func() bool {
+		if r1.FIB().Len() < nPrefixes || r1.FIB().QueueLen() != 0 {
+			return false
+		}
+		for _, p := range dests {
+			nh, ok := r1.FIB().Get(p)
+			if !ok || !nh.MAC.IsLocal() {
+				return false
+			}
+		}
+		return true
+	})
+	if got := ctrl.Groups().Len(); got != 1 {
+		t.Fatalf("backup groups %d, want 1", got)
+	}
+
+	// --- traffic ---
+	src := trafficgen.NewSource(trafficgen.SourceConfig{
+		Port: srcPort, SrcMAC: srcMAC, GatewayMAC: routerMAC,
+		SrcIP: netip.MustParseAddr("192.0.2.10"),
+		Dests: destIPs, Interval: 5 * time.Millisecond,
+	})
+	src.Start()
+	defer src.Stop()
+
+	// Warm-up: all flows must arrive at R2 (the preferred provider).
+	waitCond(t, "traffic at R2", 10*time.Second, func() bool {
+		for _, d := range destIPs {
+			if fs, _ := prov2.sink.Stats(d); fs.Packets < 3 {
+				return false
+			}
+		}
+		return true
+	})
+	if fs, _ := prov3.sink.Stats(destIPs[0]); fs.Packets != 0 {
+		t.Fatal("traffic leaked to the backup before the failure")
+	}
+
+	// --- failure: cut R2 and signal detection (BFD's role) ---
+	linkR2.Fail()
+	detection := 90 * time.Millisecond // the BFD budget (30ms × 3)
+	time.Sleep(detection)
+	ctrl.PeerDown(r2IP)
+
+	// All flows must recover via R3.
+	waitCond(t, "traffic at R3 after failover", 10*time.Second, func() bool {
+		for _, d := range destIPs {
+			if fs, _ := prov3.sink.Stats(d); fs.Packets < 3 {
+				return false
+			}
+		}
+		return true
+	})
+	if got := ctrl.Engine().Rewrites(); got != 1 {
+		t.Fatalf("failure rewrote %d rules, want exactly 1", got)
+	}
+	st := ctrl.Status()
+	if len(st.Groups) != 1 || st.Groups[0].Target != r3IP.String() {
+		t.Fatalf("status after failover: %+v", st.Groups)
+	}
+	var sawDown bool
+	for _, p := range st.Peers {
+		if p.Addr == r2IP.String() && p.Down {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatalf("status does not reflect the failed peer: %+v", st.Peers)
+	}
+}

@@ -1,0 +1,398 @@
+package bfd
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"supercharged/internal/clock"
+)
+
+func TestControlPacketRoundTrip(t *testing.T) {
+	in := ControlPacket{
+		Version: Version, Diag: DiagNeighborDown, State: StateUp,
+		Poll: true, Final: false, CPI: true, Demand: false,
+		DetectMult: 3, MyDiscr: 0xdeadbeef, YourDiscr: 0x12345678,
+		DesiredMinTx: 30 * time.Millisecond, RequiredMinRx: 50 * time.Millisecond,
+		RequiredMinEchoRx: 0,
+	}
+	buf, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != PacketLen {
+		t.Fatalf("len %d", len(buf))
+	}
+	var out ControlPacket
+	if err := out.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestControlPacketValidation(t *testing.T) {
+	base := ControlPacket{Version: Version, State: StateDown, DetectMult: 3, MyDiscr: 1,
+		DesiredMinTx: time.Millisecond, RequiredMinRx: time.Millisecond}
+
+	p := base
+	p.DetectMult = 0
+	if _, err := p.Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("marshal accepted detect mult 0")
+	}
+	p = base
+	p.MyDiscr = 0
+	if _, err := p.Marshal(); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("marshal accepted my discr 0")
+	}
+
+	good, _ := base.Marshal()
+	var out ControlPacket
+
+	trunc := good[:20]
+	if err := out.Unmarshal(trunc); !errors.Is(err, ErrTruncated) {
+		t.Fatal("accepted truncated packet")
+	}
+	badVer := append([]byte(nil), good...)
+	badVer[0] = 0x3<<5 | badVer[0]&0x1f
+	if err := out.Unmarshal(badVer); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("accepted bad version")
+	}
+	// YourDiscr 0 is only legal in Down/AdminDown.
+	upZero := base
+	upZero.State = StateUp
+	upZero.YourDiscr = 0
+	buf, _ := upZero.Marshal()
+	if err := out.Unmarshal(buf); !errors.Is(err, ErrBadPacket) {
+		t.Fatal("accepted Up with your-discr 0")
+	}
+}
+
+func TestUnmarshalNeverPanicsQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		var p ControlPacket
+		_ = p.Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pair wires two sessions through in-memory transports on one virtual
+// clock.
+func pair(v *clock.Virtual, txA, txB time.Duration) (*Session, *Session, func(State, Diag), *[]State) {
+	var a, b *Session
+	var mu sync.Mutex
+	var transitions []State
+	record := func(st State, d Diag) {
+		mu.Lock()
+		transitions = append(transitions, st)
+		mu.Unlock()
+	}
+	a = NewSession(Config{
+		LocalDiscr: 1, TxInterval: txA, DetectMult: 3, Clock: v,
+		Transport:     FuncTransport(func(p []byte) error { b.HandlePacket(p); return nil }),
+		OnStateChange: record,
+	})
+	b = NewSession(Config{
+		LocalDiscr: 2, TxInterval: txB, DetectMult: 3, Clock: v,
+		Transport: FuncTransport(func(p []byte) error { a.HandlePacket(p); return nil }),
+	})
+	return a, b, record, &transitions
+}
+
+func TestThreeWayHandshakeReachesUp(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	a, b, _, _ := pair(v, 30*time.Millisecond, 30*time.Millisecond)
+	a.Start()
+	b.Start()
+	v.Advance(200 * time.Millisecond)
+	if a.State() != StateUp || b.State() != StateUp {
+		t.Fatalf("states %s/%s after handshake window", a.State(), b.State())
+	}
+	in, out := a.Counters()
+	if in == 0 || out == 0 {
+		t.Fatal("no packets counted")
+	}
+}
+
+func TestDetectionTimeExpiryDeclaresDown(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	a, b, _, transitions := pair(v, 30*time.Millisecond, 30*time.Millisecond)
+	a.Start()
+	b.Start()
+	v.Advance(200 * time.Millisecond)
+	if a.State() != StateUp {
+		t.Fatal("not up")
+	}
+	// Silence the peer: stop B entirely (its Stop also halts tx).
+	b.Stop()
+	start := v.Now()
+	v.Advance(time.Second)
+	if a.State() != StateDown {
+		t.Fatalf("a still %s after peer silence", a.State())
+	}
+	// Detection must have taken ~3×30ms = 90ms (no jitter configured).
+	var downAt time.Time
+	_ = downAt
+	// Find the Down transition among recorded ones; it is the last.
+	if len(*transitions) == 0 || (*transitions)[len(*transitions)-1] != StateDown {
+		t.Fatalf("transitions %v", *transitions)
+	}
+	// The detection window must be ≤ 4 tx intervals from the silence.
+	if d := a.DetectionTime(); d != 90*time.Millisecond {
+		t.Fatalf("detection time %v, want 90ms", d)
+	}
+	_ = start
+}
+
+func TestDetectionLatencyMatchesConfig(t *testing.T) {
+	// The supercharged convergence budget hinges on detect = mult × interval.
+	v := clock.NewVirtualAtZero()
+	a, b, _, _ := pair(v, 30*time.Millisecond, 30*time.Millisecond)
+	var downAt time.Duration
+	aCfgHook(a, func(st State, d Diag) {
+		if st == StateDown {
+			downAt = v.Now().Sub(time.Unix(0, 0).UTC())
+		}
+	})
+	a.Start()
+	b.Start()
+	v.Advance(150 * time.Millisecond)
+	b.Stop()
+	silenceAt := v.Now().Sub(time.Unix(0, 0).UTC())
+	v.Advance(2 * time.Second)
+	if downAt == 0 {
+		t.Fatal("never went down")
+	}
+	gap := downAt - silenceAt
+	if gap <= 0 || gap > 120*time.Millisecond {
+		t.Fatalf("detected after %v, want ≤ ~90ms+interval", gap)
+	}
+}
+
+// aCfgHook swaps the state-change callback (test helper).
+func aCfgHook(s *Session, fn func(State, Diag)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.OnStateChange = fn
+}
+
+func TestAdminDownFromPeerForcesDown(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	a, b, _, _ := pair(v, 30*time.Millisecond, 30*time.Millisecond)
+	a.Start()
+	b.Start()
+	v.Advance(200 * time.Millisecond)
+	// Peer signals AdminDown explicitly.
+	pkt := ControlPacket{Version: Version, State: StateAdminDown, DetectMult: 3,
+		MyDiscr: 2, YourDiscr: 1, DesiredMinTx: time.Millisecond, RequiredMinRx: time.Millisecond}
+	buf, _ := pkt.Marshal()
+	a.HandlePacket(buf)
+	if a.State() != StateDown {
+		t.Fatalf("state %s after AdminDown", a.State())
+	}
+}
+
+func TestPacketForWrongDiscriminatorIgnored(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	a, _, _, _ := pair(v, 30*time.Millisecond, 30*time.Millisecond)
+	pkt := ControlPacket{Version: Version, State: StateDown, DetectMult: 3,
+		MyDiscr: 99, YourDiscr: 42, // not our discriminator
+		DesiredMinTx: time.Millisecond, RequiredMinRx: time.Millisecond}
+	buf, _ := pkt.Marshal()
+	a.HandlePacket(buf)
+	if in, _ := a.Counters(); in != 0 {
+		t.Fatal("foreign packet consumed")
+	}
+	if a.State() != StateDown {
+		t.Fatal("state changed by foreign packet")
+	}
+}
+
+func TestStoppedSessionStaysSilent(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	sent := 0
+	s := NewSession(Config{
+		LocalDiscr: 7, TxInterval: 10 * time.Millisecond, Clock: v,
+		Transport: FuncTransport(func([]byte) error { sent++; return nil }),
+	})
+	s.Start()
+	v.Advance(35 * time.Millisecond)
+	if sent == 0 {
+		t.Fatal("no transmissions before stop")
+	}
+	s.Stop()
+	before := sent
+	v.Advance(100 * time.Millisecond)
+	if sent != before {
+		t.Fatal("transmissions after Stop")
+	}
+	if s.State() != StateAdminDown {
+		t.Fatalf("state %s after Stop", s.State())
+	}
+}
+
+func TestSlowReceiverPacesSender(t *testing.T) {
+	// RFC 5880 §6.8.3: we must not send faster than the peer's
+	// RequiredMinRx.
+	v := clock.NewVirtualAtZero()
+	a, b, _, _ := pair(v, 10*time.Millisecond, 100*time.Millisecond)
+	a.Start()
+	b.Start()
+	v.Advance(time.Second)
+	_, aOut := a.Counters()
+	// Roughly once per 100ms after negotiation, not once per 10ms.
+	if aOut > 30 {
+		t.Fatalf("sender ignored peer RequiredMinRx: %d packets in 1s", aOut)
+	}
+	if a.State() != StateUp || b.State() != StateUp {
+		t.Fatal("sessions not up")
+	}
+}
+
+func TestJitterKeepsIntervalWithinBounds(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	var times []time.Duration
+	s := NewSession(Config{
+		LocalDiscr: 3, TxInterval: 100 * time.Millisecond, Clock: v, Jitter: true, Seed: 42,
+		Transport: FuncTransport(func([]byte) error {
+			times = append(times, v.Now().Sub(time.Unix(0, 0).UTC()))
+			return nil
+		}),
+	})
+	s.Start()
+	v.Advance(3 * time.Second)
+	s.Stop()
+	if len(times) < 10 {
+		t.Fatalf("only %d transmissions", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < 75*time.Millisecond || gap > 100*time.Millisecond {
+			t.Fatalf("jittered gap %v outside [75ms,100ms]", gap)
+		}
+	}
+}
+
+func TestMuxDispatchByDiscriminatorAndPeer(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	var got []uint32
+	s := NewSession(Config{
+		LocalDiscr: 11, TxInterval: 10 * time.Millisecond, Clock: v,
+		Transport: FuncTransport(func([]byte) error { return nil }),
+	})
+	_ = got
+	m := NewMux()
+	m.Register(s, "192.0.2.9:3784")
+
+	// Initial Down packet with YourDiscr 0 routes by peer address.
+	down := ControlPacket{Version: Version, State: StateDown, DetectMult: 3, MyDiscr: 77,
+		DesiredMinTx: time.Millisecond, RequiredMinRx: time.Millisecond}
+	buf, _ := down.Marshal()
+	if !m.Dispatch(buf, "192.0.2.9:3784") {
+		t.Fatal("peer-keyed dispatch failed")
+	}
+	if s.State() != StateInit {
+		t.Fatalf("state %s after Down packet", s.State())
+	}
+
+	// Subsequent packets route by discriminator.
+	init := down
+	init.State = StateInit
+	init.YourDiscr = 11
+	buf, _ = init.Marshal()
+	if !m.Dispatch(buf, "somewhere-else") {
+		t.Fatal("discriminator dispatch failed")
+	}
+	if s.State() != StateUp {
+		t.Fatalf("state %s", s.State())
+	}
+
+	// Unknown packets are not consumed.
+	foreign := down
+	foreign.MyDiscr = 5
+	buf, _ = foreign.Marshal()
+	if m.Dispatch(buf, "1.2.3.4:9") {
+		t.Fatal("foreign packet consumed")
+	}
+	m.Unregister(s, "192.0.2.9:3784")
+	buf, _ = init.Marshal()
+	if m.Dispatch(buf, "192.0.2.9:3784") {
+		t.Fatal("dispatch after unregister")
+	}
+}
+
+func TestUDPTransportEndToEnd(t *testing.T) {
+	// Real sockets: two sessions over loopback UDP reach Up and detect a
+	// failure when one socket closes.
+	mkConn := func() *net.UDPConn {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	connA, connB := mkConn(), mkConn()
+	defer connA.Close()
+	defer connB.Close()
+
+	upA := make(chan struct{}, 1)
+	downA := make(chan struct{}, 1)
+	a := NewSession(Config{
+		LocalDiscr: 100, TxInterval: 20 * time.Millisecond, DetectMult: 3,
+		Transport: &UDPTransport{Conn: connA, Peer: connB.LocalAddr().(*net.UDPAddr)},
+		OnStateChange: func(st State, d Diag) {
+			switch st {
+			case StateUp:
+				select {
+				case upA <- struct{}{}:
+				default:
+				}
+			case StateDown:
+				select {
+				case downA <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+	b := NewSession(Config{
+		LocalDiscr: 200, TxInterval: 20 * time.Millisecond, DetectMult: 3,
+		Transport: &UDPTransport{Conn: connB, Peer: connA.LocalAddr().(*net.UDPAddr)},
+	})
+	muxA, muxB := NewMux(), NewMux()
+	muxA.Register(a, connB.LocalAddr().String())
+	muxB.Register(b, connA.LocalAddr().String())
+	go muxA.ServeUDP(connA)
+	go muxB.ServeUDP(connB)
+	a.Start()
+	b.Start()
+	defer a.Stop()
+
+	select {
+	case <-upA:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session never reached Up over UDP")
+	}
+	b.Stop() // peer goes silent
+	select {
+	case <-downA:
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure not detected over UDP")
+	}
+}
+
+func TestStateAndDiagStrings(t *testing.T) {
+	if StateUp.String() != "Up" || StateDown.String() != "Down" || StateInit.String() != "Init" || StateAdminDown.String() != "AdminDown" {
+		t.Fatal("state strings")
+	}
+	if DiagControlTimeExpired.String() == "" || Diag(20).String() == "" {
+		t.Fatal("diag strings")
+	}
+}

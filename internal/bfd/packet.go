@@ -1,0 +1,187 @@
+// Package bfd implements Bidirectional Forwarding Detection (RFC 5880)
+// asynchronous mode: the control packet codec, the three-way session state
+// machine (Down → Init → Up), negotiated transmission intervals with
+// jitter, and the detection timer whose expiry is the fast failure signal
+// the supercharged controller acts on (the paper uses FreeBFD for this
+// role). Transports are pluggable: UDP (RFC 5881 single-hop encapsulation)
+// for real deployments, in-memory for the emulated test-bed.
+package bfd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// State is a BFD session state (RFC 5880 §4.1).
+type State uint8
+
+// Session states.
+const (
+	StateAdminDown State = 0
+	StateDown      State = 1
+	StateInit      State = 2
+	StateUp        State = 3
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAdminDown:
+		return "AdminDown"
+	case StateDown:
+		return "Down"
+	case StateInit:
+		return "Init"
+	case StateUp:
+		return "Up"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Diag is a diagnostic code (RFC 5880 §4.1).
+type Diag uint8
+
+// Diagnostic codes.
+const (
+	DiagNone               Diag = 0
+	DiagControlTimeExpired Diag = 1
+	DiagEchoFailed         Diag = 2
+	DiagNeighborDown       Diag = 3
+	DiagForwardingReset    Diag = 4
+	DiagPathDown           Diag = 5
+	DiagConcatPathDown     Diag = 6
+	DiagAdminDown          Diag = 7
+	DiagRevConcatPathDown  Diag = 8
+)
+
+func (d Diag) String() string {
+	names := []string{
+		"none", "control detection time expired", "echo failed",
+		"neighbor signaled session down", "forwarding plane reset",
+		"path down", "concatenated path down", "administratively down",
+		"reverse concatenated path down",
+	}
+	if int(d) < len(names) {
+		return names[d]
+	}
+	return fmt.Sprintf("diag(%d)", uint8(d))
+}
+
+// PacketLen is the length of a control packet without authentication.
+const PacketLen = 24
+
+// Version is the protocol version implemented (RFC 5880).
+const Version = 1
+
+// ControlPacket is a BFD control packet (RFC 5880 §4.1), without the
+// optional authentication section.
+type ControlPacket struct {
+	Version    uint8
+	Diag       Diag
+	State      State
+	Poll       bool
+	Final      bool
+	CPI        bool // Control Plane Independent
+	AuthParams bool
+	Demand     bool
+	Multipoint bool
+	DetectMult uint8
+	MyDiscr    uint32
+	YourDiscr  uint32
+	// Intervals are in microseconds on the wire; kept as durations here.
+	DesiredMinTx      time.Duration
+	RequiredMinRx     time.Duration
+	RequiredMinEchoRx time.Duration
+}
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("bfd: truncated packet")
+	ErrBadPacket = errors.New("bfd: invalid packet")
+)
+
+// Marshal encodes the packet.
+func (p *ControlPacket) Marshal() ([]byte, error) {
+	if p.DetectMult == 0 {
+		return nil, fmt.Errorf("%w: detect multiplier 0", ErrBadPacket)
+	}
+	if p.MyDiscr == 0 {
+		return nil, fmt.Errorf("%w: my discriminator 0", ErrBadPacket)
+	}
+	out := make([]byte, PacketLen)
+	out[0] = p.Version<<5 | uint8(p.Diag)&0x1f
+	var flags uint8
+	flags = uint8(p.State) << 6
+	if p.Poll {
+		flags |= 1 << 5
+	}
+	if p.Final {
+		flags |= 1 << 4
+	}
+	if p.CPI {
+		flags |= 1 << 3
+	}
+	if p.AuthParams {
+		flags |= 1 << 2
+	}
+	if p.Demand {
+		flags |= 1 << 1
+	}
+	if p.Multipoint {
+		flags |= 1
+	}
+	out[1] = flags
+	out[2] = p.DetectMult
+	out[3] = PacketLen
+	binary.BigEndian.PutUint32(out[4:8], p.MyDiscr)
+	binary.BigEndian.PutUint32(out[8:12], p.YourDiscr)
+	binary.BigEndian.PutUint32(out[12:16], uint32(p.DesiredMinTx.Microseconds()))
+	binary.BigEndian.PutUint32(out[16:20], uint32(p.RequiredMinRx.Microseconds()))
+	binary.BigEndian.PutUint32(out[20:24], uint32(p.RequiredMinEchoRx.Microseconds()))
+	return out, nil
+}
+
+// Unmarshal decodes and validates a control packet per the RFC 5880 §6.8.6
+// reception rules that concern the packet itself.
+func (p *ControlPacket) Unmarshal(b []byte) error {
+	if len(b) < PacketLen {
+		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	version := b[0] >> 5
+	if version != Version {
+		return fmt.Errorf("%w: version %d", ErrBadPacket, version)
+	}
+	length := int(b[3])
+	if length < PacketLen || length > len(b) {
+		return fmt.Errorf("%w: length field %d", ErrBadPacket, length)
+	}
+	p.Version = version
+	p.Diag = Diag(b[0] & 0x1f)
+	p.State = State(b[1] >> 6)
+	p.Poll = b[1]&(1<<5) != 0
+	p.Final = b[1]&(1<<4) != 0
+	p.CPI = b[1]&(1<<3) != 0
+	p.AuthParams = b[1]&(1<<2) != 0
+	p.Demand = b[1]&(1<<1) != 0
+	p.Multipoint = b[1]&1 != 0
+	p.DetectMult = b[2]
+	if p.DetectMult == 0 {
+		return fmt.Errorf("%w: detect multiplier 0", ErrBadPacket)
+	}
+	if p.Multipoint {
+		return fmt.Errorf("%w: multipoint set", ErrBadPacket)
+	}
+	p.MyDiscr = binary.BigEndian.Uint32(b[4:8])
+	if p.MyDiscr == 0 {
+		return fmt.Errorf("%w: my discriminator 0", ErrBadPacket)
+	}
+	p.YourDiscr = binary.BigEndian.Uint32(b[8:12])
+	if p.YourDiscr == 0 && p.State != StateDown && p.State != StateAdminDown {
+		return fmt.Errorf("%w: your discriminator 0 in state %s", ErrBadPacket, p.State)
+	}
+	p.DesiredMinTx = time.Duration(binary.BigEndian.Uint32(b[12:16])) * time.Microsecond
+	p.RequiredMinRx = time.Duration(binary.BigEndian.Uint32(b[16:20])) * time.Microsecond
+	p.RequiredMinEchoRx = time.Duration(binary.BigEndian.Uint32(b[20:24])) * time.Microsecond
+	return nil
+}

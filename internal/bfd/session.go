@@ -1,0 +1,312 @@
+package bfd
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"supercharged/internal/clock"
+)
+
+// Transport sends BFD control packets toward the peer. Implementations:
+// UDPTransport (real sockets) and FuncTransport (emulated links).
+type Transport interface {
+	Send(pkt []byte) error
+}
+
+// FuncTransport adapts a function to Transport.
+type FuncTransport func(pkt []byte) error
+
+// Send implements Transport.
+func (f FuncTransport) Send(pkt []byte) error { return f(pkt) }
+
+// Session defaults; the lab's 30 ms × 3 gives the ~90 ms detection share of
+// the paper's 150 ms supercharged convergence.
+const (
+	DefaultTxInterval = 30 * time.Millisecond
+	DefaultDetectMult = 3
+)
+
+// Config configures a BFD session.
+type Config struct {
+	// LocalDiscr must be nonzero and unique per session on this system.
+	LocalDiscr uint32
+	// TxInterval is the desired min TX interval (and our required min RX).
+	TxInterval time.Duration
+	// DetectMult is the detection time multiplier.
+	DetectMult uint8
+	// Transport carries outgoing control packets.
+	Transport Transport
+	// Clock drives all timers.
+	Clock clock.Clock
+	// OnStateChange fires on every transition with the new state and the
+	// diagnostic; the controller's convergence engine hooks the Up→Down
+	// edge.
+	OnStateChange func(State, Diag)
+	// Jitter, if true, applies the RFC's 75–100% jitter to transmission
+	// intervals. The deterministic simulation leaves it off.
+	Jitter bool
+	// Seed seeds the jitter source (0 = unjittered even with Jitter set).
+	Seed int64
+	// Logf, if set, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Session is one asynchronous-mode BFD session.
+type Session struct {
+	cfg Config
+
+	mu               sync.Mutex
+	state            State
+	diag             Diag
+	remoteDisc       uint32
+	remoteMinRx      time.Duration
+	remoteDetectMult uint8
+	remoteTx         time.Duration
+	detect           clock.Timer
+	txTimer          clock.Timer
+	stopped          bool
+	rng              *rand.Rand
+
+	pktsIn, pktsOut uint64
+}
+
+// NewSession creates a session; call Start to begin transmitting.
+func NewSession(cfg Config) *Session {
+	if cfg.TxInterval == 0 {
+		cfg.TxInterval = DefaultTxInterval
+	}
+	if cfg.DetectMult == 0 {
+		cfg.DetectMult = DefaultDetectMult
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.LocalDiscr == 0 {
+		panic("bfd: LocalDiscr must be nonzero")
+	}
+	s := &Session{cfg: cfg, state: StateDown}
+	if cfg.Jitter && cfg.Seed != 0 {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return s
+}
+
+// State returns the current session state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// LocalDiscr returns the session's local discriminator.
+func (s *Session) LocalDiscr() uint32 { return s.cfg.LocalDiscr }
+
+// Counters returns packets received and sent.
+func (s *Session) Counters() (in, out uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pktsIn, s.pktsOut
+}
+
+// DetectionTime returns the current detection timeout: remote DetectMult ×
+// max(remote DesiredMinTx, local TxInterval)... per RFC 5880 §6.8.4 the
+// detection time in async mode is the remote's DetectMult times the agreed
+// transmit interval of the remote system.
+func (s *Session) DetectionTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detectionTimeLocked()
+}
+
+func (s *Session) detectionTimeLocked() time.Duration {
+	mult := s.remoteDetectMult
+	if mult == 0 {
+		mult = s.cfg.DetectMult
+	}
+	interval := s.remoteTx
+	if s.cfg.TxInterval > interval {
+		// The remote may not send faster than our RequiredMinRx.
+		interval = s.cfg.TxInterval
+	}
+	if interval == 0 {
+		interval = s.cfg.TxInterval
+	}
+	return time.Duration(mult) * interval
+}
+
+// Start begins periodic transmission.
+func (s *Session) Start() {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return
+	}
+	s.transmitAndReschedule()
+}
+
+// Stop halts transmission and marks the session AdminDown; no further
+// callbacks fire.
+func (s *Session) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	s.state = StateAdminDown
+	if s.txTimer != nil {
+		s.txTimer.Stop()
+	}
+	if s.detect != nil {
+		s.detect.Stop()
+	}
+}
+
+func (s *Session) transmitAndReschedule() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	pkt := ControlPacket{
+		Version:       Version,
+		Diag:          s.diag,
+		State:         s.state,
+		DetectMult:    s.cfg.DetectMult,
+		MyDiscr:       s.cfg.LocalDiscr,
+		YourDiscr:     s.remoteDisc,
+		DesiredMinTx:  s.cfg.TxInterval,
+		RequiredMinRx: s.cfg.TxInterval,
+	}
+	s.pktsOut++
+	interval := s.txInterval()
+	s.mu.Unlock()
+
+	if buf, err := pkt.Marshal(); err == nil {
+		if err := s.cfg.Transport.Send(buf); err != nil {
+			s.cfg.Logf("bfd %d: send: %v", s.cfg.LocalDiscr, err)
+		}
+	}
+	s.mu.Lock()
+	if !s.stopped {
+		s.txTimer = s.cfg.Clock.AfterFunc(interval, s.transmitAndReschedule)
+	}
+	s.mu.Unlock()
+}
+
+// txInterval applies negotiated pacing: we must not send faster than the
+// remote's RequiredMinRx. Jitter (75–100%) is applied when configured.
+func (s *Session) txInterval() time.Duration {
+	interval := s.cfg.TxInterval
+	if s.remoteMinRx > interval {
+		interval = s.remoteMinRx
+	}
+	if s.rng != nil {
+		frac := 0.75 + 0.25*s.rng.Float64()
+		interval = time.Duration(float64(interval) * frac)
+	}
+	return interval
+}
+
+// HandlePacket processes one received control packet (RFC 5880 §6.8.6).
+func (s *Session) HandlePacket(buf []byte) {
+	var p ControlPacket
+	if err := p.Unmarshal(buf); err != nil {
+		s.cfg.Logf("bfd %d: drop: %v", s.cfg.LocalDiscr, err)
+		return
+	}
+	if p.YourDiscr != 0 && p.YourDiscr != s.cfg.LocalDiscr {
+		return // not for this session
+	}
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.pktsIn++
+	s.remoteDisc = p.MyDiscr
+	s.remoteMinRx = p.RequiredMinRx
+	s.remoteTx = p.DesiredMinTx
+	s.remoteDetectMult = p.DetectMult
+
+	old := s.state
+	var next State
+	switch {
+	case p.State == StateAdminDown:
+		next = StateDown
+	default:
+		switch old {
+		case StateDown:
+			if p.State == StateDown {
+				next = StateInit
+			} else if p.State == StateInit {
+				next = StateUp
+			} else {
+				next = old // Up packets in Down state are ignored
+			}
+		case StateInit:
+			if p.State == StateInit || p.State == StateUp {
+				next = StateUp
+			} else {
+				next = old
+			}
+		case StateUp:
+			if p.State == StateDown {
+				next = StateDown
+				s.diag = DiagNeighborDown
+			} else {
+				next = old
+			}
+		default:
+			next = old
+		}
+	}
+	changed := next != old
+	s.state = next
+	if next == StateUp || next == StateInit {
+		s.armDetectLocked()
+	}
+	cb := s.cfg.OnStateChange
+	diag := s.diag
+	s.mu.Unlock()
+
+	if changed {
+		s.cfg.Logf("bfd %d: %s -> %s", s.cfg.LocalDiscr, old, next)
+		if cb != nil {
+			cb(next, diag)
+		}
+	}
+}
+
+func (s *Session) armDetectLocked() {
+	d := s.detectionTimeLocked()
+	if s.detect != nil {
+		s.detect.Reset(d)
+		return
+	}
+	s.detect = s.cfg.Clock.AfterFunc(d, s.detectExpired)
+}
+
+// detectExpired fires when no control packet arrived within the detection
+// time: the peer (or the path to it) is declared down. This is the paper's
+// fast failure signal.
+func (s *Session) detectExpired() {
+	s.mu.Lock()
+	if s.stopped || (s.state != StateUp && s.state != StateInit) {
+		s.mu.Unlock()
+		return
+	}
+	old := s.state
+	s.state = StateDown
+	s.diag = DiagControlTimeExpired
+	cb := s.cfg.OnStateChange
+	s.mu.Unlock()
+
+	s.cfg.Logf("bfd %d: %s -> Down (detection time expired)", s.cfg.LocalDiscr, old)
+	if cb != nil {
+		cb(StateDown, DiagControlTimeExpired)
+	}
+}

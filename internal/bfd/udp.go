@@ -1,0 +1,93 @@
+package bfd
+
+import (
+	"net"
+	"sync"
+)
+
+// Port is the RFC 5881 single-hop BFD control port.
+const Port = 3784
+
+// UDPTransport sends control packets to a fixed peer over a shared UDP
+// socket.
+type UDPTransport struct {
+	Conn *net.UDPConn
+	Peer *net.UDPAddr
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(pkt []byte) error {
+	_, err := t.Conn.WriteToUDP(pkt, t.Peer)
+	return err
+}
+
+// Mux demultiplexes received control packets to sessions by the packet's
+// YourDiscriminator field, falling back to the source address for initial
+// Down packets that carry YourDiscr 0 (RFC 5880 §6.8.6).
+type Mux struct {
+	mu      sync.RWMutex
+	byDiscr map[uint32]*Session
+	byPeer  map[string]*Session
+}
+
+// NewMux returns an empty demultiplexer.
+func NewMux() *Mux {
+	return &Mux{byDiscr: make(map[uint32]*Session), byPeer: make(map[string]*Session)}
+}
+
+// Register routes packets with YourDiscr == the session's local
+// discriminator — or packets from peerKey carrying YourDiscr 0 — to s.
+// peerKey is typically the peer's "ip:port" string.
+func (m *Mux) Register(s *Session, peerKey string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byDiscr[s.LocalDiscr()] = s
+	if peerKey != "" {
+		m.byPeer[peerKey] = s
+	}
+}
+
+// Unregister removes the session.
+func (m *Mux) Unregister(s *Session, peerKey string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.byDiscr, s.LocalDiscr())
+	if peerKey != "" {
+		delete(m.byPeer, peerKey)
+	}
+}
+
+// Dispatch routes one received packet. It reports whether a session
+// consumed it.
+func (m *Mux) Dispatch(buf []byte, peerKey string) bool {
+	var p ControlPacket
+	if err := p.Unmarshal(buf); err != nil {
+		return false
+	}
+	m.mu.RLock()
+	s := m.byDiscr[p.YourDiscr]
+	if s == nil && p.YourDiscr == 0 {
+		s = m.byPeer[peerKey]
+	}
+	m.mu.RUnlock()
+	if s == nil {
+		return false
+	}
+	s.HandlePacket(buf)
+	return true
+}
+
+// ServeUDP reads packets from conn and dispatches them until the connection
+// is closed. Run it in a goroutine.
+func (m *Mux) ServeUDP(conn *net.UDPConn) {
+	buf := make([]byte, 1500)
+	for {
+		n, from, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		m.Dispatch(pkt, from.String())
+	}
+}

@@ -1,0 +1,439 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Origin is the ORIGIN path attribute value.
+type Origin uint8
+
+// Origin values; lower is preferred by the decision process.
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	case OriginIncomplete:
+		return "INCOMPLETE"
+	}
+	return fmt.Sprintf("ORIGIN(%d)", uint8(o))
+}
+
+// Path attribute type codes (RFC 4271 §5, RFC 1997).
+const (
+	attrOrigin          uint8 = 1
+	attrASPath          uint8 = 2
+	attrNextHop         uint8 = 3
+	attrMED             uint8 = 4
+	attrLocalPref       uint8 = 5
+	attrAtomicAggregate uint8 = 6
+	attrAggregator      uint8 = 7
+	attrCommunities     uint8 = 8
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   uint8 = 0x80
+	flagTransitive uint8 = 0x40
+	flagPartial    uint8 = 0x20
+	flagExtLen     uint8 = 0x10
+)
+
+// SegType is an AS_PATH segment type.
+type SegType uint8
+
+// AS_PATH segment types.
+const (
+	SegSet      SegType = 1
+	SegSequence SegType = 2
+)
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	Type SegType
+	ASNs []uint32
+}
+
+// ASPath is an ordered list of segments.
+type ASPath []Segment
+
+// Sequence builds a single AS_SEQUENCE path, the common case.
+func Sequence(asns ...uint32) ASPath {
+	if len(asns) == 0 {
+		return nil
+	}
+	return ASPath{{Type: SegSequence, ASNs: asns}}
+}
+
+// Length returns the decision-process length: each AS in a SEQUENCE counts
+// 1, each SET counts 1 total (RFC 4271 §9.1.2.2).
+func (p ASPath) Length() int {
+	n := 0
+	for _, s := range p {
+		if s.Type == SegSet {
+			n++
+		} else {
+			n += len(s.ASNs)
+		}
+	}
+	return n
+}
+
+// First returns the leftmost (neighbor) AS, or 0 for an empty path.
+func (p ASPath) First() uint32 {
+	for _, s := range p {
+		if len(s.ASNs) > 0 {
+			return s.ASNs[0]
+		}
+	}
+	return 0
+}
+
+// Prepend returns a new path with asn prepended, extending the leading
+// SEQUENCE or creating one.
+func (p ASPath) Prepend(asn uint32) ASPath {
+	if len(p) > 0 && p[0].Type == SegSequence && len(p[0].ASNs) < 255 {
+		head := Segment{Type: SegSequence, ASNs: append([]uint32{asn}, p[0].ASNs...)}
+		return append(ASPath{head}, p[1:]...)
+	}
+	return append(ASPath{{Type: SegSequence, ASNs: []uint32{asn}}}, p...)
+}
+
+// Contains reports whether asn appears anywhere in the path (loop check).
+func (p ASPath) Contains(asn uint32) bool {
+	for _, s := range p {
+		for _, a := range s.ASNs {
+			if a == asn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the path.
+func (p ASPath) Clone() ASPath {
+	if p == nil {
+		return nil
+	}
+	out := make(ASPath, len(p))
+	for i, s := range p {
+		out[i] = Segment{Type: s.Type, ASNs: append([]uint32(nil), s.ASNs...)}
+	}
+	return out
+}
+
+func (p ASPath) String() string {
+	var parts []string
+	for _, s := range p {
+		var asns []string
+		for _, a := range s.ASNs {
+			asns = append(asns, fmt.Sprint(a))
+		}
+		inner := strings.Join(asns, " ")
+		if s.Type == SegSet {
+			inner = "{" + inner + "}"
+		}
+		parts = append(parts, inner)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Community is an RFC 1997 community value.
+type Community uint32
+
+func (c Community) String() string {
+	return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xffff)
+}
+
+// Aggregator is the AGGREGATOR attribute.
+type Aggregator struct {
+	AS uint32
+	ID netip.Addr
+}
+
+// RawAttr preserves an attribute this implementation does not interpret, so
+// the controller re-advertises routes without information loss — essential
+// for a transparent interposer.
+type RawAttr struct {
+	Flags uint8
+	Code  uint8
+	Data  []byte
+}
+
+// Attrs is the parsed set of path attributes of one UPDATE.
+type Attrs struct {
+	Origin Origin
+	ASPath ASPath
+	// NextHop is the attribute the supercharged controller rewrites to a
+	// virtual next-hop before re-announcing to the router.
+	NextHop netip.Addr
+
+	MED          uint32
+	HasMED       bool
+	LocalPref    uint32
+	HasLocalPref bool
+
+	AtomicAggregate bool
+	Aggregator      *Aggregator
+	Communities     []Community
+	Others          []RawAttr
+}
+
+// Clone deep-copies the attributes; the controller mutates clones, never
+// the RIB's copy.
+func (a *Attrs) Clone() *Attrs {
+	if a == nil {
+		return nil
+	}
+	out := *a
+	out.ASPath = a.ASPath.Clone()
+	out.Communities = append([]Community(nil), a.Communities...)
+	if a.Aggregator != nil {
+		agg := *a.Aggregator
+		out.Aggregator = &agg
+	}
+	if a.Others != nil {
+		out.Others = make([]RawAttr, len(a.Others))
+		for i, r := range a.Others {
+			out.Others[i] = RawAttr{Flags: r.Flags, Code: r.Code, Data: append([]byte(nil), r.Data...)}
+		}
+	}
+	return &out
+}
+
+func (a *Attrs) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "origin=%s as-path=[%s] nh=%s", a.Origin, a.ASPath, a.NextHop)
+	if a.HasMED {
+		fmt.Fprintf(&b, " med=%d", a.MED)
+	}
+	if a.HasLocalPref {
+		fmt.Fprintf(&b, " local-pref=%d", a.LocalPref)
+	}
+	return b.String()
+}
+
+func appendAttrHeader(out []byte, flags, code uint8, bodyLen int) []byte {
+	if bodyLen > 255 {
+		flags |= flagExtLen
+		out = append(out, flags, code)
+		return binary.BigEndian.AppendUint16(out, uint16(bodyLen))
+	}
+	return append(out, flags, code, byte(bodyLen))
+}
+
+func (a *Attrs) marshal(c Codec) ([]byte, error) {
+	var out []byte
+
+	out = appendAttrHeader(out, flagTransitive, attrOrigin, 1)
+	out = append(out, byte(a.Origin))
+
+	asPath, err := marshalASPath(a.ASPath, c.ASN4)
+	if err != nil {
+		return nil, err
+	}
+	out = appendAttrHeader(out, flagTransitive, attrASPath, len(asPath))
+	out = append(out, asPath...)
+
+	if !a.NextHop.Is4() {
+		return nil, fmt.Errorf("%w: NEXT_HOP %v is not IPv4", ErrBadMessage, a.NextHop)
+	}
+	nh := a.NextHop.As4()
+	out = appendAttrHeader(out, flagTransitive, attrNextHop, 4)
+	out = append(out, nh[:]...)
+
+	if a.HasMED {
+		out = appendAttrHeader(out, flagOptional, attrMED, 4)
+		out = binary.BigEndian.AppendUint32(out, a.MED)
+	}
+	if a.HasLocalPref {
+		out = appendAttrHeader(out, flagTransitive, attrLocalPref, 4)
+		out = binary.BigEndian.AppendUint32(out, a.LocalPref)
+	}
+	if a.AtomicAggregate {
+		out = appendAttrHeader(out, flagTransitive, attrAtomicAggregate, 0)
+	}
+	if a.Aggregator != nil {
+		if !a.Aggregator.ID.Is4() {
+			return nil, fmt.Errorf("%w: AGGREGATOR id not IPv4", ErrBadMessage)
+		}
+		id := a.Aggregator.ID.As4()
+		if c.ASN4 {
+			out = appendAttrHeader(out, flagOptional|flagTransitive, attrAggregator, 8)
+			out = binary.BigEndian.AppendUint32(out, a.Aggregator.AS)
+		} else {
+			out = appendAttrHeader(out, flagOptional|flagTransitive, attrAggregator, 6)
+			out = binary.BigEndian.AppendUint16(out, uint16(a.Aggregator.AS))
+		}
+		out = append(out, id[:]...)
+	}
+	if len(a.Communities) > 0 {
+		out = appendAttrHeader(out, flagOptional|flagTransitive, attrCommunities, 4*len(a.Communities))
+		for _, cm := range a.Communities {
+			out = binary.BigEndian.AppendUint32(out, uint32(cm))
+		}
+	}
+	for _, r := range a.Others {
+		out = appendAttrHeader(out, r.Flags&^flagExtLen, r.Code, len(r.Data))
+		out = append(out, r.Data...)
+	}
+	return out, nil
+}
+
+func marshalASPath(p ASPath, asn4 bool) ([]byte, error) {
+	var out []byte
+	for _, s := range p {
+		if len(s.ASNs) == 0 || len(s.ASNs) > 255 {
+			return nil, fmt.Errorf("%w: AS_PATH segment with %d ASNs", ErrBadMessage, len(s.ASNs))
+		}
+		out = append(out, byte(s.Type), byte(len(s.ASNs)))
+		for _, asn := range s.ASNs {
+			if asn4 {
+				out = binary.BigEndian.AppendUint32(out, asn)
+			} else {
+				if asn > 0xffff {
+					asn = uint32(ASTrans)
+				}
+				out = binary.BigEndian.AppendUint16(out, uint16(asn))
+			}
+		}
+	}
+	return out, nil
+}
+
+func parseASPath(b []byte, asn4 bool) (ASPath, error) {
+	var p ASPath
+	width := 2
+	if asn4 {
+		width = 4
+	}
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: truncated AS_PATH segment header", ErrBadMessage)
+		}
+		st, n := SegType(b[0]), int(b[1])
+		if st != SegSet && st != SegSequence {
+			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadMessage, st)
+		}
+		need := 2 + n*width
+		if len(b) < need {
+			return nil, fmt.Errorf("%w: truncated AS_PATH segment", ErrBadMessage)
+		}
+		seg := Segment{Type: st, ASNs: make([]uint32, n)}
+		for i := 0; i < n; i++ {
+			off := 2 + i*width
+			if asn4 {
+				seg.ASNs[i] = binary.BigEndian.Uint32(b[off : off+4])
+			} else {
+				seg.ASNs[i] = uint32(binary.BigEndian.Uint16(b[off : off+2]))
+			}
+		}
+		p = append(p, seg)
+		b = b[need:]
+	}
+	return p, nil
+}
+
+func parseAttrs(b []byte, c Codec) (*Attrs, error) {
+	a := &Attrs{}
+	seen := map[uint8]bool{}
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, fmt.Errorf("%w: truncated attribute header", ErrBadMessage)
+		}
+		flags, code := b[0], b[1]
+		var alen, off int
+		if flags&flagExtLen != 0 {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("%w: truncated extended attribute header", ErrBadMessage)
+			}
+			alen, off = int(binary.BigEndian.Uint16(b[2:4])), 4
+		} else {
+			alen, off = int(b[2]), 3
+		}
+		if len(b) < off+alen {
+			return nil, fmt.Errorf("%w: attribute %d body truncated", ErrBadMessage, code)
+		}
+		body := b[off : off+alen]
+		b = b[off+alen:]
+		if seen[code] {
+			return nil, fmt.Errorf("%w: duplicate attribute %d", ErrBadMessage, code)
+		}
+		seen[code] = true
+
+		switch code {
+		case attrOrigin:
+			if alen != 1 || body[0] > 2 {
+				return nil, fmt.Errorf("%w: ORIGIN", ErrBadMessage)
+			}
+			a.Origin = Origin(body[0])
+		case attrASPath:
+			p, err := parseASPath(body, c.ASN4)
+			if err != nil {
+				return nil, err
+			}
+			a.ASPath = p
+		case attrNextHop:
+			if alen != 4 {
+				return nil, fmt.Errorf("%w: NEXT_HOP length %d", ErrBadMessage, alen)
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(body))
+		case attrMED:
+			if alen != 4 {
+				return nil, fmt.Errorf("%w: MED length %d", ErrBadMessage, alen)
+			}
+			a.MED, a.HasMED = binary.BigEndian.Uint32(body), true
+		case attrLocalPref:
+			if alen != 4 {
+				return nil, fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadMessage, alen)
+			}
+			a.LocalPref, a.HasLocalPref = binary.BigEndian.Uint32(body), true
+		case attrAtomicAggregate:
+			if alen != 0 {
+				return nil, fmt.Errorf("%w: ATOMIC_AGGREGATE length %d", ErrBadMessage, alen)
+			}
+			a.AtomicAggregate = true
+		case attrAggregator:
+			switch {
+			case c.ASN4 && alen == 8:
+				a.Aggregator = &Aggregator{AS: binary.BigEndian.Uint32(body[:4]), ID: netip.AddrFrom4([4]byte(body[4:8]))}
+			case !c.ASN4 && alen == 6:
+				a.Aggregator = &Aggregator{AS: uint32(binary.BigEndian.Uint16(body[:2])), ID: netip.AddrFrom4([4]byte(body[2:6]))}
+			default:
+				return nil, fmt.Errorf("%w: AGGREGATOR length %d", ErrBadMessage, alen)
+			}
+		case attrCommunities:
+			if alen%4 != 0 {
+				return nil, fmt.Errorf("%w: COMMUNITIES length %d", ErrBadMessage, alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				a.Communities = append(a.Communities, Community(binary.BigEndian.Uint32(body[i:i+4])))
+			}
+		default:
+			if flags&flagOptional == 0 {
+				return nil, fmt.Errorf("%w: unrecognized well-known attribute %d", ErrBadMessage, code)
+			}
+			// Optional: preserve transitive ones (with partial bit set on
+			// re-advertisement per RFC 4271 §5); drop non-transitive.
+			if flags&flagTransitive != 0 {
+				a.Others = append(a.Others, RawAttr{
+					Flags: flags | flagPartial,
+					Code:  code,
+					Data:  append([]byte(nil), body...),
+				})
+			}
+		}
+	}
+	return a, nil
+}

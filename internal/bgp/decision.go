@@ -1,0 +1,118 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Path is one route for a prefix as stored in the RIB, with the attributes
+// and the per-peer metadata the decision process needs.
+type Path struct {
+	Peer      netip.Addr // session address of the advertising peer
+	PeerAS    uint32
+	PeerID    netip.Addr // peer's BGP identifier
+	IBGP      bool
+	IGPMetric uint32 // configured cost to reach the peer's next-hop
+	Weight    uint32 // Cisco-style local weight; highest wins, default 0
+	Attrs     *Attrs
+
+	stamp uint64 // arrival order; newer replaces older from the same peer
+}
+
+// NextHop returns the route's NEXT_HOP attribute.
+func (p *Path) NextHop() netip.Addr { return p.Attrs.NextHop }
+
+// LocalPref returns LOCAL_PREF or the conventional default 100.
+func (p *Path) LocalPref() uint32 {
+	if p.Attrs.HasLocalPref {
+		return p.Attrs.LocalPref
+	}
+	return 100
+}
+
+// MED returns the MED or 0 (the RFC's "missing as best" convention).
+func (p *Path) MED() uint32 {
+	if p.Attrs.HasMED {
+		return p.Attrs.MED
+	}
+	return 0
+}
+
+func (p *Path) String() string {
+	return fmt.Sprintf("via %s (peer %s, lp %d, as-path [%s])", p.NextHop(), p.Peer, p.LocalPref(), p.Attrs.ASPath)
+}
+
+// DecisionConfig tunes the decision process.
+type DecisionConfig struct {
+	// AlwaysCompareMED compares MED across neighbor ASes (the "med
+	// always" knob); default is RFC behavior (same neighbor AS only).
+	AlwaysCompareMED bool
+}
+
+// Compare implements the BGP decision process as a total order over paths:
+// it returns a negative value when a is preferred over b, positive when b
+// wins, and never 0 for distinct peers (router ID and peer address break
+// ties), which is what makes the ranking — and hence the controller's
+// backup-group computation — deterministic. The steps, in order:
+//
+//  1. highest Weight (local, Cisco-style)
+//  2. highest LOCAL_PREF
+//  3. shortest AS_PATH
+//  4. lowest ORIGIN
+//  5. lowest MED (same neighbor AS unless AlwaysCompareMED)
+//  6. eBGP over iBGP
+//  7. lowest IGP metric to the next-hop
+//  8. lowest peer router ID
+//  9. lowest peer address
+func (cfg DecisionConfig) Compare(a, b *Path) int {
+	if a.Weight != b.Weight {
+		if a.Weight > b.Weight {
+			return -1
+		}
+		return 1
+	}
+	if la, lb := a.LocalPref(), b.LocalPref(); la != lb {
+		if la > lb {
+			return -1
+		}
+		return 1
+	}
+	if la, lb := a.Attrs.ASPath.Length(), b.Attrs.ASPath.Length(); la != lb {
+		return la - lb
+	}
+	if oa, ob := a.Attrs.Origin, b.Attrs.Origin; oa != ob {
+		return int(oa) - int(ob)
+	}
+	if cfg.AlwaysCompareMED || a.Attrs.ASPath.First() == b.Attrs.ASPath.First() {
+		if ma, mb := a.MED(), b.MED(); ma != mb {
+			if ma < mb {
+				return -1
+			}
+			return 1
+		}
+	}
+	if a.IBGP != b.IBGP {
+		if !a.IBGP {
+			return -1
+		}
+		return 1
+	}
+	if a.IGPMetric != b.IGPMetric {
+		if a.IGPMetric < b.IGPMetric {
+			return -1
+		}
+		return 1
+	}
+	if a.PeerID != b.PeerID {
+		return a.PeerID.Compare(b.PeerID)
+	}
+	return a.Peer.Compare(b.Peer)
+}
+
+// Rank sorts paths best-first in place according to the decision process.
+func (cfg DecisionConfig) Rank(paths []*Path) {
+	sort.SliceStable(paths, func(i, j int) bool {
+		return cfg.Compare(paths[i], paths[j]) < 0
+	})
+}

@@ -1,0 +1,349 @@
+// Package bgp implements the subset of BGP-4 (RFC 4271) that the
+// supercharged controller and the legacy-router model need to speak to each
+// other and to real peers: the full message codec (OPEN with capability
+// negotiation, UPDATE with path attributes and NLRI, KEEPALIVE,
+// NOTIFICATION), a practical session state machine over net.Conn, per-peer
+// Adj-RIB-In plus a Loc-RIB, and the complete decision process returning
+// the *ordered* list of paths per prefix — the input the paper's Listing 1
+// consumes to derive (primary, backup) groups.
+//
+// The controller in the paper extends ExaBGP; this package plays that role.
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// MsgType is a BGP message type code.
+type MsgType uint8
+
+// BGP message types (RFC 4271 §4.1).
+const (
+	MsgOpen         MsgType = 1
+	MsgUpdate       MsgType = 2
+	MsgNotification MsgType = 3
+	MsgKeepalive    MsgType = 4
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// Wire-format size limits (RFC 4271 §4.1).
+const (
+	MarkerLen  = 16
+	HeaderLen  = 19
+	MaxMsgLen  = 4096
+	minHoldSec = 3
+)
+
+// Message is any BGP message.
+type Message interface {
+	Type() MsgType
+}
+
+// Codec carries per-session encoding state. ASN4 selects 4-octet AS number
+// encoding in AS_PATH and AGGREGATOR (RFC 6793), negotiated via capability
+// 65 during the OPEN exchange.
+type Codec struct {
+	ASN4 bool
+}
+
+// Decode errors.
+var (
+	ErrBadMarker  = errors.New("bgp: connection not synchronized (bad marker)")
+	ErrBadLength  = errors.New("bgp: bad message length")
+	ErrBadMessage = errors.New("bgp: malformed message")
+)
+
+// Marshal encodes msg as a complete wire message including header.
+func (c Codec) Marshal(msg Message) ([]byte, error) {
+	var body []byte
+	var err error
+	switch m := msg.(type) {
+	case *Open:
+		body, err = m.marshal()
+	case *Update:
+		body, err = m.marshal(c)
+	case *Notification:
+		body = m.marshal()
+	case *Keepalive:
+		body = nil
+	default:
+		return nil, fmt.Errorf("bgp: cannot marshal %T", msg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMsgLen {
+		return nil, fmt.Errorf("%w: %d exceeds %d", ErrBadLength, total, MaxMsgLen)
+	}
+	out := make([]byte, total)
+	for i := 0; i < MarkerLen; i++ {
+		out[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(out[16:18], uint16(total))
+	out[18] = byte(msg.Type())
+	copy(out[HeaderLen:], body)
+	return out, nil
+}
+
+// Unmarshal decodes one complete wire message (header included).
+func (c Codec) Unmarshal(buf []byte) (Message, error) {
+	if len(buf) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(buf))
+	}
+	for i := 0; i < MarkerLen; i++ {
+		if buf[i] != 0xff {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(buf[16:18]))
+	if length < HeaderLen || length > MaxMsgLen || length != len(buf) {
+		return nil, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, length, len(buf))
+	}
+	body := buf[HeaderLen:]
+	switch MsgType(buf[18]) {
+	case MsgOpen:
+		return parseOpen(body)
+	case MsgUpdate:
+		return parseUpdate(body, c)
+	case MsgNotification:
+		return parseNotification(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: keepalive with body", ErrBadMessage)
+		}
+		return &Keepalive{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, buf[18])
+	}
+}
+
+// ReadMessage reads exactly one message from r.
+func (c Codec) ReadMessage(r io.Reader) (Message, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < HeaderLen || length > MaxMsgLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return c.Unmarshal(buf)
+}
+
+// WriteMessage marshals msg and writes it to w.
+func (c Codec) WriteMessage(w io.Writer, msg Message) error {
+	buf, err := c.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Capability codes used by this implementation.
+const (
+	CapMPExtensions uint8 = 1  // advertised for IPv4/unicast interop
+	CapRouteRefresh uint8 = 2  // advertised, accepted, not acted upon
+	CapASN4         uint8 = 65 // RFC 6793 4-octet AS numbers
+)
+
+// Capability is one BGP capability (RFC 5492).
+type Capability struct {
+	Code uint8
+	Data []byte
+}
+
+// Open is a BGP OPEN message.
+type Open struct {
+	Version  uint8
+	AS       uint32 // AS_TRANS (23456) is emitted on the wire when > 65535
+	HoldTime uint16 // seconds
+	ID       netip.Addr
+	Caps     []Capability
+}
+
+// ASTrans is the 2-octet placeholder AS (RFC 6793).
+const ASTrans uint16 = 23456
+
+// Type implements Message.
+func (*Open) Type() MsgType { return MsgOpen }
+
+func (o *Open) marshal() ([]byte, error) {
+	if !o.ID.Is4() {
+		return nil, fmt.Errorf("%w: OPEN requires IPv4 BGP identifier", ErrBadMessage)
+	}
+	as2 := uint16(o.AS)
+	caps := o.Caps
+	if o.AS > 0xffff {
+		as2 = ASTrans
+	}
+	// Always advertise ASN4 with our real AS; RFC 6793 makes this safe.
+	asn4 := make([]byte, 4)
+	binary.BigEndian.PutUint32(asn4, o.AS)
+	caps = append(append([]Capability{}, caps...), Capability{Code: CapASN4, Data: asn4})
+
+	var capBytes []byte
+	for _, c := range caps {
+		if len(c.Data) > 255 {
+			return nil, fmt.Errorf("%w: capability %d too long", ErrBadMessage, c.Code)
+		}
+		capBytes = append(capBytes, c.Code, byte(len(c.Data)))
+		capBytes = append(capBytes, c.Data...)
+	}
+	// One optional parameter of type 2 (capabilities).
+	params := []byte{2, byte(len(capBytes))}
+	params = append(params, capBytes...)
+	if len(capBytes) > 255 {
+		return nil, fmt.Errorf("%w: capabilities exceed one parameter", ErrBadMessage)
+	}
+
+	id := o.ID.As4()
+	body := make([]byte, 0, 10+len(params))
+	body = append(body, o.Version)
+	body = binary.BigEndian.AppendUint16(body, as2)
+	body = binary.BigEndian.AppendUint16(body, o.HoldTime)
+	body = append(body, id[:]...)
+	body = append(body, byte(len(params)))
+	body = append(body, params...)
+	return body, nil
+}
+
+func parseOpen(b []byte) (*Open, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("%w: OPEN body %d bytes", ErrBadLength, len(b))
+	}
+	o := &Open{
+		Version:  b[0],
+		AS:       uint32(binary.BigEndian.Uint16(b[1:3])),
+		HoldTime: binary.BigEndian.Uint16(b[3:5]),
+		ID:       netip.AddrFrom4([4]byte{b[5], b[6], b[7], b[8]}),
+	}
+	optLen := int(b[9])
+	opts := b[10:]
+	if len(opts) != optLen {
+		return nil, fmt.Errorf("%w: OPEN optional params length", ErrBadLength)
+	}
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, fmt.Errorf("%w: truncated optional parameter", ErrBadMessage)
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return nil, fmt.Errorf("%w: truncated optional parameter body", ErrBadMessage)
+		}
+		pdata := opts[2 : 2+plen]
+		opts = opts[2+plen:]
+		if ptype != 2 {
+			continue // ignore non-capability parameters
+		}
+		for len(pdata) > 0 {
+			if len(pdata) < 2 || len(pdata) < 2+int(pdata[1]) {
+				return nil, fmt.Errorf("%w: truncated capability", ErrBadMessage)
+			}
+			o.Caps = append(o.Caps, Capability{
+				Code: pdata[0],
+				Data: append([]byte(nil), pdata[2:2+int(pdata[1])]...),
+			})
+			pdata = pdata[2+int(pdata[1]):]
+		}
+	}
+	// Surface the 4-octet AS if present.
+	if asn4, ok := o.Cap(CapASN4); ok && len(asn4) == 4 {
+		real := binary.BigEndian.Uint32(asn4)
+		if real != 0 {
+			o.AS = real
+		}
+	}
+	return o, nil
+}
+
+// Cap returns the data of the first capability with the given code.
+func (o *Open) Cap(code uint8) ([]byte, bool) {
+	for _, c := range o.Caps {
+		if c.Code == code {
+			return c.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Keepalive is a BGP KEEPALIVE message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() MsgType { return MsgKeepalive }
+
+// Notification error codes (RFC 4271 §4.5).
+const (
+	NotifMessageHeader    uint8 = 1
+	NotifOpenMessage      uint8 = 2
+	NotifUpdateMessage    uint8 = 3
+	NotifHoldTimerExpired uint8 = 4
+	NotifFSMError         uint8 = 5
+	NotifCease            uint8 = 6
+)
+
+// Notification is a BGP NOTIFICATION message; sending one closes the
+// session.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() MsgType { return MsgNotification }
+
+func (n *Notification) marshal() []byte {
+	out := make([]byte, 2+len(n.Data))
+	out[0], out[1] = n.Code, n.Subcode
+	copy(out[2:], n.Data)
+	return out
+}
+
+func parseNotification(b []byte) (*Notification, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: NOTIFICATION body %d bytes", ErrBadLength, len(b))
+	}
+	return &Notification{Code: b[0], Subcode: b[1], Data: append([]byte(nil), b[2:]...)}, nil
+}
+
+func (n *Notification) Error() string { return n.String() }
+
+func (n *Notification) String() string {
+	name := map[uint8]string{
+		NotifMessageHeader:    "message header error",
+		NotifOpenMessage:      "OPEN message error",
+		NotifUpdateMessage:    "UPDATE message error",
+		NotifHoldTimerExpired: "hold timer expired",
+		NotifFSMError:         "FSM error",
+		NotifCease:            "cease",
+	}[n.Code]
+	if name == "" {
+		name = fmt.Sprintf("code %d", n.Code)
+	}
+	return fmt.Sprintf("bgp notification: %s (subcode %d)", name, n.Subcode)
+}

@@ -1,0 +1,162 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// Change reports that the ordered path list of a prefix changed. Old and
+// New are the ranked lists before and after (best first); both may share
+// Path pointers. New is empty when the prefix became unreachable.
+type Change struct {
+	Prefix netip.Prefix
+	Old    []*Path
+	New    []*Path
+}
+
+// RIB holds, per prefix, every path learned from every peer (the merged
+// Adj-RIB-In), ranked by the decision process. The ordered list — not just
+// the best path — is the RIB's product, because the supercharged controller
+// derives (primary, backup) from positions 0 and 1 (paper Listing 1).
+type RIB struct {
+	Decision DecisionConfig
+
+	mu       sync.RWMutex
+	prefixes map[netip.Prefix][]*Path
+	stamp    uint64
+}
+
+// NewRIB returns an empty RIB with default decision configuration.
+func NewRIB() *RIB {
+	return &RIB{prefixes: make(map[netip.Prefix][]*Path)}
+}
+
+// Len returns the number of prefixes with at least one path.
+func (r *RIB) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.prefixes)
+}
+
+// Paths returns the ranked path list for p (best first). The returned slice
+// is a copy; the Path pointers are shared and must be treated as immutable.
+func (r *RIB) Paths(p netip.Prefix) []*Path {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Path(nil), r.prefixes[p.Masked()]...)
+}
+
+// Best returns the best path for p, or nil.
+func (r *RIB) Best(p netip.Prefix) *Path {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if ps := r.prefixes[p.Masked()]; len(ps) > 0 {
+		return ps[0]
+	}
+	return nil
+}
+
+// Walk visits every prefix and its ranked paths. The callback must not
+// mutate the slice. Iteration order is unspecified.
+func (r *RIB) Walk(fn func(p netip.Prefix, paths []*Path) bool) {
+	r.mu.RLock()
+	type item struct {
+		p  netip.Prefix
+		ps []*Path
+	}
+	items := make([]item, 0, len(r.prefixes))
+	for p, ps := range r.prefixes {
+		items = append(items, item{p, ps})
+	}
+	r.mu.RUnlock()
+	for _, it := range items {
+		if !fn(it.p, it.ps) {
+			return
+		}
+	}
+}
+
+// PeerMeta carries the per-peer metadata stamped onto learned paths.
+type PeerMeta struct {
+	Addr      netip.Addr
+	AS        uint32
+	ID        netip.Addr
+	IBGP      bool
+	IGPMetric uint32
+	Weight    uint32
+}
+
+// Update applies one UPDATE from a peer and returns a Change per prefix
+// whose ranked list changed. Announcements replace the peer's previous path
+// for the prefix (implicit withdraw); withdrawals remove it.
+func (r *RIB) Update(peer PeerMeta, u *Update) []Change {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var changes []Change
+
+	for _, p := range u.Withdrawn {
+		if ch, changed := r.removeLocked(peer.Addr, p.Masked()); changed {
+			changes = append(changes, ch)
+		}
+	}
+	if u.Attrs != nil {
+		for _, p := range u.NLRI {
+			changes = append(changes, r.announceLocked(peer, p.Masked(), u.Attrs))
+		}
+	}
+	return changes
+}
+
+// RemovePeer drops every path learned from the peer (session failure) and
+// returns the resulting changes — the event that triggers the slow
+// standalone convergence the paper measures.
+func (r *RIB) RemovePeer(peerAddr netip.Addr) []Change {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var changes []Change
+	for p := range r.prefixes {
+		if ch, changed := r.removeLocked(peerAddr, p); changed {
+			changes = append(changes, ch)
+		}
+	}
+	return changes
+}
+
+func (r *RIB) announceLocked(peer PeerMeta, pfx netip.Prefix, attrs *Attrs) Change {
+	old := r.prefixes[pfx]
+	r.stamp++
+	np := &Path{
+		Peer: peer.Addr, PeerAS: peer.AS, PeerID: peer.ID,
+		IBGP: peer.IBGP, IGPMetric: peer.IGPMetric, Weight: peer.Weight,
+		Attrs: attrs, stamp: r.stamp,
+	}
+	next := make([]*Path, 0, len(old)+1)
+	for _, p := range old {
+		if p.Peer != peer.Addr {
+			next = append(next, p)
+		}
+	}
+	next = append(next, np)
+	r.Decision.Rank(next)
+	r.prefixes[pfx] = next
+	return Change{Prefix: pfx, Old: old, New: next}
+}
+
+func (r *RIB) removeLocked(peerAddr netip.Addr, pfx netip.Prefix) (Change, bool) {
+	old := r.prefixes[pfx]
+	next := make([]*Path, 0, len(old))
+	for _, p := range old {
+		if p.Peer != peerAddr {
+			next = append(next, p)
+		}
+	}
+	if len(next) == len(old) {
+		return Change{}, false
+	}
+	if len(next) == 0 {
+		delete(r.prefixes, pfx)
+	} else {
+		r.prefixes[pfx] = next
+	}
+	return Change{Prefix: pfx, Old: old, New: next}, true
+}

@@ -1,0 +1,504 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"supercharged/internal/clock"
+)
+
+// State is a BGP FSM state (RFC 4271 §8.2.2).
+type State int
+
+// FSM states.
+const (
+	StateIdle State = iota
+	StateConnect
+	StateActive
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateActive:
+		return "Active"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Session defaults.
+const (
+	DefaultHoldTime     = 90 * time.Second
+	DefaultConnectRetry = 5 * time.Second
+	sendQueueLen        = 4096
+)
+
+// ErrSessionClosed is returned by Send after Stop.
+var ErrSessionClosed = errors.New("bgp: session closed")
+
+// SessionConfig configures one BGP adjacency.
+type SessionConfig struct {
+	LocalAS  uint32
+	LocalID  netip.Addr
+	PeerAS   uint32     // 0 accepts any AS
+	PeerAddr netip.Addr // identifies the peer in logs and the RIB
+
+	// Dial, when set, makes the session actively connect (with
+	// ConnectRetry backoff). A passive session waits for Accept.
+	Dial func() (net.Conn, error)
+
+	HoldTime     time.Duration // negotiated down to the peer's value; default 90s
+	ConnectRetry time.Duration
+	Clock        clock.Clock
+	Logf         func(format string, args ...any)
+
+	// OnUpdate is called for every received UPDATE, from the session's
+	// reader goroutine, in arrival order.
+	OnUpdate func(*Update)
+	// OnEstablished is called when the session reaches Established.
+	OnEstablished func()
+	// OnDown is called when an established session goes down, with the
+	// reason.
+	OnDown func(error)
+}
+
+// Session is one BGP adjacency. It reconnects automatically in active mode
+// until Stop is called.
+type Session struct {
+	cfg SessionConfig
+
+	mu      sync.Mutex
+	state   State
+	conn    net.Conn
+	out     chan []byte
+	codec   Codec
+	stopped bool
+	stopCh  chan struct{} // closed by Stop; interrupts retry sleeps
+	estCh   chan struct{} // re-made on each down; closed when established
+
+	wg sync.WaitGroup
+}
+
+// NewSession returns a configured session; call Start (active) and/or
+// Accept (passive) to run it.
+func NewSession(cfg SessionConfig) *Session {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = DefaultHoldTime
+	}
+	if cfg.ConnectRetry == 0 {
+		cfg.ConnectRetry = DefaultConnectRetry
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Session{cfg: cfg, state: StateIdle, estCh: make(chan struct{}), stopCh: make(chan struct{})}
+}
+
+// State returns the current FSM state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Established reports whether the session is in Established state.
+func (s *Session) Established() bool { return s.State() == StateEstablished }
+
+// WaitEstablished blocks until the session is established or the timeout
+// elapses.
+func (s *Session) WaitEstablished(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return ErrSessionClosed
+		}
+		ch := s.estCh
+		est := s.state == StateEstablished
+		s.mu.Unlock()
+		if est {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("bgp: session to %s not established within %v", s.cfg.PeerAddr, timeout)
+		}
+		select {
+		case <-ch:
+		case <-time.After(remain):
+		}
+	}
+}
+
+// Start runs the active side: dial, handshake, serve; reconnect on failure.
+// It returns immediately.
+func (s *Session) Start() {
+	if s.cfg.Dial == nil {
+		return // passive session: driven by Accept
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			s.mu.Lock()
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			s.state = StateConnect
+			s.mu.Unlock()
+
+			conn, err := s.cfg.Dial()
+			if err != nil {
+				s.cfg.Logf("bgp %s: dial: %v", s.cfg.PeerAddr, err)
+				s.setState(StateActive)
+				if !s.sleepRetry() {
+					return
+				}
+				continue
+			}
+			s.serveConn(conn)
+			if !s.sleepRetry() {
+				return
+			}
+		}
+	}()
+}
+
+func (s *Session) sleepRetry() bool {
+	done := make(chan struct{})
+	t := s.cfg.Clock.AfterFunc(s.cfg.ConnectRetry, func() { close(done) })
+	select {
+	case <-done:
+	case <-s.stopCh:
+		t.Stop()
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.stopped
+}
+
+// Accept runs the passive side on an already-established transport
+// connection. It blocks until the session ends, so callers usually run it
+// in a goroutine.
+func (s *Session) Accept(conn net.Conn) {
+	s.serveConn(conn)
+}
+
+// Stop sends a CEASE notification if established, closes the transport and
+// stops reconnecting.
+func (s *Session) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	conn := s.conn
+	out := s.out
+	codec := s.codec
+	s.mu.Unlock()
+	if out != nil {
+		// Best-effort CEASE; the writer drains it before the close below.
+		if buf, err := codec.Marshal(&Notification{Code: NotifCease}); err == nil {
+			select {
+			case out <- buf:
+			default:
+			}
+		}
+	}
+	// Give the writer a beat to flush, then tear down.
+	time.Sleep(10 * time.Millisecond)
+	if conn != nil {
+		conn.Close()
+	}
+	s.wg.Wait()
+	s.setState(StateIdle)
+}
+
+// Send queues an UPDATE (or any message) for transmission. It returns an
+// error if the session is not established.
+func (s *Session) Send(msg Message) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if s.state != StateEstablished || s.out == nil {
+		st := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("bgp: session to %s is %s, not Established", s.cfg.PeerAddr, st)
+	}
+	out := s.out
+	codec := s.codec
+	s.mu.Unlock()
+	buf, err := codec.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	select {
+	case out <- buf:
+		return nil
+	case <-s.stopCh:
+		return ErrSessionClosed
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("bgp: send queue to %s full", s.cfg.PeerAddr)
+	}
+}
+
+// Codec returns the negotiated codec (valid once established).
+func (s *Session) Codec() Codec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codec
+}
+
+func (s *Session) setState(st State) {
+	s.mu.Lock()
+	prev := s.state
+	s.state = st
+	var est chan struct{}
+	if st == StateEstablished && prev != StateEstablished {
+		est = s.estCh
+	}
+	if prev == StateEstablished && st != StateEstablished {
+		s.estCh = make(chan struct{})
+	}
+	s.mu.Unlock()
+	if est != nil {
+		close(est)
+	}
+}
+
+// serveConn performs the OPEN exchange and runs the established loop on one
+// transport connection. It returns when the connection dies.
+func (s *Session) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conn = conn
+	s.mu.Unlock()
+
+	err := s.handshakeAndRun(conn)
+	wasEstablished := s.State() == StateEstablished
+
+	conn.Close()
+	s.mu.Lock()
+	s.conn = nil
+	s.out = nil
+	stopped := s.stopped
+	s.mu.Unlock()
+	s.setState(StateIdle)
+
+	if err != nil && !stopped {
+		s.cfg.Logf("bgp %s: session down: %v", s.cfg.PeerAddr, err)
+	}
+	if wasEstablished && s.cfg.OnDown != nil && !stopped {
+		s.cfg.OnDown(err)
+	}
+}
+
+func (s *Session) handshakeAndRun(conn net.Conn) error {
+	// The writer goroutine starts before the OPEN exchange: both BGP
+	// speakers send OPEN simultaneously, so a synchronous write here would
+	// deadlock on unbuffered transports (net.Pipe) and stall on slow ones.
+	// Messages are marshaled by the enqueuer with the codec in force at
+	// enqueue time; during the handshake only codec-independent messages
+	// (OPEN, KEEPALIVE, NOTIFICATION) flow.
+	out := make(chan []byte, sendQueueLen)
+	connDone := make(chan struct{})
+	writeErr := make(chan error, 1)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case buf := <-out:
+				if _, err := conn.Write(buf); err != nil {
+					select {
+					case writeErr <- err:
+					default:
+					}
+					return
+				}
+			case <-connDone:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(connDone)
+		writerWG.Wait()
+	}()
+
+	base := Codec{} // OPEN is codec-independent
+	enqueue := func(c Codec, m Message) error {
+		buf, err := c.Marshal(m)
+		if err != nil {
+			return err
+		}
+		select {
+		case out <- buf:
+			return nil
+		case <-connDone:
+			return ErrSessionClosed
+		}
+	}
+
+	holdSec := uint16(s.cfg.HoldTime / time.Second)
+	open := &Open{Version: 4, AS: s.cfg.LocalAS, HoldTime: holdSec, ID: s.cfg.LocalID,
+		Caps: []Capability{{Code: CapRouteRefresh}}}
+	if err := enqueue(base, open); err != nil {
+		return fmt.Errorf("send OPEN: %w", err)
+	}
+	s.setState(StateOpenSent)
+
+	msg, err := base.ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("read OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*Open)
+	if !ok {
+		if n, isNotif := msg.(*Notification); isNotif {
+			return n
+		}
+		enqueue(base, &Notification{Code: NotifFSMError})
+		return fmt.Errorf("expected OPEN, got %s", msg.Type())
+	}
+	if peerOpen.Version != 4 {
+		enqueue(base, &Notification{Code: NotifOpenMessage, Subcode: 1})
+		return fmt.Errorf("unsupported BGP version %d", peerOpen.Version)
+	}
+	if s.cfg.PeerAS != 0 && peerOpen.AS != s.cfg.PeerAS {
+		enqueue(base, &Notification{Code: NotifOpenMessage, Subcode: 2})
+		return fmt.Errorf("peer AS %d, expected %d", peerOpen.AS, s.cfg.PeerAS)
+	}
+	if peerOpen.HoldTime != 0 && peerOpen.HoldTime < minHoldSec {
+		enqueue(base, &Notification{Code: NotifOpenMessage, Subcode: 6})
+		return fmt.Errorf("unacceptable hold time %d", peerOpen.HoldTime)
+	}
+
+	hold := s.cfg.HoldTime
+	if peer := time.Duration(peerOpen.HoldTime) * time.Second; peer < hold {
+		hold = peer
+	}
+	_, asn4 := peerOpen.Cap(CapASN4)
+	codec := Codec{ASN4: asn4}
+
+	if err := enqueue(codec, &Keepalive{}); err != nil {
+		return fmt.Errorf("send KEEPALIVE: %w", err)
+	}
+	s.setState(StateOpenConfirm)
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.out = out
+	s.codec = codec
+	s.mu.Unlock()
+
+	var keepalive clock.Ticker
+	var holdTimer clock.Timer
+	if hold > 0 {
+		keepalive = s.cfg.Clock.NewTicker(hold / 3)
+		defer keepalive.Stop()
+		kaBuf, _ := codec.Marshal(&Keepalive{})
+		go func() {
+			for {
+				select {
+				case <-keepalive.C():
+					select {
+					case out <- kaBuf:
+					default: // queue full: the pending traffic refreshes the peer's hold timer anyway
+					}
+				case <-connDone:
+					return
+				}
+			}
+		}()
+		holdTimer = s.cfg.Clock.AfterFunc(hold, func() { conn.Close() })
+		defer holdTimer.Stop()
+	}
+
+	established := false
+	for {
+		msg, err := codec.ReadMessage(conn)
+		if err != nil {
+			select {
+			case werr := <-writeErr:
+				return fmt.Errorf("write: %w", werr)
+			default:
+			}
+			if established && hold > 0 && !s.holdAlive(holdTimer, hold) {
+				return &Notification{Code: NotifHoldTimerExpired}
+			}
+			return err
+		}
+		if holdTimer != nil {
+			holdTimer.Reset(hold)
+		}
+		switch m := msg.(type) {
+		case *Keepalive:
+			if !established {
+				established = true
+				s.setState(StateEstablished)
+				s.cfg.Logf("bgp %s: established (hold %v, asn4 %v)", s.cfg.PeerAddr, hold, asn4)
+				if s.cfg.OnEstablished != nil {
+					s.cfg.OnEstablished()
+				}
+			}
+		case *Update:
+			if !established {
+				enqueue(codec, &Notification{Code: NotifFSMError})
+				return fmt.Errorf("UPDATE before establishment")
+			}
+			if s.cfg.OnUpdate != nil {
+				s.cfg.OnUpdate(m)
+			}
+		case *Notification:
+			return m
+		case *Open:
+			enqueue(codec, &Notification{Code: NotifFSMError})
+			return fmt.Errorf("unexpected second OPEN")
+		}
+	}
+}
+
+// holdAlive reports whether the hold timer is still pending (i.e. the
+// connection died for another reason).
+func (s *Session) holdAlive(t clock.Timer, hold time.Duration) bool {
+	// Stopping a fired timer returns false.
+	alive := t.Stop()
+	if alive {
+		t.Reset(hold)
+	}
+	return alive
+}

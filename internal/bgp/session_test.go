@@ -1,0 +1,275 @@
+package bgp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeDialer returns a Dial function yielding one end of a net.Pipe and a
+// channel delivering the other end for the passive side.
+func pipeDialer() (dial func() (net.Conn, error), accepted <-chan net.Conn) {
+	ch := make(chan net.Conn, 16)
+	return func() (net.Conn, error) {
+		a, b := net.Pipe()
+		ch <- b
+		return a, nil
+	}, ch
+}
+
+func newTestPair(t *testing.T, onUpdate func(*Update)) (*Session, *Session) {
+	t.Helper()
+	dial, accepted := pipeDialer()
+	active := NewSession(SessionConfig{
+		LocalAS: 65001, LocalID: addr("192.0.2.1"),
+		PeerAS: 65002, PeerAddr: addr("192.0.2.2"),
+		HoldTime: 3 * time.Second, ConnectRetry: 50 * time.Millisecond,
+		Dial: dial,
+	})
+	passive := NewSession(SessionConfig{
+		LocalAS: 65002, LocalID: addr("192.0.2.2"),
+		PeerAS: 65001, PeerAddr: addr("192.0.2.1"),
+		HoldTime: 3 * time.Second,
+		OnUpdate: onUpdate,
+	})
+	go func() {
+		for conn := range accepted {
+			passive.Accept(conn)
+		}
+	}()
+	active.Start()
+	t.Cleanup(func() {
+		active.Stop()
+		passive.Stop()
+	})
+	return active, passive
+}
+
+func TestSessionEstablishes(t *testing.T) {
+	active, passive := newTestPair(t, nil)
+	if err := active.WaitEstablished(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := passive.WaitEstablished(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !active.Codec().ASN4 || !passive.Codec().ASN4 {
+		t.Fatal("ASN4 not negotiated between two ASN4 speakers")
+	}
+}
+
+func TestSessionCarriesUpdates(t *testing.T) {
+	var mu sync.Mutex
+	var got []*Update
+	done := make(chan struct{}, 8)
+	active, _ := newTestPair(t, func(u *Update) {
+		mu.Lock()
+		got = append(got, u)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	if err := active.WaitEstablished(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	upd := announce("10.0.0.9", "10.0.0.0/8", "20.0.0.0/8")
+	if err := active.Send(upd); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("update not delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || len(got[0].NLRI) != 2 || got[0].Attrs.NextHop != addr("10.0.0.9") {
+		t.Fatalf("received %+v", got)
+	}
+}
+
+func TestSessionSendBeforeEstablishedFails(t *testing.T) {
+	s := NewSession(SessionConfig{LocalAS: 1, LocalID: addr("1.1.1.1")})
+	if err := s.Send(&Keepalive{}); err == nil {
+		t.Fatal("send on idle session succeeded")
+	}
+}
+
+func TestSessionPeerASMismatchRejected(t *testing.T) {
+	dial, accepted := pipeDialer()
+	active := NewSession(SessionConfig{
+		LocalAS: 65001, LocalID: addr("192.0.2.1"),
+		PeerAS: 64999, PeerAddr: addr("192.0.2.2"), // wrong expectation
+		ConnectRetry: 24 * time.Hour,
+		Dial:         dial,
+	})
+	passive := NewSession(SessionConfig{
+		LocalAS: 65002, LocalID: addr("192.0.2.2"), PeerAS: 65001,
+	})
+	go func() {
+		for conn := range accepted {
+			passive.Accept(conn)
+		}
+	}()
+	active.Start()
+	defer active.Stop()
+	defer passive.Stop()
+	if err := active.WaitEstablished(500 * time.Millisecond); err == nil {
+		t.Fatal("session established despite AS mismatch")
+	}
+}
+
+func TestSessionDownCallbackOnPeerStop(t *testing.T) {
+	dial, accepted := pipeDialer()
+	downCh := make(chan error, 1)
+	active := NewSession(SessionConfig{
+		LocalAS: 65001, LocalID: addr("192.0.2.1"), PeerAS: 65002,
+		PeerAddr:     addr("192.0.2.2"),
+		ConnectRetry: 24 * time.Hour, // no reconnect during the test
+		Dial:         dial,
+		OnDown:       func(err error) { downCh <- err },
+	})
+	passive := NewSession(SessionConfig{LocalAS: 65002, LocalID: addr("192.0.2.2"), PeerAS: 65001})
+	go func() {
+		for conn := range accepted {
+			passive.Accept(conn)
+		}
+	}()
+	active.Start()
+	defer active.Stop()
+	if err := active.WaitEstablished(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	passive.Stop()
+	select {
+	case <-downCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDown not called after peer stop")
+	}
+	if active.Established() {
+		t.Fatal("still established after peer stop")
+	}
+}
+
+func TestSessionReconnectsAfterDrop(t *testing.T) {
+	dial, accepted := pipeDialer()
+	active := NewSession(SessionConfig{
+		LocalAS: 65001, LocalID: addr("192.0.2.1"), PeerAS: 65002,
+		PeerAddr:     addr("192.0.2.2"),
+		ConnectRetry: 20 * time.Millisecond,
+		Dial:         dial,
+	})
+	// Passive side accepts every incoming transport with a fresh Session.
+	var mu sync.Mutex
+	established := 0
+	go func() {
+		for conn := range accepted {
+			p := NewSession(SessionConfig{
+				LocalAS: 65002, LocalID: addr("192.0.2.2"), PeerAS: 65001,
+				OnEstablished: func() {
+					mu.Lock()
+					established++
+					mu.Unlock()
+				},
+			})
+			go p.Accept(conn)
+		}
+	}()
+	active.Start()
+	defer active.Stop()
+	if err := active.WaitEstablished(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitCount := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			n := established
+			mu.Unlock()
+			if n >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("established %d times, want >= %d", n, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// The passive side must finish its own handshake before we kill the
+	// transport, or the first establishment is never counted.
+	waitCount(1)
+	// Kill the transport out from under the session; it must re-dial.
+	activeConnKill(active)
+	waitCount(2)
+	if err := active.WaitEstablished(5 * time.Second); err != nil {
+		t.Fatalf("active not re-established: %v", err)
+	}
+}
+
+func activeConnKill(s *Session) {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func TestSessionHoldTimerExpires(t *testing.T) {
+	// A peer that completes the handshake and then goes silent must be
+	// detected by the hold timer — BGP's (slow) native failure detection,
+	// which the paper contrasts with BFD.
+	a, b := net.Pipe()
+	sess := NewSession(SessionConfig{
+		LocalAS: 65001, LocalID: addr("192.0.2.1"), PeerAS: 65002,
+		PeerAddr: addr("192.0.2.2"), HoldTime: 3 * time.Second,
+	})
+	go sess.Accept(a)
+	defer sess.Stop()
+
+	c := Codec{}
+	if err := c.WriteMessage(b, &Open{Version: 4, AS: 65002, HoldTime: 3, ID: addr("192.0.2.2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadMessage(b); err != nil { // their OPEN
+		t.Fatal(err)
+	}
+	if _, err := c.ReadMessage(b); err != nil { // their KEEPALIVE
+		t.Fatal(err)
+	}
+	if err := c.WriteMessage(b, &Keepalive{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.WaitEstablished(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Go silent but keep draining their keepalives so the pipe does not
+	// block their writer.
+	go func() {
+		for {
+			if _, err := c.ReadMessage(b); err != nil {
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for sess.Established() {
+		if time.Now().After(deadline) {
+			t.Fatal("hold timer never fired")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		StateIdle: "Idle", StateConnect: "Connect", StateActive: "Active",
+		StateOpenSent: "OpenSent", StateOpenConfirm: "OpenConfirm", StateEstablished: "Established",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Fatalf("%d -> %q", st, st.String())
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package clock abstracts time so that every component in this repository —
+// BGP hold timers, BFD detection timers, FIB updaters, traffic sources — can
+// run either against the wall clock (real mode) or against a discrete-event
+// virtual clock (simulation mode). The virtual clock is what lets the
+// convergence lab replay a 140-second router convergence in milliseconds of
+// CPU time, deterministically.
+package clock
+
+import "time"
+
+// Clock is the minimal timer surface used throughout the repository. Real
+// wraps package time; Virtual implements a discrete-event scheduler.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d. On a Virtual clock the
+	// caller resumes when simulated time passes d (some other goroutine
+	// must drive the clock forward).
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run once d has elapsed. f runs on its own
+	// goroutine for the real clock and inline with the event loop for the
+	// virtual clock; in both cases f must not block for long.
+	AfterFunc(d time.Duration, f func()) Timer
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer is a handle to a pending AfterFunc callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing.
+	Stop() bool
+	// Reset reschedules the timer to fire after d. It reports whether the
+	// timer had been active.
+	Reset(d time.Duration) bool
+}
+
+// Ticker delivers the clock's time at a fixed period on C.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Real is a Clock backed by package time. The zero value is ready to use.
+type Real struct{}
+
+// System is the shared wall-clock instance.
+var System Clock = Real{}
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+func (Real) NewTicker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(d)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool                 { return t.t.Stop() }
+func (t realTimer) Reset(d time.Duration) bool { return t.t.Reset(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }

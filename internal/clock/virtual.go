@@ -1,0 +1,258 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event Clock. Time advances only when Advance, Run or
+// RunUntilIdle is called; scheduled callbacks run inline with those calls, in
+// timestamp order (FIFO among equal timestamps). All methods are safe for
+// concurrent use, but the typical simulation is single-threaded: components
+// schedule work with AfterFunc and one driver loop pumps the queue.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+}
+
+// NewVirtual returns a Virtual clock starting at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// NewVirtualAtZero returns a Virtual clock starting at the Unix epoch, a
+// convenient origin for simulations that only care about elapsed time.
+func NewVirtualAtZero() *Virtual {
+	return NewVirtual(time.Unix(0, 0).UTC())
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Pending returns the number of scheduled events that have not yet fired.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.queue)
+}
+
+// AfterFunc schedules f to run at Now()+d. A non-positive d runs f at the
+// current time on the next pump of the event loop (it still requires a
+// driver call; it never runs inline with AfterFunc itself).
+func (v *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.scheduleLocked(d, f)
+}
+
+func (v *Virtual) scheduleLocked(d time.Duration, f func()) *virtualTimer {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: v.now.Add(d), fn: f, seq: v.seq, clk: v}
+	v.seq++
+	heap.Push(&v.queue, ev)
+	return &virtualTimer{ev: ev}
+}
+
+// After returns a channel receiving the virtual time once d has elapsed.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.AfterFunc(d, func() { ch <- v.Now() })
+	return ch
+}
+
+// Sleep blocks until virtual time has advanced by d. Another goroutine must
+// drive the clock (Advance/Run/RunUntilIdle), otherwise Sleep deadlocks.
+func (v *Virtual) Sleep(d time.Duration) {
+	done := make(chan struct{})
+	v.AfterFunc(d, func() { close(done) })
+	<-done
+}
+
+// NewTicker returns a Ticker firing every d of virtual time.
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	t := &virtualTicker{clk: v, period: d, ch: make(chan time.Time, 1)}
+	t.arm()
+	return t
+}
+
+// Advance moves virtual time forward by d, firing every event whose deadline
+// falls within the window, in order. It returns the number of events fired.
+func (v *Virtual) Advance(d time.Duration) int {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.mu.Unlock()
+	return v.Run(target)
+}
+
+// Run fires events in order until the queue holds no event at or before
+// target, then sets the clock to target. It returns the number fired.
+func (v *Virtual) Run(target time.Time) int {
+	fired := 0
+	for {
+		v.mu.Lock()
+		if len(v.queue) == 0 || v.queue[0].at.After(target) {
+			if target.After(v.now) {
+				v.now = target
+			}
+			v.mu.Unlock()
+			return fired
+		}
+		ev := heap.Pop(&v.queue).(*event)
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		ev.fired = true
+		v.mu.Unlock()
+		ev.fn()
+		fired++
+	}
+}
+
+// RunUntilIdle fires events until the queue is empty and returns the final
+// virtual time. Use budget-limited variants for potentially unbounded event
+// chains (tickers reschedule themselves forever).
+func (v *Virtual) RunUntilIdle() time.Time {
+	return v.RunUntilIdleLimit(1 << 62)
+}
+
+// RunUntilIdleLimit is RunUntilIdle with an upper bound on fired events. It
+// returns the virtual time when it stopped.
+func (v *Virtual) RunUntilIdleLimit(maxEvents int) time.Time {
+	for fired := 0; fired < maxEvents; fired++ {
+		v.mu.Lock()
+		if len(v.queue) == 0 {
+			now := v.now
+			v.mu.Unlock()
+			return now
+		}
+		ev := heap.Pop(&v.queue).(*event)
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		ev.fired = true
+		v.mu.Unlock()
+		ev.fn()
+	}
+	return v.Now()
+}
+
+type event struct {
+	at    time.Time
+	fn    func()
+	seq   uint64
+	index int
+	fired bool
+	clk   *Virtual
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+type virtualTimer struct {
+	mu sync.Mutex
+	ev *event
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := t.ev
+	clk := ev.clk
+	clk.mu.Lock()
+	defer clk.mu.Unlock()
+	if ev.fired || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&clk.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+func (t *virtualTimer) Reset(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := t.ev
+	clk := ev.clk
+	clk.mu.Lock()
+	defer clk.mu.Unlock()
+	active := !ev.fired && ev.index >= 0
+	if active {
+		heap.Remove(&clk.queue, ev.index)
+		ev.index = -1
+	}
+	t.ev = clk.scheduleLocked(d, ev.fn).ev
+	return active
+}
+
+type virtualTicker struct {
+	clk    *Virtual
+	period time.Duration
+	ch     chan time.Time
+	mu     sync.Mutex
+	stop   bool
+	timer  Timer
+}
+
+func (t *virtualTicker) arm() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stop {
+		return
+	}
+	t.timer = t.clk.AfterFunc(t.period, func() {
+		select {
+		case t.ch <- t.clk.Now():
+		default: // drop tick if the consumer lags, like time.Ticker
+		}
+		t.arm()
+	})
+}
+
+func (t *virtualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *virtualTicker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stop = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"net/netip"
+
+	"supercharged/internal/packet"
+)
+
+// ARPResponder answers the supercharged router's ARP queries for virtual
+// next-hops with the corresponding virtual MAC (§3's Floodlight
+// extension). The transport is abstracted: in a real deployment the input
+// is an OpenFlow PACKET_IN and the output a PACKET_OUT; the simulation
+// calls Respond directly.
+type ARPResponder struct {
+	groups *GroupTable
+}
+
+// NewARPResponder returns a responder over the group table.
+func NewARPResponder(groups *GroupTable) *ARPResponder {
+	return &ARPResponder{groups: groups}
+}
+
+// Lookup resolves a VNH to its VMAC.
+func (r *ARPResponder) Lookup(vnh netip.Addr) (packet.MAC, bool) {
+	g, ok := r.groups.ByVNH(vnh)
+	if !ok {
+		return packet.MAC{}, false
+	}
+	return g.VMAC, true
+}
+
+// Respond inspects an Ethernet frame; if it is an ARP request for a known
+// VNH, it returns the reply frame to inject back toward the requester.
+// handled reports whether the frame was an ARP request the responder owns
+// (even if reply construction failed).
+func (r *ARPResponder) Respond(frame []byte, buf *packet.Buffer) (reply []byte, handled bool, err error) {
+	var eth packet.Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil || eth.Type != packet.EtherTypeARP {
+		return nil, false, nil
+	}
+	var arp packet.ARP
+	if err := arp.DecodeFromBytes(eth.Payload); err != nil {
+		return nil, false, nil
+	}
+	if arp.Op != packet.ARPRequest {
+		return nil, false, nil
+	}
+	vmac, ok := r.Lookup(arp.TargetIP)
+	if !ok {
+		return nil, false, nil
+	}
+	if buf == nil {
+		buf = packet.NewBuffer()
+	}
+	reply, err = packet.ARPReplyFrame(buf, vmac, arp.TargetIP, arp)
+	return reply, true, err
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"supercharged/internal/packet"
+)
+
+// Group is one backup-group: all prefixes whose ranked path list starts
+// with the same ordered next-hop tuple share this group's VNH/VMAC and are
+// redirected together by a single switch-rule rewrite. The paper works
+// with tuples of size 2 — (primary, backup) — and notes the algorithm
+// generalizes to any size; NHs[0] is the primary.
+type Group struct {
+	NHs  []netip.Addr
+	VNH  netip.Addr
+	VMAC packet.MAC
+	// Prefixes counts member prefixes (bookkeeping for the ops endpoint
+	// and ablations).
+	Prefixes int
+}
+
+// Primary returns the group's primary next-hop.
+func (g Group) Primary() netip.Addr { return g.NHs[0] }
+
+// Backup returns the first backup next-hop.
+func (g Group) Backup() netip.Addr { return g.NHs[1] }
+
+// Key returns the canonical string key of the ordered tuple.
+func (g Group) Key() string { return groupKeyOf(g.NHs) }
+
+func (g Group) String() string {
+	parts := make([]string, len(g.NHs))
+	for i, nh := range g.NHs {
+		parts[i] = nh.String()
+	}
+	return fmt.Sprintf("group{%s vnh=%s vmac=%s n=%d}", strings.Join(parts, "->"), g.VNH, g.VMAC, g.Prefixes)
+}
+
+func groupKeyOf(nhs []netip.Addr) string {
+	var b strings.Builder
+	for i, nh := range nhs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(nh.String())
+	}
+	return b.String()
+}
+
+// GroupTable owns the backup-group map of paper §2 (bck_groups) plus the
+// VNH/VMAC pool. It is safe for concurrent use.
+type GroupTable struct {
+	mu     sync.RWMutex
+	pool   *VNHPool
+	groups map[string]*Group
+	byVNH  map[netip.Addr]*Group
+}
+
+// NewGroupTable returns an empty table allocating from pool.
+func NewGroupTable(pool *VNHPool) *GroupTable {
+	if pool == nil {
+		pool = NewVNHPool(AllocSequential)
+	}
+	return &GroupTable{
+		pool:   pool,
+		groups: make(map[string]*Group),
+		byVNH:  make(map[netip.Addr]*Group),
+	}
+}
+
+// Ensure returns the group for the ordered next-hop tuple, allocating
+// VNH/VMAC on first use — the paper's get_new_vnh_vmac(). The tuple must
+// have at least two entries.
+func (t *GroupTable) Ensure(nhs ...netip.Addr) (Group, error) {
+	if len(nhs) < 2 {
+		return Group{}, fmt.Errorf("core: backup-group needs ≥2 next-hops, got %d", len(nhs))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := groupKeyOf(nhs)
+	if g, ok := t.groups[key]; ok {
+		return *g, nil
+	}
+	vnh, vmac, err := t.pool.Alloc(nhs)
+	if err != nil {
+		return Group{}, err
+	}
+	g := &Group{NHs: append([]netip.Addr(nil), nhs...), VNH: vnh, VMAC: vmac}
+	t.groups[key] = g
+	t.byVNH[vnh] = g
+	return *g, nil
+}
+
+// Get returns the group for the tuple if it exists.
+func (t *GroupTable) Get(nhs ...netip.Addr) (Group, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if g, ok := t.groups[groupKeyOf(nhs)]; ok {
+		return *g, true
+	}
+	return Group{}, false
+}
+
+// ByVNH resolves a virtual next-hop to its group — the ARP responder's
+// lookup.
+func (t *GroupTable) ByVNH(vnh netip.Addr) (Group, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if g, ok := t.byVNH[vnh]; ok {
+		return *g, true
+	}
+	return Group{}, false
+}
+
+// AddRef records one more prefix using the group.
+func (t *GroupTable) AddRef(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g, ok := t.groups[key]; ok {
+		g.Prefixes++
+	}
+}
+
+// DecRef decrements membership; a group that reaches zero is kept (its
+// VNH allocation is stable) but reported empty.
+func (t *GroupTable) DecRef(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g, ok := t.groups[key]; ok && g.Prefixes > 0 {
+		g.Prefixes--
+	}
+}
+
+// WithPrimary returns every group whose primary next-hop is nh — the set
+// Listing 2 rewrites when nh fails.
+func (t *GroupTable) WithPrimary(nh netip.Addr) []Group {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Group
+	for _, g := range t.groups {
+		if g.NHs[0] == nh {
+			out = append(out, *g)
+		}
+	}
+	sortGroups(out)
+	return out
+}
+
+// Containing returns every group whose tuple contains nh at any position.
+func (t *GroupTable) Containing(nh netip.Addr) []Group {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Group
+	for _, g := range t.groups {
+		for _, x := range g.NHs {
+			if x == nh {
+				out = append(out, *g)
+				break
+			}
+		}
+	}
+	sortGroups(out)
+	return out
+}
+
+// All returns every group, sorted for stable output.
+func (t *GroupTable) All() []Group {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Group, 0, len(t.groups))
+	for _, g := range t.groups {
+		out = append(out, *g)
+	}
+	sortGroups(out)
+	return out
+}
+
+// Len returns the number of groups.
+func (t *GroupTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.groups)
+}
+
+func sortGroups(gs []Group) {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Key() < gs[j].Key() })
+}

@@ -1,0 +1,236 @@
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"supercharged/internal/clock"
+	"supercharged/internal/packet"
+)
+
+// L2NH is the flat FIB's per-entry rewrite record: the L2 next-hop MAC
+// address and output port the router stamps onto matching traffic (Fig. 1).
+type L2NH struct {
+	MAC  packet.MAC
+	Port int
+}
+
+// String renders the record like the paper's "(01:aa, 0)" notation.
+func (n L2NH) String() string { return fmt.Sprintf("(%s, %d)", n.MAC, n.Port) }
+
+// FIBOp is one update for the FIB's serialized updater.
+type FIBOp struct {
+	Prefix netip.Prefix
+	NH     L2NH
+	Delete bool
+}
+
+// FlatFIB models a legacy router's flat forwarding table: every prefix owns
+// a distinct L2 next-hop record, and the hardware applies updates strictly
+// one entry at a time, each costing PerEntry. This serialization is what
+// makes the standalone router's convergence linear in the table size — the
+// effect Fig. 5 measures. The paper's Cisco Nexus 7k updates ~3,500 entries
+// per second (≈280 µs/entry).
+type FlatFIB struct {
+	clk      clock.Clock
+	perEntry time.Duration
+	// noLPM skips maintaining the longest-prefix-match index; exact-match
+	// Get/Position still work. The full-scale simulation enables this to
+	// keep 500k-prefix tables cheap (probes query exact prefixes).
+	noLPM bool
+
+	mu      sync.Mutex
+	entries map[netip.Prefix]*fibSlot
+	order   []*fibSlot // insertion order = table walk order
+	lpm     LPM[*fibSlot]
+	queue   []FIBOp
+	busy    bool
+	applied uint64
+
+	// OnApplied, if set, is invoked (without the FIB lock held) after each
+	// queued update is installed, with the op and the install time. The
+	// simulation's probes subscribe here to detect per-prefix recovery.
+	OnApplied func(op FIBOp, at time.Time)
+}
+
+type fibSlot struct {
+	prefix netip.Prefix
+	nh     L2NH
+	pos    int
+}
+
+// NewFlatFIB returns an empty FIB whose updater installs one entry every
+// perEntry on clk. A zero perEntry still serializes through the clock but
+// without added delay.
+func NewFlatFIB(clk clock.Clock, perEntry time.Duration) *FlatFIB {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &FlatFIB{
+		clk:      clk,
+		perEntry: perEntry,
+		entries:  make(map[netip.Prefix]*fibSlot),
+	}
+}
+
+// NewFlatFIBNoLPM returns a FIB without the longest-prefix-match index;
+// Lookup always misses, but exact-prefix queries and the timed updater
+// behave identically. Used by the full-scale simulation.
+func NewFlatFIBNoLPM(clk clock.Clock, perEntry time.Duration) *FlatFIB {
+	f := NewFlatFIB(clk, perEntry)
+	f.noLPM = true
+	return f
+}
+
+// PerEntry returns the configured per-entry installation cost.
+func (f *FlatFIB) PerEntry() time.Duration { return f.perEntry }
+
+// Len returns the number of installed prefixes.
+func (f *FlatFIB) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}
+
+// QueueLen returns the number of updates awaiting installation.
+func (f *FlatFIB) QueueLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
+// Applied returns the total number of installed updates since creation.
+func (f *FlatFIB) Applied() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
+}
+
+// Lookup performs a longest-prefix-match over installed entries only;
+// queued updates are invisible until the updater reaches them, exactly like
+// hardware.
+func (f *FlatFIB) Lookup(ip netip.Addr) (L2NH, netip.Prefix, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	slot, pfx, ok := f.lpm.Lookup(ip)
+	if !ok {
+		return L2NH{}, netip.Prefix{}, false
+	}
+	return slot.nh, pfx, true
+}
+
+// Get returns the installed record for exactly prefix p.
+func (f *FlatFIB) Get(p netip.Prefix) (L2NH, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.entries[p]; ok {
+		return s.nh, true
+	}
+	return L2NH{}, false
+}
+
+// Position returns the insertion-order position of prefix p (0-based). The
+// FIB walk rewrites entries in this order, so a flow's convergence time is
+// proportional to the position of its prefix.
+func (f *FlatFIB) Position(p netip.Prefix) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.entries[p]; ok {
+		return s.pos, true
+	}
+	return 0, false
+}
+
+// WalkOrder calls fn for each installed prefix in table-walk order.
+func (f *FlatFIB) WalkOrder(fn func(p netip.Prefix, nh L2NH) bool) {
+	f.mu.Lock()
+	slots := make([]*fibSlot, 0, len(f.order))
+	for _, s := range f.order {
+		if s != nil {
+			slots = append(slots, s)
+		}
+	}
+	f.mu.Unlock()
+	for _, s := range slots {
+		if !fn(s.prefix, s.nh) {
+			return
+		}
+	}
+}
+
+// LoadSync installs ops immediately, bypassing the timed updater. It is
+// meant for test-bed setup (pre-failure table population), not for the
+// measured convergence path.
+func (f *FlatFIB) LoadSync(ops []FIBOp) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, op := range ops {
+		f.applyLocked(op)
+	}
+}
+
+// Enqueue appends updates to the serialized updater queue and starts the
+// updater if idle. This is the measured path: each op takes PerEntry.
+func (f *FlatFIB) Enqueue(ops ...FIBOp) {
+	f.mu.Lock()
+	f.queue = append(f.queue, ops...)
+	start := !f.busy && len(f.queue) > 0
+	if start {
+		f.busy = true
+	}
+	f.mu.Unlock()
+	if start {
+		f.clk.AfterFunc(f.perEntry, f.applyNext)
+	}
+}
+
+func (f *FlatFIB) applyNext() {
+	f.mu.Lock()
+	if len(f.queue) == 0 {
+		f.busy = false
+		f.mu.Unlock()
+		return
+	}
+	op := f.queue[0]
+	f.queue = f.queue[1:]
+	f.applyLocked(op)
+	more := len(f.queue) > 0
+	if !more {
+		f.busy = false
+	}
+	cb := f.OnApplied
+	f.mu.Unlock()
+	if cb != nil {
+		cb(op, f.clk.Now())
+	}
+	if more {
+		f.clk.AfterFunc(f.perEntry, f.applyNext)
+	}
+}
+
+func (f *FlatFIB) applyLocked(op FIBOp) {
+	f.applied++
+	p := canonical(op.Prefix)
+	if op.Delete {
+		if s, ok := f.entries[p]; ok {
+			delete(f.entries, p)
+			if !f.noLPM {
+				f.lpm.Delete(p)
+			}
+			f.order[s.pos] = nil
+		}
+		return
+	}
+	if s, ok := f.entries[p]; ok {
+		s.nh = op.NH
+		return
+	}
+	s := &fibSlot{prefix: p, nh: op.NH, pos: len(f.order)}
+	f.entries[p] = s
+	f.order = append(f.order, s)
+	if !f.noLPM {
+		f.lpm.Insert(p, s)
+	}
+}

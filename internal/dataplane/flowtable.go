@@ -1,0 +1,377 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"supercharged/internal/packet"
+)
+
+// ActionType enumerates the data-plane actions the supercharged switch
+// needs: forwarding and L2 rewrite (the paper's
+// "rewrite (00:ff) to (01:aa, 1)" rules).
+type ActionType uint8
+
+const (
+	// ActionOutput emits the frame (as rewritten so far) on Port.
+	ActionOutput ActionType = iota + 1
+	// ActionSetDstMAC rewrites the Ethernet destination to MAC.
+	ActionSetDstMAC
+	// ActionSetSrcMAC rewrites the Ethernet source to MAC.
+	ActionSetSrcMAC
+)
+
+// Action is a single flow action.
+type Action struct {
+	Type ActionType
+	MAC  packet.MAC
+	Port uint16
+}
+
+// Output returns an ActionOutput.
+func Output(port uint16) Action { return Action{Type: ActionOutput, Port: port} }
+
+// SetDstMAC returns an ActionSetDstMAC.
+func SetDstMAC(m packet.MAC) Action { return Action{Type: ActionSetDstMAC, MAC: m} }
+
+// SetSrcMAC returns an ActionSetSrcMAC.
+func SetSrcMAC(m packet.MAC) Action { return Action{Type: ActionSetSrcMAC, MAC: m} }
+
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		return fmt.Sprintf("output:%d", a.Port)
+	case ActionSetDstMAC:
+		return fmt.Sprintf("set_dl_dst:%s", a.MAC)
+	case ActionSetSrcMAC:
+		return fmt.Sprintf("set_dl_src:%s", a.MAC)
+	}
+	return "invalid"
+}
+
+// Match selects frames by any combination of ingress port and Ethernet
+// header fields; nil fields are wildcards. The supercharger's rules match
+// solely on DstMAC (the VMAC tag), which the table serves from an exact-
+// match index.
+type Match struct {
+	InPort    *uint16
+	DstMAC    *packet.MAC
+	SrcMAC    *packet.MAC
+	EtherType *uint16
+}
+
+// MatchDstMAC returns a Match on exactly the destination MAC, the shape of
+// every backup-group rule.
+func MatchDstMAC(m packet.MAC) Match {
+	mac := m
+	return Match{DstMAC: &mac}
+}
+
+// Matches reports whether a frame with the given ingress port and Ethernet
+// header satisfies m.
+func (m Match) Matches(inPort uint16, eth *packet.Ethernet) bool {
+	if m.InPort != nil && *m.InPort != inPort {
+		return false
+	}
+	if m.DstMAC != nil && *m.DstMAC != eth.Dst {
+		return false
+	}
+	if m.SrcMAC != nil && *m.SrcMAC != eth.Src {
+		return false
+	}
+	if m.EtherType != nil && *m.EtherType != eth.Type {
+		return false
+	}
+	return true
+}
+
+// Equal reports whether two matches select exactly the same field values.
+func (m Match) Equal(o Match) bool {
+	eqU16 := func(a, b *uint16) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return a == nil || *a == *b
+	}
+	eqMAC := func(a, b *packet.MAC) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return a == nil || *a == *b
+	}
+	return eqU16(m.InPort, o.InPort) && eqMAC(m.DstMAC, o.DstMAC) &&
+		eqMAC(m.SrcMAC, o.SrcMAC) && eqU16(m.EtherType, o.EtherType)
+}
+
+func (m Match) String() string {
+	var parts []string
+	if m.InPort != nil {
+		parts = append(parts, fmt.Sprintf("in_port=%d", *m.InPort))
+	}
+	if m.DstMAC != nil {
+		parts = append(parts, fmt.Sprintf("dl_dst=%s", *m.DstMAC))
+	}
+	if m.SrcMAC != nil {
+		parts = append(parts, fmt.Sprintf("dl_src=%s", *m.SrcMAC))
+	}
+	if m.EtherType != nil {
+		parts = append(parts, fmt.Sprintf("dl_type=%#04x", *m.EtherType))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Flow is one table rule.
+type Flow struct {
+	Priority uint16
+	Match    Match
+	Actions  []Action
+	Cookie   uint64
+
+	seq     uint64 // install order, for deterministic tie-break
+	packets uint64
+	bytes   uint64
+}
+
+// Stats returns the flow's packet and byte counters.
+func (f *Flow) Stats() (packets, bytes uint64) { return f.packets, f.bytes }
+
+func (f *Flow) String() string {
+	acts := make([]string, len(f.Actions))
+	for i, a := range f.Actions {
+		acts[i] = a.String()
+	}
+	return fmt.Sprintf("prio=%d match(%s) actions(%s)", f.Priority, f.Match, strings.Join(acts, ","))
+}
+
+// Egress is one frame emitted by FlowTable.Process.
+type Egress struct {
+	Port  uint16
+	Frame []byte
+}
+
+// FlowTable is the SDN switch's rule table: priority-ordered matching with
+// an exact-match index for DstMAC-only rules (the common case here, one
+// rule per backup-group).
+type FlowTable struct {
+	mu    sync.RWMutex
+	byDst map[packet.MAC][]*Flow // flows with DstMAC set
+	wild  []*Flow                // flows without DstMAC
+	count int
+	seq   uint64
+	// misses counts frames that matched no flow.
+	misses uint64
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{byDst: make(map[packet.MAC][]*Flow)}
+}
+
+// Len returns the number of installed flows.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Misses returns the number of frames that matched no rule.
+func (t *FlowTable) Misses() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.misses
+}
+
+// Upsert installs a flow; a flow with an equal Match and Priority is
+// replaced (its counters reset), matching OpenFlow ADD semantics. It
+// reports whether an existing flow was replaced.
+func (t *FlowTable) Upsert(f Flow) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nf := &Flow{Priority: f.Priority, Match: f.Match, Actions: append([]Action(nil), f.Actions...), Cookie: f.Cookie, seq: t.seq}
+	t.seq++
+	bucket, key, indexed := t.bucketFor(f.Match)
+	for i, old := range bucket {
+		if old.Priority == f.Priority && old.Match.Equal(f.Match) {
+			bucket[i] = nf
+			t.storeBucket(key, indexed, bucket)
+			return true
+		}
+	}
+	bucket = append(bucket, nf)
+	t.storeBucket(key, indexed, bucket)
+	t.count++
+	return false
+}
+
+// Delete removes the flow with exactly this match and priority (OpenFlow
+// DELETE_STRICT). It reports whether a flow was removed.
+func (t *FlowTable) Delete(m Match, priority uint16) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket, key, indexed := t.bucketFor(m)
+	for i, old := range bucket {
+		if old.Priority == priority && old.Match.Equal(m) {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			t.storeBucket(key, indexed, bucket)
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteByCookie removes every flow with the given cookie and returns the
+// number removed.
+func (t *FlowTable) DeleteByCookie(cookie uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	filter := func(bucket []*Flow) []*Flow {
+		out := bucket[:0]
+		for _, f := range bucket {
+			if f.Cookie == cookie {
+				removed++
+				continue
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+	for key, bucket := range t.byDst {
+		nb := filter(bucket)
+		if len(nb) == 0 {
+			delete(t.byDst, key)
+		} else {
+			t.byDst[key] = nb
+		}
+	}
+	t.wild = filter(t.wild)
+	t.count -= removed
+	return removed
+}
+
+func (t *FlowTable) bucketFor(m Match) (bucket []*Flow, key packet.MAC, indexed bool) {
+	if m.DstMAC != nil {
+		return t.byDst[*m.DstMAC], *m.DstMAC, true
+	}
+	return t.wild, packet.MAC{}, false
+}
+
+func (t *FlowTable) storeBucket(key packet.MAC, indexed bool, bucket []*Flow) {
+	if indexed {
+		if len(bucket) == 0 {
+			delete(t.byDst, key)
+		} else {
+			t.byDst[key] = bucket
+		}
+	} else {
+		t.wild = bucket
+	}
+}
+
+// Lookup returns the highest-priority flow matching the frame, breaking
+// priority ties by earliest installation. It returns nil when nothing
+// matches.
+func (t *FlowTable) Lookup(inPort uint16, eth *packet.Ethernet) *Flow {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best *Flow
+	consider := func(f *Flow) {
+		if !f.Match.Matches(inPort, eth) {
+			return
+		}
+		if best == nil || f.Priority > best.Priority ||
+			(f.Priority == best.Priority && f.seq < best.seq) {
+			best = f
+		}
+	}
+	for _, f := range t.byDst[eth.Dst] {
+		consider(f)
+	}
+	for _, f := range t.wild {
+		consider(f)
+	}
+	return best
+}
+
+// Process runs a frame through the table: it decodes the Ethernet header,
+// finds the matching flow, applies its actions and returns the frames to
+// emit. ok is false on a table miss (the frame is counted and dropped; the
+// switch device may instead punt it to the controller).
+func (t *FlowTable) Process(inPort uint16, frame []byte) (out []Egress, ok bool) {
+	var eth packet.Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		return nil, false
+	}
+	f := t.Lookup(inPort, &eth)
+	if f == nil {
+		t.mu.Lock()
+		t.misses++
+		t.mu.Unlock()
+		return nil, false
+	}
+	t.mu.Lock()
+	f.packets++
+	f.bytes += uint64(len(frame))
+	actions := f.Actions
+	t.mu.Unlock()
+
+	cur := frame
+	modified := false
+	ensureOwned := func() {
+		if !modified {
+			cur = append([]byte(nil), cur...)
+			modified = true
+		}
+	}
+	for _, a := range actions {
+		switch a.Type {
+		case ActionSetDstMAC:
+			ensureOwned()
+			copy(cur[0:6], a.MAC[:])
+		case ActionSetSrcMAC:
+			ensureOwned()
+			copy(cur[6:12], a.MAC[:])
+		case ActionOutput:
+			emit := cur
+			if modified {
+				emit = append([]byte(nil), cur...)
+			}
+			out = append(out, Egress{Port: a.Port, Frame: emit})
+		}
+	}
+	return out, true
+}
+
+// Flows returns a snapshot of all flows ordered by priority (desc) then
+// installation order, for the ops endpoint and tests.
+func (t *FlowTable) Flows() []Flow {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	snap := make([]Flow, 0, t.count)
+	add := func(f *Flow) {
+		c := *f
+		c.Actions = append([]Action(nil), f.Actions...)
+		snap = append(snap, c)
+	}
+	for _, bucket := range t.byDst {
+		for _, f := range bucket {
+			add(f)
+		}
+	}
+	for _, f := range t.wild {
+		add(f)
+	}
+	sort.Slice(snap, func(i, j int) bool {
+		if snap[i].Priority != snap[j].Priority {
+			return snap[i].Priority > snap[j].Priority
+		}
+		return snap[i].seq < snap[j].seq
+	})
+	return snap
+}

@@ -1,0 +1,201 @@
+// Package dataplane implements the three forwarding tables of the paper's
+// architecture:
+//
+//   - LPM: an IPv4 longest-prefix-match binary trie, the lookup structure
+//     both devices need;
+//   - FlatFIB: the legacy router's flat FIB, whose serialized
+//     entry-by-entry updater is the very bottleneck the paper measures
+//     (Fig. 1 and Fig. 5's linear convergence);
+//   - FlowTable: the SDN switch's table of match/action rules, the second
+//     stage of the supercharged hierarchical FIB (Fig. 2).
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// LPM is an IPv4 longest-prefix-match table implemented as a binary trie.
+// The zero value is an empty table. LPM is not safe for concurrent use;
+// callers serialize access (FlatFIB wraps it with its own lock).
+type LPM[V any] struct {
+	root *lpmNode[V]
+	size int
+}
+
+type lpmNode[V any] struct {
+	child [2]*lpmNode[V]
+	val   V
+	has   bool
+}
+
+// Len returns the number of prefixes in the table.
+func (t *LPM[V]) Len() int { return t.size }
+
+// Insert adds or replaces the value for prefix p. It reports whether the
+// prefix was newly added (false = replaced). Insert panics on a non-IPv4 or
+// invalid prefix; the test-bed is IPv4-only, as is the paper's evaluation.
+func (t *LPM[V]) Insert(p netip.Prefix, v V) bool {
+	p = canonical(p)
+	if t.root == nil {
+		t.root = &lpmNode[V]{}
+	}
+	n := t.root
+	addr := ipv4Bits(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := addr >> (31 - i) & 1
+		if n.child[b] == nil {
+			n.child[b] = &lpmNode[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.has
+	n.val = v
+	n.has = true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Delete removes prefix p, reporting whether it was present. Interior trie
+// nodes left empty are pruned so repeated insert/delete cycles do not leak.
+func (t *LPM[V]) Delete(p netip.Prefix) bool {
+	p = canonical(p)
+	if t.root == nil {
+		return false
+	}
+	// Record the path for pruning.
+	path := make([]*lpmNode[V], 0, 33)
+	n := t.root
+	addr := ipv4Bits(p.Addr())
+	path = append(path, n)
+	for i := 0; i < p.Bits(); i++ {
+		b := addr >> (31 - i) & 1
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+		path = append(path, n)
+	}
+	if !n.has {
+		return false
+	}
+	n.has = false
+	var zero V
+	n.val = zero
+	t.size--
+	// Prune empty leaves bottom-up.
+	for i := len(path) - 1; i > 0; i-- {
+		cur := path[i]
+		if cur.has || cur.child[0] != nil || cur.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		b := addr >> (31 - (i - 1)) & 1
+		parent.child[b] = nil
+	}
+	return true
+}
+
+// Get returns the value stored for exactly prefix p.
+func (t *LPM[V]) Get(p netip.Prefix) (V, bool) {
+	p = canonical(p)
+	var zero V
+	n := t.root
+	if n == nil {
+		return zero, false
+	}
+	addr := ipv4Bits(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := addr >> (31 - i) & 1
+		if n.child[b] == nil {
+			return zero, false
+		}
+		n = n.child[b]
+	}
+	if !n.has {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Lookup returns the value and prefix of the longest match covering ip.
+func (t *LPM[V]) Lookup(ip netip.Addr) (V, netip.Prefix, bool) {
+	var (
+		zero    V
+		best    V
+		bestLen = -1
+	)
+	if !ip.Is4() && !ip.Is4In6() {
+		return zero, netip.Prefix{}, false
+	}
+	n := t.root
+	if n == nil {
+		return zero, netip.Prefix{}, false
+	}
+	addr := ipv4Bits(ip)
+	if n.has {
+		best, bestLen = n.val, 0
+	}
+	for i := 0; i < 32 && n != nil; i++ {
+		b := addr >> (31 - i) & 1
+		n = n.child[b]
+		if n != nil && n.has {
+			best, bestLen = n.val, i+1
+		}
+	}
+	if bestLen < 0 {
+		return zero, netip.Prefix{}, false
+	}
+	pfx, _ := ip.Unmap().Prefix(bestLen)
+	return best, pfx, true
+}
+
+// Walk visits every prefix in the table in lexicographic (trie pre-order)
+// order. Returning false from fn stops the walk.
+func (t *LPM[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	if t.root == nil {
+		return
+	}
+	walk(t.root, 0, 0, fn)
+}
+
+func walk[V any](n *lpmNode[V], bits uint32, depth int, fn func(netip.Prefix, V) bool) bool {
+	if n.has {
+		addr := netip.AddrFrom4([4]byte{byte(bits >> 24), byte(bits >> 16), byte(bits >> 8), byte(bits)})
+		if !fn(netip.PrefixFrom(addr, depth), n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if c := n.child[0]; c != nil {
+		if !walk(c, bits, depth+1, fn) {
+			return false
+		}
+	}
+	if c := n.child[1]; c != nil {
+		if !walk(c, bits|1<<(31-depth), depth+1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func canonical(p netip.Prefix) netip.Prefix {
+	if !p.IsValid() {
+		panic(fmt.Sprintf("dataplane: invalid prefix %v", p))
+	}
+	a := p.Addr().Unmap()
+	if !a.Is4() {
+		panic(fmt.Sprintf("dataplane: non-IPv4 prefix %v", p))
+	}
+	return netip.PrefixFrom(a, p.Bits()).Masked()
+}
+
+func ipv4Bits(a netip.Addr) uint32 {
+	b := a.Unmap().As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,219 @@
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/core"
+	"supercharged/internal/feed"
+	"supercharged/internal/metrics"
+	"supercharged/internal/sim"
+)
+
+// ReplicaDeterminism is ablation A1: two controller replicas receive the
+// same per-peer feeds but with different inter-peer interleaving (the
+// realistic stress on §3's "no state sync needed" claim). What must agree
+// for the routers and switches behind the replicas to behave identically
+// is the *eventual per-prefix advertisement* (which VNH the router learns)
+// and the VMAC of every shared group (what the switch matches on).
+type ReplicaDeterminism struct {
+	Mode core.AllocMode
+	// Prefixes is the number of prefixes compared.
+	Prefixes int
+	// PrefixAgreements counts prefixes whose advertised next-hop (real or
+	// virtual) is identical across the two replicas.
+	PrefixAgreements int
+	// SharedGroups / VNHAgreements compare groups realized by both
+	// replicas (transient groups may differ — that is expected and
+	// harmless, they are what the interleaving makes of the ranking
+	// mid-flight).
+	SharedGroups  int
+	VNHAgreements int
+	VMACAgreement bool
+}
+
+// RunReplicaDeterminism builds two replicas per allocation mode and
+// compares their eventual outputs.
+func RunReplicaDeterminism(prefixes int, peers int, seed int64) ([]ReplicaDeterminism, error) {
+	if prefixes <= 0 {
+		prefixes = 2000
+	}
+	if peers < 2 {
+		peers = 4
+	}
+	table := feed.Generate(feed.Config{N: prefixes, Seed: seed})
+	codec := bgp.Codec{ASN4: true}
+
+	type peerFeed struct {
+		meta    bgp.PeerMeta
+		updates []*bgp.Update
+	}
+	feeds := make([]peerFeed, peers)
+	for i := 0; i < peers; i++ {
+		addr := netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)})
+		meta := bgp.PeerMeta{Addr: addr, AS: uint32(65002 + i), ID: addr, Weight: uint32(1000 - i*10)}
+		ups, err := table.Updates(meta.AS, addr, codec)
+		if err != nil {
+			return nil, err
+		}
+		feeds[i] = peerFeed{meta: meta, updates: ups}
+	}
+
+	// replay interleaves the per-peer streams: order preserved within a
+	// peer (TCP guarantees that), shuffled across peers.
+	replay := func(mode core.AllocMode, shuffleSeed int64) (*core.GroupTable, *core.Processor, error) {
+		gt := core.NewGroupTable(core.NewVNHPool(mode))
+		proc := core.NewProcessor(nil, gt)
+		rng := rand.New(rand.NewSource(shuffleSeed))
+		idx := make([]int, peers)
+		remaining := 0
+		for _, f := range feeds {
+			remaining += len(f.updates)
+		}
+		for remaining > 0 {
+			p := rng.Intn(peers)
+			if idx[p] >= len(feeds[p].updates) {
+				continue
+			}
+			if _, err := proc.Process(feeds[p].meta, feeds[p].updates[idx[p]]); err != nil {
+				return nil, nil, err
+			}
+			idx[p]++
+			remaining--
+		}
+		return gt, proc, nil
+	}
+
+	var out []ReplicaDeterminism
+	for _, mode := range []core.AllocMode{core.AllocSequential, core.AllocDeterministic} {
+		gtA, procA, err := replay(mode, seed+100)
+		if err != nil {
+			return nil, err
+		}
+		gtB, procB, err := replay(mode, seed+200)
+		if err != nil {
+			return nil, err
+		}
+		row := ReplicaDeterminism{Mode: mode, VMACAgreement: true}
+		for _, r := range table.Routes {
+			row.Prefixes++
+			nhA, virtA, okA := procA.Advertised(r.Prefix)
+			nhB, virtB, okB := procB.Advertised(r.Prefix)
+			if okA && okB && virtA == virtB && nhA == nhB {
+				row.PrefixAgreements++
+			}
+		}
+		for _, ga := range gtA.All() {
+			gb, ok := gtB.Get(ga.NHs...)
+			if !ok {
+				continue
+			}
+			row.SharedGroups++
+			if ga.VNH == gb.VNH {
+				row.VNHAgreements++
+			}
+			if ga.VMAC != gb.VMAC {
+				row.VMACAgreement = false
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderReplicaDeterminism formats A1.
+func RenderReplicaDeterminism(rows []ReplicaDeterminism) string {
+	tbl := &metrics.Table{Header: []string{"alloc mode", "prefix agree", "shared-group vnh agree", "vmac agree"}}
+	for _, r := range rows {
+		tbl.Add(r.Mode.String(),
+			fmt.Sprintf("%d/%d", r.PrefixAgreements, r.Prefixes),
+			fmt.Sprintf("%d/%d", r.VNHAgreements, r.SharedGroups),
+			r.VMACAgreement)
+	}
+	return tbl.Render()
+}
+
+// BFDSweepRow is ablation A3: supercharged convergence versus BFD
+// transmit interval (detection share of the ~150 ms budget).
+type BFDSweepRow struct {
+	Interval    time.Duration
+	Detection   time.Duration
+	MaxConverge time.Duration
+}
+
+// RunBFDSweep sweeps the BFD interval at a fixed table size.
+func RunBFDSweep(prefixes int, intervals []time.Duration, seed int64) ([]BFDSweepRow, error) {
+	if prefixes <= 0 {
+		prefixes = 10_000
+	}
+	if len(intervals) == 0 {
+		intervals = []time.Duration{
+			10 * time.Millisecond, 30 * time.Millisecond,
+			50 * time.Millisecond, 100 * time.Millisecond,
+		}
+	}
+	var rows []BFDSweepRow
+	for _, iv := range intervals {
+		res, err := sim.Run(sim.Config{
+			Mode: sim.Supercharged, NumPrefixes: prefixes, Seed: seed, BFDInterval: iv,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.SummarizeDurations(res.Durations())
+		rows = append(rows, BFDSweepRow{
+			Interval:    iv,
+			Detection:   res.DetectAt,
+			MaxConverge: time.Duration(s.Max * float64(time.Second)),
+		})
+	}
+	return rows, nil
+}
+
+// RenderBFDSweep formats A3.
+func RenderBFDSweep(rows []BFDSweepRow) string {
+	tbl := &metrics.Table{Header: []string{"bfd interval", "detection", "max convergence"}}
+	for _, r := range rows {
+		tbl.Add(r.Interval, r.Detection, r.MaxConverge.Round(time.Millisecond))
+	}
+	return tbl.Render()
+}
+
+// K3Result is ablation A2: backup-group size 3 under double failure.
+type K3Result struct {
+	FirstFailoverMax time.Duration
+	RuleRewrites     int
+	Groups           int
+}
+
+// RunK3 runs the double-failure scenario with three providers and k=3.
+func RunK3(prefixes int, seed int64) (*K3Result, error) {
+	if prefixes <= 0 {
+		prefixes = 5000
+	}
+	res, err := sim.Run(sim.Config{
+		Mode: sim.Supercharged, NumPrefixes: prefixes, Seed: seed,
+		GroupSize: 3, Providers: 3, SecondFailure: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := metrics.SummarizeDurations(res.Durations())
+	return &K3Result{
+		FirstFailoverMax: time.Duration(s.Max * float64(time.Second)),
+		RuleRewrites:     res.RuleRewrites,
+		Groups:           res.Groups,
+	}, nil
+}
+
+// Render formats A2.
+func (r *K3Result) Render() string {
+	tbl := &metrics.Table{Header: []string{"metric", "value"}}
+	tbl.Add("first failover max", r.FirstFailoverMax.Round(time.Millisecond))
+	tbl.Add("rule rewrites (2 failures)", r.RuleRewrites)
+	tbl.Add("groups (k=3)", r.Groups)
+	return tbl.Render()
+}

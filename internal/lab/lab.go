@@ -1,0 +1,167 @@
+// Package lab orchestrates the paper's evaluation: it regenerates every
+// table and figure of §4 (plus the ablations DESIGN.md calls out) and
+// renders paper-vs-measured comparisons.
+package lab
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"supercharged/internal/metrics"
+	"supercharged/internal/sim"
+)
+
+// Fig5Sweep is the paper's prefix-count sweep.
+var Fig5Sweep = []int{1_000, 5_000, 10_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000}
+
+// Fig5PaperMaxSeconds are the maxima printed on top of the paper's Fig. 5
+// box plots for the non-supercharged router, indexed like Fig5Sweep.
+var Fig5PaperMaxSeconds = []float64{0.9, 1.6, 3.4, 13.8, 29.2, 56.9, 86.4, 113.1, 140.9}
+
+// Fig5PaperSuperchargedSeconds is the paper's flat supercharged bound.
+const Fig5PaperSuperchargedSeconds = 0.150
+
+// Fig5Config parameterizes the sweep.
+type Fig5Config struct {
+	// Sizes lists prefix counts (default Fig5Sweep).
+	Sizes []int
+	// Runs per size (paper: 3; 100 flows each → 300 points per size).
+	Runs int
+	// Flows per run (paper: 100).
+	Flows int
+	// Seed bases the per-run seeds.
+	Seed int64
+}
+
+// Fig5Cell is one (size, mode) measurement cell.
+type Fig5Cell struct {
+	Prefixes int
+	Mode     sim.Mode
+	Summary  metrics.Summary
+	PaperMax float64 // seconds; 0 when the paper gives no number
+}
+
+// Fig5Result is the full figure.
+type Fig5Result struct {
+	Cells []Fig5Cell
+	// ImprovementFactor is worst standalone max / worst supercharged max
+	// at the largest size (the paper's 900×).
+	ImprovementFactor float64
+	// CrossoverHolds records the paper's observation that the
+	// supercharged worst case beats the standalone *best* case.
+	CrossoverHolds bool
+}
+
+// RunFig5 executes the sweep. Progress, if non-nil, receives one line per
+// completed run.
+func RunFig5(cfg Fig5Config, progress io.Writer) (*Fig5Result, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = Fig5Sweep
+	}
+	if cfg.Runs == 0 {
+		cfg.Runs = 3
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 100
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	res := &Fig5Result{}
+	var biggestStd, biggestSup metrics.Summary
+	var stdMinAtBiggest, supMaxAtBiggest float64
+	for _, n := range cfg.Sizes {
+		for _, mode := range []sim.Mode{sim.Standalone, sim.Supercharged} {
+			var samples []float64
+			for r := 0; r < cfg.Runs; r++ {
+				out, err := sim.Run(sim.Config{
+					Mode:        mode,
+					NumPrefixes: n,
+					NumFlows:    cfg.Flows,
+					Seed:        cfg.Seed + int64(r)*7919,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig5 n=%d mode=%s run=%d: %w", n, mode, r, err)
+				}
+				for _, d := range out.Durations() {
+					samples = append(samples, d.Seconds())
+				}
+				if progress != nil {
+					fmt.Fprintf(progress, "fig5: n=%d %s run %d/%d done\n", n, mode, r+1, cfg.Runs)
+				}
+			}
+			cell := Fig5Cell{Prefixes: n, Mode: mode, Summary: metrics.Summarize(samples)}
+			if mode == sim.Standalone {
+				if i := indexOf(Fig5Sweep, n); i >= 0 {
+					cell.PaperMax = Fig5PaperMaxSeconds[i]
+				}
+			} else {
+				cell.PaperMax = Fig5PaperSuperchargedSeconds
+			}
+			res.Cells = append(res.Cells, cell)
+			if n == cfg.Sizes[len(cfg.Sizes)-1] {
+				if mode == sim.Standalone {
+					biggestStd = cell.Summary
+					stdMinAtBiggest = cell.Summary.Min
+				} else {
+					biggestSup = cell.Summary
+					supMaxAtBiggest = cell.Summary.Max
+				}
+			}
+		}
+	}
+	if biggestSup.Max > 0 {
+		res.ImprovementFactor = biggestStd.Max / biggestSup.Max
+	}
+	res.CrossoverHolds = supMaxAtBiggest > 0 && supMaxAtBiggest < stdMinAtBiggest
+	return res, nil
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Render formats the figure as an aligned table with the paper's reference
+// maxima alongside.
+func (r *Fig5Result) Render() string {
+	tbl := &metrics.Table{Header: []string{
+		"prefixes", "mode", "median", "p25", "p75", "p95", "max", "paper-max",
+	}}
+	for _, c := range r.Cells {
+		paper := "-"
+		if c.PaperMax > 0 {
+			paper = metrics.Seconds(c.PaperMax)
+		}
+		tbl.Add(c.Prefixes, c.Mode.String(),
+			metrics.Seconds(c.Summary.Median), metrics.Seconds(c.Summary.P25),
+			metrics.Seconds(c.Summary.P75), metrics.Seconds(c.Summary.P95),
+			metrics.Seconds(c.Summary.Max), paper)
+	}
+	out := tbl.Render()
+	out += fmt.Sprintf("\nimprovement factor at largest size: %.0fx (paper: 900x at 512k)\n", r.ImprovementFactor)
+	out += fmt.Sprintf("supercharged worst case beats standalone best case: %v (paper: yes)\n", r.CrossoverHolds)
+	return out
+}
+
+// FirstEntry reports the standalone best case (E2, paper: 375 ms to the
+// first FIB entry) measured as the minimum convergence across runs at the
+// given size.
+func FirstEntry(n int, runs int, seed int64) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < runs; r++ {
+		out, err := sim.Run(sim.Config{Mode: sim.Standalone, NumPrefixes: n, Seed: seed + int64(r)})
+		if err != nil {
+			return 0, err
+		}
+		if s := metrics.SummarizeDurations(out.Durations()); time.Duration(s.Min*float64(time.Second)) < best {
+			best = time.Duration(s.Min * float64(time.Second))
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,188 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"supercharged/internal/core"
+	"supercharged/internal/sim"
+)
+
+// The sweep in tests is reduced; the full Fig. 5 runs via cmd/lab or the
+// root benchmarks.
+var testSizes = []int{1000, 5000, 10000}
+
+func TestFig5ShapeOnReducedSweep(t *testing.T) {
+	res, err := RunFig5(Fig5Config{Sizes: testSizes, Runs: 2, Flows: 50, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(testSizes)*2 {
+		t.Fatalf("cells %d", len(res.Cells))
+	}
+	// Standalone maxima must grow with size; supercharged must stay flat.
+	var stdMax, supMax []float64
+	for _, c := range res.Cells {
+		if c.Mode == sim.Standalone {
+			stdMax = append(stdMax, c.Summary.Max)
+		} else {
+			supMax = append(supMax, c.Summary.Max)
+		}
+	}
+	for i := 1; i < len(stdMax); i++ {
+		if stdMax[i] <= stdMax[i-1] {
+			t.Fatalf("standalone maxima not increasing: %v", stdMax)
+		}
+	}
+	for _, m := range supMax {
+		if m > 0.160 {
+			t.Fatalf("supercharged max %.3fs", m)
+		}
+	}
+	if !res.CrossoverHolds {
+		t.Fatal("crossover (supercharged max < standalone min) must hold")
+	}
+	if res.ImprovementFactor < 10 {
+		t.Fatalf("improvement factor %.1f too small even at 10k", res.ImprovementFactor)
+	}
+	out := res.Render()
+	for _, want := range []string{"prefixes", "non-supercharged", "supercharged", "paper-max", "improvement factor"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5PaperReferenceAttached(t *testing.T) {
+	res, err := RunFig5(Fig5Config{Sizes: []int{1000}, Runs: 1, Flows: 20, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Mode == sim.Standalone && c.Prefixes == 1000 && c.PaperMax != 0.9 {
+			t.Fatalf("paper max for 1k = %v, want 0.9", c.PaperMax)
+		}
+		if c.Mode == sim.Supercharged && c.PaperMax != 0.150 {
+			t.Fatalf("supercharged paper reference %v", c.PaperMax)
+		}
+	}
+}
+
+func TestFirstEntryMatchesPaperRegime(t *testing.T) {
+	best, err := FirstEntry(1000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 375 ms best case. Ours: detection 90ms + ctl 285ms + jitter
+	// ≥ 375ms, bounded above by jitter + quantization.
+	if best < 350*time.Millisecond || best > 700*time.Millisecond {
+		t.Fatalf("first-entry best case %v outside the paper's regime", best)
+	}
+}
+
+func TestMicroBenchmark(t *testing.T) {
+	res, err := RunMicro(MicroConfig{Prefixes: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 || res.Emitted == 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+	// Two providers sharing the whole table: exactly 2 ordered groups...
+	// actually only (R2,R3) is realized since R2 always wins; allow 1..2.
+	if res.Groups < 1 || res.Groups > 2 {
+		t.Fatalf("groups %d", res.Groups)
+	}
+	// Our Go implementation must beat the paper's Python p99 of 125 ms by
+	// a wide margin.
+	if res.Summary.P99 > 0.125 {
+		t.Fatalf("p99 %.4fs exceeds the paper's Python number", res.Summary.P99)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "p99 per update") || !strings.Contains(out, "125ms") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestGroupsFormula(t *testing.T) {
+	rows, err := RunGroups(GroupsConfig{MaxPeers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Groups != r.Expected {
+			t.Fatalf("n=%d: groups %d, want %d", r.Peers, r.Groups, r.Expected)
+		}
+	}
+	if !strings.Contains(RenderGroups(rows), "n(n-1)") {
+		t.Fatal("render missing formula column")
+	}
+}
+
+func TestReplicaDeterminismAblation(t *testing.T) {
+	rows, err := RunReplicaDeterminism(1500, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.VMACAgreement {
+			t.Fatalf("%s: VMACs must agree regardless of mode", r.Mode)
+		}
+		if r.Mode == core.AllocDeterministic {
+			if r.PrefixAgreements != r.Prefixes {
+				t.Fatalf("deterministic replicas disagree on %d/%d prefixes",
+					r.Prefixes-r.PrefixAgreements, r.Prefixes)
+			}
+			if r.VNHAgreements != r.SharedGroups {
+				t.Fatalf("deterministic shared groups disagree: %d/%d", r.VNHAgreements, r.SharedGroups)
+			}
+		}
+		if r.Mode == core.AllocSequential && r.PrefixAgreements == r.Prefixes {
+			t.Log("note: sequential replicas happened to agree on this interleaving")
+		}
+	}
+	if !strings.Contains(RenderReplicaDeterminism(rows), "alloc mode") {
+		t.Fatal("render")
+	}
+}
+
+func TestBFDSweepMonotone(t *testing.T) {
+	rows, err := RunBFDSweep(2000, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MaxConverge < rows[i-1].MaxConverge {
+			t.Fatalf("convergence not monotone in BFD interval: %+v", rows)
+		}
+	}
+	if rows[0].Detection >= rows[len(rows)-1].Detection {
+		t.Fatal("detection must grow with the interval")
+	}
+	if !strings.Contains(RenderBFDSweep(rows), "bfd interval") {
+		t.Fatal("render")
+	}
+}
+
+func TestK3Ablation(t *testing.T) {
+	res, err := RunK3(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstFailoverMax > 160*time.Millisecond {
+		t.Fatalf("k3 first failover %v", res.FirstFailoverMax)
+	}
+	if res.RuleRewrites < 2 {
+		t.Fatalf("rewrites %d", res.RuleRewrites)
+	}
+	if !strings.Contains(res.Render(), "rule rewrites") {
+		t.Fatal("render")
+	}
+}

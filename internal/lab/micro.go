@@ -1,0 +1,179 @@
+package lab
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/core"
+	"supercharged/internal/feed"
+	"supercharged/internal/metrics"
+)
+
+// MicroConfig parameterizes E3, the controller-overhead micro-benchmark:
+// the paper replays "two times 500K updates from two different peers"
+// through the BGP controller and reports per-update processing latency
+// (worst 0.8 s, 99th percentile ≤ 125 ms for unoptimized Python).
+type MicroConfig struct {
+	// Prefixes per peer feed (paper: 500k).
+	Prefixes int
+	// Seed for the synthetic feeds.
+	Seed int64
+	// AllocMode for the VNH pool.
+	AllocMode core.AllocMode
+}
+
+// MicroResult is the measured per-update latency distribution.
+type MicroResult struct {
+	Updates  int
+	Summary  metrics.Summary // seconds per UPDATE message
+	Total    time.Duration
+	Groups   int
+	PaperP99 float64 // 125 ms
+	PaperMax float64 // 0.8 s
+	Emitted  int     // UPDATEs produced toward the router
+}
+
+var (
+	microR2 = netip.MustParseAddr("203.0.113.1")
+	microR3 = netip.MustParseAddr("203.0.113.2")
+)
+
+// RunMicro replays both peer feeds through a fresh Processor, timing each
+// UPDATE's processing (decision process + Listing 1 + NH rewrite).
+func RunMicro(cfg MicroConfig) (*MicroResult, error) {
+	if cfg.Prefixes <= 0 {
+		cfg.Prefixes = 500_000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	table := feed.Generate(feed.Config{N: cfg.Prefixes, Seed: cfg.Seed})
+	codec := bgp.Codec{ASN4: true}
+
+	peers := []struct {
+		meta bgp.PeerMeta
+		nh   netip.Addr
+		as   uint32
+	}{
+		{bgp.PeerMeta{Addr: microR2, AS: 65002, ID: microR2, Weight: 200}, microR2, 65002},
+		{bgp.PeerMeta{Addr: microR3, AS: 65003, ID: microR3, Weight: 100}, microR3, 65003},
+	}
+
+	proc := core.NewProcessor(nil, core.NewGroupTable(core.NewVNHPool(cfg.AllocMode)))
+	res := &MicroResult{PaperP99: 0.125, PaperMax: 0.8}
+	var samples []float64
+	start := time.Now()
+	for _, p := range peers {
+		updates, err := table.Updates(p.as, p.nh, codec)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range updates {
+			t0 := time.Now()
+			out, err := proc.Process(p.meta, u)
+			if err != nil {
+				return nil, fmt.Errorf("micro: %w", err)
+			}
+			samples = append(samples, time.Since(t0).Seconds())
+			res.Emitted += len(out)
+		}
+	}
+	res.Total = time.Since(start)
+	res.Updates = len(samples)
+	res.Summary = metrics.Summarize(samples)
+	res.Groups = proc.Groups().Len()
+	return res, nil
+}
+
+// Render formats the micro-benchmark result with the paper's reference.
+func (r *MicroResult) Render() string {
+	tbl := &metrics.Table{Header: []string{"metric", "measured", "paper (python)"}}
+	tbl.Add("updates processed", r.Updates, "~2x500k prefixes")
+	tbl.Add("p50 per update", metrics.Seconds(r.Summary.Median), "-")
+	tbl.Add("p99 per update", metrics.Seconds(r.Summary.P99), metrics.Seconds(r.PaperP99))
+	tbl.Add("max per update", metrics.Seconds(r.Summary.Max), metrics.Seconds(r.PaperMax))
+	tbl.Add("total replay", r.Total.Round(time.Millisecond), "-")
+	tbl.Add("backup groups", r.Groups, "n(n-1) = 2")
+	tbl.Add("updates emitted", r.Emitted, "-")
+	return tbl.Render()
+}
+
+// GroupsConfig parameterizes E4: backup-group count versus peer count.
+type GroupsConfig struct {
+	// MaxPeers sweeps n = 2..MaxPeers (default 10, the paper's example).
+	MaxPeers int
+	// PrefixesPerPair is how many prefixes exercise each (primary,
+	// backup) ordering (enough to realize every group).
+	PrefixesPerPair int
+	Seed            int64
+}
+
+// GroupsRow is one sweep point.
+type GroupsRow struct {
+	Peers    int
+	Groups   int
+	Expected int // n(n-1)
+}
+
+// RunGroups realizes every (primary, backup) ordering among n peers and
+// counts allocated groups, checking the paper's n!/(n-2)! formula.
+func RunGroups(cfg GroupsConfig) ([]GroupsRow, error) {
+	if cfg.MaxPeers == 0 {
+		cfg.MaxPeers = 10
+	}
+	if cfg.PrefixesPerPair == 0 {
+		cfg.PrefixesPerPair = 1
+	}
+	var rows []GroupsRow
+	for n := 2; n <= cfg.MaxPeers; n++ {
+		proc := core.NewProcessor(nil, core.NewGroupTable(core.NewVNHPool(core.AllocDeterministic)))
+		peers := make([]bgp.PeerMeta, n)
+		for i := range peers {
+			addr := netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)})
+			peers[i] = bgp.PeerMeta{Addr: addr, AS: uint32(65000 + i), ID: addr}
+		}
+		// For each ordered pair (i, j), announce a prefix preferred via
+		// i with backup j (weights make the ordering explicit).
+		prefixByte := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				for k := 0; k < cfg.PrefixesPerPair; k++ {
+					pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{
+						byte(20 + prefixByte/65536), byte(prefixByte / 256), byte(prefixByte), 0,
+					}), 24)
+					prefixByte++
+					hi, lo := peers[i], peers[j]
+					hi.Weight, lo.Weight = 200, 100
+					ann := func(meta bgp.PeerMeta) *bgp.Update {
+						return &bgp.Update{
+							Attrs: &bgp.Attrs{Origin: bgp.OriginIGP, ASPath: bgp.Sequence(meta.AS), NextHop: meta.Addr},
+							NLRI:  []netip.Prefix{pfx},
+						}
+					}
+					if _, err := proc.Process(hi, ann(hi)); err != nil {
+						return nil, err
+					}
+					if _, err := proc.Process(lo, ann(lo)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		rows = append(rows, GroupsRow{Peers: n, Groups: proc.Groups().Len(), Expected: n * (n - 1)})
+	}
+	return rows, nil
+}
+
+// RenderGroups formats the E4 table.
+func RenderGroups(rows []GroupsRow) string {
+	tbl := &metrics.Table{Header: []string{"peers", "groups", "n(n-1)", "match"}}
+	for _, r := range rows {
+		tbl.Add(r.Peers, r.Groups, r.Expected, r.Groups == r.Expected)
+	}
+	return tbl.Render()
+}

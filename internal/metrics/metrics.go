@@ -1,0 +1,203 @@
+// Package metrics provides the summary statistics the paper's evaluation
+// reports: box-plot five-number summaries (median, inter-quartile range,
+// 5th/95th-percentile whiskers, maxima) over convergence-time samples, plus
+// simple latency histograms and fixed-width table rendering for the
+// experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary is a box-plot style five-number summary (plus mean and count) of a
+// sample set, mirroring Fig. 5's presentation: the box spans P25–P75, the
+// line in the box is the median, whiskers reach P5 and P95, and the number
+// printed on top is the maximum.
+type Summary struct {
+	N      int
+	Min    float64
+	P5     float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	P99    float64
+	Max    float64
+	Mean   float64
+}
+
+// Summarize computes a Summary of samples. It does not modify samples.
+// Summarize of an empty slice returns the zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	// Incremental mean avoids overflow on extreme samples.
+	var mean float64
+	for i, x := range s {
+		mean += (x - mean) / float64(i+1)
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		P5:     Percentile(s, 0.05),
+		P25:    Percentile(s, 0.25),
+		Median: Percentile(s, 0.50),
+		P75:    Percentile(s, 0.75),
+		P95:    Percentile(s, 0.95),
+		P99:    Percentile(s, 0.99),
+		Max:    s[len(s)-1],
+		Mean:   mean,
+	}
+}
+
+// SummarizeDurations converts durations to seconds and summarizes them.
+func SummarizeDurations(ds []time.Duration) Summary {
+	samples := make([]float64, len(ds))
+	for i, d := range ds {
+		samples[i] = d.Seconds()
+	}
+	return Summarize(samples)
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation between closest ranks (the same method
+// as numpy's default). It panics if sorted is empty.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("metrics: Percentile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Seconds formats a duration expressed in seconds with a unit-appropriate
+// precision, e.g. "140.9s", "150ms", "375ms", "70µs".
+func Seconds(sec float64) string {
+	switch {
+	case sec >= 10:
+		return fmt.Sprintf("%.1fs", sec)
+	case sec >= 1:
+		return fmt.Sprintf("%.2fs", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.0fms", sec*1e3)
+	case sec >= 1e-6:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec <= 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.0fns", sec*1e9)
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are upper bounds in
+// seconds; samples above the last bound land in the overflow bucket.
+type Histogram struct {
+	Bounds   []float64
+	Counts   []int
+	Overflow int
+	N        int
+}
+
+// NewHistogram returns a Histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending")
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]int, len(bounds))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.N++
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Overflow++
+}
+
+// String renders the histogram one bucket per line with counts.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, bound := range h.Bounds {
+		fmt.Fprintf(&b, "≤%-8s %d\n", Seconds(bound), h.Counts[i])
+	}
+	fmt.Fprintf(&b, ">%-8s %d\n", Seconds(h.Bounds[len(h.Bounds)-1]), h.Overflow)
+	return b.String()
+}
+
+// Table renders rows of strings as a fixed-width text table with a header,
+// for harness output that is readable both on a terminal and in
+// EXPERIMENTS.md code blocks.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; cells are formatted with fmt.Sprint.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as an aligned multi-line string.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeSimple(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Fatalf("quartiles %v/%v, want 2/4", s.P25, s.P75)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if Percentile(s, 0) != 10 || Percentile(s, 1) != 40 {
+		t.Fatal("extreme quantiles must be min/max")
+	}
+	if got := Percentile(s, 0.5); got != 25 {
+		t.Fatalf("median of 10..40 = %v, want 25 (interpolated)", got)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty sample")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+// Property: for any sample set, summary invariants hold:
+// min ≤ p5 ≤ p25 ≤ median ≤ p75 ≤ p95 ≤ p99 ≤ max, and mean within [min,max].
+func TestSummaryInvariantsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		samples := raw[:0]
+		for _, x := range raw {
+			// Restrict to a physically plausible measurement range;
+			// float64 extremes overflow any mean computation.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				samples = append(samples, x)
+			}
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		s := Summarize(samples)
+		ordered := sort.Float64sAreSorted([]float64{s.Min, s.P5, s.P25, s.Median, s.P75, s.P95, s.P99, s.Max})
+		meanOK := s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+		return ordered && meanOK && s.N == len(samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotonic in q.
+func TestPercentileMonotonicQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64() * 100
+		}
+		sort.Float64s(s)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := Percentile(s, q)
+			if v < prev-1e-9 {
+				t.Fatalf("percentile not monotonic at q=%v: %v < %v", q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("duration summary %+v", s)
+	}
+}
+
+func TestSecondsFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{140.9, "140.9s"},
+		{1.6, "1.60s"},
+		{0.150, "150ms"},
+		{0.000070, "70µs"},
+		{0, "0"},
+		{2e-9, "2ns"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.002, 0.05, 0.5, 0.09} {
+		h.Observe(v)
+	}
+	if h.N != 5 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 2 || h.Overflow != 1 {
+		t.Fatalf("counts %v overflow %d", h.Counts, h.Overflow)
+	}
+	if !strings.Contains(h.String(), "≤1ms") {
+		t.Fatalf("histogram rendering missing bucket label:\n%s", h.String())
+	}
+}
+
+func TestHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unsorted bounds")
+		}
+	}()
+	NewHistogram(0.1, 0.01)
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Header: []string{"prefixes", "mode", "max"}}
+	tbl.Add(1000, "standalone", "0.9s")
+	tbl.Add(500000, "supercharged", "150ms")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "prefixes") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "supercharged") || !strings.Contains(lines[3], "150ms") {
+		t.Fatalf("row line %q", lines[3])
+	}
+	// Columns must be aligned: "mode" column starts at the same offset.
+	idx := strings.Index(lines[0], "mode")
+	if !strings.HasPrefix(lines[2][idx:], "standalone") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}

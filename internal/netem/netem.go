@@ -1,0 +1,211 @@
+// Package netem emulates the lab's physical layer: point-to-point Ethernet
+// links with configurable propagation latency, administrative up/down state
+// (the experiment's failure injection — "we then disconnected R2 from the
+// switch"), and frame counters.
+//
+// Delivery is clock-driven: each transmitted frame is scheduled on the
+// link's Clock, so the same code runs in real time (goroutine timers) and in
+// the discrete-event simulation (virtual clock). A receiving Port delivers
+// frames either to a registered handler (callback mode, used by the
+// simulation and by devices with their own serialization) or to a buffered
+// channel (channel mode, used by goroutine-per-device real-mode code).
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"supercharged/internal/clock"
+)
+
+// DefaultQueueLen is the per-port receive queue length in channel mode.
+// Frames arriving at a full queue are dropped and counted, like a switch
+// ingress queue overflow.
+const DefaultQueueLen = 1024
+
+// Port is one end of a Link. Frames are sent with Send and received either
+// via Handle (callback mode) or Recv (channel mode).
+type Port struct {
+	name string
+	link *Link
+	peer *Port
+
+	mu      sync.Mutex
+	handler func([]byte)
+	ch      chan []byte
+
+	rx, tx, rxDrop, txDrop atomic.Uint64
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Link returns the link this port belongs to.
+func (p *Port) Link() *Link { return p.link }
+
+// Handle switches the port to callback mode: every delivered frame invokes
+// fn. fn runs on the clock's timer context and must not block. Passing nil
+// reverts to channel mode.
+func (p *Port) Handle(fn func(frame []byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handler = fn
+}
+
+// Recv returns the channel-mode receive queue.
+func (p *Port) Recv() <-chan []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ch == nil {
+		p.ch = make(chan []byte, DefaultQueueLen)
+	}
+	return p.ch
+}
+
+// Send transmits a frame toward the peer port. The frame contents are copied
+// so the caller may reuse its buffer. Send reports whether the frame entered
+// the link (false when the link is down).
+func (p *Port) Send(frame []byte) bool {
+	l := p.link
+	if !l.Up() {
+		p.txDrop.Add(1)
+		return false
+	}
+	p.tx.Add(1)
+	buf := append([]byte(nil), frame...)
+	peer := p.peer
+	deliver := func() {
+		// Frames in flight when the link fails are lost: the paper's
+		// traffic sink measures exactly this black-holing.
+		if !l.Up() {
+			peer.rxDrop.Add(1)
+			return
+		}
+		peer.deliver(buf)
+	}
+	if l.latency <= 0 {
+		// Still go through the clock so ordering is event-driven and
+		// deterministic under the virtual clock.
+		l.clk.AfterFunc(0, deliver)
+	} else {
+		l.clk.AfterFunc(l.latency, deliver)
+	}
+	return true
+}
+
+func (p *Port) deliver(frame []byte) {
+	p.mu.Lock()
+	h := p.handler
+	ch := p.ch
+	p.mu.Unlock()
+	if h != nil {
+		p.rx.Add(1)
+		h(frame)
+		return
+	}
+	if ch == nil {
+		p.mu.Lock()
+		if p.ch == nil {
+			p.ch = make(chan []byte, DefaultQueueLen)
+		}
+		ch = p.ch
+		p.mu.Unlock()
+	}
+	select {
+	case ch <- frame:
+		p.rx.Add(1)
+	default:
+		p.rxDrop.Add(1)
+	}
+}
+
+// Stats is a snapshot of a port's frame counters.
+type Stats struct {
+	TxFrames, TxDrops uint64
+	RxFrames, RxDrops uint64
+}
+
+// Stats returns the port's counters.
+func (p *Port) Stats() Stats {
+	return Stats{
+		TxFrames: p.tx.Load(), TxDrops: p.txDrop.Load(),
+		RxFrames: p.rx.Load(), RxDrops: p.rxDrop.Load(),
+	}
+}
+
+// Link is a bidirectional point-to-point Ethernet link.
+type Link struct {
+	a, b    *Port
+	clk     clock.Clock
+	latency time.Duration
+	up      atomic.Bool
+
+	mu       sync.Mutex
+	watchers []func(up bool)
+}
+
+// NewLink creates a link between two named ports with the given one-way
+// propagation latency, initially up.
+func NewLink(clk clock.Clock, nameA, nameB string, latency time.Duration) *Link {
+	if clk == nil {
+		clk = clock.System
+	}
+	l := &Link{clk: clk, latency: latency}
+	l.a = &Port{name: nameA, link: l}
+	l.b = &Port{name: nameB, link: l}
+	l.a.peer = l.b
+	l.b.peer = l.a
+	l.up.Store(true)
+	return l
+}
+
+// Ports returns the two endpoints of the link.
+func (l *Link) Ports() (*Port, *Port) { return l.a, l.b }
+
+// A returns the first endpoint.
+func (l *Link) A() *Port { return l.a }
+
+// B returns the second endpoint.
+func (l *Link) B() *Port { return l.b }
+
+// Latency returns the configured one-way latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// Up reports whether the link is administratively up.
+func (l *Link) Up() bool { return l.up.Load() }
+
+// SetUp raises or fails the link. Watchers registered with Watch are
+// notified on every transition.
+func (l *Link) SetUp(up bool) {
+	if l.up.Swap(up) == up {
+		return
+	}
+	l.mu.Lock()
+	watchers := append([]func(up bool){}, l.watchers...)
+	l.mu.Unlock()
+	for _, w := range watchers {
+		w(up)
+	}
+}
+
+// Fail is SetUp(false): the experiment's "disconnect R2" event.
+func (l *Link) Fail() { l.SetUp(false) }
+
+// Watch registers fn to be called on every up/down transition. fn runs
+// synchronously inside SetUp.
+func (l *Link) Watch(fn func(up bool)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.watchers = append(l.watchers, fn)
+}
+
+// String describes the link for diagnostics.
+func (l *Link) String() string {
+	state := "up"
+	if !l.Up() {
+		state = "down"
+	}
+	return fmt.Sprintf("%s<->%s(%s,%v)", l.a.name, l.b.name, state, l.latency)
+}

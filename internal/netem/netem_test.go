@@ -1,0 +1,176 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"supercharged/internal/clock"
+)
+
+func TestLinkDeliversWithLatencyOnVirtualClock(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	l := NewLink(v, "r1", "sw", 3*time.Millisecond)
+	a, b := l.Ports()
+
+	var gotAt time.Time
+	var got []byte
+	b.Handle(func(frame []byte) {
+		gotAt = v.Now()
+		got = frame
+	})
+
+	if !a.Send([]byte{1, 2, 3}) {
+		t.Fatal("send failed on up link")
+	}
+	v.Advance(2 * time.Millisecond)
+	if got != nil {
+		t.Fatal("frame delivered before latency elapsed")
+	}
+	v.Advance(time.Millisecond)
+	if got == nil {
+		t.Fatal("frame not delivered after latency")
+	}
+	if gotAt.Sub(time.Unix(0, 0).UTC()) != 3*time.Millisecond {
+		t.Fatalf("delivered at %v, want 3ms", gotAt)
+	}
+	if got[0] != 1 || len(got) != 3 {
+		t.Fatalf("frame %v", got)
+	}
+}
+
+func TestLinkIsBidirectional(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	l := NewLink(v, "x", "y", 0)
+	a, b := l.Ports()
+	var fromA, fromB []byte
+	a.Handle(func(f []byte) { fromB = f })
+	b.Handle(func(f []byte) { fromA = f })
+	a.Send([]byte("ab"))
+	b.Send([]byte("ba"))
+	v.RunUntilIdle()
+	if string(fromA) != "ab" || string(fromB) != "ba" {
+		t.Fatalf("fromA=%q fromB=%q", fromA, fromB)
+	}
+}
+
+func TestSendCopiesFrame(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	l := NewLink(v, "x", "y", 0)
+	a, b := l.Ports()
+	var got []byte
+	b.Handle(func(f []byte) { got = f })
+	buf := []byte{42}
+	a.Send(buf)
+	buf[0] = 7 // mutate after send
+	v.RunUntilIdle()
+	if got[0] != 42 {
+		t.Fatal("link aliased the caller's buffer")
+	}
+}
+
+func TestDownLinkRefusesAndCounts(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	l := NewLink(v, "x", "y", 0)
+	a, _ := l.Ports()
+	l.Fail()
+	if a.Send([]byte{1}) {
+		t.Fatal("send succeeded on down link")
+	}
+	if s := a.Stats(); s.TxDrops != 1 || s.TxFrames != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFramesInFlightAreLostOnFailure(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	l := NewLink(v, "x", "y", 10*time.Millisecond)
+	a, b := l.Ports()
+	delivered := false
+	b.Handle(func([]byte) { delivered = true })
+	a.Send([]byte{1})
+	v.Advance(5 * time.Millisecond)
+	l.Fail()
+	v.Advance(10 * time.Millisecond)
+	if delivered {
+		t.Fatal("frame survived a mid-flight link failure")
+	}
+	if s := b.Stats(); s.RxDrops != 1 {
+		t.Fatalf("rx drops %d, want 1", s.RxDrops)
+	}
+}
+
+func TestLinkRecoveryDeliversAgain(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	l := NewLink(v, "x", "y", 0)
+	a, b := l.Ports()
+	n := 0
+	b.Handle(func([]byte) { n++ })
+	l.Fail()
+	a.Send([]byte{1})
+	l.SetUp(true)
+	a.Send([]byte{2})
+	v.RunUntilIdle()
+	if n != 1 {
+		t.Fatalf("delivered %d frames, want 1", n)
+	}
+}
+
+func TestWatchersFireOnTransitions(t *testing.T) {
+	l := NewLink(clock.NewVirtualAtZero(), "x", "y", 0)
+	var events []bool
+	l.Watch(func(up bool) { events = append(events, up) })
+	l.Fail()
+	l.Fail() // no transition
+	l.SetUp(true)
+	if len(events) != 2 || events[0] != false || events[1] != true {
+		t.Fatalf("events %v", events)
+	}
+}
+
+func TestChannelModeDelivery(t *testing.T) {
+	// Real clock: exercise the goroutine path end to end.
+	l := NewLink(clock.Real{}, "x", "y", 0)
+	a, b := l.Ports()
+	rx := b.Recv()
+	a.Send([]byte("hello"))
+	select {
+	case f := <-rx:
+		if string(f) != "hello" {
+			t.Fatalf("frame %q", f)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery in channel mode")
+	}
+	if s := b.Stats(); s.RxFrames != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestChannelOverflowDrops(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	l := NewLink(v, "x", "y", 0)
+	a, b := l.Ports()
+	_ = b.Recv() // channel mode, but nobody draining
+	for i := 0; i < DefaultQueueLen+10; i++ {
+		a.Send([]byte{byte(i)})
+	}
+	v.RunUntilIdle()
+	s := b.Stats()
+	if s.RxDrops != 10 {
+		t.Fatalf("rx drops %d, want 10", s.RxDrops)
+	}
+	if s.RxFrames != DefaultQueueLen {
+		t.Fatalf("rx frames %d, want %d", s.RxFrames, DefaultQueueLen)
+	}
+}
+
+func TestStringDescribesState(t *testing.T) {
+	l := NewLink(clock.NewVirtualAtZero(), "r1", "sw", time.Millisecond)
+	if s := l.String(); s != "r1<->sw(up,1ms)" {
+		t.Fatalf("String() = %q", s)
+	}
+	l.Fail()
+	if s := l.String(); s != "r1<->sw(down,1ms)" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,325 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ControllerConfig configures the controller core.
+type ControllerConfig struct {
+	// Logf, if set, receives diagnostics.
+	Logf func(format string, args ...any)
+	// OnSwitch is called when a switch completes the features handshake.
+	OnSwitch func(sw *SwitchConn)
+	// OnSwitchGone is called when a switch connection dies.
+	OnSwitchGone func(sw *SwitchConn)
+	// OnPacketIn is called for every PACKET_IN (the supercharger's ARP
+	// responder lives here).
+	OnPacketIn func(sw *SwitchConn, pi *PacketIn)
+	// OnPortStatus is called for PORT_STATUS messages.
+	OnPortStatus func(sw *SwitchConn, ps *PortStatus)
+}
+
+// Controller is the OpenFlow controller core: it accepts switch
+// connections, runs the version/features handshake and dispatches
+// asynchronous messages. It plays Floodlight's role in the paper's
+// prototype.
+type Controller struct {
+	cfg ControllerConfig
+
+	mu       sync.Mutex
+	switches map[uint64]*SwitchConn
+	closed   bool
+	listener net.Listener
+	waiters  []chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// NewController returns a controller core.
+func NewController(cfg ControllerConfig) *Controller {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Controller{cfg: cfg, switches: make(map[uint64]*SwitchConn)}
+}
+
+// Serve accepts switch connections on l until the controller is closed.
+// It returns after the listener fails (normally because of Close).
+func (c *Controller) Serve(l net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("openflow: controller closed")
+	}
+	c.listener = l
+	c.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.HandleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and closes all switch connections.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	l := c.listener
+	sws := make([]*SwitchConn, 0, len(c.switches))
+	for _, sw := range c.switches {
+		sws = append(sws, sw)
+	}
+	c.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, sw := range sws {
+		sw.conn.Close()
+	}
+	c.wg.Wait()
+}
+
+// Switch returns the connected switch with the given datapath id.
+func (c *Controller) Switch(dpid uint64) (*SwitchConn, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.switches[dpid]
+	return sw, ok
+}
+
+// Switches returns all connected switches.
+func (c *Controller) Switches() []*SwitchConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*SwitchConn, 0, len(c.switches))
+	for _, sw := range c.switches {
+		out = append(out, sw)
+	}
+	return out
+}
+
+// WaitSwitch blocks until the switch with dpid connects or timeout expires.
+func (c *Controller) WaitSwitch(dpid uint64, timeout time.Duration) (*SwitchConn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		if sw, ok := c.switches[dpid]; ok {
+			c.mu.Unlock()
+			return sw, nil
+		}
+		ch := make(chan struct{})
+		c.waiters = append(c.waiters, ch)
+		c.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("openflow: switch %#x did not connect within %v", dpid, timeout)
+		}
+		select {
+		case <-ch:
+		case <-time.After(remain):
+		}
+	}
+}
+
+// HandleConn runs the controller side of one switch connection; it blocks
+// until the connection dies. Exposed so tests and in-process deployments
+// can skip the TCP listener.
+func (c *Controller) HandleConn(conn net.Conn) {
+	sw, err := c.handshake(conn)
+	if err != nil {
+		c.cfg.Logf("openflow: handshake: %v", err)
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.switches[sw.dpid] = sw
+	waiters := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	c.cfg.Logf("openflow: switch %#x connected (%d ports)", sw.dpid, len(sw.ports))
+	if c.cfg.OnSwitch != nil {
+		c.cfg.OnSwitch(sw)
+	}
+
+	c.readLoop(sw)
+
+	conn.Close()
+	c.mu.Lock()
+	if c.switches[sw.dpid] == sw {
+		delete(c.switches, sw.dpid)
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("openflow: switch %#x gone", sw.dpid)
+	if c.cfg.OnSwitchGone != nil {
+		c.cfg.OnSwitchGone(sw)
+	}
+}
+
+func (c *Controller) handshake(conn net.Conn) (*SwitchConn, error) {
+	// Both sides emit HELLO on connect; send ours asynchronously so the
+	// exchange cannot deadlock on unbuffered transports (net.Pipe).
+	helloErr := make(chan error, 1)
+	go func() { helloErr <- WriteMessage(conn, &Hello{}, 0) }()
+	msg, _, err := ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("read HELLO: %w", err)
+	}
+	if _, ok := msg.(*Hello); !ok {
+		return nil, fmt.Errorf("expected HELLO, got %s", msg.MsgType())
+	}
+	if err := <-helloErr; err != nil {
+		return nil, fmt.Errorf("send HELLO: %w", err)
+	}
+	if err := WriteMessage(conn, &FeaturesRequest{}, 1); err != nil {
+		return nil, fmt.Errorf("send FEATURES_REQUEST: %w", err)
+	}
+	for {
+		msg, _, err := ReadMessage(conn)
+		if err != nil {
+			return nil, fmt.Errorf("read FEATURES_REPLY: %w", err)
+		}
+		switch m := msg.(type) {
+		case *FeaturesReply:
+			sw := &SwitchConn{ctrl: c, conn: conn, dpid: m.DatapathID, ports: m.Ports}
+			sw.xid.Store(16)
+			sw.barriers = make(map[uint32]chan struct{})
+			return sw, nil
+		case *EchoRequest:
+			if err := WriteMessage(conn, &EchoReply{Data: m.Data}, 0); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("expected FEATURES_REPLY, got %s", msg.MsgType())
+		}
+	}
+}
+
+func (c *Controller) readLoop(sw *SwitchConn) {
+	for {
+		msg, xid, err := ReadMessage(sw.conn)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *EchoRequest:
+			sw.write(&EchoReply{Data: m.Data}, xid)
+		case *EchoReply:
+			// RTT probes not tracked.
+		case *PacketIn:
+			if c.cfg.OnPacketIn != nil {
+				c.cfg.OnPacketIn(sw, m)
+			}
+		case *PortStatus:
+			if c.cfg.OnPortStatus != nil {
+				c.cfg.OnPortStatus(sw, m)
+			}
+		case *BarrierReply:
+			sw.completeBarrier(xid)
+		case *ErrorMsg:
+			c.cfg.Logf("openflow: switch %#x error: %v", sw.dpid, m)
+		default:
+			c.cfg.Logf("openflow: switch %#x unexpected %s", sw.dpid, msg.MsgType())
+		}
+	}
+}
+
+// SwitchConn is the controller's handle to one connected switch.
+type SwitchConn struct {
+	ctrl  *Controller
+	conn  net.Conn
+	dpid  uint64
+	ports []PhyPort
+
+	xid     atomic.Uint32
+	writeMu sync.Mutex
+
+	barrierMu sync.Mutex
+	barriers  map[uint32]chan struct{}
+}
+
+// DPID returns the switch's datapath id.
+func (sw *SwitchConn) DPID() uint64 { return sw.dpid }
+
+// Ports returns the port descriptions from the features handshake.
+func (sw *SwitchConn) Ports() []PhyPort { return append([]PhyPort(nil), sw.ports...) }
+
+func (sw *SwitchConn) write(msg Message, xid uint32) error {
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	return WriteMessage(sw.conn, msg, xid)
+}
+
+func (sw *SwitchConn) nextXID() uint32 { return sw.xid.Add(1) }
+
+// FlowMod pushes a flow modification. This is the operation on the
+// convergence critical path (Listing 2's install_flow).
+func (sw *SwitchConn) FlowMod(fm *FlowMod) error {
+	return sw.write(fm, sw.nextXID())
+}
+
+// PacketOut injects a frame through the switch data plane (the ARP
+// responder's reply path).
+func (sw *SwitchConn) PacketOut(po *PacketOut) error {
+	return sw.write(po, sw.nextXID())
+}
+
+// Barrier sends a BARRIER_REQUEST and waits for the reply, bounding the
+// completion time of previously pushed flow-mods.
+func (sw *SwitchConn) Barrier(timeout time.Duration) error {
+	xid := sw.nextXID()
+	ch := make(chan struct{})
+	sw.barrierMu.Lock()
+	sw.barriers[xid] = ch
+	sw.barrierMu.Unlock()
+	defer func() {
+		sw.barrierMu.Lock()
+		delete(sw.barriers, xid)
+		sw.barrierMu.Unlock()
+	}()
+	if err := sw.write(&BarrierRequest{}, xid); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("openflow: barrier timeout on switch %#x", sw.dpid)
+	}
+}
+
+func (sw *SwitchConn) completeBarrier(xid uint32) {
+	sw.barrierMu.Lock()
+	ch, ok := sw.barriers[xid]
+	if ok {
+		delete(sw.barriers, xid)
+	}
+	sw.barrierMu.Unlock()
+	if ok {
+		close(ch)
+	}
+}

@@ -1,0 +1,284 @@
+package openflow
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"supercharged/internal/clock"
+	"supercharged/internal/netem"
+	"supercharged/internal/packet"
+)
+
+// rig builds a controller connected to an emulated switch with two ports
+// over a net.Pipe control channel and real-clock links.
+type rig struct {
+	ctrl   *Controller
+	sw     *Switch
+	swConn *SwitchConn
+	// hostA/hostB are the far ends of the switch's two data-plane links.
+	hostA, hostB *netem.Port
+}
+
+func newRig(t *testing.T, cfg ControllerConfig, puntOnMiss bool) *rig {
+	t.Helper()
+	linkA := netem.NewLink(clock.Real{}, "hostA", "sw:1", 0)
+	linkB := netem.NewLink(clock.Real{}, "hostB", "sw:2", 0)
+	hostA, swPort1 := linkA.Ports()
+	hostB, swPort2 := linkB.Ports()
+
+	ctrl := NewController(cfg)
+	dial := func() (net.Conn, error) {
+		a, b := net.Pipe()
+		go ctrl.HandleConn(b)
+		return a, nil
+	}
+	sw := NewSwitch(SwitchConfig{
+		DPID:           0x53,
+		Ports:          map[uint16]*netem.Port{1: swPort1, 2: swPort2},
+		PortNames:      map[uint16]string{1: "r1", 2: "r2"},
+		Dial:           dial,
+		InstallLatency: time.Millisecond,
+		PuntOnMiss:     puntOnMiss,
+		Clock:          clock.Real{},
+	})
+	sw.Start()
+	t.Cleanup(func() {
+		sw.Stop()
+		ctrl.Close()
+	})
+	swConn, err := ctrl.WaitSwitch(0x53, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{ctrl: ctrl, sw: sw, swConn: swConn, hostA: hostA, hostB: hostB}
+}
+
+func testFrame(dst packet.MAC) []byte {
+	buf := packet.NewBuffer()
+	f, err := packet.UDPFrame(buf, packet.MustParseMAC("00:ff:00:00:00:09"), dst,
+		netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("1.0.0.1"), 5000, 9, []byte("probe"))
+	if err != nil {
+		panic(err)
+	}
+	return append([]byte(nil), f...)
+}
+
+func TestHandshakeReportsPorts(t *testing.T) {
+	r := newRig(t, ControllerConfig{}, false)
+	if r.swConn.DPID() != 0x53 {
+		t.Fatalf("dpid %#x", r.swConn.DPID())
+	}
+	ports := r.swConn.Ports()
+	if len(ports) != 2 {
+		t.Fatalf("ports %d", len(ports))
+	}
+}
+
+func TestFlowModInstallsAndForwards(t *testing.T) {
+	r := newRig(t, ControllerConfig{}, false)
+	// The supercharger's rule: VMAC -> rewrite to R2's MAC, out port 2.
+	err := r.swConn.FlowMod(&FlowMod{
+		Match: MatchDLDst(vmac), Command: FlowAdd, Priority: 100,
+		BufferID: BufferNone, OutPort: PortNone,
+		Actions: []Action{ActionSetDLDst(r2mac), ActionOutput(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.swConn.Barrier(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rx := r.hostB.Recv()
+	if !r.hostA.Send(testFrame(vmac)) {
+		t.Fatal("send failed")
+	}
+	select {
+	case frame := <-rx:
+		var eth packet.Ethernet
+		if err := eth.DecodeFromBytes(frame); err != nil {
+			t.Fatal(err)
+		}
+		if eth.Dst != r2mac {
+			t.Fatalf("dst %s not rewritten", eth.Dst)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame not forwarded")
+	}
+}
+
+func TestFlowModifyRedirectsTraffic(t *testing.T) {
+	// Listing 2's convergence action: modify the same match to the backup.
+	r := newRig(t, ControllerConfig{}, false)
+	add := &FlowMod{Match: MatchDLDst(vmac), Command: FlowAdd, Priority: 100,
+		BufferID: BufferNone, OutPort: PortNone,
+		Actions: []Action{ActionSetDLDst(r2mac), ActionOutput(1)}}
+	if err := r.swConn.FlowMod(add); err != nil {
+		t.Fatal(err)
+	}
+	mod := &FlowMod{Match: MatchDLDst(vmac), Command: FlowModifyStrict, Priority: 100,
+		BufferID: BufferNone, OutPort: PortNone,
+		Actions: []Action{ActionSetDLDst(r2mac), ActionOutput(2)}}
+	if err := r.swConn.FlowMod(mod); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.swConn.Barrier(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.sw.Table().Len(); n != 1 {
+		t.Fatalf("table has %d flows, want 1", n)
+	}
+	rx := r.hostB.Recv()
+	r.hostA.Send(testFrame(vmac))
+	select {
+	case <-rx:
+	case <-time.After(5 * time.Second):
+		t.Fatal("modified flow did not redirect")
+	}
+}
+
+func TestFlowDelete(t *testing.T) {
+	r := newRig(t, ControllerConfig{}, false)
+	add := &FlowMod{Match: MatchDLDst(vmac), Command: FlowAdd, Priority: 100,
+		BufferID: BufferNone, OutPort: PortNone, Actions: []Action{ActionOutput(2)}}
+	if err := r.swConn.FlowMod(add); err != nil {
+		t.Fatal(err)
+	}
+	del := &FlowMod{Match: MatchDLDst(vmac), Command: FlowDeleteStrict, Priority: 100,
+		BufferID: BufferNone, OutPort: PortNone}
+	if err := r.swConn.FlowMod(del); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.swConn.Barrier(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.sw.Table().Len(); n != 0 {
+		t.Fatalf("table has %d flows after delete", n)
+	}
+}
+
+func TestPacketInOnMissAndPacketOut(t *testing.T) {
+	// The ARP path: a miss punts to the controller, which injects a reply
+	// with PACKET_OUT.
+	piCh := make(chan *PacketIn, 1)
+	var cfg ControllerConfig
+	cfg.OnPacketIn = func(sw *SwitchConn, pi *PacketIn) {
+		select {
+		case piCh <- pi:
+		default:
+		}
+	}
+	r := newRig(t, cfg, true)
+
+	frame := testFrame(vmac) // no flows installed: miss
+	r.hostA.Send(frame)
+	var pi *PacketIn
+	select {
+	case pi = <-piCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PACKET_IN on miss")
+	}
+	if pi.InPort != 1 || pi.Reason != PacketInReasonNoMatch {
+		t.Fatalf("packet-in %+v", pi)
+	}
+
+	rx := r.hostA.Recv()
+	err := r.swConn.PacketOut(&PacketOut{
+		BufferID: BufferNone, InPort: PortNone,
+		Actions: []Action{ActionSetDLDst(r2mac), ActionOutput(1)},
+		Data:    pi.Data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-rx:
+		var eth packet.Ethernet
+		if err := eth.DecodeFromBytes(out); err != nil {
+			t.Fatal(err)
+		}
+		if eth.Dst != r2mac {
+			t.Fatalf("packet-out rewrite lost: %s", eth.Dst)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("packet-out not delivered")
+	}
+}
+
+func TestPortStatusOnLinkFailure(t *testing.T) {
+	psCh := make(chan *PortStatus, 4)
+	var cfg ControllerConfig
+	cfg.OnPortStatus = func(sw *SwitchConn, ps *PortStatus) { psCh <- ps }
+	r := newRig(t, cfg, false)
+
+	r.hostB.Link().Fail()
+	select {
+	case ps := <-psCh:
+		if ps.Desc.PortNo != 2 || ps.Desc.State&PortStateLinkDown == 0 {
+			t.Fatalf("port-status %+v", ps)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PORT_STATUS after link failure")
+	}
+}
+
+func TestBarrierOrdersAfterInstalls(t *testing.T) {
+	r := newRig(t, ControllerConfig{}, false)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		mac := packet.MAC{0x02, 0x53, 0x43, 0, 0, byte(i)}
+		fm := &FlowMod{Match: MatchDLDst(mac), Command: FlowAdd, Priority: 10,
+			BufferID: BufferNone, OutPort: PortNone, Actions: []Action{ActionOutput(2)}}
+		if err := r.swConn.FlowMod(fm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := r.swConn.Barrier(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.sw.Table().Len(); n != 16 {
+		t.Fatalf("barrier returned before installs: %d/16 flows", n)
+	}
+}
+
+func TestEchoKeepsConnectionAlive(t *testing.T) {
+	r := newRig(t, ControllerConfig{}, false)
+	// Drive an echo from the controller side manually.
+	if err := r.swConn.write(&EchoRequest{Data: []byte("hb")}, 999); err != nil {
+		t.Fatal(err)
+	}
+	// The reply is consumed by the controller read loop; verify the
+	// connection stays usable afterwards.
+	if err := r.swConn.Barrier(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchKeepsForwardingWithoutController(t *testing.T) {
+	// Fail-standalone: data plane keeps working when the control channel
+	// dies — required for the paper's reliability story (§3).
+	r := newRig(t, ControllerConfig{}, false)
+	err := r.swConn.FlowMod(&FlowMod{
+		Match: MatchDLDst(vmac), Command: FlowAdd, Priority: 100,
+		BufferID: BufferNone, OutPort: PortNone,
+		Actions: []Action{ActionOutput(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.swConn.Barrier(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.ctrl.Close() // controller gone
+	time.Sleep(50 * time.Millisecond)
+	rx := r.hostB.Recv()
+	r.hostA.Send(testFrame(vmac))
+	select {
+	case <-rx:
+	case <-time.After(5 * time.Second):
+		t.Fatal("switch stopped forwarding without controller")
+	}
+}

@@ -1,0 +1,240 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"supercharged/internal/dataplane"
+	"supercharged/internal/packet"
+)
+
+// matchLen is the size of ofp_match in OpenFlow 1.0.
+const matchLen = 40
+
+// Wildcard bits (ofp_flow_wildcards). A set bit means "field ignored".
+const (
+	WildcardInPort  uint32 = 1 << 0
+	WildcardDLVLAN  uint32 = 1 << 1
+	WildcardDLSrc   uint32 = 1 << 2
+	WildcardDLDst   uint32 = 1 << 3
+	WildcardDLType  uint32 = 1 << 4
+	WildcardNWProto uint32 = 1 << 5
+	WildcardTPSrc   uint32 = 1 << 6
+	WildcardTPDst   uint32 = 1 << 7
+	// nw_src/nw_dst are 6-bit mask-length fields; ≥32 means fully wild.
+	wildcardNWSrcShift        = 8
+	wildcardNWDstShift        = 14
+	WildcardDLVLANPCP  uint32 = 1 << 20
+	WildcardNWTOS      uint32 = 1 << 21
+	// WildcardAll ignores every field.
+	WildcardAll uint32 = (1 << 22) - 1
+)
+
+// Match is an OpenFlow 1.0 ofp_match. Only the fields the supercharger
+// uses are interpreted by the emulated switch (in_port, dl_src, dl_dst,
+// dl_type); the rest round-trip on the wire for completeness.
+type Match struct {
+	Wildcards uint32
+	InPort    uint16
+	DLSrc     packet.MAC
+	DLDst     packet.MAC
+	DLVLAN    uint16
+	DLVLANPCP uint8
+	DLType    uint16
+	NWTOS     uint8
+	NWProto   uint8
+	NWSrc     uint32
+	NWDst     uint32
+	TPSrc     uint16
+	TPDst     uint16
+}
+
+// MatchAll returns a match with every field wildcarded.
+func MatchAll() Match { return Match{Wildcards: WildcardAll} }
+
+// MatchDLDst returns the supercharger's canonical match: exactly the
+// destination MAC (the VMAC), everything else wild.
+func MatchDLDst(mac packet.MAC) Match {
+	m := MatchAll()
+	m.Wildcards &^= WildcardDLDst
+	m.DLDst = mac
+	return m
+}
+
+func (m *Match) marshalTo(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], m.Wildcards)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	copy(b[6:12], m.DLSrc[:])
+	copy(b[12:18], m.DLDst[:])
+	binary.BigEndian.PutUint16(b[18:20], m.DLVLAN)
+	b[20] = m.DLVLANPCP
+	binary.BigEndian.PutUint16(b[22:24], m.DLType)
+	b[24] = m.NWTOS
+	b[25] = m.NWProto
+	binary.BigEndian.PutUint32(b[28:32], m.NWSrc)
+	binary.BigEndian.PutUint32(b[32:36], m.NWDst)
+	binary.BigEndian.PutUint16(b[36:38], m.TPSrc)
+	binary.BigEndian.PutUint16(b[38:40], m.TPDst)
+}
+
+func (m *Match) unmarshal(b []byte) error {
+	if len(b) < matchLen {
+		return fmt.Errorf("%w: match needs %d bytes", ErrTruncated, matchLen)
+	}
+	m.Wildcards = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	copy(m.DLSrc[:], b[6:12])
+	copy(m.DLDst[:], b[12:18])
+	m.DLVLAN = binary.BigEndian.Uint16(b[18:20])
+	m.DLVLANPCP = b[20]
+	m.DLType = binary.BigEndian.Uint16(b[22:24])
+	m.NWTOS = b[24]
+	m.NWProto = b[25]
+	m.NWSrc = binary.BigEndian.Uint32(b[28:32])
+	m.NWDst = binary.BigEndian.Uint32(b[32:36])
+	m.TPSrc = binary.BigEndian.Uint16(b[36:38])
+	m.TPDst = binary.BigEndian.Uint16(b[38:40])
+	return nil
+}
+
+// ToDataplane converts the interpreted subset of the match into the
+// emulated switch's table form.
+func (m Match) ToDataplane() dataplane.Match {
+	var out dataplane.Match
+	if m.Wildcards&WildcardInPort == 0 {
+		p := m.InPort
+		out.InPort = &p
+	}
+	if m.Wildcards&WildcardDLSrc == 0 {
+		mac := m.DLSrc
+		out.SrcMAC = &mac
+	}
+	if m.Wildcards&WildcardDLDst == 0 {
+		mac := m.DLDst
+		out.DstMAC = &mac
+	}
+	if m.Wildcards&WildcardDLType == 0 {
+		et := m.DLType
+		out.EtherType = &et
+	}
+	return out
+}
+
+func (m Match) String() string {
+	var parts []string
+	if m.Wildcards&WildcardInPort == 0 {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.InPort))
+	}
+	if m.Wildcards&WildcardDLSrc == 0 {
+		parts = append(parts, fmt.Sprintf("dl_src=%s", m.DLSrc))
+	}
+	if m.Wildcards&WildcardDLDst == 0 {
+		parts = append(parts, fmt.Sprintf("dl_dst=%s", m.DLDst))
+	}
+	if m.Wildcards&WildcardDLType == 0 {
+		parts = append(parts, fmt.Sprintf("dl_type=%#04x", m.DLType))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Action type codes (ofp_action_type).
+const (
+	ActionTypeOutput   uint16 = 0
+	ActionTypeSetDLSrc uint16 = 4
+	ActionTypeSetDLDst uint16 = 5
+)
+
+// Action is one OpenFlow action. Exactly the three the paper's rewrite
+// rules need are supported.
+type Action struct {
+	Type   uint16
+	Port   uint16     // OUTPUT
+	MaxLen uint16     // OUTPUT (bytes to send to controller)
+	MAC    packet.MAC // SET_DL_SRC / SET_DL_DST
+}
+
+// ActionOutput returns an OUTPUT action.
+func ActionOutput(port uint16) Action { return Action{Type: ActionTypeOutput, Port: port} }
+
+// ActionSetDLDst returns a SET_DL_DST action.
+func ActionSetDLDst(mac packet.MAC) Action { return Action{Type: ActionTypeSetDLDst, MAC: mac} }
+
+// ActionSetDLSrc returns a SET_DL_SRC action.
+func ActionSetDLSrc(mac packet.MAC) Action { return Action{Type: ActionTypeSetDLSrc, MAC: mac} }
+
+// ToDataplane converts to the emulated switch's action form.
+func (a Action) ToDataplane() (dataplane.Action, error) {
+	switch a.Type {
+	case ActionTypeOutput:
+		return dataplane.Output(a.Port), nil
+	case ActionTypeSetDLDst:
+		return dataplane.SetDstMAC(a.MAC), nil
+	case ActionTypeSetDLSrc:
+		return dataplane.SetSrcMAC(a.MAC), nil
+	}
+	return dataplane.Action{}, fmt.Errorf("%w: action type %d", ErrBadMessage, a.Type)
+}
+
+func marshalActions(actions []Action) ([]byte, error) {
+	var out []byte
+	for _, a := range actions {
+		switch a.Type {
+		case ActionTypeOutput:
+			b := make([]byte, 8)
+			binary.BigEndian.PutUint16(b[0:2], a.Type)
+			binary.BigEndian.PutUint16(b[2:4], 8)
+			binary.BigEndian.PutUint16(b[4:6], a.Port)
+			binary.BigEndian.PutUint16(b[6:8], a.MaxLen)
+			out = append(out, b...)
+		case ActionTypeSetDLSrc, ActionTypeSetDLDst:
+			b := make([]byte, 16)
+			binary.BigEndian.PutUint16(b[0:2], a.Type)
+			binary.BigEndian.PutUint16(b[2:4], 16)
+			copy(b[4:10], a.MAC[:])
+			out = append(out, b...)
+		default:
+			return nil, fmt.Errorf("%w: cannot marshal action type %d", ErrBadMessage, a.Type)
+		}
+	}
+	return out, nil
+}
+
+func parseActions(b []byte) ([]Action, error) {
+	var out []Action
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: action header", ErrTruncated)
+		}
+		atype := binary.BigEndian.Uint16(b[0:2])
+		alen := int(binary.BigEndian.Uint16(b[2:4]))
+		if alen < 8 || alen%8 != 0 || len(b) < alen {
+			return nil, fmt.Errorf("%w: action length %d", ErrBadMessage, alen)
+		}
+		switch atype {
+		case ActionTypeOutput:
+			if alen != 8 {
+				return nil, fmt.Errorf("%w: OUTPUT action length %d", ErrBadMessage, alen)
+			}
+			out = append(out, Action{
+				Type:   atype,
+				Port:   binary.BigEndian.Uint16(b[4:6]),
+				MaxLen: binary.BigEndian.Uint16(b[6:8]),
+			})
+		case ActionTypeSetDLSrc, ActionTypeSetDLDst:
+			if alen != 16 {
+				return nil, fmt.Errorf("%w: SET_DL action length %d", ErrBadMessage, alen)
+			}
+			var mac packet.MAC
+			copy(mac[:], b[4:10])
+			out = append(out, Action{Type: atype, MAC: mac})
+		default:
+			return nil, fmt.Errorf("%w: unsupported action type %d", ErrBadMessage, atype)
+		}
+		b = b[alen:]
+	}
+	return out, nil
+}

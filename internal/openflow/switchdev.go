@@ -1,0 +1,377 @@
+package openflow
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"supercharged/internal/clock"
+	"supercharged/internal/dataplane"
+	"supercharged/internal/netem"
+)
+
+// SwitchConfig configures the emulated OpenFlow switch (the HP E3800's
+// role in the paper's lab).
+type SwitchConfig struct {
+	// DPID is the datapath id reported in the features handshake.
+	DPID uint64
+	// Ports maps OpenFlow port numbers to emulated link endpoints.
+	Ports map[uint16]*netem.Port
+	// PortNames, optional, names ports in the features reply.
+	PortNames map[uint16]string
+	// Dial connects to the controller; nil runs the switch headless (flows
+	// can still be installed directly via Table for tests).
+	Dial func() (net.Conn, error)
+	// RedialInterval is the controller reconnect backoff (default 1s).
+	RedialInterval time.Duration
+	// InstallLatency models the hardware flow-table programming time per
+	// FLOW_MOD (a few ms on the paper's HP switch; part of the 150 ms
+	// supercharged budget).
+	InstallLatency time.Duration
+	// PuntOnMiss sends table-miss frames to the controller as PACKET_IN;
+	// otherwise misses are dropped (and counted by the table).
+	PuntOnMiss bool
+	// Clock drives install latency and reconnects.
+	Clock clock.Clock
+	// Logf, if set, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Switch is an emulated OpenFlow 1.0 datapath: netem ports feed a
+// dataplane.FlowTable; a control channel to the Controller applies
+// FLOW_MODs and punts PACKET_INs.
+type Switch struct {
+	cfg   SwitchConfig
+	table *dataplane.FlowTable
+
+	mu      sync.Mutex
+	conn    net.Conn
+	stopped bool
+	stopCh  chan struct{}
+	// installQueue serializes table programming: hardware applies
+	// FLOW_MODs one at a time, each costing InstallLatency. Barrier
+	// markers ride the same queue, which makes BARRIER_REPLY ordering
+	// exact by construction.
+	installQueue []installItem
+	installBusy  bool
+
+	wg sync.WaitGroup
+}
+
+type installItem struct {
+	apply      func() // nil for a barrier marker
+	barrierXID uint32
+}
+
+// NewSwitch builds the switch; Start attaches ports and connects to the
+// controller.
+func NewSwitch(cfg SwitchConfig) *Switch {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.RedialInterval == 0 {
+		cfg.RedialInterval = time.Second
+	}
+	return &Switch{cfg: cfg, table: dataplane.NewFlowTable(), stopCh: make(chan struct{})}
+}
+
+// Table exposes the flow table (read-mostly: ops endpoints and tests).
+func (s *Switch) Table() *dataplane.FlowTable { return s.table }
+
+// DPID returns the datapath id.
+func (s *Switch) DPID() uint64 { return s.cfg.DPID }
+
+// Start attaches the data-plane port handlers and, if configured, connects
+// to the controller. It returns immediately.
+func (s *Switch) Start() {
+	for no, port := range s.cfg.Ports {
+		no, port := no, port
+		port.Handle(func(frame []byte) { s.handleFrame(no, frame) })
+		// Surface link transitions as PORT_STATUS.
+		port.Link().Watch(func(up bool) { s.sendPortStatus(no, up) })
+	}
+	if s.cfg.Dial == nil {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			s.mu.Lock()
+			stopped := s.stopped
+			s.mu.Unlock()
+			if stopped {
+				return
+			}
+			conn, err := s.cfg.Dial()
+			if err == nil {
+				s.serve(conn)
+			} else {
+				s.cfg.Logf("switch %#x: dial controller: %v", s.cfg.DPID, err)
+			}
+			done := make(chan struct{})
+			t := s.cfg.Clock.AfterFunc(s.cfg.RedialInterval, func() { close(done) })
+			select {
+			case <-done:
+			case <-s.stopCh:
+				t.Stop()
+				return
+			}
+		}
+	}()
+}
+
+// Stop closes the control channel and stops reconnecting. Data-plane
+// forwarding with the installed table continues (fail-standalone), as a
+// hardware switch would.
+func (s *Switch) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	s.wg.Wait()
+}
+
+// handleFrame runs one received frame through the flow table.
+func (s *Switch) handleFrame(inPort uint16, frame []byte) {
+	out, ok := s.table.Process(inPort, frame)
+	if !ok {
+		if s.cfg.PuntOnMiss {
+			s.punt(inPort, frame)
+		}
+		return
+	}
+	s.emit(out)
+}
+
+func (s *Switch) emit(egress []dataplane.Egress) {
+	for _, e := range egress {
+		if port, ok := s.cfg.Ports[e.Port]; ok {
+			port.Send(e.Frame)
+		}
+	}
+}
+
+func (s *Switch) punt(inPort uint16, frame []byte) {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	pi := &PacketIn{
+		BufferID: BufferNone,
+		TotalLen: uint16(len(frame)),
+		InPort:   inPort,
+		Reason:   PacketInReasonNoMatch,
+		Data:     frame,
+	}
+	if err := WriteMessage(conn, pi, 0); err != nil {
+		s.cfg.Logf("switch %#x: packet-in: %v", s.cfg.DPID, err)
+	}
+}
+
+func (s *Switch) sendPortStatus(portNo uint16, up bool) {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	var state uint32
+	if !up {
+		state = PortStateLinkDown
+	}
+	ps := &PortStatus{Reason: PortReasonModify, Desc: PhyPort{PortNo: portNo, State: state}}
+	if err := WriteMessage(conn, ps, 0); err != nil {
+		s.cfg.Logf("switch %#x: port-status: %v", s.cfg.DPID, err)
+	}
+}
+
+// serve runs the OpenFlow client side on one controller connection.
+func (s *Switch) serve(conn net.Conn) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conn = conn
+	s.mu.Unlock()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		s.conn = nil
+		s.mu.Unlock()
+	}()
+
+	if err := WriteMessage(conn, &Hello{}, 0); err != nil {
+		return
+	}
+	for {
+		msg, xid, err := ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *Hello:
+			// Symmetric HELLO already sent.
+		case *EchoRequest:
+			WriteMessage(conn, &EchoReply{Data: m.Data}, xid)
+		case *FeaturesRequest:
+			WriteMessage(conn, s.featuresReply(), xid)
+		case *FlowMod:
+			s.applyFlowMod(conn, m, xid)
+		case *PacketOut:
+			s.applyPacketOut(m)
+		case *BarrierRequest:
+			s.scheduleBarrier(conn, xid)
+		default:
+			WriteMessage(conn, &ErrorMsg{ErrType: ErrTypeBadRequest}, xid)
+		}
+	}
+}
+
+func (s *Switch) featuresReply() *FeaturesReply {
+	fr := &FeaturesReply{DatapathID: s.cfg.DPID, NBuffers: 0, NTables: 1}
+	for no := range s.cfg.Ports {
+		name := s.cfg.PortNames[no]
+		var state uint32
+		if !s.cfg.Ports[no].Link().Up() {
+			state = PortStateLinkDown
+		}
+		fr.Ports = append(fr.Ports, PhyPort{PortNo: no, Name: name, State: state})
+	}
+	return fr
+}
+
+// applyFlowMod validates the message and enqueues the table change on the
+// serialized installer, modeling per-rule hardware programming delay.
+func (s *Switch) applyFlowMod(conn net.Conn, fm *FlowMod, xid uint32) {
+	dpMatch := fm.Match.ToDataplane()
+	var dpActions []dataplane.Action
+	for _, a := range fm.Actions {
+		da, err := a.ToDataplane()
+		if err != nil {
+			WriteMessage(conn, &ErrorMsg{ErrType: ErrTypeBadAction, Data: []byte(err.Error())}, xid)
+			return
+		}
+		dpActions = append(dpActions, da)
+	}
+	s.enqueueInstall(installItem{apply: func() {
+		switch fm.Command {
+		case FlowAdd, FlowModify, FlowModifyStrict:
+			s.table.Upsert(dataplane.Flow{
+				Priority: fm.Priority,
+				Match:    dpMatch,
+				Actions:  dpActions,
+				Cookie:   fm.Cookie,
+			})
+		case FlowDelete, FlowDeleteStrict:
+			s.table.Delete(dpMatch, fm.Priority)
+		}
+	}})
+}
+
+func (s *Switch) scheduleBarrier(conn net.Conn, xid uint32) {
+	s.mu.Lock()
+	idle := !s.installBusy && len(s.installQueue) == 0
+	if !idle {
+		s.installQueue = append(s.installQueue, installItem{barrierXID: xid})
+	}
+	s.mu.Unlock()
+	if idle {
+		WriteMessage(conn, &BarrierReply{}, xid)
+	}
+}
+
+func (s *Switch) enqueueInstall(item installItem) {
+	s.mu.Lock()
+	s.installQueue = append(s.installQueue, item)
+	start := !s.installBusy
+	if start {
+		s.installBusy = true
+	}
+	s.mu.Unlock()
+	if start {
+		s.cfg.Clock.AfterFunc(s.cfg.InstallLatency, s.installNext)
+	}
+}
+
+// installNext runs on each installer timer tick. One tick pays for exactly
+// one apply; barrier markers are free and complete as soon as every apply
+// queued before them has been made.
+func (s *Switch) installNext() {
+	s.replyDueBarriers()
+
+	s.mu.Lock()
+	if len(s.installQueue) == 0 {
+		s.installBusy = false
+		s.mu.Unlock()
+		return
+	}
+	item := s.installQueue[0]
+	s.installQueue = s.installQueue[1:]
+	s.mu.Unlock()
+
+	item.apply()
+	s.replyDueBarriers()
+
+	s.mu.Lock()
+	if len(s.installQueue) == 0 {
+		s.installBusy = false
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.cfg.Clock.AfterFunc(s.cfg.InstallLatency, s.installNext)
+}
+
+// replyDueBarriers completes barrier markers sitting at the queue head.
+func (s *Switch) replyDueBarriers() {
+	s.mu.Lock()
+	var due []uint32
+	for len(s.installQueue) > 0 && s.installQueue[0].apply == nil {
+		due = append(due, s.installQueue[0].barrierXID)
+		s.installQueue = s.installQueue[1:]
+	}
+	conn := s.conn
+	s.mu.Unlock()
+	for _, xid := range due {
+		if conn != nil {
+			WriteMessage(conn, &BarrierReply{}, xid)
+		}
+	}
+}
+
+// applyPacketOut executes the actions on the carried frame.
+func (s *Switch) applyPacketOut(po *PacketOut) {
+	frame := append([]byte(nil), po.Data...)
+	for _, a := range po.Actions {
+		switch a.Type {
+		case ActionTypeSetDLDst:
+			if len(frame) >= 6 {
+				copy(frame[0:6], a.MAC[:])
+			}
+		case ActionTypeSetDLSrc:
+			if len(frame) >= 12 {
+				copy(frame[6:12], a.MAC[:])
+			}
+		case ActionTypeOutput:
+			if port, ok := s.cfg.Ports[a.Port]; ok {
+				port.Send(frame)
+			}
+		}
+	}
+}

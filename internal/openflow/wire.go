@@ -1,0 +1,537 @@
+// Package openflow implements the OpenFlow 1.0 subset the supercharger
+// needs — the protocol the paper drives its HP E3800 switch with via
+// Floodlight: HELLO/ECHO/ERROR, the features handshake, FLOW_MOD with
+// matches and actions (OUTPUT, SET_DL_SRC/DST), PACKET_IN/PACKET_OUT for
+// the ARP interception path, BARRIER for install synchronization, and
+// PORT_STATUS. It also provides a Controller (TCP server side) and an
+// emulated Switch datapath backed by dataplane.FlowTable and netem ports.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"supercharged/internal/packet"
+)
+
+// Wire protocol version (OpenFlow 1.0).
+const Version = 0x01
+
+// MsgType is an OpenFlow message type.
+type MsgType uint8
+
+// OpenFlow 1.0 message types.
+const (
+	TypeHello           MsgType = 0
+	TypeError           MsgType = 1
+	TypeEchoRequest     MsgType = 2
+	TypeEchoReply       MsgType = 3
+	TypeVendor          MsgType = 4
+	TypeFeaturesRequest MsgType = 5
+	TypeFeaturesReply   MsgType = 6
+	TypePacketIn        MsgType = 10
+	TypeFlowRemoved     MsgType = 11
+	TypePortStatus      MsgType = 12
+	TypePacketOut       MsgType = 13
+	TypeFlowMod         MsgType = 14
+	TypeBarrierRequest  MsgType = 18
+	TypeBarrierReply    MsgType = 19
+)
+
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TypeHello: "HELLO", TypeError: "ERROR", TypeEchoRequest: "ECHO_REQUEST",
+		TypeEchoReply: "ECHO_REPLY", TypeVendor: "VENDOR",
+		TypeFeaturesRequest: "FEATURES_REQUEST", TypeFeaturesReply: "FEATURES_REPLY",
+		TypePacketIn: "PACKET_IN", TypeFlowRemoved: "FLOW_REMOVED",
+		TypePortStatus: "PORT_STATUS", TypePacketOut: "PACKET_OUT",
+		TypeFlowMod: "FLOW_MOD", TypeBarrierRequest: "BARRIER_REQUEST",
+		TypeBarrierReply: "BARRIER_REPLY",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// HeaderLen is the OpenFlow header length.
+const HeaderLen = 8
+
+// MaxMsgLen bounds accepted messages (sanity limit, the spec allows 64 KiB).
+const MaxMsgLen = 1 << 16
+
+// Codec errors.
+var (
+	ErrTruncated  = errors.New("openflow: truncated message")
+	ErrBadVersion = errors.New("openflow: unsupported version")
+	ErrBadMessage = errors.New("openflow: malformed message")
+)
+
+// Message is any OpenFlow message.
+type Message interface {
+	MsgType() MsgType
+	// body marshals everything after the header.
+	body() ([]byte, error)
+}
+
+// Marshal encodes msg with the given transaction id.
+func Marshal(msg Message, xid uint32) ([]byte, error) {
+	b, err := msg.body()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, HeaderLen+len(b))
+	out[0] = Version
+	out[1] = byte(msg.MsgType())
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(out)))
+	binary.BigEndian.PutUint32(out[4:8], xid)
+	copy(out[HeaderLen:], b)
+	return out, nil
+}
+
+// Unmarshal decodes one complete message, returning it with its xid.
+func Unmarshal(buf []byte) (Message, uint32, error) {
+	if len(buf) < HeaderLen {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(buf))
+	}
+	if buf[0] != Version {
+		return nil, 0, fmt.Errorf("%w: %#x", ErrBadVersion, buf[0])
+	}
+	length := int(binary.BigEndian.Uint16(buf[2:4]))
+	if length != len(buf) || length < HeaderLen {
+		return nil, 0, fmt.Errorf("%w: header length %d, buffer %d", ErrTruncated, length, len(buf))
+	}
+	xid := binary.BigEndian.Uint32(buf[4:8])
+	body := buf[HeaderLen:]
+	var (
+		msg Message
+		err error
+	)
+	switch MsgType(buf[1]) {
+	case TypeHello:
+		msg = &Hello{}
+	case TypeError:
+		msg, err = parseError(body)
+	case TypeEchoRequest:
+		msg = &EchoRequest{Data: append([]byte(nil), body...)}
+	case TypeEchoReply:
+		msg = &EchoReply{Data: append([]byte(nil), body...)}
+	case TypeFeaturesRequest:
+		msg = &FeaturesRequest{}
+	case TypeFeaturesReply:
+		msg, err = parseFeaturesReply(body)
+	case TypePacketIn:
+		msg, err = parsePacketIn(body)
+	case TypePortStatus:
+		msg, err = parsePortStatus(body)
+	case TypePacketOut:
+		msg, err = parsePacketOut(body)
+	case TypeFlowMod:
+		msg, err = parseFlowMod(body)
+	case TypeBarrierRequest:
+		msg = &BarrierRequest{}
+	case TypeBarrierReply:
+		msg = &BarrierReply{}
+	default:
+		return nil, 0, fmt.Errorf("%w: unsupported type %d", ErrBadMessage, buf[1])
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg, xid, nil
+}
+
+// ReadMessage reads exactly one message from r.
+func ReadMessage(r io.Reader) (Message, uint32, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, 0, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < HeaderLen || length > MaxMsgLen {
+		return nil, 0, fmt.Errorf("%w: length %d", ErrTruncated, length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, 0, err
+	}
+	return Unmarshal(buf)
+}
+
+// WriteMessage marshals and writes one message.
+func WriteMessage(w io.Writer, msg Message, xid uint32) error {
+	buf, err := Marshal(msg, xid)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Hello is OFPT_HELLO.
+type Hello struct{}
+
+func (*Hello) MsgType() MsgType      { return TypeHello }
+func (*Hello) body() ([]byte, error) { return nil, nil }
+
+// EchoRequest is OFPT_ECHO_REQUEST.
+type EchoRequest struct{ Data []byte }
+
+func (*EchoRequest) MsgType() MsgType        { return TypeEchoRequest }
+func (m *EchoRequest) body() ([]byte, error) { return m.Data, nil }
+
+// EchoReply is OFPT_ECHO_REPLY.
+type EchoReply struct{ Data []byte }
+
+func (*EchoReply) MsgType() MsgType        { return TypeEchoReply }
+func (m *EchoReply) body() ([]byte, error) { return m.Data, nil }
+
+// Error types (subset).
+const (
+	ErrTypeHelloFailed   uint16 = 0
+	ErrTypeBadRequest    uint16 = 1
+	ErrTypeBadAction     uint16 = 2
+	ErrTypeFlowModFailed uint16 = 3
+)
+
+// ErrorMsg is OFPT_ERROR.
+type ErrorMsg struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+func (*ErrorMsg) MsgType() MsgType { return TypeError }
+
+func (m *ErrorMsg) body() ([]byte, error) {
+	out := make([]byte, 4+len(m.Data))
+	binary.BigEndian.PutUint16(out[0:2], m.ErrType)
+	binary.BigEndian.PutUint16(out[2:4], m.Code)
+	copy(out[4:], m.Data)
+	return out, nil
+}
+
+func parseError(b []byte) (*ErrorMsg, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: error body", ErrTruncated)
+	}
+	return &ErrorMsg{
+		ErrType: binary.BigEndian.Uint16(b[0:2]),
+		Code:    binary.BigEndian.Uint16(b[2:4]),
+		Data:    append([]byte(nil), b[4:]...),
+	}, nil
+}
+
+func (m *ErrorMsg) Error() string {
+	return fmt.Sprintf("openflow error type %d code %d", m.ErrType, m.Code)
+}
+
+// FeaturesRequest is OFPT_FEATURES_REQUEST.
+type FeaturesRequest struct{}
+
+func (*FeaturesRequest) MsgType() MsgType      { return TypeFeaturesRequest }
+func (*FeaturesRequest) body() ([]byte, error) { return nil, nil }
+
+// PhyPort describes one switch port (ofp_phy_port, 48 bytes).
+type PhyPort struct {
+	PortNo uint16
+	HWAddr packet.MAC
+	Name   string // ≤ 15 bytes
+	Config uint32
+	State  uint32
+}
+
+const phyPortLen = 48
+
+// Port state bit: link down.
+const PortStateLinkDown uint32 = 1 << 0
+
+func (p *PhyPort) marshal() []byte {
+	out := make([]byte, phyPortLen)
+	binary.BigEndian.PutUint16(out[0:2], p.PortNo)
+	copy(out[2:8], p.HWAddr[:])
+	copy(out[8:24], p.Name)
+	binary.BigEndian.PutUint32(out[24:28], p.Config)
+	binary.BigEndian.PutUint32(out[28:32], p.State)
+	// curr/advertised/supported/peer features left zero.
+	return out
+}
+
+func parsePhyPort(b []byte) (PhyPort, error) {
+	if len(b) < phyPortLen {
+		return PhyPort{}, fmt.Errorf("%w: phy port", ErrTruncated)
+	}
+	var p PhyPort
+	p.PortNo = binary.BigEndian.Uint16(b[0:2])
+	copy(p.HWAddr[:], b[2:8])
+	name := b[8:24]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	p.Name = string(name)
+	p.Config = binary.BigEndian.Uint32(b[24:28])
+	p.State = binary.BigEndian.Uint32(b[28:32])
+	return p, nil
+}
+
+// FeaturesReply is OFPT_FEATURES_REPLY.
+type FeaturesReply struct {
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32
+	Ports        []PhyPort
+}
+
+func (*FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+func (m *FeaturesReply) body() ([]byte, error) {
+	out := make([]byte, 24, 24+len(m.Ports)*phyPortLen)
+	binary.BigEndian.PutUint64(out[0:8], m.DatapathID)
+	binary.BigEndian.PutUint32(out[8:12], m.NBuffers)
+	out[12] = m.NTables
+	binary.BigEndian.PutUint32(out[16:20], m.Capabilities)
+	binary.BigEndian.PutUint32(out[20:24], m.Actions)
+	for i := range m.Ports {
+		out = append(out, m.Ports[i].marshal()...)
+	}
+	return out, nil
+}
+
+func parseFeaturesReply(b []byte) (*FeaturesReply, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("%w: features reply", ErrTruncated)
+	}
+	m := &FeaturesReply{
+		DatapathID:   binary.BigEndian.Uint64(b[0:8]),
+		NBuffers:     binary.BigEndian.Uint32(b[8:12]),
+		NTables:      b[12],
+		Capabilities: binary.BigEndian.Uint32(b[16:20]),
+		Actions:      binary.BigEndian.Uint32(b[20:24]),
+	}
+	rest := b[24:]
+	if len(rest)%phyPortLen != 0 {
+		return nil, fmt.Errorf("%w: features reply port list", ErrBadMessage)
+	}
+	for len(rest) > 0 {
+		p, err := parsePhyPort(rest)
+		if err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, p)
+		rest = rest[phyPortLen:]
+	}
+	return m, nil
+}
+
+// PacketIn reasons.
+const (
+	PacketInReasonNoMatch uint8 = 0
+	PacketInReasonAction  uint8 = 1
+)
+
+// BufferNone means the full frame is carried in the message.
+const BufferNone uint32 = 0xffffffff
+
+// PacketIn is OFPT_PACKET_IN.
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+func (*PacketIn) MsgType() MsgType { return TypePacketIn }
+
+func (m *PacketIn) body() ([]byte, error) {
+	out := make([]byte, 10+len(m.Data))
+	binary.BigEndian.PutUint32(out[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(out[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(out[6:8], m.InPort)
+	out[8] = m.Reason
+	copy(out[10:], m.Data)
+	return out, nil
+}
+
+func parsePacketIn(b []byte) (*PacketIn, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("%w: packet-in", ErrTruncated)
+	}
+	return &PacketIn{
+		BufferID: binary.BigEndian.Uint32(b[0:4]),
+		TotalLen: binary.BigEndian.Uint16(b[4:6]),
+		InPort:   binary.BigEndian.Uint16(b[6:8]),
+		Reason:   b[8],
+		Data:     append([]byte(nil), b[10:]...),
+	}, nil
+}
+
+// PortNone is the "no port" value for FlowMod.OutPort filters.
+const PortNone uint16 = 0xffff
+
+// PacketOut is OFPT_PACKET_OUT.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+func (*PacketOut) MsgType() MsgType { return TypePacketOut }
+
+func (m *PacketOut) body() ([]byte, error) {
+	acts, err := marshalActions(m.Actions)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 8, 8+len(acts)+len(m.Data))
+	binary.BigEndian.PutUint32(out[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(out[4:6], m.InPort)
+	binary.BigEndian.PutUint16(out[6:8], uint16(len(acts)))
+	out = append(out, acts...)
+	out = append(out, m.Data...)
+	return out, nil
+}
+
+func parsePacketOut(b []byte) (*PacketOut, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: packet-out", ErrTruncated)
+	}
+	actLen := int(binary.BigEndian.Uint16(b[6:8]))
+	if len(b) < 8+actLen {
+		return nil, fmt.Errorf("%w: packet-out actions", ErrTruncated)
+	}
+	actions, err := parseActions(b[8 : 8+actLen])
+	if err != nil {
+		return nil, err
+	}
+	return &PacketOut{
+		BufferID: binary.BigEndian.Uint32(b[0:4]),
+		InPort:   binary.BigEndian.Uint16(b[4:6]),
+		Actions:  actions,
+		Data:     append([]byte(nil), b[8+actLen:]...),
+	}, nil
+}
+
+// FlowMod commands.
+const (
+	FlowAdd          uint16 = 0
+	FlowModify       uint16 = 1
+	FlowModifyStrict uint16 = 2
+	FlowDelete       uint16 = 3
+	FlowDeleteStrict uint16 = 4
+)
+
+// FlowMod is OFPT_FLOW_MOD.
+type FlowMod struct {
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+func (*FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+func (m *FlowMod) body() ([]byte, error) {
+	acts, err := marshalActions(m.Actions)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, matchLen+24, matchLen+24+len(acts))
+	m.Match.marshalTo(out[:matchLen])
+	p := out[matchLen:]
+	binary.BigEndian.PutUint64(p[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(p[8:10], m.Command)
+	binary.BigEndian.PutUint16(p[10:12], m.IdleTimeout)
+	binary.BigEndian.PutUint16(p[12:14], m.HardTimeout)
+	binary.BigEndian.PutUint16(p[14:16], m.Priority)
+	binary.BigEndian.PutUint32(p[16:20], m.BufferID)
+	binary.BigEndian.PutUint16(p[20:22], m.OutPort)
+	binary.BigEndian.PutUint16(p[22:24], m.Flags)
+	out = append(out, acts...)
+	return out, nil
+}
+
+func parseFlowMod(b []byte) (*FlowMod, error) {
+	if len(b) < matchLen+24 {
+		return nil, fmt.Errorf("%w: flow-mod", ErrTruncated)
+	}
+	var m FlowMod
+	if err := m.Match.unmarshal(b[:matchLen]); err != nil {
+		return nil, err
+	}
+	p := b[matchLen:]
+	m.Cookie = binary.BigEndian.Uint64(p[0:8])
+	m.Command = binary.BigEndian.Uint16(p[8:10])
+	m.IdleTimeout = binary.BigEndian.Uint16(p[10:12])
+	m.HardTimeout = binary.BigEndian.Uint16(p[12:14])
+	m.Priority = binary.BigEndian.Uint16(p[14:16])
+	m.BufferID = binary.BigEndian.Uint32(p[16:20])
+	m.OutPort = binary.BigEndian.Uint16(p[20:22])
+	m.Flags = binary.BigEndian.Uint16(p[22:24])
+	actions, err := parseActions(p[24:])
+	if err != nil {
+		return nil, err
+	}
+	m.Actions = actions
+	return &m, nil
+}
+
+// PortStatus reasons.
+const (
+	PortReasonAdd    uint8 = 0
+	PortReasonDelete uint8 = 1
+	PortReasonModify uint8 = 2
+)
+
+// PortStatus is OFPT_PORT_STATUS.
+type PortStatus struct {
+	Reason uint8
+	Desc   PhyPort
+}
+
+func (*PortStatus) MsgType() MsgType { return TypePortStatus }
+
+func (m *PortStatus) body() ([]byte, error) {
+	out := make([]byte, 8+phyPortLen)
+	out[0] = m.Reason
+	copy(out[8:], m.Desc.marshal())
+	return out, nil
+}
+
+func parsePortStatus(b []byte) (*PortStatus, error) {
+	if len(b) < 8+phyPortLen {
+		return nil, fmt.Errorf("%w: port-status", ErrTruncated)
+	}
+	desc, err := parsePhyPort(b[8:])
+	if err != nil {
+		return nil, err
+	}
+	return &PortStatus{Reason: b[0], Desc: desc}, nil
+}
+
+// BarrierRequest is OFPT_BARRIER_REQUEST.
+type BarrierRequest struct{}
+
+func (*BarrierRequest) MsgType() MsgType      { return TypeBarrierRequest }
+func (*BarrierRequest) body() ([]byte, error) { return nil, nil }
+
+// BarrierReply is OFPT_BARRIER_REPLY.
+type BarrierReply struct{}
+
+func (*BarrierReply) MsgType() MsgType      { return TypeBarrierReply }
+func (*BarrierReply) body() ([]byte, error) { return nil, nil }

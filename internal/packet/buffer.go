@@ -1,0 +1,81 @@
+package packet
+
+// Buffer builds packets by prepending layers, mirroring gopacket's
+// SerializeBuffer: serialize the innermost payload first, then each header
+// outward (UDP, then IPv4, then Ethernet). Content occupies buf[start:end].
+// Use NewBuffer, or Reset a zero value, before first use; Reset lets a
+// sender reuse one Buffer across packets without reallocating.
+type Buffer struct {
+	buf   []byte
+	start int
+	end   int
+}
+
+// NewBuffer returns a Buffer pre-sized so that typical test-bed frames
+// (64–1500 bytes) never reallocate.
+func NewBuffer() *Buffer {
+	const cap0 = 1600
+	return &Buffer{buf: make([]byte, cap0), start: cap0, end: cap0}
+}
+
+// Prepend makes room for n bytes in front of the current content and
+// returns that region for the caller to fill. The region is zeroed.
+func (b *Buffer) Prepend(n int) []byte {
+	b.init()
+	if b.start < n {
+		grown := make([]byte, len(b.buf)+n+512)
+		offset := len(grown) - len(b.buf) // shift content right
+		copy(grown[b.start+offset:b.end+offset], b.buf[b.start:b.end])
+		b.start += offset
+		b.end += offset
+		b.buf = grown
+	}
+	b.start -= n
+	region := b.buf[b.start : b.start+n]
+	clear(region)
+	return region
+}
+
+// Append adds n zeroed bytes after the current content and returns the
+// region. It is used for payload padding (e.g. 64-byte minimum frames).
+func (b *Buffer) Append(n int) []byte {
+	b.init()
+	if b.end+n > len(b.buf) {
+		grown := make([]byte, len(b.buf)+n+512)
+		copy(grown[b.start:b.end], b.buf[b.start:b.end])
+		b.buf = grown
+	}
+	region := b.buf[b.end : b.end+n]
+	clear(region)
+	b.end += n
+	return region
+}
+
+// Bytes returns the packet built so far. The slice aliases the Buffer and is
+// invalidated by further Prepend/Append/Reset calls.
+func (b *Buffer) Bytes() []byte {
+	b.init()
+	return b.buf[b.start:b.end]
+}
+
+// Len returns the current content length.
+func (b *Buffer) Len() int {
+	b.init()
+	return b.end - b.start
+}
+
+// Reset discards the content, keeping the allocation.
+func (b *Buffer) Reset() {
+	if b.buf == nil {
+		b.init()
+		return
+	}
+	b.start = len(b.buf)
+	b.end = len(b.buf)
+}
+
+func (b *Buffer) init() {
+	if b.buf == nil {
+		*b = *NewBuffer()
+	}
+}

@@ -1,0 +1,66 @@
+package packet
+
+import "net/netip"
+
+// MinFrameLen is the minimum Ethernet frame length (without FCS) that the
+// paper's FPGA source emits: 64-byte UDP probe packets.
+const MinFrameLen = 64
+
+// UDPFrame builds a complete Ethernet/IPv4/UDP frame into buf and returns
+// its bytes. The frame is padded to at least MinFrameLen. buf is Reset
+// first, so one buffer can be reused across calls.
+func UDPFrame(buf *Buffer, srcMAC, dstMAC MAC, src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) ([]byte, error) {
+	buf.Reset()
+	copy(buf.Append(len(payload)), payload)
+	udp := UDP{SrcPort: srcPort, DstPort: dstPort}
+	if err := udp.SerializeTo(buf); err != nil {
+		return nil, err
+	}
+	ip := IPv4{TTL: 64, Protocol: ProtoUDP, Src: src, Dst: dst}
+	if err := ip.SerializeTo(buf); err != nil {
+		return nil, err
+	}
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4}
+	eth.SerializeTo(buf)
+	if n := buf.Len(); n < MinFrameLen {
+		buf.Append(MinFrameLen - n)
+	}
+	return buf.Bytes(), nil
+}
+
+// ARPFrame builds a complete Ethernet/ARP frame into buf and returns its
+// bytes, padded to MinFrameLen.
+func ARPFrame(buf *Buffer, ethSrc, ethDst MAC, a ARP) ([]byte, error) {
+	buf.Reset()
+	if err := a.SerializeTo(buf); err != nil {
+		return nil, err
+	}
+	eth := Ethernet{Dst: ethDst, Src: ethSrc, Type: EtherTypeARP}
+	eth.SerializeTo(buf)
+	if n := buf.Len(); n < MinFrameLen {
+		buf.Append(MinFrameLen - n)
+	}
+	return buf.Bytes(), nil
+}
+
+// ARPRequestFrame builds a broadcast ARP who-has request.
+func ARPRequestFrame(buf *Buffer, senderHW MAC, senderIP, targetIP netip.Addr) ([]byte, error) {
+	return ARPFrame(buf, senderHW, BroadcastMAC, ARP{
+		Op:       ARPRequest,
+		SenderHW: senderHW,
+		SenderIP: senderIP,
+		TargetIP: targetIP,
+	})
+}
+
+// ARPReplyFrame builds a unicast ARP reply answering req with the given
+// hardware address.
+func ARPReplyFrame(buf *Buffer, answerHW MAC, answerIP netip.Addr, req ARP) ([]byte, error) {
+	return ARPFrame(buf, answerHW, req.SenderHW, ARP{
+		Op:       ARPReply,
+		SenderHW: answerHW,
+		SenderIP: answerIP,
+		TargetHW: req.SenderHW,
+		TargetIP: req.SenderIP,
+	})
+}

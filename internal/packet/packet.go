@@ -1,0 +1,354 @@
+// Package packet implements the data-plane wire formats the supercharged
+// router test-bed exchanges: Ethernet II frames, ARP, IPv4 and UDP. The
+// design follows the gopacket idioms with stdlib-only code: decoding writes
+// into caller-owned layer structs (no allocation on the hot path) and
+// serialization prepends layers into a reusable buffer so a packet is built
+// innermost-payload-first.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// MAC is a 48-bit IEEE 802 address. It is comparable and usable as a map
+// key, which the switch flow table exploits for its dst-MAC fast path.
+type MAC [6]byte
+
+// Well-known addresses.
+var (
+	// BroadcastMAC is ff:ff:ff:ff:ff:ff.
+	BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	// ZeroMAC is the unspecified address.
+	ZeroMAC = MAC{}
+)
+
+// String renders the address in the usual aa:bb:cc:dd:ee:ff form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsZero reports whether m is the unspecified address.
+func (m MAC) IsZero() bool { return m == ZeroMAC }
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsMulticast reports whether the group bit is set (includes broadcast).
+func (m MAC) IsMulticast() bool { return m[0]&0x01 != 0 }
+
+// IsLocal reports whether the locally-administered bit is set. The
+// supercharger's virtual MACs are locally administered by construction.
+func (m MAC) IsLocal() bool { return m[0]&0x02 != 0 }
+
+// ParseMAC parses the aa:bb:cc:dd:ee:ff (or aa-bb-...) form.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	if len(s) != 17 {
+		return m, fmt.Errorf("packet: bad MAC %q: length %d", s, len(s))
+	}
+	for i := 0; i < 6; i++ {
+		hi, ok1 := hexVal(s[i*3])
+		lo, ok2 := hexVal(s[i*3+1])
+		if !ok1 || !ok2 {
+			return MAC{}, fmt.Errorf("packet: bad MAC %q: invalid hex at byte %d", s, i)
+		}
+		m[i] = hi<<4 | lo
+		if i < 5 && s[i*3+2] != ':' && s[i*3+2] != '-' {
+			return MAC{}, fmt.Errorf("packet: bad MAC %q: missing separator", s)
+		}
+	}
+	return m, nil
+}
+
+// MustParseMAC is ParseMAC that panics on error, for constants in tests and
+// examples.
+func MustParseMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// EtherType values used by the test-bed.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// Common decode errors. Decoders wrap these so callers can match with
+// errors.Is while still getting layer-specific context.
+var (
+	ErrTruncated = errors.New("packet: truncated")
+	ErrBadField  = errors.New("packet: invalid field")
+)
+
+// Ethernet is an Ethernet II header. DecodeFromBytes fills the struct and
+// retains Payload as a sub-slice of the input (zero copy); callers that keep
+// the payload past the lifetime of the input buffer must copy it.
+type Ethernet struct {
+	Dst     MAC
+	Src     MAC
+	Type    uint16
+	Payload []byte
+}
+
+// EthernetHeaderLen is the length of an Ethernet II header.
+const EthernetHeaderLen = 14
+
+// DecodeFromBytes parses an Ethernet II frame.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return fmt.Errorf("%w: ethernet header needs %d bytes, have %d", ErrTruncated, EthernetHeaderLen, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.Type = binary.BigEndian.Uint16(data[12:14])
+	e.Payload = data[14:]
+	return nil
+}
+
+// SerializeTo prepends the header to b; the current content of b is treated
+// as the frame payload (e.Payload is ignored by SerializeTo).
+func (e *Ethernet) SerializeTo(b *Buffer) {
+	h := b.Prepend(EthernetHeaderLen)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], e.Type)
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an IPv4-over-Ethernet ARP packet (fixed 28-byte body).
+type ARP struct {
+	Op       uint16
+	SenderHW MAC
+	SenderIP netip.Addr
+	TargetHW MAC
+	TargetIP netip.Addr
+}
+
+// ARPLen is the length of an IPv4-over-Ethernet ARP body.
+const ARPLen = 28
+
+// DecodeFromBytes parses an ARP body (the Ethernet payload).
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < ARPLen {
+		return fmt.Errorf("%w: arp needs %d bytes, have %d", ErrTruncated, ARPLen, len(data))
+	}
+	if htype := binary.BigEndian.Uint16(data[0:2]); htype != 1 {
+		return fmt.Errorf("%w: arp hardware type %d, want 1 (ethernet)", ErrBadField, htype)
+	}
+	if ptype := binary.BigEndian.Uint16(data[2:4]); ptype != EtherTypeIPv4 {
+		return fmt.Errorf("%w: arp protocol type %#x, want IPv4", ErrBadField, ptype)
+	}
+	if data[4] != 6 || data[5] != 4 {
+		return fmt.Errorf("%w: arp hlen/plen %d/%d, want 6/4", ErrBadField, data[4], data[5])
+	}
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderHW[:], data[8:14])
+	a.SenderIP = addrFrom4(data[14:18])
+	copy(a.TargetHW[:], data[18:24])
+	a.TargetIP = addrFrom4(data[24:28])
+	return nil
+}
+
+// SerializeTo prepends the ARP body to b.
+func (a *ARP) SerializeTo(b *Buffer) error {
+	if !a.SenderIP.Is4() || !a.TargetIP.Is4() {
+		return fmt.Errorf("%w: arp requires IPv4 sender/target", ErrBadField)
+	}
+	sip := a.SenderIP.As4()
+	tip := a.TargetIP.As4()
+	h := b.Prepend(ARPLen)
+	binary.BigEndian.PutUint16(h[0:2], 1)
+	binary.BigEndian.PutUint16(h[2:4], EtherTypeIPv4)
+	h[4], h[5] = 6, 4
+	binary.BigEndian.PutUint16(h[6:8], a.Op)
+	copy(h[8:14], a.SenderHW[:])
+	copy(h[14:18], sip[:])
+	copy(h[18:24], a.TargetHW[:])
+	copy(h[24:28], tip[:])
+	return nil
+}
+
+// IP protocol numbers used by the test-bed.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// IPv4 is an IPv4 header without options (IHL=5); options in received
+// packets are accepted and skipped.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // as decoded; recomputed on serialize
+	Src      netip.Addr
+	Dst      netip.Addr
+	Payload  []byte
+}
+
+// IPv4HeaderLen is the length of an option-less IPv4 header.
+const IPv4HeaderLen = 20
+
+// DecodeFromBytes parses an IPv4 header and verifies its checksum.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return fmt.Errorf("%w: ipv4 header needs %d bytes, have %d", ErrTruncated, IPv4HeaderLen, len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return fmt.Errorf("%w: ip version %d, want 4", ErrBadField, v)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen {
+		return fmt.Errorf("%w: ihl %d below minimum", ErrBadField, ihl)
+	}
+	if len(data) < ihl {
+		return fmt.Errorf("%w: ipv4 options truncated", ErrTruncated)
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return fmt.Errorf("%w: ipv4 header checksum", ErrBadField)
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.Src = addrFrom4(data[12:16])
+	ip.Dst = addrFrom4(data[16:20])
+	if int(ip.TotalLen) < ihl {
+		return fmt.Errorf("%w: total length %d below header length %d", ErrBadField, ip.TotalLen, ihl)
+	}
+	end := int(ip.TotalLen)
+	if end > len(data) {
+		return fmt.Errorf("%w: ipv4 payload truncated (total %d, have %d)", ErrTruncated, end, len(data))
+	}
+	ip.Payload = data[ihl:end]
+	return nil
+}
+
+// SerializeTo prepends the header to b, computing TotalLen over the current
+// buffer content and the header checksum.
+func (ip *IPv4) SerializeTo(b *Buffer) error {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return fmt.Errorf("%w: ipv4 requires 4-byte addresses", ErrBadField)
+	}
+	payloadLen := b.Len()
+	h := b.Prepend(IPv4HeaderLen)
+	h[0] = 4<<4 | 5
+	h[1] = ip.TOS
+	total := IPv4HeaderLen + payloadLen
+	if total > 0xffff {
+		return fmt.Errorf("%w: ipv4 packet too large (%d)", ErrBadField, total)
+	}
+	ip.TotalLen = uint16(total)
+	binary.BigEndian.PutUint16(h[2:4], ip.TotalLen)
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	h[10], h[11] = 0, 0
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	copy(h[12:16], src[:])
+	copy(h[16:20], dst[:])
+	ip.Checksum = Checksum(h)
+	binary.BigEndian.PutUint16(h[10:12], ip.Checksum)
+	return nil
+}
+
+// UDP is a UDP header. Checksum handling is optional (0 = not computed), as
+// permitted for UDP over IPv4; the traffic generator relies on sequence
+// numbers in the payload rather than UDP checksums.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+	Payload  []byte
+}
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// DecodeFromBytes parses a UDP datagram (the IPv4 payload).
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return fmt.Errorf("%w: udp header needs %d bytes, have %d", ErrTruncated, UDPHeaderLen, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(data) {
+		return fmt.Errorf("%w: udp length %d outside [8,%d]", ErrBadField, u.Length, len(data))
+	}
+	u.Payload = data[UDPHeaderLen:u.Length]
+	return nil
+}
+
+// SerializeTo prepends the header to b, setting Length from the current
+// buffer content. The checksum is left zero (legal for UDP/IPv4).
+func (u *UDP) SerializeTo(b *Buffer) error {
+	payloadLen := b.Len()
+	h := b.Prepend(UDPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	total := UDPHeaderLen + payloadLen
+	if total > 0xffff {
+		return fmt.Errorf("%w: udp datagram too large (%d)", ErrBadField, total)
+	}
+	u.Length = uint16(total)
+	binary.BigEndian.PutUint16(h[4:6], u.Length)
+	binary.BigEndian.PutUint16(h[6:8], u.Checksum)
+	return nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func addrFrom4(b []byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3]})
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/core"
+	"supercharged/internal/dataplane"
+	"supercharged/internal/packet"
+)
+
+// routerPortOnSwitch is the switch port facing R1.
+const routerPortOnSwitch uint16 = 1
+
+// setup populates the pre-failure steady state: feeds loaded, best paths
+// selected, FIB installed, and — in supercharged mode — backup-groups
+// allocated, VNHs announced, ARP resolved and switch rules installed.
+// Setup is not part of the measured experiment, so table loads are
+// synchronous.
+func (l *lab) setup() error {
+	cfg := l.cfg
+	l.fib = dataplane.NewFlatFIBNoLPM(l.clk, cfg.PerEntry)
+
+	switch cfg.Mode {
+	case Standalone:
+		return l.setupStandalone()
+	case Supercharged:
+		return l.setupSupercharged()
+	}
+	return fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+}
+
+// setupStandalone loads both provider feeds straight into the router's own
+// RIB and installs the flat FIB: every prefix resolves to R2's MAC.
+func (l *lab) setupStandalone() error {
+	l.routerRIB = bgp.NewRIB()
+	codec := bgp.Codec{ASN4: true}
+	var ops []dataplane.FIBOp
+	for _, prov := range l.providers {
+		updates, err := l.table.Updates(prov.as, prov.nh, codec)
+		if err != nil {
+			return err
+		}
+		for _, u := range updates {
+			for _, ch := range l.routerRIB.Update(prov.meta, u) {
+				// Best-path selection; install/replace the FIB entry.
+				best := ch.New[0]
+				target, ok := l.providerByNH(best.NextHop())
+				if !ok {
+					return fmt.Errorf("sim: unknown next-hop %v", best.NextHop())
+				}
+				ops = append(ops, dataplane.FIBOp{
+					Prefix: ch.Prefix,
+					NH:     dataplane.L2NH{MAC: target.mac, Port: int(routerPortOnSwitch)},
+				})
+			}
+		}
+	}
+	l.fib.LoadSync(ops)
+	l.fib.OnApplied = l.onFIBApplied
+	return nil
+}
+
+// setupSupercharged interposes the controller: feeds flow through
+// core.Processor, the router receives VNH announcements, resolves them via
+// the ARP responder and installs VMAC-tagged FIB entries; the engine
+// installs one switch rule per backup-group.
+func (l *lab) setupSupercharged() error {
+	cfg := l.cfg
+	pool := core.NewVNHPool(cfg.AllocMode)
+	groups := core.NewGroupTable(pool)
+	l.flows = dataplane.NewFlowTable()
+	l.arp = core.NewARPResponder(groups)
+	l.engine = core.NewEngine(groups, core.FlowPusherFunc(l.pushRule))
+	for _, prov := range l.providers {
+		l.engine.RegisterPeer(core.PeerPort{NH: prov.nh, MAC: prov.mac, Port: prov.port})
+	}
+	l.proc = core.NewProcessor(nil, groups)
+	l.proc.GroupSize = cfg.GroupSize
+	l.proc.OnNewGroup = l.engine.InstallGroup
+
+	codec := bgp.Codec{ASN4: true}
+	var ops []dataplane.FIBOp
+	for _, prov := range l.providers {
+		updates, err := l.table.Updates(prov.as, prov.nh, codec)
+		if err != nil {
+			return err
+		}
+		for _, u := range updates {
+			out, err := l.proc.Process(prov.meta, u)
+			if err != nil {
+				return err
+			}
+			ops = append(ops, l.routerApply(out)...)
+		}
+	}
+	l.fib.LoadSync(ops)
+	l.fib.OnApplied = l.onFIBApplied
+	// Setup-phase rule installs happen synchronously; drain them now so
+	// they are in place before traffic starts.
+	l.clk.RunUntilIdleLimit(1_000_000)
+	return nil
+}
+
+// routerApply models the supercharged router's control plane receiving
+// UPDATEs from the controller: resolve the announced next-hop to a MAC
+// (via ARP: VNH→VMAC, or a real peer's MAC) and produce FIB ops.
+func (l *lab) routerApply(updates []*bgp.Update) []dataplane.FIBOp {
+	var ops []dataplane.FIBOp
+	for _, u := range updates {
+		for _, w := range u.Withdrawn {
+			ops = append(ops, dataplane.FIBOp{Prefix: w, Delete: true})
+		}
+		if u.Attrs == nil {
+			continue
+		}
+		mac, ok := l.resolveNH(u.Attrs.NextHop)
+		if !ok {
+			continue // unresolvable next-hop: router keeps the route in RIB only
+		}
+		for _, p := range u.NLRI {
+			ops = append(ops, dataplane.FIBOp{
+				Prefix: p,
+				NH:     dataplane.L2NH{MAC: mac, Port: int(routerPortOnSwitch)},
+			})
+		}
+	}
+	return ops
+}
+
+// resolveNH is the router's ARP step: virtual next-hops answered by the
+// controller's responder, real peers by their own MAC.
+func (l *lab) resolveNH(nh netip.Addr) (packet.MAC, bool) {
+	if l.arp != nil {
+		if vmac, ok := l.arp.Lookup(nh); ok {
+			return vmac, true
+		}
+	}
+	if prov, ok := l.providerByNH(nh); ok {
+		return prov.mac, true
+	}
+	return packet.MAC{}, false
+}
+
+func (l *lab) providerByNH(nh netip.Addr) (*provider, bool) {
+	for _, p := range l.providers {
+		if p.nh == nh {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// pushRule is the engine's FlowPusher: controller reaction plus switch
+// programming latency, then the rule lands in the flow table. During setup
+// (before traffic) the same path is used but the virtual clock drains it
+// immediately.
+func (l *lab) pushRule(g core.Group, target core.PeerPort) error {
+	delay := l.cfg.ControllerReact + l.cfg.FlowModLatency
+	l.clk.AfterFunc(delay, func() {
+		l.flows.Upsert(dataplane.Flow{
+			Priority: 100,
+			Match:    dataplane.MatchDstMAC(g.VMAC),
+			Actions:  []dataplane.Action{dataplane.SetDstMAC(target.MAC), dataplane.Output(target.Port)},
+		})
+		l.reevaluateAllProbes()
+	})
+	return nil
+}
+
+// setupProbes selects the probe prefixes (paper: 100 random prefixes
+// including the first and last advertised) and initializes their state.
+func (l *lab) setupProbes() {
+	for _, pfx := range l.table.SamplePrefixes(l.cfg.NumFlows, l.cfg.Seed+7) {
+		pr := &probe{
+			prefix: pfx,
+			phase:  time.Duration(l.rng.Int63n(int64(l.cfg.ProbeInterval))),
+		}
+		pr.working = l.pathWorks(pfx)
+		l.probes[pfx] = pr
+	}
+}
+
+// pathWorks walks a probe's forwarding path through the real tables:
+// router FIB → (switch flow table if VMAC-tagged) → provider link state.
+func (l *lab) pathWorks(pfx netip.Prefix) bool {
+	nh, ok := l.fib.Get(pfx)
+	if !ok {
+		return false
+	}
+	mac := nh.MAC
+	if l.flows != nil {
+		if prov, direct := l.targets[mac]; direct {
+			return prov.up
+		}
+		// VMAC: resolve through the switch table.
+		eth := &packet.Ethernet{Dst: mac, Type: packet.EtherTypeIPv4}
+		flow := l.flows.Lookup(routerPortOnSwitch, eth)
+		if flow == nil {
+			return false
+		}
+		for _, a := range flow.Actions {
+			if a.Type == dataplane.ActionSetDstMAC {
+				mac = a.MAC
+			}
+		}
+	}
+	prov, ok := l.targets[mac]
+	return ok && prov.up
+}
+
+// --- failure sequence ---
+
+// failProvider cuts the link to prov and schedules the detection and
+// reaction pipeline for the current mode.
+func (l *lab) failProvider(prov *provider) {
+	prov.up = false
+	now := l.clk.Now()
+	// Probes through this provider black-hole immediately. Only the
+	// first blackout anchors the measurement (a later failure must not
+	// shift the window of an already-measured flow).
+	for _, pr := range l.probes {
+		if pr.working && !l.pathWorks(pr.prefix) {
+			pr.working = false
+			if pr.lastGoodBefore.IsZero() {
+				pr.lastGoodBefore = now
+			}
+		}
+	}
+
+	detect := time.Duration(l.cfg.BFDMult) * l.cfg.BFDInterval
+	l.clk.AfterFunc(detect, func() {
+		if l.result.DetectAt == 0 {
+			l.result.DetectAt = l.clk.Now().Sub(l.failAbs)
+		}
+		switch l.cfg.Mode {
+		case Standalone:
+			l.standaloneReact(prov)
+		case Supercharged:
+			l.superchargedReact(prov)
+		}
+	})
+}
+
+// standaloneReact is the vanilla router's convergence: after its control
+// plane digests the failure (RouterCtl + jitter), it rewrites every FIB
+// entry one by one in table-walk order — the linear process of Fig. 5.
+func (l *lab) standaloneReact(prov *provider) {
+	ctl := l.cfg.RouterCtl
+	if l.cfg.RouterCtlJitter > 0 {
+		ctl += time.Duration(l.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
+	}
+	l.clk.AfterFunc(ctl, func() {
+		changes := l.routerRIB.RemovePeer(prov.nh)
+		type pendingOp struct {
+			pos int
+			op  dataplane.FIBOp
+		}
+		pending := make([]pendingOp, 0, len(changes))
+		for _, ch := range changes {
+			pos, _ := l.fib.Position(ch.Prefix)
+			if len(ch.New) == 0 {
+				pending = append(pending, pendingOp{pos, dataplane.FIBOp{Prefix: ch.Prefix, Delete: true}})
+				continue
+			}
+			target, ok := l.providerByNH(ch.New[0].NextHop())
+			if !ok {
+				continue
+			}
+			pending = append(pending, pendingOp{pos, dataplane.FIBOp{
+				Prefix: ch.Prefix,
+				NH:     dataplane.L2NH{MAC: target.mac, Port: int(routerPortOnSwitch)},
+			}})
+		}
+		// The hardware walks the table in order.
+		sort.Slice(pending, func(i, j int) bool { return pending[i].pos < pending[j].pos })
+		ops := make([]dataplane.FIBOp, len(pending))
+		for i, p := range pending {
+			ops[i] = p.op
+		}
+		l.fib.Enqueue(ops...)
+	})
+}
+
+// superchargedReact is Listing 2: the controller rewrites the affected
+// backup-group rules (constant count), restoring the data plane; the
+// router's own BGP/FIB cleanup then proceeds in the background without
+// traffic impact.
+func (l *lab) superchargedReact(prov *provider) {
+	l.clk.AfterFunc(0, func() {
+		if _, err := l.engine.PeerDown(prov.nh); err != nil {
+			panic(fmt.Sprintf("sim: engine.PeerDown: %v", err))
+		}
+		// Control-plane cleanup toward the router (unmeasured but real):
+		// the processor withdraws/re-announces, the router walks its FIB.
+		updates, err := l.proc.PeerDown(prov.nh)
+		if err != nil {
+			panic(fmt.Sprintf("sim: processor.PeerDown: %v", err))
+		}
+		ctl := l.cfg.RouterCtl
+		if l.cfg.RouterCtlJitter > 0 {
+			ctl += time.Duration(l.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
+		}
+		l.clk.AfterFunc(ctl, func() {
+			ops := l.routerApply(updates)
+			type pendingOp struct {
+				pos int
+				op  dataplane.FIBOp
+			}
+			pending := make([]pendingOp, 0, len(ops))
+			for _, op := range ops {
+				pos, _ := l.fib.Position(op.Prefix)
+				pending = append(pending, pendingOp{pos, op})
+			}
+			sort.Slice(pending, func(i, j int) bool { return pending[i].pos < pending[j].pos })
+			sorted := make([]dataplane.FIBOp, len(pending))
+			for i, p := range pending {
+				sorted[i] = p.op
+			}
+			l.fib.Enqueue(sorted...)
+		})
+	})
+}
+
+// onFIBApplied re-evaluates the touched prefix's probe when the router's
+// serialized updater installs an entry.
+func (l *lab) onFIBApplied(op dataplane.FIBOp, at time.Time) {
+	if pr, ok := l.probes[op.Prefix.Masked()]; ok {
+		l.reevaluateProbe(pr, at)
+	}
+}
+
+func (l *lab) reevaluateAllProbes() {
+	now := l.clk.Now()
+	for _, pr := range l.probes {
+		l.reevaluateProbe(pr, now)
+	}
+}
+
+func (l *lab) reevaluateProbe(pr *probe, at time.Time) {
+	works := l.pathWorks(pr.prefix)
+	switch {
+	case !pr.working && works:
+		pr.working = true
+		if !pr.haveResult && !pr.lastGoodBefore.IsZero() {
+			pr.recoveredAt = at
+			pr.haveResult = true
+		}
+	case pr.working && !works:
+		pr.working = false
+		if pr.lastGoodBefore.IsZero() {
+			pr.lastGoodBefore = at
+		}
+	}
+}

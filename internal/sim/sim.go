@@ -1,0 +1,358 @@
+// Package sim is the discrete-event convergence lab: the Fig. 4 topology
+// (edge router R1 behind an SDN switch, primary provider R2, backup
+// provider R3, FPGA-style traffic probes) driven on a virtual clock so the
+// full 1k→500k-prefix sweep of Fig. 5 runs deterministically in CPU
+// milliseconds instead of lab hours.
+//
+// The control-plane code under test is the real thing — core.Processor
+// (Listing 1), core.Engine (Listing 2), bgp.RIB/decision process,
+// dataplane.FlatFIB and dataplane.FlowTable. Only the physical elements
+// are modeled by timing parameters: BFD detection, per-FIB-entry install
+// cost, switch rule programming and controller reaction.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/clock"
+	"supercharged/internal/core"
+	"supercharged/internal/dataplane"
+	"supercharged/internal/feed"
+	"supercharged/internal/packet"
+)
+
+// Mode selects the router under test.
+type Mode int
+
+const (
+	// Standalone is the vanilla router: flat FIB, entry-by-entry
+	// convergence (the paper's non-supercharged baseline).
+	Standalone Mode = iota
+	// Supercharged puts the controller and switch in front of the same
+	// router.
+	Supercharged
+)
+
+func (m Mode) String() string {
+	if m == Supercharged {
+		return "supercharged"
+	}
+	return "non-supercharged"
+}
+
+// Config parameterizes one lab run. Zero fields take the calibrated
+// defaults in DefaultConfig.
+type Config struct {
+	Mode        Mode
+	NumPrefixes int
+	NumFlows    int
+	Seed        int64
+	GroupSize   int // backup-group size k (default 2)
+	AllocMode   core.AllocMode
+
+	// --- timing model (see DESIGN.md §4 for the calibration) ---
+
+	// PerEntry is the router's per-FIB-entry install cost.
+	PerEntry time.Duration
+	// BFDInterval and BFDMult give the failure detection time.
+	BFDInterval time.Duration
+	BFDMult     int
+	// RouterCtl is the router's control-plane time between detection and
+	// the start of the FIB walk (BGP withdraw processing, decision, ARP).
+	RouterCtl time.Duration
+	// RouterCtlJitter adds a per-run uniform extra in [0, jitter) —
+	// run-to-run variance of the router's control plane; this reproduces
+	// the spread between the paper's 375 ms best case and 0.9 s worst
+	// case at 1k prefixes.
+	RouterCtlJitter time.Duration
+	// ControllerReact is BFD-expiry→FLOW_MOD-sent latency at the
+	// controller.
+	ControllerReact time.Duration
+	// FlowModLatency is the switch's rule programming time.
+	FlowModLatency time.Duration
+	// ProbeInterval is the per-flow inter-packet gap of the traffic
+	// source (the paper's FPGA: ~14k pkt/s per flow ≈ 70 µs), which is
+	// also the measurement quantum.
+	ProbeInterval time.Duration
+	// FailAt is when the R2 link is cut (after setup).
+	FailAt time.Duration
+	// SecondFailure, if positive, also cuts the backup R3 at
+	// FailAt+SecondFailure (ablation A2; meaningful with GroupSize ≥ 3
+	// and a third provider).
+	SecondFailure time.Duration
+	// Providers is the number of provider peers (default 2: R2 primary,
+	// R3 backup; A2 uses 3).
+	Providers int
+}
+
+// DefaultConfig returns the calibrated configuration for n prefixes.
+func DefaultConfig(mode Mode, n int) Config {
+	return Config{
+		Mode:            mode,
+		NumPrefixes:     n,
+		NumFlows:        100,
+		Seed:            1,
+		GroupSize:       2,
+		PerEntry:        280 * time.Microsecond,
+		BFDInterval:     30 * time.Millisecond,
+		BFDMult:         3,
+		RouterCtl:       285 * time.Millisecond,
+		RouterCtlJitter: 300 * time.Millisecond,
+		ControllerReact: 15 * time.Millisecond,
+		FlowModLatency:  25 * time.Millisecond,
+		ProbeInterval:   70 * time.Microsecond,
+		FailAt:          time.Second,
+		Providers:       2,
+	}
+}
+
+// FlowResult is one probed flow's measured convergence.
+type FlowResult struct {
+	Prefix      netip.Prefix
+	Position    int // FIB walk position of the covering entry
+	Convergence time.Duration
+}
+
+// Result is one lab run.
+type Result struct {
+	Mode        Mode
+	NumPrefixes int
+	// Flows holds the per-flow convergence measurements (the paper's 100
+	// points per run).
+	Flows []FlowResult
+	// DetectAt is when BFD declared the failure (after FailAt).
+	DetectAt time.Duration
+	// DataPlaneDone is when the last probed flow recovered.
+	DataPlaneDone time.Duration
+	// ControlPlaneDone is when the router's FIB queue drained.
+	ControlPlaneDone time.Duration
+	// Groups is the number of backup-groups allocated (supercharged).
+	Groups int
+	// RuleRewrites is the number of switch rules rewritten on failure.
+	RuleRewrites int
+}
+
+// Durations returns the per-flow convergence samples.
+func (r *Result) Durations() []time.Duration {
+	out := make([]time.Duration, len(r.Flows))
+	for i, f := range r.Flows {
+		out[i] = f.Convergence
+	}
+	return out
+}
+
+// provider is one upstream router in the lab.
+type provider struct {
+	nh   netip.Addr
+	mac  packet.MAC
+	port uint16
+	as   uint32
+	meta bgp.PeerMeta
+	up   bool
+}
+
+// Run executes one convergence experiment and returns the measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.NumPrefixes <= 0 {
+		return nil, fmt.Errorf("sim: NumPrefixes must be positive")
+	}
+	def := DefaultConfig(cfg.Mode, cfg.NumPrefixes)
+	if cfg.NumFlows == 0 {
+		cfg.NumFlows = def.NumFlows
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = def.GroupSize
+	}
+	if cfg.PerEntry == 0 {
+		cfg.PerEntry = def.PerEntry
+	}
+	if cfg.BFDInterval == 0 {
+		cfg.BFDInterval = def.BFDInterval
+	}
+	if cfg.BFDMult == 0 {
+		cfg.BFDMult = def.BFDMult
+	}
+	if cfg.RouterCtl == 0 {
+		cfg.RouterCtl = def.RouterCtl
+	}
+	if cfg.RouterCtlJitter == 0 {
+		cfg.RouterCtlJitter = def.RouterCtlJitter
+	}
+	if cfg.ControllerReact == 0 {
+		cfg.ControllerReact = def.ControllerReact
+	}
+	if cfg.FlowModLatency == 0 {
+		cfg.FlowModLatency = def.FlowModLatency
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = def.ProbeInterval
+	}
+	if cfg.FailAt == 0 {
+		cfg.FailAt = def.FailAt
+	}
+	if cfg.Providers == 0 {
+		cfg.Providers = def.Providers
+	}
+	if cfg.Providers < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 providers")
+	}
+
+	lab := newLab(cfg)
+	return lab.run()
+}
+
+type lab struct {
+	cfg   Config
+	clk   *clock.Virtual
+	rng   *rand.Rand
+	table *feed.Table
+
+	providers []*provider
+
+	// Router model.
+	fib       *dataplane.FlatFIB
+	routerRIB *bgp.RIB // standalone mode: the router's own BGP view
+
+	// Supercharger (nil in standalone mode).
+	proc    *core.Processor
+	engine  *core.Engine
+	flows   *dataplane.FlowTable // switch table
+	arp     *core.ARPResponder
+	targets map[packet.MAC]*provider // real MAC -> provider
+
+	// Probes.
+	probes map[netip.Prefix]*probe
+
+	failAbs time.Time
+	result  *Result
+}
+
+type probe struct {
+	prefix  netip.Prefix
+	phase   time.Duration // probe phase offset in [0, ProbeInterval)
+	working bool
+	// lastGoodBefore is the time of the last successfully delivered
+	// probe packet before the blackout.
+	lastGoodBefore time.Time
+	recoveredAt    time.Time
+	haveResult     bool
+}
+
+var zeroTime = time.Unix(0, 0).UTC()
+
+func newLab(cfg Config) *lab {
+	l := &lab{
+		cfg:     cfg,
+		clk:     clock.NewVirtualAtZero(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		probes:  make(map[netip.Prefix]*probe),
+		targets: make(map[packet.MAC]*provider),
+		result:  &Result{Mode: cfg.Mode, NumPrefixes: cfg.NumPrefixes},
+	}
+	// Providers: R2 (primary, preferred via weight), R3, R4...
+	for i := 0; i < cfg.Providers; i++ {
+		p := &provider{
+			nh:   netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}),
+			mac:  packet.MAC{0x01 + byte(i)*0x11, 0xaa, 0, 0, 0, byte(i + 1)},
+			port: uint16(i + 2), // port 1 is the router
+			as:   uint32(65002 + i),
+			up:   true,
+		}
+		p.meta = bgp.PeerMeta{
+			Addr: p.nh, AS: p.as, ID: p.nh,
+			// Highest weight on R2, decreasing after: the paper's "R1 is
+			// configured to prefer R2 for all destinations".
+			Weight: uint32(1000 - i*100),
+		}
+		l.providers = append(l.providers, p)
+		l.targets[p.mac] = p
+	}
+	return l
+}
+
+func (l *lab) run() (*Result, error) {
+	cfg := l.cfg
+	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
+
+	if err := l.setup(); err != nil {
+		return nil, err
+	}
+	l.setupProbes()
+
+	// Schedule the failure relative to the post-setup clock (setup may
+	// have consumed virtual time draining rule installs).
+	failAbs := l.clk.Now().Add(cfg.FailAt)
+	l.failAbs = failAbs
+	l.clk.AfterFunc(cfg.FailAt, func() { l.failProvider(l.providers[0]) })
+	if cfg.SecondFailure > 0 && len(l.providers) > 2 {
+		l.clk.AfterFunc(cfg.FailAt+cfg.SecondFailure, func() { l.failProvider(l.providers[1]) })
+	}
+
+	// Drive the event loop dry. The FIB walk dominates: bound events
+	// generously.
+	l.clk.RunUntilIdleLimit(50_000_000)
+
+	// Harvest measurements.
+	res := l.result
+	res.ControlPlaneDone = l.clk.Now().Sub(failAbs)
+	res.Groups = 0
+	if l.proc != nil {
+		res.Groups = l.proc.Groups().Len()
+		res.RuleRewrites = int(l.engine.Rewrites())
+	}
+	for _, pr := range l.sortedProbes() {
+		if !pr.haveResult {
+			return nil, fmt.Errorf("sim: flow %v never recovered", pr.prefix)
+		}
+		conv := l.measureConvergence(pr)
+		pos, _ := l.fib.Position(pr.prefix)
+		res.Flows = append(res.Flows, FlowResult{Prefix: pr.prefix, Position: pos, Convergence: conv})
+		if d := pr.recoveredAt.Sub(failAbs); d > res.DataPlaneDone {
+			res.DataPlaneDone = d
+		}
+	}
+	return res, nil
+}
+
+// measureConvergence reproduces the FPGA methodology: the maximum
+// inter-packet gap seen by the flow, i.e. first probe delivered after
+// recovery minus last probe delivered before the blackout.
+func (l *lab) measureConvergence(pr *probe) time.Duration {
+	iv := l.cfg.ProbeInterval
+	// Last probe at or before the blackout started.
+	lastBefore := alignDown(pr.lastGoodBefore.Sub(zeroTime)-pr.phase, iv) + pr.phase
+	// First probe at or after recovery.
+	firstAfter := alignUp(pr.recoveredAt.Sub(zeroTime)-pr.phase, iv) + pr.phase
+	return firstAfter - lastBefore
+}
+
+func alignDown(d, q time.Duration) time.Duration {
+	if q <= 0 {
+		return d
+	}
+	return d - d%q
+}
+
+func alignUp(d, q time.Duration) time.Duration {
+	if q <= 0 {
+		return d
+	}
+	if r := d % q; r != 0 {
+		return d + q - r
+	}
+	return d
+}
+
+func (l *lab) sortedProbes() []*probe {
+	out := make([]*probe, 0, len(l.probes))
+	for _, p := range l.probes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].prefix.String() < out[j].prefix.String() })
+	return out
+}

