@@ -1,0 +1,187 @@
+// Command scenario lists, describes and runs declarative failure
+// scenarios over the convergence lab (internal/scenario):
+//
+//	scenario list                          # registered scenarios
+//	scenario describe flap-storm           # topology + timeline of one
+//	scenario run paper-fig5 --mode both    # execute and report JSON
+//	scenario run double-failure --prefixes 20000 --format csv
+//
+// `run` writes the full report to stdout (JSON by default; --format
+// csv|table for the others) and, for multi-size two-mode runs, a
+// flat-vs-linear headline table to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"supercharged/internal/scenario"
+	"supercharged/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "describe":
+		cmdDescribe(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  scenario list                       list registered scenarios
+  scenario describe <name>            show a scenario's topology and timeline
+  scenario run <name> [flags]         execute a scenario and report results
+
+run flags:
+  --mode both|standalone|supercharged   router modes to run (default both)
+  --prefixes N                          table size (overrides spec default/sweep)
+  --flows N                             probed flows per run (default 100)
+  --seed N                              RNG seed (default 1; same seed, same report)
+  --format json|csv|table               report format on stdout (default json)
+  --q                                   suppress progress output on stderr
+`)
+}
+
+func cmdList() {
+	for _, s := range scenario.List() {
+		fmt.Printf("%-22s %s\n", s.Name, s.Description)
+	}
+}
+
+func cmdDescribe(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: scenario describe <name>")
+		os.Exit(2)
+	}
+	s, ok := scenario.Lookup(args[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "scenario: unknown scenario %q (have: %v)\n", args[0], scenario.Names())
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n\n%s\n\n", s.Name, s.Description)
+	fmt.Println("peers:")
+	for i, p := range s.Peers {
+		role := "backup"
+		if i == 0 {
+			role = "primary"
+		}
+		size := "full table"
+		if p.Prefixes > 0 {
+			size = fmt.Sprintf("%d prefixes", p.Prefixes)
+		}
+		fmt.Printf("  %-6s %-8s %s\n", p.Name, role, size)
+	}
+	fmt.Println("timeline:")
+	for _, e := range s.Events {
+		line := fmt.Sprintf("  t=%-8v %-18s", e.At, e.Kind)
+		if e.Peer != "" {
+			line += " peer=" + e.Peer
+		}
+		if e.Hold > 0 {
+			line += fmt.Sprintf(" hold=%v", e.Hold)
+		}
+		if e.Fraction > 0 {
+			line += fmt.Sprintf(" fraction=%g", e.Fraction)
+		}
+		if e.Detection != "" {
+			line += fmt.Sprintf(" detection=%s", e.Detection)
+		}
+		fmt.Println(line)
+	}
+	if len(s.PrefixSweep) > 0 {
+		fmt.Printf("prefix sweep: %v\n", s.PrefixSweep)
+	}
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	mode := fs.String("mode", "both", "both|standalone|supercharged")
+	prefixes := fs.Int("prefixes", 0, "table size (0 = spec default or sweep)")
+	flows := fs.Int("flows", 0, "probed flows per run (0 = default 100)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	format := fs.String("format", "json", "json|csv|table")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	// Accept both `run <name> --flags` and `run --flags <name>`.
+	var name string
+	rest := args
+	if len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+		name, rest = rest[0], rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		os.Exit(2)
+	}
+	if name == "" && fs.NArg() > 0 {
+		name = fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+	if name == "" {
+		fmt.Fprintln(os.Stderr, "usage: scenario run <name> [flags]")
+		os.Exit(2)
+	}
+
+	opts := scenario.Options{Prefixes: *prefixes, Flows: *flows, Seed: *seed}
+	switch *mode {
+	case "both", "":
+	case "standalone":
+		opts.Modes = []sim.Mode{sim.Standalone}
+	case "supercharged":
+		opts.Modes = []sim.Mode{sim.Supercharged}
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	t0 := time.Now()
+	rep, err := scenario.RunNamed(name, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // package errors already carry the scenario: prefix
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "json":
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case "csv":
+		if err := rep.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(1)
+		}
+	case "table":
+		fmt.Print(rep.RenderTable())
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if !*quiet {
+		if hl := rep.Headline(); hl != "" && len(rep.Runs) > 1 {
+			fmt.Fprintf(os.Stderr, "\nworst-case data-plane convergence by table size:\n%s", hl)
+		}
+		fmt.Fprintf(os.Stderr, "(%d runs in %v)\n", len(rep.Runs), time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,78 @@
+// Scenarios: the declarative failure-scenario engine walkthrough. The
+// paper measures one event — a primary-peer failure — on one topology;
+// the scenario engine scripts arbitrary event timelines (flaps, partial
+// withdraws, double failures, controller restarts) over parameterized
+// topologies and measures every event in both router modes.
+//
+// This example runs a built-in scenario, then defines and runs a custom
+// one: an asymmetric three-provider topology where the primary flaps and
+// then withdraws part of its table.
+//
+//	go run ./examples/scenarios
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	supercharged "supercharged"
+)
+
+func main() {
+	fmt.Println("Built-in scenarios:")
+	for _, s := range supercharged.Scenarios() {
+		fmt.Printf("  %s\n", s.Name)
+	}
+	fmt.Println()
+
+	// 1. A built-in: the backup dies first, then the primary. The engine
+	// must skip the dead backup and retarget straight to the tertiary.
+	fmt.Println("== backup-then-primary (built-in, 2000 prefixes) ==")
+	rep, err := supercharged.RunScenarioNamed("backup-then-primary",
+		supercharged.ScenarioOptions{Prefixes: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.RenderTable())
+
+	// 2. A custom scenario: three providers of different feed sizes and
+	// preferences; the primary blips below the BFD detection time, then
+	// fails for real, and the mid-preference peer withdraws a quarter of
+	// its half-size table during the recovery.
+	custom := supercharged.Scenario{
+		Name: "example-custom",
+		Description: "Asymmetric topology: primary flap absorbed, real " +
+			"primary failure, then a partial withdraw on the new best peer.",
+		Peers: []supercharged.ScenarioPeer{
+			{Name: "R2", Weight: 900},
+			{Name: "R3", Weight: 800, Prefixes: 1000}, // half-size feed
+			{Name: "R4", Weight: 700},
+		},
+		GroupSize: 3,
+		Events: []supercharged.ScenarioEvent{
+			{At: 1 * time.Second, Kind: supercharged.EventLinkFlap, Peer: "R2", Hold: 40 * time.Millisecond},
+			{At: 3 * time.Second, Kind: supercharged.EventPeerDown, Peer: "R2"},
+			{At: 8 * time.Second, Kind: supercharged.EventPartialWithdraw, Peer: "R3", Fraction: 0.25},
+		},
+	}
+	if err := custom.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== example-custom (2000 prefixes) ==")
+	rep, err = supercharged.RunScenario(custom, supercharged.ScenarioOptions{Prefixes: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.RenderTable())
+
+	fmt.Println(`Reading the tables:
+  - the absorbed flap (hold < BFD detection) costs both modes the same
+    ~40 ms blackout: no failure is ever declared, so the supercharger has
+    nothing to accelerate;
+  - the real primary failure separates the modes: one switch-rule rewrite
+    (~130 ms) versus a full per-entry FIB walk;
+  - the partial withdraw converges entry-by-entry in BOTH modes — a peer
+    that keeps its link but loses routes is outside the backup-group
+    fast path. That boundary is exactly what the scenario engine is for.`)
+}

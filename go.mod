@@ -1,0 +1,3 @@
+module supercharged
+
+go 1.24

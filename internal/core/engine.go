@@ -127,6 +127,32 @@ func (e *Engine) PeerUp(nh netip.Addr) (int, error) {
 	return e.retargetAllLocked(nh)
 }
 
+// Resync re-pushes the rule of every allocated group at its best live
+// next-hop, regardless of the cached target. It is the recovery path for
+// switch-state loss (switch reboot, flow-table eviction, controller
+// reconnect): the controller's group table is the source of truth and the
+// switch is repopulated from it. It returns the number of rules pushed.
+func (e *Engine) Resync() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	var firstErr error
+	for _, g := range e.groups.All() {
+		want, ok := e.bestLiveLocked(g)
+		if !ok {
+			continue // every next-hop down: nothing to restore
+		}
+		if err := e.pushLocked(g, want); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n++
+	}
+	return n, firstErr
+}
+
 // PeerIsDown reports the engine's view of nh.
 func (e *Engine) PeerIsDown(nh netip.Addr) bool {
 	e.mu.Lock()

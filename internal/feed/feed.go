@@ -206,6 +206,20 @@ func (t *Table) Updates(peerAS uint32, nextHop netip.Addr, codec bgp.Codec) ([]*
 	return out, nil
 }
 
+// Head returns a view of the first n routes as a Table sharing the
+// receiver's templates — a smaller peer feed over the same prefix space,
+// used for topologies where providers advertise tables of different
+// sizes. n outside [0, Len] is clamped; the view must not be mutated.
+func (t *Table) Head(n int) *Table {
+	if n <= 0 {
+		n = 0
+	}
+	if n > len(t.Routes) {
+		n = len(t.Routes)
+	}
+	return &Table{Routes: t.Routes[:n], Templates: t.Templates}
+}
+
 // SamplePrefixes picks n probe prefixes the way the paper does: "randomly
 // selected among the IP prefixes advertised, and including the first and
 // last prefix advertised". Deterministic for a given seed.

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"supercharged/internal/sim"
+)
+
+// DefaultPrefixes is the table size used when neither the spec nor the
+// caller picks one.
+const DefaultPrefixes = 5000
+
+// Options parameterizes one scenario execution.
+type Options struct {
+	// Modes lists the router modes to run (default: standalone then
+	// supercharged, so reports always compare the two).
+	Modes []sim.Mode
+	// Prefixes overrides the table size and disables the spec's sweep.
+	Prefixes int
+	// Flows overrides the probed-flow count.
+	Flows int
+	// Seed drives every random choice (default 1); the same seed yields
+	// an identical report.
+	Seed int64
+	// Progress, if set, receives one line per run.
+	Progress io.Writer
+}
+
+// Run executes spec in every requested mode (and, for sweeping specs, at
+// every table size) and assembles the per-event convergence report.
+func Run(spec Spec, opts Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	modes := opts.Modes
+	if len(modes) == 0 {
+		modes = []sim.Mode{sim.Standalone, sim.Supercharged}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sizes := spec.PrefixSweep
+	if opts.Prefixes > 0 {
+		sizes = []int{opts.Prefixes}
+	}
+	if len(sizes) == 0 {
+		n := spec.Prefixes
+		if n == 0 {
+			n = DefaultPrefixes
+		}
+		sizes = []int{n}
+	}
+
+	rep := &Report{Scenario: spec.Name, Description: spec.Description, Seed: seed}
+	for _, mode := range modes {
+		for _, n := range sizes {
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "scenario %s: %s @ %d prefixes...\n", spec.Name, mode, n)
+			}
+			res, err := sim.RunTimeline(spec.compile(mode, n, opts.Flows, seed))
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, n, err)
+			}
+			rep.Runs = append(rep.Runs, buildRunReport(res))
+		}
+	}
+	return rep, nil
+}
+
+// RunNamed looks up and runs a registered scenario.
+func RunNamed(name string, opts Options) (*Report, error) {
+	spec, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have: %v)", name, Names())
+	}
+	return Run(spec, opts)
+}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The process-wide scenario registry. Built-ins register at init; library
+// users add their own with Register.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Spec)
+)
+
+// Register validates s and adds it to the registry. Duplicate names and
+// invalid specs are errors.
+func Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register that panics on error, for init-time built-ins.
+func MustRegister(s Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// List returns every registered scenario sorted by name.
+func List() []Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the registered scenario names in sorted order.
+func Names() []string {
+	specs := List()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

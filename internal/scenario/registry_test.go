@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	// The minimum catalogue the subsystem promises.
+	for _, name := range []string{
+		"paper-fig5", "double-failure", "flap-storm",
+		"backup-then-primary", "partial-withdraw",
+		"rule-loss", "controller-restart", "holdtimer-failover",
+	} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("builtin %q not registered", name)
+		}
+	}
+}
+
+func TestBuiltinsAreValid(t *testing.T) {
+	for _, s := range List() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", s.Name, err)
+		}
+		if s.Description == "" {
+			t.Errorf("builtin %q has no description", s.Name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicateName(t *testing.T) {
+	s := validSpec()
+	s.Name = "test-dup"
+	if err := Register(s); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	err := Register(s)
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration error = %v", err)
+	}
+}
+
+func TestRegisterRejectsInvalidSpec(t *testing.T) {
+	s := validSpec()
+	s.Name = "test-invalid-reg"
+	s.Events = []Event{{At: time.Second, Kind: "no-such-kind"}}
+	if err := Register(s); err == nil {
+		t.Fatal("invalid spec registered without error")
+	}
+	if _, ok := Lookup(s.Name); ok {
+		t.Fatal("invalid spec landed in the registry")
+	}
+}
+
+func TestListSortedAndNamesMatch(t *testing.T) {
+	specs := List()
+	if !sort.SliceIsSorted(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name }) {
+		t.Fatal("List() not sorted by name")
+	}
+	names := Names()
+	if len(names) != len(specs) {
+		t.Fatalf("Names() len %d != List() len %d", len(names), len(specs))
+	}
+	for i := range names {
+		if names[i] != specs[i].Name {
+			t.Fatalf("Names()[%d] = %q, List()[%d].Name = %q", i, names[i], i, specs[i].Name)
+		}
+	}
+}
+
+func TestRunNamedUnknownScenario(t *testing.T) {
+	if _, err := RunNamed("no-such-scenario", Options{}); err == nil {
+		t.Fatal("RunNamed of unknown scenario succeeded")
+	}
+}

@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"supercharged/internal/metrics"
+	"supercharged/internal/sim"
+)
+
+// ConvergenceSummary condenses one event's per-flow blackout gaps, in
+// milliseconds.
+type ConvergenceSummary struct {
+	Samples int     `json:"samples"`
+	MinMS   float64 `json:"min_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// EventReport is one timeline event's measured impact.
+type EventReport struct {
+	Index    int     `json:"index"`
+	Kind     Kind    `json:"kind"`
+	Peer     string  `json:"peer,omitempty"`
+	AtMS     float64 `json:"at_ms"`
+	DetectMS float64 `json:"detect_ms"`
+	// Affected flows blacked out because of this event; Recovered came
+	// back, Unrecovered never did (e.g. no surviving path covers them).
+	Affected    int                 `json:"affected"`
+	Recovered   int                 `json:"recovered"`
+	Unrecovered int                 `json:"unrecovered"`
+	Convergence *ConvergenceSummary `json:"convergence,omitempty"`
+}
+
+// RunReport is one (mode, table size) execution of the scenario.
+type RunReport struct {
+	Mode         string        `json:"mode"`
+	Prefixes     int           `json:"prefixes"`
+	Peers        []string      `json:"peers"`
+	Groups       int           `json:"groups"`
+	RuleRewrites int           `json:"rule_rewrites"`
+	FIBWrites    uint64        `json:"fib_writes"`
+	ElapsedMS    float64       `json:"elapsed_ms"`
+	Events       []EventReport `json:"events"`
+}
+
+// Report is the full result of a scenario execution.
+type Report struct {
+	Scenario    string      `json:"scenario"`
+	Description string      `json:"description,omitempty"`
+	Seed        int64       `json:"seed"`
+	Runs        []RunReport `json:"runs"`
+}
+
+func buildRunReport(res *sim.TimelineResult) RunReport {
+	run := RunReport{
+		Mode:         res.Mode.String(),
+		Prefixes:     res.NumPrefixes,
+		Peers:        res.Peers,
+		Groups:       res.Groups,
+		RuleRewrites: res.RuleRewrites,
+		FIBWrites:    res.FIBWrites,
+		ElapsedMS:    durMS(res.Elapsed),
+	}
+	for _, ev := range res.Events {
+		er := EventReport{
+			Index:       ev.Index,
+			Kind:        ev.Kind,
+			Peer:        ev.Peer,
+			AtMS:        durMS(ev.At),
+			DetectMS:    durMS(ev.DetectAt),
+			Affected:    ev.Affected,
+			Recovered:   ev.Recovered,
+			Unrecovered: ev.Unrecovered,
+		}
+		if len(ev.Convergence) > 0 {
+			s := metrics.SummarizeDurations(ev.Convergence)
+			er.Convergence = &ConvergenceSummary{
+				Samples: s.N,
+				MinMS:   s.Min * 1e3,
+				P50MS:   s.Median * 1e3,
+				P95MS:   s.P95 * 1e3,
+				MaxMS:   s.Max * 1e3,
+			}
+		}
+		run.Events = append(run.Events, er)
+	}
+	return run
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteCSV renders the report as one CSV row per (run, event).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scenario", "mode", "prefixes", "seed", "event", "kind", "peer",
+		"at_ms", "detect_ms", "affected", "recovered", "unrecovered",
+		"conv_min_ms", "conv_p50_ms", "conv_p95_ms", "conv_max_ms",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, run := range r.Runs {
+		for _, ev := range run.Events {
+			row := []string{
+				r.Scenario, run.Mode, strconv.Itoa(run.Prefixes),
+				strconv.FormatInt(r.Seed, 10), strconv.Itoa(ev.Index),
+				string(ev.Kind), ev.Peer,
+				fms(ev.AtMS), fms(ev.DetectMS),
+				strconv.Itoa(ev.Affected), strconv.Itoa(ev.Recovered),
+				strconv.Itoa(ev.Unrecovered),
+			}
+			if ev.Convergence != nil {
+				row = append(row, fms(ev.Convergence.MinMS), fms(ev.Convergence.P50MS),
+					fms(ev.Convergence.P95MS), fms(ev.Convergence.MaxMS))
+			} else {
+				row = append(row, "", "", "", "")
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fms(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// RenderTable renders the report as a fixed-width human-readable table.
+func (r *Report) RenderTable() string {
+	t := &metrics.Table{Header: []string{
+		"mode", "prefixes", "event", "kind", "peer", "detect",
+		"affected", "recovered", "conv p50", "conv max",
+	}}
+	for _, run := range r.Runs {
+		for _, ev := range run.Events {
+			p50, max := "-", "-"
+			if ev.Convergence != nil {
+				p50 = metrics.Seconds(ev.Convergence.P50MS / 1e3)
+				max = metrics.Seconds(ev.Convergence.MaxMS / 1e3)
+			}
+			detect := "-"
+			if ev.DetectMS > 0 {
+				detect = metrics.Seconds(ev.DetectMS / 1e3)
+			}
+			t.Add(run.Mode, run.Prefixes, ev.Index, ev.Kind, ev.Peer, detect,
+				ev.Affected, ev.Recovered, p50, max)
+		}
+	}
+	return t.Render()
+}
+
+// Headline extracts the paper's comparison from a two-mode report: per
+// table size, the worst convergence of the first traffic-affecting event
+// in each mode. It is what `cmd/scenario run paper-fig5 --mode both`
+// prints under the JSON.
+func (r *Report) Headline() string {
+	type cell struct{ standalone, supercharged float64 }
+	sizes := make(map[int]*cell)
+	var order []int
+	for _, run := range r.Runs {
+		for _, ev := range run.Events {
+			if ev.Convergence == nil {
+				continue
+			}
+			c := sizes[run.Prefixes]
+			if c == nil {
+				c = &cell{}
+				sizes[run.Prefixes] = c
+				order = append(order, run.Prefixes)
+			}
+			// Worst converging event of the run, per mode.
+			if run.Mode == sim.Supercharged.String() {
+				if ev.Convergence.MaxMS > c.supercharged {
+					c.supercharged = ev.Convergence.MaxMS
+				}
+			} else if ev.Convergence.MaxMS > c.standalone {
+				c.standalone = ev.Convergence.MaxMS
+			}
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	t := &metrics.Table{Header: []string{"prefixes", "standalone max", "supercharged max"}}
+	for _, n := range order {
+		c := sizes[n]
+		t.Add(n, cellMS(c.standalone), cellMS(c.supercharged))
+	}
+	return t.Render()
+}
+
+func cellMS(ms float64) string {
+	if ms == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0fms", ms)
+}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"supercharged/internal/sim"
+)
+
+// validSpec returns a minimal well-formed spec to mutate per test case.
+func validSpec() Spec {
+	return Spec{
+		Name:  "test-valid",
+		Peers: []Peer{{Name: "R2"}, {Name: "R3"}},
+		Events: []Event{
+			{At: time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormedSpec(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "empty name"},
+		{"whitespace name", func(s *Spec) { s.Name = "bad name" }, "whitespace"},
+		{"empty topology", func(s *Spec) { s.Peers = nil }, "at least 2 peers"},
+		{"single peer", func(s *Spec) { s.Peers = s.Peers[:1] }, "at least 2 peers"},
+		{"duplicate peer names", func(s *Spec) { s.Peers[1].Name = "R2" }, "duplicate peer"},
+		{"negative peer feed", func(s *Spec) { s.Peers[0].Prefixes = -1 }, "negative feed size"},
+		{"unknown event kind", func(s *Spec) { s.Events[0].Kind = "meteor-strike" }, "unknown kind"},
+		{"event before t=0", func(s *Spec) { s.Events[0].At = -time.Second }, "before t=0"},
+		{"event missing peer", func(s *Spec) { s.Events[0].Peer = "" }, "missing peer"},
+		{"event unknown peer", func(s *Spec) { s.Events[0].Peer = "R9" }, "unknown peer"},
+		{"flap without hold", func(s *Spec) {
+			s.Events[0] = Event{At: time.Second, Kind: sim.EventLinkFlap, Peer: "R2"}
+		}, "Hold must be positive"},
+		{"withdraw fraction zero", func(s *Spec) {
+			s.Events[0] = Event{At: time.Second, Kind: sim.EventPartialWithdraw, Peer: "R2"}
+		}, "outside (0, 1]"},
+		{"withdraw fraction above one", func(s *Spec) {
+			s.Events[0] = Event{At: time.Second, Kind: sim.EventPartialWithdraw, Peer: "R2", Fraction: 1.5}
+		}, "outside (0, 1]"},
+		{"unknown detection", func(s *Spec) { s.Events[0].Detection = "psychic" }, "unknown detection"},
+		{"negative group size", func(s *Spec) { s.GroupSize = -1 }, "negative group size"},
+		{"negative prefixes", func(s *Spec) { s.Prefixes = -5 }, "negative prefix count"},
+		{"negative flows", func(s *Spec) { s.Flows = -5 }, "negative flow count"},
+		{"non-positive sweep size", func(s *Spec) { s.PrefixSweep = []int{1000, 0} }, "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("spec %+v validated; want error containing %q", s, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCompileCarriesTopologyAndTimeline(t *testing.T) {
+	s := Spec{
+		Name:      "test-compile",
+		Peers:     []Peer{{Name: "A", Weight: 500}, {Name: "B", Prefixes: 123}},
+		GroupSize: 3,
+		Events: []Event{
+			{At: 2 * time.Second, Kind: sim.EventLinkFlap, Peer: "A", Hold: 50 * time.Millisecond},
+		},
+		HoldTimer: 10 * time.Second,
+	}
+	cfg := s.compile(sim.Supercharged, 4000, 42, 7)
+	if cfg.Mode != sim.Supercharged || cfg.NumPrefixes != 4000 || cfg.NumFlows != 42 || cfg.Seed != 7 {
+		t.Fatalf("base config wrong: %+v", cfg.Config)
+	}
+	if cfg.GroupSize != 3 || cfg.HoldTimer != 10*time.Second {
+		t.Fatalf("group size / hold timer wrong: %+v", cfg)
+	}
+	if len(cfg.Peers) != 2 || cfg.Peers[0].Weight != 500 || cfg.Peers[1].Prefixes != 123 {
+		t.Fatalf("peers wrong: %+v", cfg.Peers)
+	}
+	if len(cfg.Events) != 1 || cfg.Events[0].Kind != sim.EventLinkFlap || cfg.Events[0].Hold != 50*time.Millisecond {
+		t.Fatalf("events wrong: %+v", cfg.Events)
+	}
+}

@@ -40,7 +40,7 @@ func (l *lab) setupStandalone() error {
 	codec := bgp.Codec{ASN4: true}
 	var ops []dataplane.FIBOp
 	for _, prov := range l.providers {
-		updates, err := l.table.Updates(prov.as, prov.nh, codec)
+		updates, err := prov.feed.Updates(prov.as, prov.nh, codec)
 		if err != nil {
 			return err
 		}
@@ -85,7 +85,7 @@ func (l *lab) setupSupercharged() error {
 	codec := bgp.Codec{ASN4: true}
 	var ops []dataplane.FIBOp
 	for _, prov := range l.providers {
-		updates, err := l.table.Updates(prov.as, prov.nh, codec)
+		updates, err := prov.feed.Updates(prov.as, prov.nh, codec)
 		if err != nil {
 			return err
 		}
@@ -194,7 +194,7 @@ func (l *lab) pathWorks(pfx netip.Prefix) bool {
 	mac := nh.MAC
 	if l.flows != nil {
 		if prov, direct := l.targets[mac]; direct {
-			return prov.up
+			return prov.up && !prov.withdrawn[pfx]
 		}
 		// VMAC: resolve through the switch table.
 		eth := &packet.Ethernet{Dst: mac, Type: packet.EtherTypeIPv4}
@@ -209,79 +209,117 @@ func (l *lab) pathWorks(pfx netip.Prefix) bool {
 		}
 	}
 	prov, ok := l.targets[mac]
-	return ok && prov.up
+	return ok && prov.up && !prov.withdrawn[pfx]
 }
 
 // --- failure sequence ---
 
-// failProvider cuts the link to prov and schedules the detection and
-// reaction pipeline for the current mode.
+// failProvider cuts the link to prov and schedules the BFD detection and
+// reaction pipeline for the current mode (the single-shot Run path).
 func (l *lab) failProvider(prov *provider) {
-	prov.up = false
-	now := l.clk.Now()
-	// Probes through this provider black-hole immediately. Only the
-	// first blackout anchors the measurement (a later failure must not
-	// shift the window of an already-measured flow).
-	for _, pr := range l.probes {
-		if pr.working && !l.pathWorks(pr.prefix) {
-			pr.working = false
-			if pr.lastGoodBefore.IsZero() {
-				pr.lastGoodBefore = now
-			}
-		}
-	}
-
+	l.linkDown(prov)
 	detect := time.Duration(l.cfg.BFDMult) * l.cfg.BFDInterval
-	l.clk.AfterFunc(detect, func() {
+	prov.detect = l.clk.AfterFunc(detect, func() {
+		prov.detect = nil
 		if l.result.DetectAt == 0 {
 			l.result.DetectAt = l.clk.Now().Sub(l.failAbs)
 		}
-		switch l.cfg.Mode {
-		case Standalone:
-			l.standaloneReact(prov)
-		case Supercharged:
-			l.superchargedReact(prov)
-		}
+		l.reactToFailure(prov)
 	})
+}
+
+// linkDown cuts the physical link: probes through this provider black-hole
+// immediately, before any detection or reaction.
+func (l *lab) linkDown(prov *provider) {
+	prov.up = false
+	now := l.clk.Now()
+	for _, pr := range l.probes {
+		if pr.working && !l.pathWorks(pr.prefix) {
+			pr.working = false
+			pr.open(now)
+		}
+	}
+}
+
+// reactToFailure dispatches the post-detection convergence pipeline.
+func (l *lab) reactToFailure(prov *provider) {
+	switch l.cfg.Mode {
+	case Standalone:
+		l.standaloneReact(prov)
+	case Supercharged:
+		l.superchargedReact(prov)
+	}
+}
+
+// ctlDelay draws the router's control-plane delay: RouterCtl plus the
+// per-reaction jitter.
+func (l *lab) ctlDelay() time.Duration {
+	ctl := l.cfg.RouterCtl
+	if l.cfg.RouterCtlJitter > 0 {
+		ctl += time.Duration(l.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
+	}
+	return ctl
+}
+
+// controllerDelay is how long until the controller can react: zero
+// normally, the remaining restart window while it is down.
+func (l *lab) controllerDelay() time.Duration {
+	if l.ctrlDownUntil.IsZero() {
+		return 0
+	}
+	if d := l.ctrlDownUntil.Sub(l.clk.Now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// enqueueFIBChanges converts RIB changes into FIB ops and enqueues them in
+// table-walk order — the hardware rewrites entries one by one.
+func (l *lab) enqueueFIBChanges(changes []bgp.Change) {
+	ops := make([]dataplane.FIBOp, 0, len(changes))
+	for _, ch := range changes {
+		if len(ch.New) == 0 {
+			ops = append(ops, dataplane.FIBOp{Prefix: ch.Prefix, Delete: true})
+			continue
+		}
+		target, ok := l.providerByNH(ch.New[0].NextHop())
+		if !ok {
+			continue
+		}
+		ops = append(ops, dataplane.FIBOp{
+			Prefix: ch.Prefix,
+			NH:     dataplane.L2NH{MAC: target.mac, Port: int(routerPortOnSwitch)},
+		})
+	}
+	l.enqueueWalkOrder(ops)
+}
+
+// enqueueWalkOrder sorts ops by current FIB position (new prefixes first)
+// and feeds them to the serialized per-entry updater.
+func (l *lab) enqueueWalkOrder(ops []dataplane.FIBOp) {
+	type pendingOp struct {
+		pos int
+		op  dataplane.FIBOp
+	}
+	pending := make([]pendingOp, 0, len(ops))
+	for _, op := range ops {
+		pos, _ := l.fib.Position(op.Prefix)
+		pending = append(pending, pendingOp{pos, op})
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].pos < pending[j].pos })
+	sorted := make([]dataplane.FIBOp, len(pending))
+	for i, p := range pending {
+		sorted[i] = p.op
+	}
+	l.fib.Enqueue(sorted...)
 }
 
 // standaloneReact is the vanilla router's convergence: after its control
 // plane digests the failure (RouterCtl + jitter), it rewrites every FIB
 // entry one by one in table-walk order — the linear process of Fig. 5.
 func (l *lab) standaloneReact(prov *provider) {
-	ctl := l.cfg.RouterCtl
-	if l.cfg.RouterCtlJitter > 0 {
-		ctl += time.Duration(l.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
-	}
-	l.clk.AfterFunc(ctl, func() {
-		changes := l.routerRIB.RemovePeer(prov.nh)
-		type pendingOp struct {
-			pos int
-			op  dataplane.FIBOp
-		}
-		pending := make([]pendingOp, 0, len(changes))
-		for _, ch := range changes {
-			pos, _ := l.fib.Position(ch.Prefix)
-			if len(ch.New) == 0 {
-				pending = append(pending, pendingOp{pos, dataplane.FIBOp{Prefix: ch.Prefix, Delete: true}})
-				continue
-			}
-			target, ok := l.providerByNH(ch.New[0].NextHop())
-			if !ok {
-				continue
-			}
-			pending = append(pending, pendingOp{pos, dataplane.FIBOp{
-				Prefix: ch.Prefix,
-				NH:     dataplane.L2NH{MAC: target.mac, Port: int(routerPortOnSwitch)},
-			}})
-		}
-		// The hardware walks the table in order.
-		sort.Slice(pending, func(i, j int) bool { return pending[i].pos < pending[j].pos })
-		ops := make([]dataplane.FIBOp, len(pending))
-		for i, p := range pending {
-			ops[i] = p.op
-		}
-		l.fib.Enqueue(ops...)
+	l.clk.AfterFunc(l.ctlDelay(), func() {
+		l.enqueueFIBChanges(l.routerRIB.RemovePeer(prov.nh))
 	})
 }
 
@@ -290,7 +328,7 @@ func (l *lab) standaloneReact(prov *provider) {
 // router's own BGP/FIB cleanup then proceeds in the background without
 // traffic impact.
 func (l *lab) superchargedReact(prov *provider) {
-	l.clk.AfterFunc(0, func() {
+	l.clk.AfterFunc(l.controllerDelay(), func() {
 		if _, err := l.engine.PeerDown(prov.nh); err != nil {
 			panic(fmt.Sprintf("sim: engine.PeerDown: %v", err))
 		}
@@ -300,27 +338,8 @@ func (l *lab) superchargedReact(prov *provider) {
 		if err != nil {
 			panic(fmt.Sprintf("sim: processor.PeerDown: %v", err))
 		}
-		ctl := l.cfg.RouterCtl
-		if l.cfg.RouterCtlJitter > 0 {
-			ctl += time.Duration(l.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
-		}
-		l.clk.AfterFunc(ctl, func() {
-			ops := l.routerApply(updates)
-			type pendingOp struct {
-				pos int
-				op  dataplane.FIBOp
-			}
-			pending := make([]pendingOp, 0, len(ops))
-			for _, op := range ops {
-				pos, _ := l.fib.Position(op.Prefix)
-				pending = append(pending, pendingOp{pos, op})
-			}
-			sort.Slice(pending, func(i, j int) bool { return pending[i].pos < pending[j].pos })
-			sorted := make([]dataplane.FIBOp, len(pending))
-			for i, p := range pending {
-				sorted[i] = p.op
-			}
-			l.fib.Enqueue(sorted...)
+		l.clk.AfterFunc(l.ctlDelay(), func() {
+			l.enqueueWalkOrder(l.routerApply(updates))
 		})
 	})
 }
@@ -345,14 +364,9 @@ func (l *lab) reevaluateProbe(pr *probe, at time.Time) {
 	switch {
 	case !pr.working && works:
 		pr.working = true
-		if !pr.haveResult && !pr.lastGoodBefore.IsZero() {
-			pr.recoveredAt = at
-			pr.haveResult = true
-		}
+		pr.closeAt(at)
 	case pr.working && !works:
 		pr.working = false
-		if pr.lastGoodBefore.IsZero() {
-			pr.lastGoodBefore = at
-		}
+		pr.open(at)
 	}
 }

@@ -148,12 +148,27 @@ func (r *Result) Durations() []time.Duration {
 
 // provider is one upstream router in the lab.
 type provider struct {
+	name string
 	nh   netip.Addr
 	mac  packet.MAC
 	port uint16
 	as   uint32
 	meta bgp.PeerMeta
 	up   bool
+
+	// feedN caps the provider's advertised table (0 = full table); feed is
+	// the rendered view, assigned once the table is generated.
+	feedN int
+	feed  *feed.Table
+	// withdrawn marks prefixes the peer has withdrawn while its link stays
+	// up (partial-withdraw events): the destination is unreachable via
+	// this peer even though the session is alive. withdrawnN is the
+	// high-water head count of the withdrawn chunk.
+	withdrawn  map[netip.Prefix]bool
+	withdrawnN int
+	// detect is the pending failure-detection timer (BFD or hold timer),
+	// cancelled if the link comes back before it fires.
+	detect clock.Timer
 }
 
 // Run executes one convergence experiment and returns the measurements.
@@ -161,6 +176,17 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.NumPrefixes <= 0 {
 		return nil, fmt.Errorf("sim: NumPrefixes must be positive")
 	}
+	cfg = cfg.withDefaults()
+	if cfg.Providers < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 providers")
+	}
+
+	lab := newLab(cfg, nil)
+	return lab.run()
+}
+
+// withDefaults fills zero fields from the calibrated DefaultConfig.
+func (cfg Config) withDefaults() Config {
 	def := DefaultConfig(cfg.Mode, cfg.NumPrefixes)
 	if cfg.NumFlows == 0 {
 		cfg.NumFlows = def.NumFlows
@@ -198,12 +224,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Providers == 0 {
 		cfg.Providers = def.Providers
 	}
-	if cfg.Providers < 2 {
-		return nil, fmt.Errorf("sim: need at least 2 providers")
-	}
-
-	lab := newLab(cfg)
-	return lab.run()
+	return cfg
 }
 
 type lab struct {
@@ -230,22 +251,52 @@ type lab struct {
 
 	failAbs time.Time
 	result  *Result
+
+	// Timeline state (nil/zero outside RunTimeline).
+	tcfg          *TimelineConfig
+	events        []*eventState
+	base          time.Time
+	fibBase       uint64
+	ctrlDownUntil time.Time
+}
+
+// outage is one contiguous blackout window of a probed flow.
+type outage struct {
+	start, end time.Time
+	ended      bool
 }
 
 type probe struct {
 	prefix  netip.Prefix
 	phase   time.Duration // probe phase offset in [0, ProbeInterval)
 	working bool
-	// lastGoodBefore is the time of the last successfully delivered
-	// probe packet before the blackout.
-	lastGoodBefore time.Time
-	recoveredAt    time.Time
-	haveResult     bool
+	// outages records every blackout window in chronological order; the
+	// last entry is open while the flow is down.
+	outages []outage
+}
+
+// open starts a new outage window unless one is already open.
+func (p *probe) open(at time.Time) {
+	if n := len(p.outages); n > 0 && !p.outages[n-1].ended {
+		return
+	}
+	p.outages = append(p.outages, outage{start: at})
+}
+
+// closeAt ends the open outage window, if any.
+func (p *probe) closeAt(at time.Time) {
+	if n := len(p.outages); n > 0 && !p.outages[n-1].ended {
+		p.outages[n-1].end = at
+		p.outages[n-1].ended = true
+	}
 }
 
 var zeroTime = time.Unix(0, 0).UTC()
 
-func newLab(cfg Config) *lab {
+// newLab builds the lab. peers parameterizes the provider topology; nil
+// synthesizes cfg.Providers identical full-feed peers (R2 preferred, then
+// descending), the paper's fixed setup.
+func newLab(cfg Config, peers []PeerSpec) *lab {
 	l := &lab{
 		cfg:     cfg,
 		clk:     clock.NewVirtualAtZero(),
@@ -254,30 +305,55 @@ func newLab(cfg Config) *lab {
 		targets: make(map[packet.MAC]*provider),
 		result:  &Result{Mode: cfg.Mode, NumPrefixes: cfg.NumPrefixes},
 	}
+	if peers == nil {
+		for i := 0; i < cfg.Providers; i++ {
+			peers = append(peers, PeerSpec{})
+		}
+	}
 	// Providers: R2 (primary, preferred via weight), R3, R4...
-	for i := 0; i < cfg.Providers; i++ {
+	for i, spec := range peers {
 		p := &provider{
-			nh:   netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}),
-			mac:  packet.MAC{0x01 + byte(i)*0x11, 0xaa, 0, 0, 0, byte(i + 1)},
-			port: uint16(i + 2), // port 1 is the router
-			as:   uint32(65002 + i),
-			up:   true,
+			name:  spec.Name,
+			nh:    netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}),
+			mac:   packet.MAC{0x01 + byte(i)*0x11, 0xaa, 0, 0, 0, byte(i + 1)},
+			port:  uint16(i + 2), // port 1 is the router
+			as:    uint32(65002 + i),
+			up:    true,
+			feedN: spec.Prefixes,
 		}
-		p.meta = bgp.PeerMeta{
-			Addr: p.nh, AS: p.as, ID: p.nh,
+		if p.name == "" {
+			p.name = fmt.Sprintf("R%d", i+2)
+		}
+		weight := spec.Weight
+		if weight == 0 {
 			// Highest weight on R2, decreasing after: the paper's "R1 is
-			// configured to prefer R2 for all destinations".
-			Weight: uint32(1000 - i*100),
+			// configured to prefer R2 for all destinations". Anchored high
+			// so the auto weights stay positive and distinct for any
+			// number of peers.
+			weight = uint32(1_000_000 - i)
 		}
+		p.meta = bgp.PeerMeta{Addr: p.nh, AS: p.as, ID: p.nh, Weight: weight}
 		l.providers = append(l.providers, p)
 		l.targets[p.mac] = p
 	}
 	return l
 }
 
+// assignFeeds renders each provider's advertised table view.
+func (l *lab) assignFeeds() {
+	for _, prov := range l.providers {
+		if prov.feedN > 0 && prov.feedN < l.table.Len() {
+			prov.feed = l.table.Head(prov.feedN)
+		} else {
+			prov.feed = l.table
+		}
+	}
+}
+
 func (l *lab) run() (*Result, error) {
 	cfg := l.cfg
 	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
+	l.assignFeeds()
 
 	if err := l.setup(); err != nil {
 		return nil, err
@@ -306,28 +382,31 @@ func (l *lab) run() (*Result, error) {
 		res.RuleRewrites = int(l.engine.Rewrites())
 	}
 	for _, pr := range l.sortedProbes() {
-		if !pr.haveResult {
+		if len(pr.outages) == 0 || !pr.outages[0].ended {
 			return nil, fmt.Errorf("sim: flow %v never recovered", pr.prefix)
 		}
-		conv := l.measureConvergence(pr)
+		// Only the first blackout anchors the single-failure measurement
+		// (a later failure must not shift an already-measured flow).
+		first := pr.outages[0]
+		conv := l.quantizedGap(pr, first)
 		pos, _ := l.fib.Position(pr.prefix)
 		res.Flows = append(res.Flows, FlowResult{Prefix: pr.prefix, Position: pos, Convergence: conv})
-		if d := pr.recoveredAt.Sub(failAbs); d > res.DataPlaneDone {
+		if d := first.end.Sub(failAbs); d > res.DataPlaneDone {
 			res.DataPlaneDone = d
 		}
 	}
 	return res, nil
 }
 
-// measureConvergence reproduces the FPGA methodology: the maximum
-// inter-packet gap seen by the flow, i.e. first probe delivered after
+// quantizedGap reproduces the FPGA methodology: the maximum inter-packet
+// gap seen by the flow across an outage, i.e. first probe delivered after
 // recovery minus last probe delivered before the blackout.
-func (l *lab) measureConvergence(pr *probe) time.Duration {
+func (l *lab) quantizedGap(pr *probe, o outage) time.Duration {
 	iv := l.cfg.ProbeInterval
 	// Last probe at or before the blackout started.
-	lastBefore := alignDown(pr.lastGoodBefore.Sub(zeroTime)-pr.phase, iv) + pr.phase
+	lastBefore := alignDown(o.start.Sub(zeroTime)-pr.phase, iv) + pr.phase
 	// First probe at or after recovery.
-	firstAfter := alignUp(pr.recoveredAt.Sub(zeroTime)-pr.phase, iv) + pr.phase
+	firstAfter := alignUp(o.end.Sub(zeroTime)-pr.phase, iv) + pr.phase
 	return firstAfter - lastBefore
 }
 

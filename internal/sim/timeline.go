@@ -1,0 +1,504 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/dataplane"
+	"supercharged/internal/feed"
+)
+
+// EventKind enumerates the scripted timeline events the lab can replay.
+// The string values are the declarative names used by scenario specs and
+// their JSON encodings.
+type EventKind string
+
+const (
+	// EventPeerDown cuts a provider's link; the failure is noticed via
+	// the event's Detection and the mode's convergence pipeline runs.
+	EventPeerDown EventKind = "peer-down"
+	// EventPeerUp restores a provider's link; after SessionUp the BGP
+	// session re-establishes and the peer re-announces its feed.
+	EventPeerUp EventKind = "peer-up"
+	// EventLinkFlap cuts the link and restores it Hold later. A Hold
+	// shorter than the detection time is absorbed: the failure is never
+	// declared and only the physical blackout is visible.
+	EventLinkFlap EventKind = "link-flap"
+	// EventPartialWithdraw has the peer withdraw the first
+	// ceil(Fraction×feed) prefixes of its table while the link stays up —
+	// the destinations become unreachable via that peer upstream.
+	EventPartialWithdraw EventKind = "partial-withdraw"
+	// EventBurstReannounce has the peer re-announce its withdrawn chunk
+	// (or, with nothing withdrawn, replay its full feed) in one burst.
+	EventBurstReannounce EventKind = "burst-reannounce"
+	// EventRuleLoss wipes the switch flow table (switch reboot / eviction);
+	// the controller resyncs it from the group table. Standalone mode has
+	// no switch rules in the forwarding path, so the event is a no-op.
+	EventRuleLoss EventKind = "rule-loss"
+	// EventControllerRestart takes the controller down for Hold. Installed
+	// switch rules keep forwarding (fail-standalone), but reactions to
+	// failures detected during the window wait for the restart to finish.
+	EventControllerRestart EventKind = "controller-restart"
+)
+
+// knownEventKinds lists every valid kind, in display order.
+var knownEventKinds = []EventKind{
+	EventPeerDown, EventPeerUp, EventLinkFlap, EventPartialWithdraw,
+	EventBurstReannounce, EventRuleLoss, EventControllerRestart,
+}
+
+// KnownEventKinds returns the valid event kinds in display order.
+func KnownEventKinds() []EventKind {
+	return append([]EventKind(nil), knownEventKinds...)
+}
+
+// ValidEventKind reports whether k names a known event kind.
+func ValidEventKind(k EventKind) bool {
+	for _, known := range knownEventKinds {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Detection selects how a link failure is noticed.
+type Detection string
+
+const (
+	// DetectBFD is the paper's fast path: BFDMult × BFDInterval.
+	DetectBFD Detection = "bfd"
+	// DetectHoldTimer is the slow path of a router without BFD: the BGP
+	// hold timer (TimelineConfig.HoldTimer) must expire first.
+	DetectHoldTimer Detection = "hold-timer"
+)
+
+// PeerSpec declares one provider peer of a timeline topology.
+type PeerSpec struct {
+	// Name identifies the peer in events ("" = R2, R3, ... by position).
+	Name string
+	// Weight is the router's preference for this peer (higher wins;
+	// 0 = auto-descending by position, first peer primary).
+	Weight uint32
+	// Prefixes caps the peer's advertised feed (0 = the full table).
+	Prefixes int
+}
+
+// TimelineEvent is one scripted event, At after traffic steady-state.
+type TimelineEvent struct {
+	At   time.Duration
+	Kind EventKind
+	// Peer names the affected peer (required for peer/link events).
+	Peer string
+	// Hold is the link-flap downtime or controller-restart duration.
+	Hold time.Duration
+	// Fraction is the partial-withdraw share of the peer's feed, (0, 1].
+	Fraction float64
+	// Detection selects the failure-detection path ("" = bfd).
+	Detection Detection
+}
+
+// TimelineConfig drives RunTimeline: the single-shot Config timing model
+// (FailAt/SecondFailure/Providers are ignored) plus a parameterized peer
+// topology and an event timeline.
+type TimelineConfig struct {
+	Config
+	Peers  []PeerSpec
+	Events []TimelineEvent
+	// HoldTimer is the hold-timer detection latency (default 90 s, the
+	// BGP default).
+	HoldTimer time.Duration
+	// SessionUp is the BGP re-establishment delay after a link returns
+	// (default 1 s).
+	SessionUp time.Duration
+}
+
+// eventState tracks one scheduled event through the run.
+type eventState struct {
+	ev       TimelineEvent
+	absAt    time.Time
+	detectAt time.Duration
+}
+
+// EventResult is one event's measured impact.
+type EventResult struct {
+	Index int           `json:"index"`
+	Kind  EventKind     `json:"kind"`
+	Peer  string        `json:"peer,omitempty"`
+	At    time.Duration `json:"at"`
+	// DetectAt is the detection latency after the event fired (0 when the
+	// event needs no detection or the failure was never declared).
+	DetectAt time.Duration `json:"detect_at"`
+	// Affected counts probed flows that blacked out due to this event;
+	// Recovered of those came back, Unrecovered never did.
+	Affected    int `json:"affected"`
+	Recovered   int `json:"recovered"`
+	Unrecovered int `json:"unrecovered"`
+	// Convergence holds the per-recovered-flow quantized blackout gaps.
+	Convergence []time.Duration `json:"convergence,omitempty"`
+}
+
+// TimelineResult is one timeline run's measurements.
+type TimelineResult struct {
+	Mode        Mode          `json:"-"`
+	NumPrefixes int           `json:"prefixes"`
+	Peers       []string      `json:"peers"`
+	Events      []EventResult `json:"events"`
+	// Groups and RuleRewrites mirror Result (supercharged mode only).
+	Groups       int `json:"groups"`
+	RuleRewrites int `json:"rule_rewrites"`
+	// FIBWrites counts per-entry FIB installs after steady state — the
+	// control-plane churn the events caused.
+	FIBWrites uint64 `json:"fib_writes"`
+	// Elapsed is the virtual time from steady state to quiescence.
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// RunTimeline executes a scripted multi-event experiment and returns the
+// per-event measurements.
+func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
+	if cfg.NumPrefixes <= 0 {
+		return nil, fmt.Errorf("sim: NumPrefixes must be positive")
+	}
+	cfg.Config = cfg.Config.withDefaults()
+	if cfg.HoldTimer == 0 {
+		cfg.HoldTimer = 90 * time.Second
+	}
+	if cfg.SessionUp == 0 {
+		cfg.SessionUp = time.Second
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := newLab(cfg.Config, cfg.Peers)
+	l.tcfg = &cfg
+	return l.runTimeline()
+}
+
+// Validate rejects malformed topologies and events up front, so a
+// scripted scenario fails loudly instead of running a half-meaningful lab.
+func (cfg *TimelineConfig) Validate() error {
+	if len(cfg.Peers) < 2 {
+		return fmt.Errorf("sim: timeline needs at least 2 peers, got %d", len(cfg.Peers))
+	}
+	names := make(map[string]bool, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("R%d", i+2)
+		}
+		if names[name] {
+			return fmt.Errorf("sim: duplicate peer name %q", name)
+		}
+		names[name] = true
+		if p.Prefixes < 0 {
+			return fmt.Errorf("sim: peer %q: negative feed size %d", name, p.Prefixes)
+		}
+	}
+	for i, ev := range cfg.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("sim: event %d (%s): scheduled before t=0 (%v)", i, ev.Kind, ev.At)
+		}
+		if !ValidEventKind(ev.Kind) {
+			return fmt.Errorf("sim: event %d: unknown kind %q", i, ev.Kind)
+		}
+		switch ev.Kind {
+		case EventPeerDown, EventPeerUp, EventLinkFlap, EventPartialWithdraw, EventBurstReannounce:
+			if ev.Peer == "" {
+				return fmt.Errorf("sim: event %d (%s): missing peer", i, ev.Kind)
+			}
+			if !names[ev.Peer] {
+				return fmt.Errorf("sim: event %d (%s): unknown peer %q", i, ev.Kind, ev.Peer)
+			}
+		}
+		switch ev.Kind {
+		case EventLinkFlap, EventControllerRestart:
+			if ev.Hold <= 0 {
+				return fmt.Errorf("sim: event %d (%s): Hold must be positive", i, ev.Kind)
+			}
+		case EventPartialWithdraw:
+			if ev.Fraction <= 0 || ev.Fraction > 1 {
+				return fmt.Errorf("sim: event %d (%s): Fraction %v outside (0, 1]", i, ev.Kind, ev.Fraction)
+			}
+		}
+		if ev.Detection != "" && ev.Detection != DetectBFD && ev.Detection != DetectHoldTimer {
+			return fmt.Errorf("sim: event %d (%s): unknown detection %q", i, ev.Kind, ev.Detection)
+		}
+	}
+	return nil
+}
+
+// runTimeline is the timeline counterpart of run: set up steady state,
+// replay the script, drain to quiescence and attribute outages to events.
+func (l *lab) runTimeline() (*TimelineResult, error) {
+	cfg := l.cfg
+	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
+	l.assignFeeds()
+
+	if err := l.setup(); err != nil {
+		return nil, err
+	}
+	l.setupProbes()
+
+	l.base = l.clk.Now()
+	l.fibBase = l.fib.Applied()
+	for i := range l.tcfg.Events {
+		st := &eventState{ev: l.tcfg.Events[i], absAt: l.base.Add(l.tcfg.Events[i].At)}
+		l.events = append(l.events, st)
+		l.clk.AfterFunc(st.ev.At, func() { l.applyEvent(st) })
+	}
+	l.clk.RunUntilIdleLimit(50_000_000)
+	return l.harvestTimeline(), nil
+}
+
+func (l *lab) applyEvent(st *eventState) {
+	var prov *provider
+	if st.ev.Peer != "" {
+		var ok bool
+		if prov, ok = l.providerByName(st.ev.Peer); !ok {
+			panic(fmt.Sprintf("sim: event references unknown peer %q", st.ev.Peer))
+		}
+	}
+	switch st.ev.Kind {
+	case EventPeerDown:
+		l.eventLinkDown(st, prov)
+	case EventPeerUp:
+		l.eventLinkUp(prov)
+	case EventLinkFlap:
+		l.eventLinkDown(st, prov)
+		l.clk.AfterFunc(st.ev.Hold, func() { l.eventLinkUp(prov) })
+	case EventPartialWithdraw:
+		l.eventPartialWithdraw(st, prov)
+	case EventBurstReannounce:
+		l.eventBurstReannounce(prov)
+	case EventRuleLoss:
+		l.eventRuleLoss()
+	case EventControllerRestart:
+		l.eventControllerRestart(st)
+	}
+}
+
+// eventLinkDown cuts the link and arms the detection timer for the
+// event's detection path.
+func (l *lab) eventLinkDown(st *eventState, prov *provider) {
+	if !prov.up {
+		return
+	}
+	l.linkDown(prov)
+	detect := time.Duration(l.cfg.BFDMult) * l.cfg.BFDInterval
+	if st.ev.Detection == DetectHoldTimer {
+		detect = l.tcfg.HoldTimer
+	}
+	prov.detect = l.clk.AfterFunc(detect, func() {
+		prov.detect = nil
+		st.detectAt = l.clk.Now().Sub(st.absAt)
+		l.reactToFailure(prov)
+	})
+}
+
+// eventLinkUp restores the link. If detection has not fired yet the
+// failure is absorbed (timer cancelled, routes and FIB untouched);
+// otherwise the session re-establishes after SessionUp and the peer
+// re-announces its feed.
+func (l *lab) eventLinkUp(prov *provider) {
+	if prov.up {
+		return
+	}
+	prov.up = true
+	if prov.detect != nil {
+		prov.detect.Stop()
+		prov.detect = nil
+		l.reevaluateAllProbes()
+		return
+	}
+	l.reevaluateAllProbes()
+	l.clk.AfterFunc(l.tcfg.SessionUp, func() {
+		// A fresh session replays the whole feed, which supersedes any
+		// earlier partial withdraw: the peer advertises the routes again,
+		// so they are reachable via it from now on.
+		prov.withdrawn = nil
+		prov.withdrawnN = 0
+		l.reevaluateAllProbes()
+		updates, err := prov.feed.Updates(prov.as, prov.nh, bgp.Codec{ASN4: true})
+		if err != nil {
+			panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
+		}
+		l.ingest(prov, updates, true)
+	})
+}
+
+// eventPartialWithdraw marks the head chunk of the peer's feed withdrawn
+// and sends the WITHDRAW through the mode's control plane.
+func (l *lab) eventPartialWithdraw(st *eventState, prov *provider) {
+	n := int(math.Ceil(st.ev.Fraction * float64(prov.feed.Len())))
+	if n <= 0 {
+		return
+	}
+	if n > prov.feed.Len() {
+		n = prov.feed.Len()
+	}
+	withdrawn := prov.feed.Head(n).Prefixes()
+	if prov.withdrawn == nil {
+		prov.withdrawn = make(map[netip.Prefix]bool, len(withdrawn))
+	}
+	for _, p := range withdrawn {
+		prov.withdrawn[p] = true
+	}
+	if n > prov.withdrawnN {
+		prov.withdrawnN = n
+	}
+	// The destinations are unreachable via this peer from now on.
+	l.reevaluateAllProbes()
+	l.ingest(prov, []*bgp.Update{{Withdrawn: withdrawn}}, false)
+}
+
+// eventBurstReannounce replays the peer's withdrawn chunk (or, with
+// nothing withdrawn, its whole feed) as one announcement burst.
+func (l *lab) eventBurstReannounce(prov *provider) {
+	chunk := prov.feed
+	if prov.withdrawnN > 0 {
+		chunk = prov.feed.Head(prov.withdrawnN)
+	}
+	for _, p := range chunk.Prefixes() {
+		delete(prov.withdrawn, p)
+	}
+	prov.withdrawnN = 0
+	// Reachability via this peer is restored upstream immediately.
+	l.reevaluateAllProbes()
+	updates, err := chunk.Updates(prov.as, prov.nh, bgp.Codec{ASN4: true})
+	if err != nil {
+		panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
+	}
+	l.ingest(prov, updates, false)
+}
+
+// eventRuleLoss wipes the switch flow table; the controller detects the
+// loss and resyncs every group rule from its own state.
+func (l *lab) eventRuleLoss() {
+	if l.flows == nil {
+		return // standalone: no switch rules in the forwarding path
+	}
+	l.flows = dataplane.NewFlowTable()
+	l.reevaluateAllProbes()
+	l.clk.AfterFunc(l.controllerDelay()+l.cfg.ControllerReact, func() {
+		if _, err := l.engine.Resync(); err != nil {
+			panic(fmt.Sprintf("sim: engine.Resync: %v", err))
+		}
+	})
+}
+
+// eventControllerRestart takes the controller down for Hold; reactions
+// arriving in the window are deferred via controllerDelay.
+func (l *lab) eventControllerRestart(st *eventState) {
+	if l.cfg.Mode != Supercharged {
+		return
+	}
+	until := l.clk.Now().Add(st.ev.Hold)
+	if until.After(l.ctrlDownUntil) {
+		l.ctrlDownUntil = until
+	}
+}
+
+// ingest feeds a peer's UPDATE stream through the mode's control plane:
+// straight into the router's RIB in standalone mode, through the
+// supercharger's processor (and, on session recovery, the engine's PeerUp
+// retarget) in supercharged mode. The router's FIB walk follows after its
+// usual control-plane delay.
+func (l *lab) ingest(prov *provider, updates []*bgp.Update, peerUp bool) {
+	switch l.cfg.Mode {
+	case Standalone:
+		l.clk.AfterFunc(l.ctlDelay(), func() {
+			var changes []bgp.Change
+			for _, u := range updates {
+				changes = append(changes, l.routerRIB.Update(prov.meta, u)...)
+			}
+			l.enqueueFIBChanges(changes)
+		})
+	case Supercharged:
+		l.clk.AfterFunc(l.controllerDelay(), func() {
+			var toRouter []*bgp.Update
+			for _, u := range updates {
+				out, err := l.proc.Process(prov.meta, u)
+				if err != nil {
+					panic(fmt.Sprintf("sim: processor.Process: %v", err))
+				}
+				toRouter = append(toRouter, out...)
+			}
+			if peerUp {
+				if _, err := l.engine.PeerUp(prov.nh); err != nil {
+					panic(fmt.Sprintf("sim: engine.PeerUp: %v", err))
+				}
+			}
+			l.clk.AfterFunc(l.ctlDelay(), func() {
+				l.enqueueWalkOrder(l.routerApply(toRouter))
+			})
+		})
+	}
+}
+
+func (l *lab) providerByName(name string) (*provider, bool) {
+	for _, p := range l.providers {
+		if p.name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// harvestTimeline attributes every probe outage to the most recent event
+// at or before its start and assembles the result.
+func (l *lab) harvestTimeline() *TimelineResult {
+	res := &TimelineResult{
+		Mode:        l.cfg.Mode,
+		NumPrefixes: l.cfg.NumPrefixes,
+		FIBWrites:   l.fib.Applied() - l.fibBase,
+		Elapsed:     l.clk.Now().Sub(l.base),
+	}
+	for _, prov := range l.providers {
+		res.Peers = append(res.Peers, prov.name)
+	}
+	if l.proc != nil {
+		res.Groups = l.proc.Groups().Len()
+		res.RuleRewrites = int(l.engine.Rewrites())
+	}
+	for i, st := range l.events {
+		res.Events = append(res.Events, EventResult{
+			Index: i, Kind: st.ev.Kind, Peer: st.ev.Peer,
+			At: st.ev.At, DetectAt: st.detectAt,
+		})
+	}
+	for _, pr := range l.sortedProbes() {
+		for _, o := range pr.outages {
+			idx := l.eventIndexFor(o.start)
+			if idx < 0 {
+				continue
+			}
+			er := &res.Events[idx]
+			er.Affected++
+			if !o.ended {
+				er.Unrecovered++
+				continue
+			}
+			er.Recovered++
+			er.Convergence = append(er.Convergence, l.quantizedGap(pr, o))
+		}
+	}
+	return res
+}
+
+// eventIndexFor returns the latest event fired at or before t (-1 if t
+// precedes every event).
+func (l *lab) eventIndexFor(t time.Time) int {
+	best := -1
+	for i, st := range l.events {
+		if !st.absAt.After(t) {
+			if best == -1 || !st.absAt.Before(l.events[best].absAt) {
+				best = i
+			}
+		}
+	}
+	return best
+}

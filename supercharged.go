@@ -18,6 +18,9 @@
 //     table and the emulated links;
 //   - internal/sim, internal/lab — the discrete-event convergence lab and
 //     the harness regenerating every figure/table of the paper's §4;
+//   - internal/scenario — the declarative failure-scenario engine: named
+//     event timelines (peer failures, flaps, partial withdraws, rule loss,
+//     controller restarts) compiled into lab runs with per-event metrics;
 //   - internal/feed, internal/trafficgen — synthetic full-table feeds and
 //     the FPGA-style probe source/sink.
 //
@@ -31,6 +34,7 @@ import (
 
 	"supercharged/internal/core"
 	"supercharged/internal/lab"
+	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
 )
 
@@ -97,6 +101,56 @@ func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 // DefaultSimConfig returns the calibrated lab configuration.
 func DefaultSimConfig(mode sim.Mode, prefixes int) SimConfig {
 	return sim.DefaultConfig(mode, prefixes)
+}
+
+// Scenario engine re-exports: declarative failure scenarios over the lab
+// (see internal/scenario).
+type (
+	// Scenario is one declarative failure scenario: a parameterized peer
+	// topology plus a scripted event timeline.
+	Scenario = scenario.Spec
+	// ScenarioPeer declares one provider of a scenario topology.
+	ScenarioPeer = scenario.Peer
+	// ScenarioEvent is one scripted event (peer-down, link-flap, ...).
+	ScenarioEvent = scenario.Event
+	// ScenarioOptions parameterizes one scenario execution.
+	ScenarioOptions = scenario.Options
+	// ScenarioReport carries the per-event convergence measurements of a
+	// scenario execution, renderable as JSON, CSV or a text table.
+	ScenarioReport = scenario.Report
+)
+
+// Scenario event kinds and detection paths.
+const (
+	EventPeerDown          = sim.EventPeerDown
+	EventPeerUp            = sim.EventPeerUp
+	EventLinkFlap          = sim.EventLinkFlap
+	EventPartialWithdraw   = sim.EventPartialWithdraw
+	EventBurstReannounce   = sim.EventBurstReannounce
+	EventRuleLoss          = sim.EventRuleLoss
+	EventControllerRestart = sim.EventControllerRestart
+
+	DetectBFD       = sim.DetectBFD
+	DetectHoldTimer = sim.DetectHoldTimer
+)
+
+// Scenarios returns the registered scenarios sorted by name.
+func Scenarios() []Scenario { return scenario.List() }
+
+// LookupScenario returns a registered scenario by name.
+func LookupScenario(name string) (Scenario, bool) { return scenario.Lookup(name) }
+
+// RegisterScenario validates and registers a user-defined scenario.
+func RegisterScenario(s Scenario) error { return scenario.Register(s) }
+
+// RunScenario executes a scenario and returns its report.
+func RunScenario(s Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(s, opts)
+}
+
+// RunScenarioNamed executes a registered scenario by name.
+func RunScenarioNamed(name string, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.RunNamed(name, opts)
 }
 
 // Experiment harness re-exports.
