@@ -1,0 +1,95 @@
+// Command experiments regenerates EXPERIMENTS.md — the repo's committed,
+// self-reproducing record of its own paper-reproduction numbers — from a
+// real sweep of every registered scenario in both router modes:
+//
+//	experiments                    # rewrite EXPERIMENTS.md in place
+//	experiments -o report.md       # write elsewhere
+//	experiments -check             # regenerate and fail on drift (CI)
+//	experiments -workers 8 -q      # parallelism / quiet
+//
+// The default sweep (full registry, both modes, per-scenario table
+// sizes, seed 1) is deterministic: the same seed yields byte-identical
+// output at any worker count, which is what lets CI regenerate the file
+// and fail the build when the committed copy drifts from the code.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"supercharged/internal/sweep"
+)
+
+// baseCommand is the reproduction line embedded in the generated file;
+// it must regenerate the committed EXPERIMENTS.md byte-for-byte, so any
+// non-default flag that shapes the output is appended to it.
+const baseCommand = "go run ./cmd/experiments"
+
+func reproCommand(out string, seed int64) string {
+	cmd := baseCommand
+	if seed != 1 {
+		cmd += fmt.Sprintf(" -seed %d", seed)
+	}
+	if out != "EXPERIMENTS.md" {
+		cmd += " -o " + out
+	}
+	return cmd
+}
+
+func main() {
+	out := flag.String("o", "EXPERIMENTS.md", "output path")
+	check := flag.Bool("check", false, "regenerate and diff against -o instead of writing; exit 1 on drift")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	quiet := flag.Bool("q", false, "suppress per-run progress output")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	spec := sweep.Spec{Seeds: []int64{*seed}}
+	opts := sweep.Options{Workers: *workers}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	command := reproCommand(*out, *seed)
+	agg, err := sweep.Run(spec, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if agg.Failed > 0 {
+		// A partially failed sweep still renders (failures are reported in
+		// the document), but is not a publishable record: refuse to
+		// overwrite the committed file with it.
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d runs failed; not writing %s\n",
+			agg.Failed, agg.Units, *out)
+		os.Exit(1)
+	}
+	doc := agg.Markdown(sweep.MarkdownOptions{Command: command})
+
+	if *check {
+		committed, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -check: %v (regenerate with `%s`)\n", err, command)
+			os.Exit(1)
+		}
+		if !bytes.Equal(committed, doc) {
+			fmt.Fprintf(os.Stderr,
+				"experiments: %s is stale: regenerate with `%s` and commit the result\n",
+				*out, command)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s is up to date\n", *out)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s (%d runs, %d scenarios)\n",
+		*out, agg.Units, len(agg.Scenarios))
+}

@@ -1,24 +1,34 @@
 // Command scenario lists, describes and runs declarative failure
-// scenarios over the convergence lab (internal/scenario):
+// scenarios over the convergence lab (internal/scenario), and sweeps the
+// whole registry across a parallel worker pool (internal/sweep):
 //
 //	scenario list                          # registered scenarios
 //	scenario describe flap-storm           # topology + timeline of one
 //	scenario run paper-fig5 --mode both    # execute and report JSON
 //	scenario run double-failure --prefixes 20000 --format csv
+//	scenario sweep --workers 8             # every scenario × both modes
+//	scenario sweep paper-fig5 flap-storm --seeds 1,2,3 --json
 //
 // `run` writes the full report to stdout (JSON by default; --format
 // csv|table for the others) and, for multi-size two-mode runs, a
-// flat-vs-linear headline table to stderr.
+// flat-vs-linear headline table to stderr. `sweep` streams one progress
+// line per completed run to stderr and writes the aggregated comparison
+// (text table by default, --json for the full aggregate, --md for the
+// EXPERIMENTS.md rendering) to stdout; run failures are reported in the
+// aggregate, not fatal.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
+	"supercharged/internal/sweep"
 )
 
 func main() {
@@ -33,6 +43,8 @@ func main() {
 		cmdDescribe(os.Args[2:])
 	case "run":
 		cmdRun(os.Args[2:])
+	case "sweep":
+		cmdSweep(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -47,6 +59,7 @@ func usage() {
   scenario list                       list registered scenarios
   scenario describe <name>            show a scenario's topology and timeline
   scenario run <name> [flags]         execute a scenario and report results
+  scenario sweep [names...] [flags]   run many scenarios across a worker pool
 
 run flags:
   --mode both|standalone|supercharged   router modes to run (default both)
@@ -55,6 +68,19 @@ run flags:
   --seed N                              RNG seed (default 1; same seed, same report)
   --format json|csv|table               report format on stdout (default json)
   --q                                   suppress progress output on stderr
+
+sweep flags:
+  --workers N                           worker pool size (default GOMAXPROCS)
+  --mode both|standalone|supercharged   router modes (default both)
+  --sizes N,N,...                       table sizes (default per-scenario)
+  --seeds N,N,...                       RNG seeds (default 1)
+  --flows N                             probed flows per run (default 100)
+  --json                                emit the full aggregate as JSON
+  --md                                  emit the EXPERIMENTS.md rendering
+  --q                                   suppress per-run progress on stderr
+
+With no names, sweep covers every registered scenario. The worker count
+only changes wall-clock time: results are deterministic per seed.
 `)
 }
 
@@ -184,4 +210,105 @@ func cmdRun(args []string) {
 		}
 		fmt.Fprintf(os.Stderr, "(%d runs in %v)\n", len(rep.Runs), time.Since(t0).Round(time.Millisecond))
 	}
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	mode := fs.String("mode", "both", "both|standalone|supercharged")
+	sizes := fs.String("sizes", "", "comma-separated table sizes (default per-scenario)")
+	seeds := fs.String("seeds", "", "comma-separated RNG seeds (default 1)")
+	flows := fs.Int("flows", 0, "probed flows per run (0 = default 100)")
+	asJSON := fs.Bool("json", false, "emit the full aggregate as JSON")
+	asMD := fs.Bool("md", false, "emit the EXPERIMENTS.md rendering")
+	quiet := fs.Bool("q", false, "suppress per-run progress output")
+	// Accept names and flags in any interleaving (`sweep a --workers 2 b
+	// --json`): peel leading non-flag args as names, parse flags, repeat
+	// on whatever the flag parser left over. A bare "-" counts as a name
+	// (flag.Parse would hand it back untouched and loop forever); with
+	// that, each pass consumes at least one argument, so this terminates.
+	var names []string
+	rest := args
+	for len(rest) > 0 {
+		for len(rest) > 0 && (rest[0] == "-" || len(rest[0]) == 0 || rest[0][0] != '-') {
+			names, rest = append(names, rest[0]), rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+		if err := fs.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		rest = fs.Args()
+	}
+
+	spec := sweep.Spec{Scenarios: names, Flows: *flows}
+	switch *mode {
+	case "both", "":
+	case "standalone":
+		spec.Modes = []sim.Mode{sim.Standalone}
+	case "supercharged":
+		spec.Modes = []sim.Mode{sim.Supercharged}
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var err error
+	if spec.Sizes, err = parseIntList(*sizes); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: --sizes: %v\n", err)
+		os.Exit(2)
+	}
+	var seedInts []int
+	if seedInts, err = parseIntList(*seeds); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: --seeds: %v\n", err)
+		os.Exit(2)
+	}
+	for _, s := range seedInts {
+		spec.Seeds = append(spec.Seeds, int64(s))
+	}
+
+	opts := sweep.Options{Workers: *workers}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	agg, err := sweep.Run(spec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch {
+	case *asJSON:
+		out, err := agg.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case *asMD:
+		os.Stdout.Write(agg.Markdown(sweep.MarkdownOptions{}))
+	default:
+		fmt.Print(agg.RenderTable())
+	}
+	if agg.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -27,6 +27,46 @@ type Options struct {
 	Progress io.Writer
 }
 
+// Sizes returns the table sizes one execution of the spec covers:
+// override when positive (disabling the spec's sweep), else the spec's
+// PrefixSweep, else its single default size. This is the size axis a
+// parallel sweep (internal/sweep) expands into independent run units.
+func (s Spec) Sizes(override int) []int {
+	if override > 0 {
+		return []int{override}
+	}
+	if len(s.PrefixSweep) > 0 {
+		return append([]int(nil), s.PrefixSweep...)
+	}
+	n := s.Prefixes
+	if n == 0 {
+		n = DefaultPrefixes
+	}
+	return []int{n}
+}
+
+// RunOne executes spec exactly once — one mode, one table size — and
+// returns that single run's report. It is the unit of work a parallel
+// sweep distributes across workers: per-(mode, size) runs are fully
+// independent (each builds its own virtual-clock lab), so RunOne is safe
+// to call concurrently. flows and seed of zero take the usual defaults.
+func RunOne(spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunReport, error) {
+	if err := spec.Validate(); err != nil {
+		return RunReport{}, err
+	}
+	if prefixes <= 0 {
+		prefixes = spec.Sizes(0)[0]
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := sim.RunTimeline(spec.compile(mode, prefixes, flows, seed))
+	if err != nil {
+		return RunReport{}, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, prefixes, err)
+	}
+	return buildRunReport(res), nil
+}
+
 // Run executes spec in every requested mode (and, for sweeping specs, at
 // every table size) and assembles the per-event convergence report.
 func Run(spec Spec, opts Options) (*Report, error) {
@@ -41,17 +81,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	sizes := spec.PrefixSweep
-	if opts.Prefixes > 0 {
-		sizes = []int{opts.Prefixes}
-	}
-	if len(sizes) == 0 {
-		n := spec.Prefixes
-		if n == 0 {
-			n = DefaultPrefixes
-		}
-		sizes = []int{n}
-	}
+	sizes := spec.Sizes(opts.Prefixes)
 
 	rep := &Report{Scenario: spec.Name, Description: spec.Description, Seed: seed}
 	for _, mode := range modes {

@@ -159,3 +159,54 @@ func TestRunRejectsInvalidSpec(t *testing.T) {
 		t.Fatal("Run accepted an invalid spec")
 	}
 }
+
+func TestSizes(t *testing.T) {
+	sweep := Spec{PrefixSweep: []int{1000, 2000}, Prefixes: 7000}
+	if got := sweep.Sizes(0); len(got) != 2 || got[0] != 1000 || got[1] != 2000 {
+		t.Fatalf("Sizes(0) = %v, want the spec sweep", got)
+	}
+	if got := sweep.Sizes(500); len(got) != 1 || got[0] != 500 {
+		t.Fatalf("Sizes(500) = %v, want the override alone", got)
+	}
+	if got := (Spec{Prefixes: 7000}).Sizes(0); len(got) != 1 || got[0] != 7000 {
+		t.Fatalf("Sizes(0) = %v, want the spec default", got)
+	}
+	if got := (Spec{}).Sizes(0); len(got) != 1 || got[0] != DefaultPrefixes {
+		t.Fatalf("Sizes(0) = %v, want the executor default", got)
+	}
+}
+
+// TestRunOneMatchesRun: RunOne is the sweep's unit of work — it must
+// measure exactly what the sequential executor measures for the same
+// (mode, size, seed) cell.
+func TestRunOneMatchesRun(t *testing.T) {
+	spec, _ := Lookup("double-failure")
+	opts := Options{Modes: []sim.Mode{sim.Supercharged}, Prefixes: 1200, Seed: 7}
+	whole, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunOne(spec, sim.Supercharged, 1200, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Report{Runs: []RunReport{whole.Runs[0]}}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Report{Runs: []RunReport{one}}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("RunOne diverges from Run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestRunOneRejectsInvalidSpec(t *testing.T) {
+	s := validSpec()
+	s.Events[0].At = -time.Second
+	if _, err := RunOne(s, sim.Standalone, 1000, 0, 1); err == nil {
+		t.Fatal("RunOne accepted an invalid spec")
+	}
+}

@@ -13,6 +13,11 @@
 // registry holds named built-in scenarios (paper-fig5, double-failure,
 // flap-storm, backup-then-primary, partial-withdraw, ...); Run drives the
 // virtual-clock lab and collects what each event did to the probed flows.
+//
+// RunOne executes a single (mode, table size) cell — the independent unit
+// of work internal/sweep distributes across worker pools. Every built-in
+// is documented in docs/scenarios.md with its paper mapping and expected
+// qualitative outcome.
 package scenario
 
 import (

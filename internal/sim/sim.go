@@ -55,7 +55,7 @@ type Config struct {
 	GroupSize   int // backup-group size k (default 2)
 	AllocMode   core.AllocMode
 
-	// --- timing model (see DESIGN.md §4 for the calibration) ---
+	// --- timing model (see DESIGN.md §5 for the calibration) ---
 
 	// PerEntry is the router's per-FIB-entry install cost.
 	PerEntry time.Duration

@@ -1,0 +1,246 @@
+package sweep
+
+import (
+	"encoding/json"
+
+	"supercharged/internal/metrics"
+	"supercharged/internal/scenario"
+	"supercharged/internal/sim"
+)
+
+// Aggregate is the deterministic cross-scenario result of a sweep. It
+// contains no wall-clock or host-dependent data, so the same spec and
+// seeds render byte-identically regardless of worker count or machine —
+// the property the committed EXPERIMENTS.md and its CI freshness check
+// rely on.
+type Aggregate struct {
+	Seeds     []int64          `json:"seeds"`
+	Flows     int              `json:"flows,omitempty"`
+	Units     int              `json:"units"`
+	Failed    int              `json:"failed"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// ScenarioResult groups one scenario's runs, failures and cross-mode
+// comparisons.
+type ScenarioResult struct {
+	Name        string       `json:"scenario"`
+	Description string       `json:"description,omitempty"`
+	Runs        []RunRow     `json:"runs"`
+	Comparisons []Comparison `json:"comparisons,omitempty"`
+	Failures    []Failure    `json:"failures,omitempty"`
+}
+
+// RunRow is one unit's report plus the unit identity the report itself
+// does not carry (its key and seed).
+type RunRow struct {
+	Key  string `json:"key"`
+	Seed int64  `json:"seed"`
+	scenario.RunReport
+}
+
+// Failure is one unit that errored; the sweep reports it instead of
+// dropping it, so a partially failing sweep is visibly partial.
+type Failure struct {
+	Key   string `json:"key"`
+	Error string `json:"error"`
+}
+
+// ConvCell is one mode's convergence measurements for one event.
+type ConvCell struct {
+	Affected    int     `json:"affected"`
+	Recovered   int     `json:"recovered"`
+	Unrecovered int     `json:"unrecovered"`
+	P50MS       float64 `json:"p50_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+// Comparison pairs one event's measurements across the two router modes
+// at one (table size, seed) and carries the speedup ratios — the paper's
+// headline number, computed per event instead of once.
+type Comparison struct {
+	Prefixes int    `json:"prefixes"`
+	Seed     int64  `json:"seed"`
+	Event    int    `json:"event"`
+	Kind     string `json:"kind"`
+	Peer     string `json:"peer,omitempty"`
+	// DetectMS is the failure-detection latency (identical path in both
+	// modes; 0 when the event needs no detection).
+	DetectMS     float64   `json:"detect_ms"`
+	Standalone   *ConvCell `json:"standalone,omitempty"`
+	Supercharged *ConvCell `json:"supercharged,omitempty"`
+	// SpeedupP50 and SpeedupMax are standalone/supercharged convergence
+	// ratios over recovered flows. >1 means the supercharger converged
+	// faster. They are 0 — "nothing honest to compare" — when either side
+	// has no recovered flows OR left any flow unrecovered: a ratio over
+	// the survivors would overstate a mode that blackholed traffic
+	// forever.
+	SpeedupP50 float64 `json:"speedup_p50,omitempty"`
+	SpeedupMax float64 `json:"speedup_max,omitempty"`
+}
+
+// aggregate assembles the deterministic report from expansion-ordered
+// units and their (completion-ordered, then reindexed) results.
+func aggregate(spec Spec, units []Unit, results []UnitResult) *Aggregate {
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	agg := &Aggregate{
+		Seeds: append([]int64(nil), seeds...),
+		Flows: spec.Flows,
+		Units: len(units),
+	}
+	byName := make(map[string]*ScenarioResult)
+	var order []string
+	for i, u := range units {
+		sr := byName[u.Scenario]
+		if sr == nil {
+			sr = &ScenarioResult{Name: u.Scenario, Description: u.spec.Description}
+			byName[u.Scenario] = sr
+			order = append(order, u.Scenario)
+		}
+		res := results[i]
+		if res.Err != nil {
+			agg.Failed++
+			sr.Failures = append(sr.Failures, Failure{Key: u.Key(), Error: res.Err.Error()})
+			continue
+		}
+		sr.Runs = append(sr.Runs, RunRow{Key: u.Key(), Seed: u.Seed, RunReport: *res.Run})
+	}
+	for _, name := range order {
+		sr := byName[name]
+		sr.Comparisons = compare(sr.Runs)
+		agg.Scenarios = append(agg.Scenarios, *sr)
+	}
+	return agg
+}
+
+// compare pairs each (prefixes, seed, event) across the two modes. Runs
+// arrive in expansion order (size ascending, then mode, then seed), so
+// the comparison rows inherit that deterministic ordering.
+func compare(runs []RunRow) []Comparison {
+	type rkey struct {
+		prefixes int
+		seed     int64
+	}
+	type pair struct {
+		standalone, supercharged *RunRow
+	}
+	pairs := make(map[rkey]*pair)
+	var order []rkey
+	for i := range runs {
+		r := &runs[i]
+		k := rkey{r.Prefixes, r.Seed}
+		p := pairs[k]
+		if p == nil {
+			p = &pair{}
+			pairs[k] = p
+			order = append(order, k)
+		}
+		if r.Mode == sim.Supercharged.String() {
+			p.supercharged = r
+		} else {
+			p.standalone = r
+		}
+	}
+	var out []Comparison
+	for _, k := range order {
+		p := pairs[k]
+		if p.standalone == nil || p.supercharged == nil {
+			continue // single-mode sweep: nothing to compare
+		}
+		n := len(p.standalone.Events)
+		if len(p.supercharged.Events) < n {
+			n = len(p.supercharged.Events)
+		}
+		for ev := 0; ev < n; ev++ {
+			sa, su := p.standalone.Events[ev], p.supercharged.Events[ev]
+			c := Comparison{
+				Prefixes: k.prefixes,
+				Seed:     k.seed,
+				Event:    ev,
+				Kind:     string(sa.Kind),
+				Peer:     sa.Peer,
+				DetectMS: max(sa.DetectMS, su.DetectMS),
+			}
+			c.Standalone = convCell(sa)
+			c.Supercharged = convCell(su)
+			if c.Standalone != nil && c.Supercharged != nil &&
+				c.Standalone.Unrecovered == 0 && c.Supercharged.Unrecovered == 0 {
+				if c.Supercharged.P50MS > 0 {
+					c.SpeedupP50 = c.Standalone.P50MS / c.Supercharged.P50MS
+				}
+				if c.Supercharged.MaxMS > 0 {
+					c.SpeedupMax = c.Standalone.MaxMS / c.Supercharged.MaxMS
+				}
+			}
+			if c.Standalone == nil && c.Supercharged == nil &&
+				sa.Affected == 0 && su.Affected == 0 {
+				continue // event never touched traffic in either mode
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func convCell(ev scenario.EventReport) *ConvCell {
+	if ev.Affected == 0 {
+		return nil
+	}
+	c := &ConvCell{Affected: ev.Affected, Recovered: ev.Recovered, Unrecovered: ev.Unrecovered}
+	if ev.Convergence != nil {
+		c.P50MS = ev.Convergence.P50MS
+		c.MaxMS = ev.Convergence.MaxMS
+	}
+	return c
+}
+
+// JSON renders the aggregate as indented JSON.
+func (a *Aggregate) JSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// RenderTable renders the comparison rows as a fixed-width text table,
+// the `cmd/scenario sweep` default output.
+func (a *Aggregate) RenderTable() string {
+	multiSeed := len(a.Seeds) > 1
+	header := []string{"scenario", "prefixes"}
+	if multiSeed {
+		header = append(header, "seed")
+	}
+	header = append(header, "event", "kind", "peer", "detect",
+		"standalone p50", "standalone max", "supercharged p50", "supercharged max", "speedup")
+	t := &metrics.Table{Header: header}
+	for _, sr := range a.Scenarios {
+		for _, c := range sr.Comparisons {
+			row := []any{sr.Name, c.Prefixes}
+			if multiSeed {
+				row = append(row, c.Seed)
+			}
+			row = append(row, c.Event, c.Kind, orDash(c.Peer), fmtDetect(c.DetectMS),
+				cellP50(c.Standalone), cellMax(c.Standalone),
+				cellP50(c.Supercharged), cellMax(c.Supercharged),
+				fmtSpeedup(c.SpeedupMax))
+			t.Add(row...)
+		}
+		for _, f := range sr.Failures {
+			row := make([]any, len(header))
+			row[0], row[1] = sr.Name, "FAILED"
+			for i := 2; i < len(row); i++ {
+				row[i] = "-"
+			}
+			row[len(row)-1] = f.Key
+			t.Add(row...)
+		}
+	}
+	return t.Render()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"supercharged/internal/scenario"
+)
+
+// Options parameterizes a sweep execution.
+type Options struct {
+	// Workers bounds the worker pool (<= 0: GOMAXPROCS). Each unit is an
+	// independent virtual-clock lab, so the worker count affects only
+	// wall-clock time, never results.
+	Workers int
+	// Progress, if set, receives one line per completed unit (with its
+	// host wall-clock cost) plus a sweep summary line.
+	Progress io.Writer
+	// Runner replaces the scenario-backed unit runner; nil uses
+	// scenario.RunOne. Tests inject failures and delays here.
+	Runner func(Unit) (scenario.RunReport, error)
+}
+
+// UnitResult is one completed unit, streamed as workers finish.
+type UnitResult struct {
+	// Index is the unit's position in the expanded order; the aggregate
+	// reassembles the deterministic ordering from it.
+	Index int
+	Unit  Unit
+	// Run holds the measurements on success; Err the failure otherwise.
+	// A failed unit still reaches the aggregate (as a Failure row).
+	Run *scenario.RunReport
+	Err error
+	// Wall is the unit's host wall-clock cost (not the virtual lab time).
+	// It is progress telemetry only and never enters the aggregate, which
+	// must be byte-reproducible.
+	Wall time.Duration
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) runner() func(Unit) (scenario.RunReport, error) {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return func(u Unit) (scenario.RunReport, error) {
+		return scenario.RunOne(u.spec, u.Mode, u.Prefixes, u.Flows, u.Seed)
+	}
+}
+
+// Stream executes the units across the bounded worker pool and returns a
+// channel delivering each unit's result as it completes (completion
+// order, not expansion order). The channel closes once every unit has
+// been delivered — partial failures included, so len(units) results
+// always arrive.
+func Stream(units []Unit, opts Options) <-chan UnitResult {
+	workers := opts.workers()
+	if workers > len(units) {
+		workers = len(units)
+	}
+	run := opts.runner()
+
+	jobs := make(chan int)
+	out := make(chan UnitResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				u := units[i]
+				t0 := time.Now()
+				rep, err := run(u)
+				res := UnitResult{Index: i, Unit: u, Err: err, Wall: time.Since(t0)}
+				if err == nil {
+					res.Run = &rep
+				}
+				out <- res
+			}
+		}()
+	}
+	go func() {
+		for i := range units {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Run expands the spec, executes every unit across the worker pool while
+// streaming progress, and aggregates the results in deterministic unit
+// order. Unit failures do not abort the sweep: they surface as Failure
+// rows of the aggregate. Run itself only errors on an unexpandable spec.
+func Run(spec Spec, opts Options) (*Aggregate, error) {
+	units, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	results := make([]UnitResult, len(units))
+	done := 0
+	for res := range Stream(units, opts) {
+		results[res.Index] = res
+		done++
+		if opts.Progress != nil {
+			status := "ok"
+			if res.Err != nil {
+				status = "FAIL: " + res.Err.Error()
+			}
+			fmt.Fprintf(opts.Progress, "[%*d/%d] %-52s %s (%v)\n",
+				digits(len(units)), done, len(units), res.Unit.Key(), status, res.Wall.Round(time.Millisecond))
+		}
+	}
+	agg := aggregate(spec, units, results)
+	if opts.Progress != nil {
+		fmt.Fprintf(opts.Progress, "sweep: %d units, %d failed, %d workers, %v wall\n",
+			len(units), agg.Failed, opts.workers(), time.Since(t0).Round(time.Millisecond))
+	}
+	return agg, nil
+}
+
+func digits(n int) int { return len(fmt.Sprint(n)) }

@@ -21,11 +21,16 @@
 //   - internal/scenario — the declarative failure-scenario engine: named
 //     event timelines (peer failures, flaps, partial withdraws, rule loss,
 //     controller restarts) compiled into lab runs with per-event metrics;
+//   - internal/sweep — the parallel sweep executor: scenario × mode ×
+//     size × seed cross products run across a bounded worker pool with
+//     streamed per-run results, aggregated into the cross-scenario
+//     comparison (with per-event speedup ratios) that cmd/experiments
+//     renders as the committed EXPERIMENTS.md;
 //   - internal/feed, internal/trafficgen — synthetic full-table feeds and
 //     the FPGA-style probe source/sink.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
 package supercharged
 
 import (
@@ -36,6 +41,7 @@ import (
 	"supercharged/internal/lab"
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
+	"supercharged/internal/sweep"
 )
 
 // Re-exported core types.
@@ -151,6 +157,38 @@ func RunScenario(s Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
 // RunScenarioNamed executes a registered scenario by name.
 func RunScenarioNamed(name string, opts ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.RunNamed(name, opts)
+}
+
+// Sweep re-exports: the parallel sweep executor (see internal/sweep).
+type (
+	// SweepSpec declares a sweep: scenarios × modes × table sizes × seeds.
+	// The zero SweepSpec covers every registered scenario in both modes.
+	SweepSpec = sweep.Spec
+	// SweepUnit is one independent run of a sweep.
+	SweepUnit = sweep.Unit
+	// SweepUnitResult is one completed unit, streamed as workers finish.
+	SweepUnitResult = sweep.UnitResult
+	// SweepOptions bounds the worker pool and wires progress output.
+	SweepOptions = sweep.Options
+	// SweepAggregate is the deterministic cross-scenario comparison report,
+	// renderable as JSON, a text table, or EXPERIMENTS.md markdown.
+	SweepAggregate = sweep.Aggregate
+)
+
+// ExpandSweep resolves a sweep spec into its run units in deterministic
+// order.
+func ExpandSweep(spec SweepSpec) ([]SweepUnit, error) { return sweep.Expand(spec) }
+
+// StreamSweep executes units across a bounded worker pool, delivering
+// each result as it completes; the channel closes when all are done.
+func StreamSweep(units []SweepUnit, opts SweepOptions) <-chan SweepUnitResult {
+	return sweep.Stream(units, opts)
+}
+
+// RunSweep expands, executes and aggregates a sweep. Unit failures are
+// reported in the aggregate rather than aborting the sweep.
+func RunSweep(spec SweepSpec, opts SweepOptions) (*SweepAggregate, error) {
+	return sweep.Run(spec, opts)
 }
 
 // Experiment harness re-exports.
