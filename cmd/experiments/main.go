@@ -1,25 +1,36 @@
 // Command experiments regenerates EXPERIMENTS.md — the repo's committed,
 // self-reproducing record of its own paper-reproduction numbers — from a
-// real sweep of every registered scenario in both router modes:
+// real sweep of every registered scenario in both router modes at
+// multiple seeds:
 //
 //	experiments                    # rewrite EXPERIMENTS.md in place
 //	experiments -o report.md       # write elsewhere
-//	experiments -check             # regenerate and fail on drift (CI)
+//	experiments -check             # regenerate, diff, fail on drift (CI)
+//	experiments -seeds 5           # seeds 1..5 (a list like 2,7 also works)
 //	experiments -workers 8 -q      # parallelism / quiet
 //
 // The default sweep (full registry, both modes, per-scenario table
-// sizes, seed 1) is deterministic: the same seed yields byte-identical
-// output at any worker count, which is what lets CI regenerate the file
-// and fail the build when the committed copy drifts from the code.
+// sizes, seeds 1..3) is deterministic: the same seeds yield
+// byte-identical output at any worker count and any result-store state,
+// which is what lets CI regenerate the file and fail the build when the
+// committed copy drifts from the code. On drift, -check prints the
+// unified diff of the stale sections so the CI log says what moved, not
+// just that something did. Units unchanged since the last run are served
+// from the result store (-store), so re-generation after a small edit
+// only re-executes what the edit invalidated.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"supercharged/internal/results"
 	"supercharged/internal/sweep"
+	"supercharged/internal/textdiff"
 )
 
 // baseCommand is the reproduction line embedded in the generated file;
@@ -27,10 +38,15 @@ import (
 // non-default flag that shapes the output is appended to it.
 const baseCommand = "go run ./cmd/experiments"
 
-func reproCommand(out string, seed int64) string {
+// defaultSeeds is the committed file's seed axis: three seeds keep the
+// spread columns honest (median [min–max] is meaningful) while the
+// docs-freshness job stays cheap — and with the result store warm, free.
+const defaultSeeds = "1,2,3"
+
+func reproCommand(out, seeds string) string {
 	cmd := baseCommand
-	if seed != 1 {
-		cmd += fmt.Sprintf(" -seed %d", seed)
+	if seeds != defaultSeeds {
+		cmd += " -seeds " + seeds
 	}
 	if out != "EXPERIMENTS.md" {
 		cmd += " -o " + out
@@ -42,7 +58,8 @@ func main() {
 	out := flag.String("o", "EXPERIMENTS.md", "output path")
 	check := flag.Bool("check", false, "regenerate and diff against -o instead of writing; exit 1 on drift")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	seed := flag.Int64("seed", 1, "RNG seed")
+	seeds := flag.String("seeds", defaultSeeds, "seed count, or comma-separated explicit seeds")
+	storeDir := flag.String("store", ".sweep-cache", "result-store directory for incremental re-sweeps (empty = disabled)")
 	quiet := flag.Bool("q", false, "suppress per-run progress output")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -50,13 +67,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	spec := sweep.Spec{Seeds: []int64{*seed}}
+	seedList, err := sweep.ParseSeeds(*seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -seeds: %v\n", err)
+		os.Exit(2)
+	}
+	spec := sweep.Spec{Seeds: seedList}
 	opts := sweep.Options{Workers: *workers}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
-	command := reproCommand(*out, *seed)
-	agg, err := sweep.Run(spec, opts)
+	if *storeDir != "" {
+		store, err := results.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	command := reproCommand(*out, *seeds)
+	agg, err := sweep.Run(ctx, spec, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
@@ -81,6 +114,10 @@ func main() {
 			fmt.Fprintf(os.Stderr,
 				"experiments: %s is stale: regenerate with `%s` and commit the result\n",
 				*out, command)
+			// The diff is the actionable part of a CI failure: show which
+			// sections drifted instead of leaving the log at "exit 1".
+			fmt.Fprint(os.Stderr, textdiff.Unified(
+				*out+" (committed)", *out+" (regenerated)", committed, doc, 3))
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: %s is up to date\n", *out)

@@ -19,13 +19,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
+	"supercharged/internal/results"
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
 	"supercharged/internal/sweep"
@@ -73,14 +76,22 @@ sweep flags:
   --workers N                           worker pool size (default GOMAXPROCS)
   --mode both|standalone|supercharged   router modes (default both)
   --sizes N,N,...                       table sizes (default per-scenario)
-  --seeds N,N,...                       RNG seeds (default 1)
+  --seeds N | N,N,...                   a bare integer is a seed COUNT
+                                        (5 = seeds 1..5); a comma list
+                                        names explicit seeds (default 1)
   --flows N                             probed flows per run (default 100)
+  --store DIR                           result store for incremental
+                                        re-sweeps (default .sweep-cache;
+                                        "" disables caching)
+  --budget D                            wall-clock budget, e.g. 30s
+                                        (0 = none)
   --json                                emit the full aggregate as JSON
   --md                                  emit the EXPERIMENTS.md rendering
   --q                                   suppress per-run progress on stderr
 
-With no names, sweep covers every registered scenario. The worker count
-only changes wall-clock time: results are deterministic per seed.
+With no names, sweep covers every registered scenario. Worker count and
+store warmth only change wall-clock time: results are deterministic per
+seed, and with several seeds every cell reports median [min-max] spread.
 `)
 }
 
@@ -178,8 +189,10 @@ func cmdRun(args []string) {
 		opts.Progress = os.Stderr
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	t0 := time.Now()
-	rep, err := scenario.RunNamed(name, opts)
+	rep, err := scenario.RunNamed(ctx, name, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err) // package errors already carry the scenario: prefix
 		os.Exit(1)
@@ -217,8 +230,10 @@ func cmdSweep(args []string) {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	mode := fs.String("mode", "both", "both|standalone|supercharged")
 	sizes := fs.String("sizes", "", "comma-separated table sizes (default per-scenario)")
-	seeds := fs.String("seeds", "", "comma-separated RNG seeds (default 1)")
+	seeds := fs.String("seeds", "", "seed count, or comma-separated explicit seeds (default 1)")
 	flows := fs.Int("flows", 0, "probed flows per run (0 = default 100)")
+	storeDir := fs.String("store", ".sweep-cache", "result-store directory (empty = no caching)")
+	budget := fs.Duration("budget", 0, "wall-clock budget for the sweep (0 = none)")
 	asJSON := fs.Bool("json", false, "emit the full aggregate as JSON")
 	asMD := fs.Bool("md", false, "emit the EXPERIMENTS.md rendering")
 	quiet := fs.Bool("q", false, "suppress per-run progress output")
@@ -258,23 +273,33 @@ func cmdSweep(args []string) {
 		fmt.Fprintf(os.Stderr, "scenario: --sizes: %v\n", err)
 		os.Exit(2)
 	}
-	var seedInts []int
-	if seedInts, err = parseIntList(*seeds); err != nil {
+	if spec.Seeds, err = sweep.ParseSeeds(*seeds); err != nil {
 		fmt.Fprintf(os.Stderr, "scenario: --seeds: %v\n", err)
 		os.Exit(2)
 	}
-	for _, s := range seedInts {
-		spec.Seeds = append(spec.Seeds, int64(s))
-	}
 
-	opts := sweep.Options{Workers: *workers}
+	opts := sweep.Options{Workers: *workers, Budget: *budget}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
-	agg, err := sweep.Run(spec, opts)
+	if *storeDir != "" {
+		store, err := results.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: --store: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Store = store
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	agg, err := sweep.Run(ctx, spec, opts)
 	if err != nil {
+		// A cancelled or over-budget sweep still rendered a partial
+		// aggregate; report the interruption and fall through to print it.
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if agg == nil {
+			os.Exit(1)
+		}
 	}
 	switch {
 	case *asJSON:

@@ -2,6 +2,7 @@ package clock
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 	"time"
 )
@@ -131,12 +132,33 @@ func (v *Virtual) RunUntilIdle() time.Time {
 // RunUntilIdleLimit is RunUntilIdle with an upper bound on fired events. It
 // returns the virtual time when it stopped.
 func (v *Virtual) RunUntilIdleLimit(maxEvents int) time.Time {
+	now, _ := v.RunUntilIdleCtx(context.Background(), maxEvents)
+	return now
+}
+
+// cancelCheckStride is how many events RunUntilIdleCtx fires between
+// context checks: coarse enough that the atomic load stays invisible in
+// the event-pump hot path, fine enough that cancellation lands within a
+// fraction of a millisecond of host time.
+const cancelCheckStride = 256
+
+// RunUntilIdleCtx is RunUntilIdleLimit with cooperative cancellation: it
+// stops between events once ctx is done and returns ctx's error (nil on a
+// normal drain or when the event budget is exhausted). Virtual time stays
+// wherever the last fired event left it, so a cancelled simulation is
+// abandoned mid-flight, not fast-forwarded.
+func (v *Virtual) RunUntilIdleCtx(ctx context.Context, maxEvents int) (time.Time, error) {
 	for fired := 0; fired < maxEvents; fired++ {
+		if fired%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return v.Now(), err
+			}
+		}
 		v.mu.Lock()
 		if len(v.queue) == 0 {
 			now := v.now
 			v.mu.Unlock()
-			return now
+			return now, nil
 		}
 		ev := heap.Pop(&v.queue).(*event)
 		if ev.at.After(v.now) {
@@ -146,7 +168,7 @@ func (v *Virtual) RunUntilIdleLimit(maxEvents int) time.Time {
 		v.mu.Unlock()
 		ev.fn()
 	}
-	return v.Now()
+	return v.Now(), nil
 }
 
 type event struct {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Summary is a box-plot style five-number summary (plus mean and count) of a
@@ -164,16 +165,18 @@ func (t *Table) Add(cells ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Render returns the table as an aligned multi-line string.
+// Render returns the table as an aligned multi-line string. Column
+// widths count runes, not bytes, so cells with multibyte characters
+// (the spread columns' en-dashes) stay aligned.
 func (t *Table) Render() string {
 	width := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		width[i] = len(h)
+		width[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(width) && len(c) > width[i] {
-				width[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(width) && n > width[i] {
+				width[i] = n
 			}
 		}
 	}
@@ -185,7 +188,7 @@ func (t *Table) Render() string {
 			}
 			b.WriteString(c)
 			if i < len(cells)-1 {
-				b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+				b.WriteString(strings.Repeat(" ", width[i]-utf8.RuneCountInString(c)))
 			}
 		}
 		b.WriteByte('\n')

@@ -1,0 +1,176 @@
+// Package results is the content-addressed, on-disk store of per-unit
+// sweep results that makes re-sweeps incremental: every (scenario spec,
+// mode, table size, flow count, seed, model version) tuple hashes to a
+// key, and the measured scenario.RunReport for that key is cached as a
+// JSON file under the store directory. A sweep whose inputs have not
+// changed finds every unit already present and finishes in file-read
+// time; editing one scenario's timeline, adding a seed, or bumping
+// sim.ModelVersion invalidates exactly the units it affects, because the
+// change lands in those units' hashes and nowhere else.
+//
+// The store is a cache, never a source of truth: entries that fail to
+// read, parse, or match the current layout version are deleted and
+// treated as misses, so a corrupted or half-written file costs one
+// re-run, not a wrong number. Writes go through a temp file and an
+// atomic rename, which keeps the store consistent under concurrent
+// sweep workers and under cancellation mid-sweep — an entry either
+// exists complete or not at all.
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"supercharged/internal/scenario"
+)
+
+// layoutVersion is the on-disk envelope format version. It guards the
+// store's own file format, not the simulator's semantics (that is the
+// Version component of the key): entries with any other layout version
+// read as misses and are removed.
+const layoutVersion = 1
+
+// Key is the content address of one unit's result: the hex SHA-256 of
+// the canonical JSON of its KeyInput.
+type Key string
+
+// KeyInput is everything that determines a unit's measurements. Two
+// units with equal KeyInputs produce byte-identical reports (the sweep's
+// determinism contract), which is what makes caching by its hash sound.
+type KeyInput struct {
+	// Spec is the fully resolved scenario (topology, timeline, sweep
+	// sizes): any edit to the scenario reshapes the key.
+	Spec scenario.Spec `json:"spec"`
+	// Mode is the router mode's name (sim.Mode.String()).
+	Mode string `json:"mode"`
+	// Prefixes is the table size of this unit.
+	Prefixes int `json:"prefixes"`
+	// Flows is the probed-flow override (0 = the lab default).
+	Flows int `json:"flows"`
+	// Seed is the unit's RNG seed.
+	Seed int64 `json:"seed"`
+	// Version names the code-relevant simulator version (normally
+	// sim.ModelVersion); bumping it orphans every existing entry.
+	Version string `json:"version"`
+}
+
+// KeyFor hashes the input into its content address.
+func KeyFor(in KeyInput) (Key, error) {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return "", fmt.Errorf("results: marshal key input: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return Key(hex.EncodeToString(sum[:])), nil
+}
+
+// Store is an on-disk result cache rooted at one directory. All methods
+// are safe for concurrent use by sweep workers.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("results: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entry is the on-disk envelope around a cached report.
+type entry struct {
+	Layout int                `json:"layout"`
+	Report scenario.RunReport `json:"report"`
+}
+
+// path shards entries by the key's first byte to keep directories small
+// at full-table sweep scale.
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, string(k[:2]), string(k)+".json")
+}
+
+// Get returns the cached report for k, or ok=false on a miss. A file
+// that exists but cannot be parsed (truncated write, disk corruption,
+// foreign layout version) is deleted and reported as a miss: the unit
+// re-runs and overwrites it, so the store self-heals.
+func (s *Store) Get(k Key) (*scenario.RunReport, bool) {
+	if len(k) < 3 {
+		return nil, false
+	}
+	p := s.path(k)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Layout != layoutVersion {
+		os.Remove(p)
+		return nil, false
+	}
+	return &e.Report, true
+}
+
+// Put stores the report under k. The write is atomic (temp file +
+// rename), so concurrent writers of the same key and cancellation at any
+// instant leave either the old complete entry, the new complete entry,
+// or nothing — never a torn file.
+func (s *Store) Put(k Key, rep scenario.RunReport) error {
+	if len(k) < 3 {
+		return fmt.Errorf("results: malformed key %q", k)
+	}
+	p := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	b, err := json.Marshal(entry{Layout: layoutVersion, Report: rep})
+	if err != nil {
+		return fmt.Errorf("results: marshal report: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}
+
+// Len walks the store and counts complete entries — diagnostics for
+// progress output and tests, not a hot path.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,217 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"supercharged/internal/scenario"
+	"supercharged/internal/sim"
+)
+
+func testSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:        "store-test",
+		Description: "fixture",
+		Peers:       []scenario.Peer{{Name: "R2"}, {Name: "R3"}},
+		Events: []scenario.Event{
+			{At: time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+	}
+}
+
+func testInput() KeyInput {
+	return KeyInput{
+		Spec:     testSpec(),
+		Mode:     sim.Standalone.String(),
+		Prefixes: 1000,
+		Seed:     1,
+		Version:  sim.ModelVersion,
+	}
+}
+
+func testReport() scenario.RunReport {
+	return scenario.RunReport{
+		Mode:      sim.Standalone.String(),
+		Prefixes:  1000,
+		Peers:     []string{"R2", "R3"},
+		FIBWrites: 42,
+		Events: []scenario.EventReport{{
+			Kind: sim.EventPeerDown, Peer: "R2", Affected: 7, Recovered: 7,
+			Convergence: &scenario.ConvergenceSummary{Samples: 7, P50MS: 150, MaxMS: 180},
+		}},
+	}
+}
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	k, err := KeyFor(testInput())
+	if err != nil {
+		t.Fatalf("KeyFor: %v", err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit on an empty store")
+	}
+	want := testReport()
+	if err := s.Put(k, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.FIBWrites != want.FIBWrites || len(got.Events) != 1 ||
+		got.Events[0].Convergence.P50MS != 150 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+// TestKeySensitivity: the key must move when anything that can change
+// the measurement moves — the spec's timeline, the mode, the size, the
+// seed, the flow count, the model version — and must not move otherwise.
+func TestKeySensitivity(t *testing.T) {
+	base, err := KeyFor(testInput())
+	if err != nil {
+		t.Fatalf("KeyFor: %v", err)
+	}
+	same, _ := KeyFor(testInput())
+	if same != base {
+		t.Fatal("identical inputs hashed differently")
+	}
+	mutations := map[string]func(*KeyInput){
+		"event time":   func(in *KeyInput) { in.Spec.Events[0].At = 2 * time.Second },
+		"event kind":   func(in *KeyInput) { in.Spec.Events[0].Kind = sim.EventLinkFlap; in.Spec.Events[0].Hold = time.Second },
+		"peer weight":  func(in *KeyInput) { in.Spec.Peers[1].Weight = 99 },
+		"mode":         func(in *KeyInput) { in.Mode = sim.Supercharged.String() },
+		"prefixes":     func(in *KeyInput) { in.Prefixes = 2000 },
+		"flows":        func(in *KeyInput) { in.Flows = 50 },
+		"seed":         func(in *KeyInput) { in.Seed = 2 },
+		"version bump": func(in *KeyInput) { in.Version = sim.ModelVersion + "-next" },
+	}
+	for name, mutate := range mutations {
+		in := testInput()
+		mutate(&in)
+		k, err := KeyFor(in)
+		if err != nil {
+			t.Fatalf("%s: KeyFor: %v", name, err)
+		}
+		if k == base {
+			t.Errorf("%s: key unchanged — cache would serve a stale result", name)
+		}
+	}
+}
+
+// TestVersionBumpInvalidates: entries stored under the old model version
+// must be invisible after a bump, without touching the store.
+func TestVersionBumpInvalidates(t *testing.T) {
+	s := open(t)
+	in := testInput()
+	oldKey, _ := KeyFor(in)
+	if err := s.Put(oldKey, testReport()); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	in.Version = "sim-v999"
+	newKey, _ := KeyFor(in)
+	if _, ok := s.Get(newKey); ok {
+		t.Fatal("bumped version still hits the old entry")
+	}
+	if _, ok := s.Get(oldKey); !ok {
+		t.Fatal("old entry disappeared; a rollback should still hit")
+	}
+}
+
+// TestCorruptedEntryRecovers: a truncated or garbage entry reads as a
+// miss and is removed, so the next Put rebuilds it.
+func TestCorruptedEntryRecovers(t *testing.T) {
+	s := open(t)
+	k, _ := KeyFor(testInput())
+	if err := s.Put(k, testReport()); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	p := s.path(k)
+	for name, garbage := range map[string][]byte{
+		"truncated":    []byte(`{"layout":1,"report":{"mo`),
+		"not json":     []byte("not json at all"),
+		"wrong layout": []byte(`{"layout":999,"report":{}}`),
+	} {
+		if err := os.WriteFile(p, garbage, 0o644); err != nil {
+			t.Fatalf("%s: corrupt: %v", name, err)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("%s: corrupted entry served as a hit", name)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupted entry not removed (err=%v)", name, err)
+		}
+		// Self-heal: the unit re-runs and the entry works again.
+		if err := s.Put(k, testReport()); err != nil {
+			t.Fatalf("%s: re-Put: %v", name, err)
+		}
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s: store did not recover after re-Put", name)
+		}
+	}
+}
+
+// TestConcurrentPutGet hammers one store from many goroutines — the
+// sweep worker pool's access pattern — and is the race detector's main
+// course for this package.
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				in := testInput()
+				in.Seed = int64(i%5 + 1) // overlapping keys across workers
+				k, err := KeyFor(in)
+				if err != nil {
+					t.Errorf("KeyFor: %v", err)
+					return
+				}
+				if err := s.Put(k, testReport()); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if rep, ok := s.Get(k); ok && rep.FIBWrites != 42 {
+					t.Errorf("Get returned a torn report: %+v", rep)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, err := s.Len(); err != nil || n != 5 {
+		t.Fatalf("Len = %d, %v; want 5 distinct entries", n, err)
+	}
+	// No temp droppings left behind.
+	err := filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".tmp" {
+			return fmt.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

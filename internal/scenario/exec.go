@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,8 +50,9 @@ func (s Spec) Sizes(override int) []int {
 // returns that single run's report. It is the unit of work a parallel
 // sweep distributes across workers: per-(mode, size) runs are fully
 // independent (each builds its own virtual-clock lab), so RunOne is safe
-// to call concurrently. flows and seed of zero take the usual defaults.
-func RunOne(spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunReport, error) {
+// to call concurrently. The context cancels the underlying simulation
+// between events; flows and seed of zero take the usual defaults.
+func RunOne(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunReport, error) {
 	if err := spec.Validate(); err != nil {
 		return RunReport{}, err
 	}
@@ -60,7 +62,7 @@ func RunOne(spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunRepor
 	if seed == 0 {
 		seed = 1
 	}
-	res, err := sim.RunTimeline(spec.compile(mode, prefixes, flows, seed))
+	res, err := sim.RunTimeline(ctx, spec.compile(mode, prefixes, flows, seed))
 	if err != nil {
 		return RunReport{}, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, prefixes, err)
 	}
@@ -68,8 +70,9 @@ func RunOne(spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunRepor
 }
 
 // Run executes spec in every requested mode (and, for sweeping specs, at
-// every table size) and assembles the per-event convergence report.
-func Run(spec Spec, opts Options) (*Report, error) {
+// every table size) and assembles the per-event convergence report. The
+// context cancels the execution between simulator events.
+func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +92,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 			if opts.Progress != nil {
 				fmt.Fprintf(opts.Progress, "scenario %s: %s @ %d prefixes...\n", spec.Name, mode, n)
 			}
-			res, err := sim.RunTimeline(spec.compile(mode, n, opts.Flows, seed))
+			res, err := sim.RunTimeline(ctx, spec.compile(mode, n, opts.Flows, seed))
 			if err != nil {
 				return nil, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, n, err)
 			}
@@ -100,10 +103,10 @@ func Run(spec Spec, opts Options) (*Report, error) {
 }
 
 // RunNamed looks up and runs a registered scenario.
-func RunNamed(name string, opts Options) (*Report, error) {
+func RunNamed(ctx context.Context, name string, opts Options) (*Report, error) {
 	spec, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown scenario %q (have: %v)", name, Names())
 	}
-	return Run(spec, opts)
+	return Run(ctx, spec, opts)
 }

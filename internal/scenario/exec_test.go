@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -14,11 +15,11 @@ import (
 func TestSameSeedSameReport(t *testing.T) {
 	spec, _ := Lookup("double-failure")
 	opts := Options{Prefixes: 2000, Flows: 50, Seed: 42}
-	a, err := Run(spec, opts)
+	a, err := Run(context.Background(), spec, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(spec, opts)
+	b, err := Run(context.Background(), spec, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestPaperFig5FlatVsLinear(t *testing.T) {
 	}
 	// Trim the sweep for test time; the shape survives.
 	spec.PrefixSweep = []int{1000, 10_000}
-	rep, err := Run(spec, Options{Seed: 1})
+	rep, err := Run(context.Background(), spec, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestPaperFig5FlatVsLinear(t *testing.T) {
 }
 
 func TestDoubleFailureBothEventsConverge(t *testing.T) {
-	rep, err := RunNamed("double-failure", Options{
+	rep, err := RunNamed(context.Background(), "double-failure", Options{
 		Modes: []sim.Mode{sim.Supercharged}, Prefixes: 2000, Seed: 1,
 	})
 	if err != nil {
@@ -99,7 +100,7 @@ func TestDoubleFailureBothEventsConverge(t *testing.T) {
 }
 
 func TestRuleLossOnlyHurtsSupercharged(t *testing.T) {
-	rep, err := RunNamed("rule-loss", Options{Prefixes: 1000, Seed: 1})
+	rep, err := RunNamed(context.Background(), "rule-loss", Options{Prefixes: 1000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRuleLossOnlyHurtsSupercharged(t *testing.T) {
 
 func TestOptionsPrefixesOverridesSweep(t *testing.T) {
 	spec, _ := Lookup("paper-fig5")
-	rep, err := Run(spec, Options{Modes: []sim.Mode{sim.Supercharged}, Prefixes: 1500, Seed: 1})
+	rep, err := Run(context.Background(), spec, Options{Modes: []sim.Mode{sim.Supercharged}, Prefixes: 1500, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestOptionsPrefixesOverridesSweep(t *testing.T) {
 }
 
 func TestCSVAndTableRender(t *testing.T) {
-	rep, err := RunNamed("backup-then-primary", Options{
+	rep, err := RunNamed(context.Background(), "backup-then-primary", Options{
 		Modes: []sim.Mode{sim.Supercharged}, Prefixes: 1000, Seed: 1,
 	})
 	if err != nil {
@@ -155,7 +156,7 @@ func TestCSVAndTableRender(t *testing.T) {
 func TestRunRejectsInvalidSpec(t *testing.T) {
 	s := validSpec()
 	s.Events[0].At = -time.Second
-	if _, err := Run(s, Options{Prefixes: 1000}); err == nil {
+	if _, err := Run(context.Background(), s, Options{Prefixes: 1000}); err == nil {
 		t.Fatal("Run accepted an invalid spec")
 	}
 }
@@ -182,11 +183,11 @@ func TestSizes(t *testing.T) {
 func TestRunOneMatchesRun(t *testing.T) {
 	spec, _ := Lookup("double-failure")
 	opts := Options{Modes: []sim.Mode{sim.Supercharged}, Prefixes: 1200, Seed: 7}
-	whole, err := Run(spec, opts)
+	whole, err := Run(context.Background(), spec, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := RunOne(spec, sim.Supercharged, 1200, 0, 7)
+	one, err := RunOne(context.Background(), spec, sim.Supercharged, 1200, 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestRunOneMatchesRun(t *testing.T) {
 func TestRunOneRejectsInvalidSpec(t *testing.T) {
 	s := validSpec()
 	s.Events[0].At = -time.Second
-	if _, err := RunOne(s, sim.Standalone, 1000, 0, 1); err == nil {
+	if _, err := RunOne(context.Background(), s, sim.Standalone, 1000, 0, 1); err == nil {
 		t.Fatal("RunOne accepted an invalid spec")
 	}
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -72,7 +73,7 @@ func TestListSortedAndNamesMatch(t *testing.T) {
 }
 
 func TestRunNamedUnknownScenario(t *testing.T) {
-	if _, err := RunNamed("no-such-scenario", Options{}); err == nil {
+	if _, err := RunNamed(context.Background(), "no-such-scenario", Options{}); err == nil {
 		t.Fatal("RunNamed of unknown scenario succeeded")
 	}
 }

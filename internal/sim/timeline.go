@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/netip"
@@ -10,6 +11,16 @@ import (
 	"supercharged/internal/dataplane"
 	"supercharged/internal/feed"
 )
+
+// ModelVersion identifies the simulator's semantics and calibrated timing
+// model for result caching (internal/results): it is hashed into every
+// cached unit's key, so bumping it invalidates all previously stored
+// measurements at once. Bump it whenever a code change can alter any
+// measured number — event semantics, the timing defaults of
+// DefaultConfig, probe attribution, the decision process — and leave it
+// alone for pure refactors. A stale cache is silently wrong; when in
+// doubt, bump.
+const ModelVersion = "sim-v1"
 
 // EventKind enumerates the scripted timeline events the lab can replay.
 // The string values are the declarative names used by scenario specs and
@@ -158,8 +169,11 @@ type TimelineResult struct {
 }
 
 // RunTimeline executes a scripted multi-event experiment and returns the
-// per-event measurements.
-func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
+// per-event measurements. The context cancels the run between simulator
+// events (a sweep budget expiring, ^C): a cancelled run returns ctx's
+// error and no partial result, since a half-drained timeline measures
+// nothing meaningful.
+func RunTimeline(ctx context.Context, cfg TimelineConfig) (*TimelineResult, error) {
 	if cfg.NumPrefixes <= 0 {
 		return nil, fmt.Errorf("sim: NumPrefixes must be positive")
 	}
@@ -175,7 +189,7 @@ func RunTimeline(cfg TimelineConfig) (*TimelineResult, error) {
 	}
 	l := newLab(cfg.Config, cfg.Peers)
 	l.tcfg = &cfg
-	return l.runTimeline()
+	return l.runTimeline(ctx)
 }
 
 // Validate rejects malformed topologies and events up front, so a
@@ -233,7 +247,7 @@ func (cfg *TimelineConfig) Validate() error {
 
 // runTimeline is the timeline counterpart of run: set up steady state,
 // replay the script, drain to quiescence and attribute outages to events.
-func (l *lab) runTimeline() (*TimelineResult, error) {
+func (l *lab) runTimeline(ctx context.Context) (*TimelineResult, error) {
 	cfg := l.cfg
 	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
 	l.assignFeeds()
@@ -250,7 +264,9 @@ func (l *lab) runTimeline() (*TimelineResult, error) {
 		l.events = append(l.events, st)
 		l.clk.AfterFunc(st.ev.At, func() { l.applyEvent(st) })
 	}
-	l.clk.RunUntilIdleLimit(50_000_000)
+	if _, err := l.clk.RunUntilIdleCtx(ctx, 50_000_000); err != nil {
+		return nil, fmt.Errorf("sim: timeline cancelled: %w", err)
+	}
 	return l.harvestTimeline(), nil
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -16,11 +17,31 @@ func timelineConfig(mode Mode, prefixes int, events ...TimelineEvent) TimelineCo
 
 func runTL(t *testing.T, cfg TimelineConfig) *TimelineResult {
 	t.Helper()
-	res, err := RunTimeline(cfg)
+	res, err := RunTimeline(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return res
+}
+
+// TestRunTimelineCancelled: a cancelled context stops the simulation
+// between events and surfaces the context error instead of a partial
+// (meaningless) measurement.
+func TestRunTimelineCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead before the first event fires
+	cfg := timelineConfig(Standalone, 2000,
+		TimelineEvent{At: time.Second, Kind: EventPeerDown, Peer: "R2"})
+	res, err := RunTimeline(ctx, cfg)
+	if err == nil {
+		t.Fatal("cancelled RunTimeline returned no error")
+	}
+	if res != nil {
+		t.Fatalf("cancelled RunTimeline returned a partial result: %+v", res)
+	}
+	if got := context.Cause(ctx); got != context.Canceled {
+		t.Fatalf("unexpected cause: %v", got)
+	}
 }
 
 func TestTimelineValidation(t *testing.T) {
@@ -42,7 +63,7 @@ func TestTimelineValidation(t *testing.T) {
 			cfg := timelineConfig(Supercharged, 1000,
 				TimelineEvent{At: time.Second, Kind: EventPeerDown, Peer: "R2"})
 			tc.mutate(&cfg)
-			if _, err := RunTimeline(cfg); err == nil {
+			if _, err := RunTimeline(context.Background(), cfg); err == nil {
 				t.Fatal("invalid timeline accepted")
 			}
 		})

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"sort"
 
 	"supercharged/internal/metrics"
 	"supercharged/internal/scenario"
@@ -10,9 +11,9 @@ import (
 
 // Aggregate is the deterministic cross-scenario result of a sweep. It
 // contains no wall-clock or host-dependent data, so the same spec and
-// seeds render byte-identically regardless of worker count or machine —
-// the property the committed EXPERIMENTS.md and its CI freshness check
-// rely on.
+// seeds render byte-identically regardless of worker count, machine, or
+// result-store state — the property the committed EXPERIMENTS.md and its
+// CI freshness check rely on.
 type Aggregate struct {
 	Seeds     []int64          `json:"seeds"`
 	Flows     int              `json:"flows,omitempty"`
@@ -46,35 +47,78 @@ type Failure struct {
 	Error string `json:"error"`
 }
 
-// ConvCell is one mode's convergence measurements for one event.
-type ConvCell struct {
-	Affected    int     `json:"affected"`
-	Recovered   int     `json:"recovered"`
-	Unrecovered int     `json:"unrecovered"`
-	P50MS       float64 `json:"p50_ms"`
-	MaxMS       float64 `json:"max_ms"`
+// Dist is a box-plot-style summary of one per-seed statistic — the
+// paper's Fig. 5 presentation, where every cell is a distribution over
+// repeated runs rather than a point. Values are milliseconds.
+type Dist struct {
+	// N is the number of seeds contributing a sample.
+	N        int     `json:"n"`
+	MinMS    float64 `json:"min_ms"`
+	MedianMS float64 `json:"median_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	// IQRMS is the inter-quartile range (P75−P25), the box height.
+	IQRMS float64 `json:"iqr_ms"`
+}
+
+// distOf summarizes per-seed samples (nil when none exist).
+func distOf(samples []float64) *Dist {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := metrics.Summarize(samples)
+	return &Dist{
+		N:        s.N,
+		MinMS:    s.Min,
+		MedianMS: s.Median,
+		MeanMS:   s.Mean,
+		P90MS:    metrics.Percentile(sortedCopy(samples), 0.90),
+		MaxMS:    s.Max,
+		IQRMS:    s.P75 - s.P25,
+	}
+}
+
+// ModeStats is one mode's measurements for one (scenario, event, size)
+// cell, aggregated across every seed that ran it: flow counts are totals
+// over seeds, and P50/Max summarize the per-seed median and worst
+// blackout as distributions.
+type ModeStats struct {
+	// Seeds counts the runs (one per seed) contributing to this cell.
+	Seeds int `json:"seeds"`
+	// Affected/Recovered/Unrecovered are flow totals across those seeds.
+	Affected    int `json:"affected"`
+	Recovered   int `json:"recovered"`
+	Unrecovered int `json:"unrecovered"`
+	// P50 is the distribution of per-seed median blackout; Max the
+	// distribution of per-seed worst blackout. Nil when no seed had a
+	// recovered flow to measure.
+	P50 *Dist `json:"p50,omitempty"`
+	Max *Dist `json:"max,omitempty"`
 }
 
 // Comparison pairs one event's measurements across the two router modes
-// at one (table size, seed) and carries the speedup ratios — the paper's
-// headline number, computed per event instead of once.
+// at one table size, aggregated over every seed — the paper's headline
+// number, computed per event and presented as a spread instead of a
+// single-seed point.
 type Comparison struct {
-	Prefixes int    `json:"prefixes"`
-	Seed     int64  `json:"seed"`
-	Event    int    `json:"event"`
-	Kind     string `json:"kind"`
-	Peer     string `json:"peer,omitempty"`
+	Prefixes int `json:"prefixes"`
+	// Seeds is the number of distinct seeds contributing to the row.
+	Seeds int    `json:"seeds"`
+	Event int    `json:"event"`
+	Kind  string `json:"kind"`
+	Peer  string `json:"peer,omitempty"`
 	// DetectMS is the failure-detection latency (identical path in both
 	// modes; 0 when the event needs no detection).
-	DetectMS     float64   `json:"detect_ms"`
-	Standalone   *ConvCell `json:"standalone,omitempty"`
-	Supercharged *ConvCell `json:"supercharged,omitempty"`
-	// SpeedupP50 and SpeedupMax are standalone/supercharged convergence
-	// ratios over recovered flows. >1 means the supercharger converged
-	// faster. They are 0 — "nothing honest to compare" — when either side
-	// has no recovered flows OR left any flow unrecovered: a ratio over
-	// the survivors would overstate a mode that blackholed traffic
-	// forever.
+	DetectMS     float64    `json:"detect_ms"`
+	Standalone   *ModeStats `json:"standalone,omitempty"`
+	Supercharged *ModeStats `json:"supercharged,omitempty"`
+	// SpeedupP50 and SpeedupMax are standalone/supercharged ratios of the
+	// per-seed-median blackout (median of p50s, median of maxes). >1 means
+	// the supercharger converged faster. They are 0 — "nothing honest to
+	// compare" — when either side has no recovered flows OR left any flow
+	// in any seed unrecovered: a ratio over the survivors would overstate
+	// a mode that blackholed traffic forever.
 	SpeedupP50 float64 `json:"speedup_p50,omitempty"`
 	SpeedupMax float64 `json:"speedup_max,omitempty"`
 }
@@ -116,68 +160,66 @@ func aggregate(spec Spec, units []Unit, results []UnitResult) *Aggregate {
 	return agg
 }
 
-// compare pairs each (prefixes, seed, event) across the two modes. Runs
-// arrive in expansion order (size ascending, then mode, then seed), so
-// the comparison rows inherit that deterministic ordering.
+// compare aggregates each (prefixes, event) cell across the two modes
+// and every seed. Runs arrive in expansion order (size ascending, then
+// mode, then seed), so the comparison rows inherit that deterministic
+// ordering.
 func compare(runs []RunRow) []Comparison {
-	type rkey struct {
-		prefixes int
-		seed     int64
+	type group struct {
+		standalone, supercharged []*RunRow
+		seeds                    map[int64]bool
 	}
-	type pair struct {
-		standalone, supercharged *RunRow
-	}
-	pairs := make(map[rkey]*pair)
-	var order []rkey
+	groups := make(map[int]*group)
+	var order []int
 	for i := range runs {
 		r := &runs[i]
-		k := rkey{r.Prefixes, r.Seed}
-		p := pairs[k]
-		if p == nil {
-			p = &pair{}
-			pairs[k] = p
-			order = append(order, k)
+		g := groups[r.Prefixes]
+		if g == nil {
+			g = &group{seeds: make(map[int64]bool)}
+			groups[r.Prefixes] = g
+			order = append(order, r.Prefixes)
 		}
+		g.seeds[r.Seed] = true
 		if r.Mode == sim.Supercharged.String() {
-			p.supercharged = r
+			g.supercharged = append(g.supercharged, r)
 		} else {
-			p.standalone = r
+			g.standalone = append(g.standalone, r)
 		}
 	}
 	var out []Comparison
-	for _, k := range order {
-		p := pairs[k]
-		if p.standalone == nil || p.supercharged == nil {
+	for _, prefixes := range order {
+		g := groups[prefixes]
+		if len(g.standalone) == 0 || len(g.supercharged) == 0 {
 			continue // single-mode sweep: nothing to compare
 		}
-		n := len(p.standalone.Events)
-		if len(p.supercharged.Events) < n {
-			n = len(p.supercharged.Events)
+		n := minEvents(g.standalone)
+		if m := minEvents(g.supercharged); m < n {
+			n = m
 		}
 		for ev := 0; ev < n; ev++ {
-			sa, su := p.standalone.Events[ev], p.supercharged.Events[ev]
+			sa, su := g.standalone[0].Events[ev], g.supercharged[0].Events[ev]
 			c := Comparison{
-				Prefixes: k.prefixes,
-				Seed:     k.seed,
+				Prefixes: prefixes,
+				Seeds:    len(g.seeds),
 				Event:    ev,
 				Kind:     string(sa.Kind),
 				Peer:     sa.Peer,
-				DetectMS: max(sa.DetectMS, su.DetectMS),
+				DetectMS: maxDetect(g.standalone, g.supercharged, ev),
 			}
-			c.Standalone = convCell(sa)
-			c.Supercharged = convCell(su)
-			if c.Standalone != nil && c.Supercharged != nil &&
-				c.Standalone.Unrecovered == 0 && c.Supercharged.Unrecovered == 0 {
-				if c.Supercharged.P50MS > 0 {
-					c.SpeedupP50 = c.Standalone.P50MS / c.Supercharged.P50MS
-				}
-				if c.Supercharged.MaxMS > 0 {
-					c.SpeedupMax = c.Standalone.MaxMS / c.Supercharged.MaxMS
-				}
-			}
+			c.Standalone = modeStats(g.standalone, ev)
+			c.Supercharged = modeStats(g.supercharged, ev)
 			if c.Standalone == nil && c.Supercharged == nil &&
 				sa.Affected == 0 && su.Affected == 0 {
-				continue // event never touched traffic in either mode
+				continue // event never touched traffic in either mode or seed
+			}
+			if c.Standalone != nil && c.Supercharged != nil &&
+				c.Standalone.Unrecovered == 0 && c.Supercharged.Unrecovered == 0 {
+				if p := c.Supercharged.P50; p != nil && p.MedianMS > 0 && c.Standalone.P50 != nil {
+					c.SpeedupP50 = c.Standalone.P50.MedianMS / p.MedianMS
+				}
+				if m := c.Supercharged.Max; m != nil && m.MedianMS > 0 && c.Standalone.Max != nil {
+					c.SpeedupMax = c.Standalone.Max.MedianMS / m.MedianMS
+				}
 			}
 			out = append(out, c)
 		}
@@ -185,16 +227,65 @@ func compare(runs []RunRow) []Comparison {
 	return out
 }
 
-func convCell(ev scenario.EventReport) *ConvCell {
-	if ev.Affected == 0 {
+// modeStats folds one event across one mode's per-seed runs (nil when no
+// seed's run had the event touch traffic).
+func modeStats(rs []*RunRow, ev int) *ModeStats {
+	st := &ModeStats{}
+	var p50s, maxs []float64
+	for _, r := range rs {
+		if ev >= len(r.Events) {
+			continue
+		}
+		e := r.Events[ev]
+		st.Seeds++
+		st.Affected += e.Affected
+		st.Recovered += e.Recovered
+		st.Unrecovered += e.Unrecovered
+		if e.Convergence != nil {
+			p50s = append(p50s, e.Convergence.P50MS)
+			maxs = append(maxs, e.Convergence.MaxMS)
+		}
+	}
+	if st.Affected == 0 {
 		return nil
 	}
-	c := &ConvCell{Affected: ev.Affected, Recovered: ev.Recovered, Unrecovered: ev.Unrecovered}
-	if ev.Convergence != nil {
-		c.P50MS = ev.Convergence.P50MS
-		c.MaxMS = ev.Convergence.MaxMS
+	st.P50 = distOf(p50s)
+	st.Max = distOf(maxs)
+	return st
+}
+
+func minEvents(rs []*RunRow) int {
+	n := len(rs[0].Events)
+	for _, r := range rs[1:] {
+		if len(r.Events) < n {
+			n = len(r.Events)
+		}
 	}
-	return c
+	return n
+}
+
+// maxDetect is the worst detection latency of the event across modes and
+// seeds (detection is the same physical path in both modes, so in
+// practice the values agree; max keeps the report honest if they ever
+// diverge).
+func maxDetect(standalone, supercharged []*RunRow, ev int) float64 {
+	var worst float64
+	for _, rs := range [][]*RunRow{standalone, supercharged} {
+		for _, r := range rs {
+			if ev < len(r.Events) && r.Events[ev].DetectMS > worst {
+				worst = r.Events[ev].DetectMS
+			}
+		}
+	}
+	return worst
+}
+
+// sortedCopy sorts without mutating the caller's slice —
+// metrics.Percentile expects sorted input.
+func sortedCopy(samples []float64) []float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return s
 }
 
 // JSON renders the aggregate as indented JSON.
@@ -203,12 +294,13 @@ func (a *Aggregate) JSON() ([]byte, error) {
 }
 
 // RenderTable renders the comparison rows as a fixed-width text table,
-// the `cmd/scenario sweep` default output.
+// the `cmd/scenario sweep` default output. With multiple seeds each
+// convergence cell reads `median [min–max]` across seeds.
 func (a *Aggregate) RenderTable() string {
 	multiSeed := len(a.Seeds) > 1
 	header := []string{"scenario", "prefixes"}
 	if multiSeed {
-		header = append(header, "seed")
+		header = append(header, "seeds")
 	}
 	header = append(header, "event", "kind", "peer", "detect",
 		"standalone p50", "standalone max", "supercharged p50", "supercharged max", "speedup")
@@ -217,7 +309,7 @@ func (a *Aggregate) RenderTable() string {
 		for _, c := range sr.Comparisons {
 			row := []any{sr.Name, c.Prefixes}
 			if multiSeed {
-				row = append(row, c.Seed)
+				row = append(row, c.Seeds)
 			}
 			row = append(row, c.Event, c.Kind, orDash(c.Peer), fmtDetect(c.DetectMS),
 				cellP50(c.Standalone), cellMax(c.Standalone),

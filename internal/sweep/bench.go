@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Bench is the CI performance snapshot of one sweep: per-scenario host
+// wall-clock cost plus the deterministic median convergence time of
+// every (scenario, size, event, mode) cell. cmd/bench writes it as
+// BENCH_sweep.json; the committed copy at the repo root is the baseline
+// the CI bench job gates pushes against.
+//
+// Wall-clock numbers are host telemetry: they vary with the machine and
+// with result-store warmth (a fully cached sweep costs file reads). The
+// convergence medians are pure functions of (spec, seeds, model
+// version), so a convergence regression in the gate always means the
+// code changed behavior — never that CI drew a slow runner.
+type Bench struct {
+	// Seeds are the sweep's RNG seeds (≥5 in CI, per the gate's charter).
+	Seeds []int64 `json:"seeds"`
+	// Units and Failed mirror the aggregate's run accounting.
+	Units  int `json:"units"`
+	Failed int `json:"failed"`
+	// CachedUnits counts results served from the result store — context
+	// for reading the wall-clock numbers.
+	CachedUnits int `json:"cached_units"`
+	// TotalWallMS is the whole sweep's host wall-clock time.
+	TotalWallMS float64 `json:"total_wall_ms"`
+	// Scenarios carries per-scenario wall-clock and convergence cells,
+	// sorted by name.
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
+// BenchScenario is one scenario's share of the snapshot.
+type BenchScenario struct {
+	Name string `json:"scenario"`
+	// WallMS sums the host wall-clock of the scenario's units.
+	WallMS float64 `json:"wall_ms"`
+	// Cells lists the scenario's gated convergence numbers.
+	Cells []BenchCell `json:"cells"`
+}
+
+// BenchCell is one gated number: the median across seeds of an event's
+// worst blackout in one mode at one table size.
+type BenchCell struct {
+	Prefixes int     `json:"prefixes"`
+	Event    int     `json:"event"`
+	Mode     string  `json:"mode"`
+	MedianMS float64 `json:"median_ms"`
+}
+
+// id names a cell in gate violations.
+func (c BenchCell) id(scenario string) string {
+	return fmt.Sprintf("%s/%s/%d/event%d", scenario, c.Mode, c.Prefixes, c.Event)
+}
+
+// NewBench assembles the snapshot from a finished aggregate plus the
+// wall-clock accounting collected via Options.OnResult.
+func NewBench(agg *Aggregate, wallByScenario map[string]float64, cached int, totalWallMS float64) *Bench {
+	b := &Bench{
+		Seeds:       append([]int64(nil), agg.Seeds...),
+		Units:       agg.Units,
+		Failed:      agg.Failed,
+		CachedUnits: cached,
+		TotalWallMS: totalWallMS,
+	}
+	for _, sr := range agg.Scenarios {
+		bs := BenchScenario{Name: sr.Name, WallMS: wallByScenario[sr.Name]}
+		for _, c := range sr.Comparisons {
+			for _, side := range []struct {
+				mode  string
+				stats *ModeStats
+			}{
+				{"standalone", c.Standalone},
+				{"supercharged", c.Supercharged},
+			} {
+				if side.stats == nil || side.stats.Max == nil {
+					continue
+				}
+				bs.Cells = append(bs.Cells, BenchCell{
+					Prefixes: c.Prefixes,
+					Event:    c.Event,
+					Mode:     side.mode,
+					MedianMS: side.stats.Max.MedianMS,
+				})
+			}
+		}
+		b.Scenarios = append(b.Scenarios, bs)
+	}
+	sort.Slice(b.Scenarios, func(i, j int) bool { return b.Scenarios[i].Name < b.Scenarios[j].Name })
+	return b
+}
+
+// JSON renders the snapshot as indented JSON.
+func (b *Bench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// ParseBench reads a snapshot written by JSON.
+func ParseBench(data []byte) (*Bench, error) {
+	var b Bench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("sweep: parse bench snapshot: %w", err)
+	}
+	return &b, nil
+}
+
+// Wall-clock grace floors: a percentage gate over milliseconds-range
+// timings (a fully cached sweep costs almost nothing) is pure noise, so
+// a wall-clock regression must also clear an absolute margin before it
+// counts. Convergence medians are deterministic and get no grace.
+const (
+	totalWallGraceMS    = 2000
+	scenarioWallGraceMS = 500
+)
+
+// CompareBench gates current against baseline: it returns one violation
+// string per regression — total or per-scenario wall-clock grown beyond
+// wallTol (fractional, e.g. 0.20) plus the absolute grace margin, any
+// cell's median convergence time grown beyond convTol, or a baseline
+// cell that disappeared (a scenario silently dropping out of the sweep
+// is a regression too). Faster results and brand-new cells pass;
+// ratcheting the baseline down is a deliberate commit of the
+// regenerated BENCH_sweep.json.
+func CompareBench(baseline, current *Bench, convTol, wallTol float64) []string {
+	var violations []string
+	// A baseline recorded off a warm result store carries near-zero wall
+	// numbers that nothing real can beat; its wall-clock data is not a
+	// baseline, so the wall gate stands down (convergence medians are
+	// cache-independent and stay gated). Refresh baselines cold:
+	// `go run ./cmd/bench -store "" -o BENCH_sweep.json`.
+	wallGate := baseline.CachedUnits == 0
+	if wallGate && wallRegressed(baseline.TotalWallMS, current.TotalWallMS, wallTol, totalWallGraceMS) {
+		violations = append(violations, fmt.Sprintf(
+			"sweep wall-clock regressed %.0f ms → %.0f ms (>%d%%)",
+			baseline.TotalWallMS, current.TotalWallMS, int(wallTol*100)))
+	}
+	curScen := make(map[string]*BenchScenario, len(current.Scenarios))
+	for i := range current.Scenarios {
+		curScen[current.Scenarios[i].Name] = &current.Scenarios[i]
+	}
+	for _, base := range baseline.Scenarios {
+		cur, ok := curScen[base.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"scenario %s vanished from the sweep (present in baseline)", base.Name))
+			continue
+		}
+		if wallGate && wallRegressed(base.WallMS, cur.WallMS, wallTol, scenarioWallGraceMS) {
+			violations = append(violations, fmt.Sprintf(
+				"%s wall-clock regressed %.0f ms → %.0f ms (>%d%%)",
+				base.Name, base.WallMS, cur.WallMS, int(wallTol*100)))
+		}
+		curCells := make(map[string]float64, len(cur.Cells))
+		for _, c := range cur.Cells {
+			curCells[c.id(cur.Name)] = c.MedianMS
+		}
+		for _, c := range base.Cells {
+			id := c.id(base.Name)
+			got, ok := curCells[id]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("cell %s vanished (baseline %.1f ms)", id, c.MedianMS))
+				continue
+			}
+			if c.MedianMS > 0 && got > c.MedianMS*(1+convTol) {
+				violations = append(violations, fmt.Sprintf(
+					"median convergence of %s regressed %.1f ms → %.1f ms (>%d%%)",
+					id, c.MedianMS, got, int(convTol*100)))
+			}
+		}
+	}
+	return violations
+}
+
+// wallRegressed applies the fractional tolerance and the absolute grace
+// margin to one wall-clock pair.
+func wallRegressed(baseMS, curMS, tol, graceMS float64) bool {
+	return baseMS > 0 && curMS > baseMS*(1+tol) && curMS-baseMS > graceMS
+}

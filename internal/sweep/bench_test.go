@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"supercharged/internal/scenario"
+)
+
+// benchFixture runs a small injected sweep and snapshots it.
+func benchFixture(t *testing.T, scale float64) *Bench {
+	t.Helper()
+	spec := Spec{Scenarios: []string{"paper-fig5", "rule-loss"}, Sizes: []int{100, 200}, Seeds: []int64{1, 2, 3}}
+	walls := map[string]float64{}
+	var cached int
+	opts := Options{
+		Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
+			r := fakeRun(u)
+			r.Events[0].Convergence.P50MS *= scale
+			r.Events[0].Convergence.MaxMS *= scale
+			return r, nil
+		},
+		OnResult: func(res UnitResult) {
+			walls[res.Unit.Scenario] += float64(res.Wall.Milliseconds())
+			if res.Cached {
+				cached++
+			}
+		},
+	}
+	agg, err := Run(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b := NewBench(agg, walls, cached, 1000)
+	for i := range b.Scenarios {
+		b.Scenarios[i].WallMS = 500 // pin host noise out of the comparison tests
+	}
+	return b
+}
+
+func TestBenchSnapshotShape(t *testing.T) {
+	b := benchFixture(t, 1.0)
+	if b.Units != 24 || b.Failed != 0 {
+		t.Fatalf("units/failed = %d/%d, want 24/0", b.Units, b.Failed)
+	}
+	if len(b.Scenarios) != 2 || b.Scenarios[0].Name != "paper-fig5" {
+		t.Fatalf("scenarios %+v, want sorted [paper-fig5 rule-loss]", b.Scenarios)
+	}
+	// paper-fig5 at two sizes, one traffic-affecting event, two modes.
+	if got := len(b.Scenarios[0].Cells); got != 4 {
+		t.Fatalf("paper-fig5 has %d cells, want 4", got)
+	}
+	data, err := b.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	back, err := ParseBench(data)
+	if err != nil {
+		t.Fatalf("ParseBench: %v", err)
+	}
+	if len(back.Scenarios) != 2 || back.TotalWallMS != b.TotalWallMS {
+		t.Fatalf("round trip mangled the snapshot: %+v", back)
+	}
+}
+
+func TestCompareBenchPassesWithinTolerance(t *testing.T) {
+	base := benchFixture(t, 1.0)
+	cur := benchFixture(t, 1.15) // +15% convergence, inside the 20% gate
+	cur.TotalWallMS = base.TotalWallMS * 1.1
+	if v := CompareBench(base, cur, 0.20, 0.20); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Faster is always fine.
+	fast := benchFixture(t, 0.5)
+	fast.TotalWallMS = base.TotalWallMS * 0.2
+	if v := CompareBench(base, fast, 0.20, 0.20); len(v) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", v)
+	}
+}
+
+func TestCompareBenchCatchesConvergenceRegression(t *testing.T) {
+	base := benchFixture(t, 1.0)
+	cur := benchFixture(t, 1.5) // +50% median convergence
+	v := CompareBench(base, cur, 0.20, 0.20)
+	if len(v) == 0 {
+		t.Fatal("50% convergence regression passed the 20% gate")
+	}
+	for _, msg := range v {
+		if !strings.Contains(msg, "median convergence") {
+			t.Fatalf("unexpected violation kind: %q", msg)
+		}
+	}
+}
+
+func TestCompareBenchCatchesWallClockRegression(t *testing.T) {
+	base := benchFixture(t, 1.0)
+	cur := benchFixture(t, 1.0)
+	cur.TotalWallMS = base.TotalWallMS * 4 // past tolerance AND grace
+	v := CompareBench(base, cur, 0.20, 0.20)
+	if len(v) != 1 || !strings.Contains(v[0], "wall-clock regressed") {
+		t.Fatalf("violations = %v, want exactly the total wall-clock one", v)
+	}
+	// Below the absolute grace margin, percentage blips don't count: a
+	// cached sweep's 3 ms vs 5 ms is noise, not a regression.
+	tiny := benchFixture(t, 1.0)
+	tiny.TotalWallMS = 3
+	tinyCur := benchFixture(t, 1.0)
+	tinyCur.TotalWallMS = 5
+	if v := CompareBench(tiny, tinyCur, 0.20, 0.20); len(v) != 0 {
+		t.Fatalf("sub-grace wall blip flagged: %v", v)
+	}
+	// A baseline snapshotted off a warm store has no honest wall data:
+	// the wall gate stands down, the convergence gate does not.
+	warm := benchFixture(t, 1.0)
+	warm.CachedUnits = warm.Units
+	warm.TotalWallMS = 10
+	coldCur := benchFixture(t, 1.0)
+	coldCur.TotalWallMS = 30000
+	if v := CompareBench(warm, coldCur, 0.20, 0.20); len(v) != 0 {
+		t.Fatalf("warm baseline's wall gate fired: %v", v)
+	}
+	slowConv := benchFixture(t, 1.5)
+	slowConv.TotalWallMS = 30000
+	if v := CompareBench(warm, slowConv, 0.20, 0.20); len(v) == 0 {
+		t.Fatal("warm baseline disarmed the convergence gate too")
+	}
+}
+
+func TestCompareBenchCatchesVanishedCells(t *testing.T) {
+	base := benchFixture(t, 1.0)
+	cur := benchFixture(t, 1.0)
+	cur.Scenarios = cur.Scenarios[:1] // rule-loss dropped
+	v := CompareBench(base, cur, 0.20, 0.20)
+	if len(v) == 0 || !strings.Contains(strings.Join(v, "\n"), "vanished") {
+		t.Fatalf("vanished scenario not flagged: %v", v)
+	}
+	// A brand-new scenario in current is not a violation.
+	grown := benchFixture(t, 1.0)
+	grown.Scenarios = append(grown.Scenarios, BenchScenario{Name: "brand-new"})
+	if v := CompareBench(base, grown, 0.20, 0.20); len(v) != 0 {
+		t.Fatalf("new scenario flagged: %v", v)
+	}
+}

@@ -1,13 +1,17 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"time"
 
+	"supercharged/internal/results"
 	"supercharged/internal/scenario"
+	"supercharged/internal/sim"
 )
 
 // Options parameterizes a sweep execution.
@@ -17,11 +21,30 @@ type Options struct {
 	// wall-clock time, never results.
 	Workers int
 	// Progress, if set, receives one line per completed unit (with its
-	// host wall-clock cost) plus a sweep summary line.
+	// host wall-clock cost and cache status) plus a sweep summary line.
 	Progress io.Writer
+	// Store, if set, caches per-unit reports content-addressed by
+	// (scenario spec, mode, size, flows, seed, Version): units whose key
+	// is already present are served from disk instead of re-run, which is
+	// what makes an unchanged re-sweep near-free. The aggregate is
+	// byte-identical with or without the store — a cache hit returns the
+	// exact bytes the run would have produced.
+	Store *results.Store
+	// Version is the code-relevant component of cache keys (default
+	// sim.ModelVersion). Bumping it invalidates every cached unit.
+	Version string
+	// Budget caps the sweep's host wall-clock time (0 = none): when it
+	// expires, in-flight simulations stop at their next event and every
+	// remaining unit fails with the deadline error.
+	Budget time.Duration
+	// OnResult, if set, observes every unit result from the collection
+	// goroutine (serially, in completion order) — wall-clock accounting
+	// for the bench harness without disturbing the aggregate.
+	OnResult func(UnitResult)
 	// Runner replaces the scenario-backed unit runner; nil uses
-	// scenario.RunOne. Tests inject failures and delays here.
-	Runner func(Unit) (scenario.RunReport, error)
+	// scenario.RunOne. Tests inject failures and delays here. The store,
+	// when set, wraps whichever runner is in effect.
+	Runner func(context.Context, Unit) (scenario.RunReport, error)
 }
 
 // UnitResult is one completed unit, streamed as workers finish.
@@ -34,9 +57,11 @@ type UnitResult struct {
 	// A failed unit still reaches the aggregate (as a Failure row).
 	Run *scenario.RunReport
 	Err error
+	// Cached marks a result served from the store instead of executed.
+	Cached bool
 	// Wall is the unit's host wall-clock cost (not the virtual lab time).
-	// It is progress telemetry only and never enters the aggregate, which
-	// must be byte-reproducible.
+	// It is progress/bench telemetry only and never enters the aggregate,
+	// which must be byte-reproducible.
 	Wall time.Duration
 }
 
@@ -47,21 +72,74 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) runner() func(Unit) (scenario.RunReport, error) {
+func (o Options) version() string {
+	if o.Version != "" {
+		return o.Version
+	}
+	return sim.ModelVersion
+}
+
+func (o Options) runner() func(context.Context, Unit) (scenario.RunReport, error) {
 	if o.Runner != nil {
 		return o.Runner
 	}
-	return func(u Unit) (scenario.RunReport, error) {
-		return scenario.RunOne(u.spec, u.Mode, u.Prefixes, u.Flows, u.Seed)
+	return func(ctx context.Context, u Unit) (scenario.RunReport, error) {
+		return scenario.RunOne(ctx, u.spec, u.Mode, u.Prefixes, u.Flows, u.Seed)
 	}
+}
+
+// key computes the unit's store address.
+func (o Options) key(u Unit) (results.Key, error) {
+	return results.KeyFor(results.KeyInput{
+		Spec:     u.spec,
+		Mode:     u.ModeName,
+		Prefixes: u.Prefixes,
+		Flows:    u.Flows,
+		Seed:     u.Seed,
+		Version:  o.version(),
+	})
+}
+
+// runUnit resolves one unit: store hit, or a real run followed by a
+// best-effort store write. A failed store write is not a unit failure —
+// the measurement is still good, the cache just misses next time.
+func runUnit(ctx context.Context, u Unit, opts Options, run func(context.Context, Unit) (scenario.RunReport, error)) (res UnitResult) {
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	var key results.Key
+	if opts.Store != nil {
+		k, err := opts.key(u)
+		if err == nil {
+			key = k
+			if rep, ok := opts.Store.Get(key); ok {
+				res.Run, res.Cached = rep, true
+				return res
+			}
+		}
+	}
+	rep, err := run(ctx, u)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Run = &rep
+	if opts.Store != nil && key != "" {
+		opts.Store.Put(key, rep)
+	}
+	return res
 }
 
 // Stream executes the units across the bounded worker pool and returns a
 // channel delivering each unit's result as it completes (completion
 // order, not expansion order). The channel closes once every unit has
 // been delivered — partial failures included, so len(units) results
-// always arrive.
-func Stream(units []Unit, opts Options) <-chan UnitResult {
+// always arrive. Cancelling the context stops in-flight simulations at
+// their next event; units not yet started complete immediately with the
+// context's error, so the contract of one result per unit holds even on
+// a cancelled sweep.
+func Stream(ctx context.Context, units []Unit, opts Options) <-chan UnitResult {
 	workers := opts.workers()
 	if workers > len(units) {
 		workers = len(units)
@@ -76,13 +154,10 @@ func Stream(units []Unit, opts Options) <-chan UnitResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				u := units[i]
 				t0 := time.Now()
-				rep, err := run(u)
-				res := UnitResult{Index: i, Unit: u, Err: err, Wall: time.Since(t0)}
-				if err == nil {
-					res.Run = &rep
-				}
+				res := runUnit(ctx, units[i], opts, run)
+				res.Index, res.Unit = i, units[i]
+				res.Wall = time.Since(t0)
 				out <- res
 			}
 		}()
@@ -101,20 +176,41 @@ func Stream(units []Unit, opts Options) <-chan UnitResult {
 // Run expands the spec, executes every unit across the worker pool while
 // streaming progress, and aggregates the results in deterministic unit
 // order. Unit failures do not abort the sweep: they surface as Failure
-// rows of the aggregate. Run itself only errors on an unexpandable spec.
-func Run(spec Spec, opts Options) (*Aggregate, error) {
+// rows of the aggregate. Cancellation (the caller's context, or the
+// Options.Budget deadline) still returns the partial aggregate —
+// cancelled units appear as failures — alongside the context's error, so
+// callers can render what completed and still exit non-zero.
+func Run(ctx context.Context, spec Spec, opts Options) (*Aggregate, error) {
 	units, err := Expand(spec)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
 	t0 := time.Now()
-	results := make([]UnitResult, len(units))
-	done := 0
-	for res := range Stream(units, opts) {
-		results[res.Index] = res
+	collected := make([]UnitResult, len(units))
+	done, cached := 0, 0
+	interrupted := false
+	for res := range Stream(ctx, units, opts) {
+		collected[res.Index] = res
 		done++
+		if res.Cached {
+			cached++
+		}
+		if res.Err != nil && (errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded)) {
+			interrupted = true
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(res)
+		}
 		if opts.Progress != nil {
 			status := "ok"
+			if res.Cached {
+				status = "ok (cached)"
+			}
 			if res.Err != nil {
 				status = "FAIL: " + res.Err.Error()
 			}
@@ -122,10 +218,16 @@ func Run(spec Spec, opts Options) (*Aggregate, error) {
 				digits(len(units)), done, len(units), res.Unit.Key(), status, res.Wall.Round(time.Millisecond))
 		}
 	}
-	agg := aggregate(spec, units, results)
+	agg := aggregate(spec, units, collected)
 	if opts.Progress != nil {
-		fmt.Fprintf(opts.Progress, "sweep: %d units, %d failed, %d workers, %v wall\n",
-			len(units), agg.Failed, opts.workers(), time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(opts.Progress, "sweep: %d units (%d cached), %d failed, %d workers, %v wall\n",
+			len(units), cached, agg.Failed, opts.workers(), time.Since(t0).Round(time.Millisecond))
+	}
+	// Only a sweep that actually lost units to cancellation is
+	// interrupted; a budget that expires after the last unit completed
+	// took nothing, so it is not an error.
+	if err := ctx.Err(); err != nil && interrupted {
+		return agg, fmt.Errorf("sweep: interrupted: %w", err)
 	}
 	return agg, nil
 }

@@ -1,0 +1,306 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"supercharged/internal/results"
+	"supercharged/internal/scenario"
+	"supercharged/internal/sim"
+)
+
+func openStore(t *testing.T) *results.Store {
+	t.Helper()
+	s, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("results.Open: %v", err)
+	}
+	return s
+}
+
+// TestStoreMakesResweepIncremental is the incremental-re-sweep contract:
+// the second identical sweep executes zero units — every result comes
+// from the store — and still renders byte-identical output.
+func TestStoreMakesResweepIncremental(t *testing.T) {
+	store := openStore(t)
+	var executed atomic.Int64
+	opts := func() Options {
+		return Options{
+			Workers: 4,
+			Store:   store,
+			Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
+				executed.Add(1)
+				return fakeRun(u), nil
+			},
+		}
+	}
+	spec := Spec{Scenarios: []string{"paper-fig5", "rule-loss"}, Sizes: []int{300, 600}, Seeds: []int64{1, 2}}
+
+	first, err := Run(context.Background(), spec, opts())
+	if err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	units := first.Units
+	if got := executed.Load(); got != int64(units) {
+		t.Fatalf("first sweep executed %d of %d units", got, units)
+	}
+
+	var cached int64
+	o := opts()
+	o.OnResult = func(res UnitResult) {
+		if res.Cached {
+			cached++
+		}
+	}
+	second, err := Run(context.Background(), spec, o)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if got := executed.Load(); got != int64(units) {
+		t.Fatalf("second sweep re-executed %d units; want all from the store", got-int64(units))
+	}
+	if cached != int64(units) {
+		t.Fatalf("second sweep served %d/%d units from the store", cached, units)
+	}
+	a, _ := first.JSON()
+	b, _ := second.JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached re-sweep rendered different bytes than the original")
+	}
+}
+
+// TestStoreInvalidation: the cache must miss — and re-run — when the
+// seed axis grows (only the new units), and when the model version is
+// bumped (everything).
+func TestStoreInvalidation(t *testing.T) {
+	store := openStore(t)
+	var executed atomic.Int64
+	run := func(spec Spec, version string) {
+		t.Helper()
+		_, err := Run(context.Background(), spec, Options{
+			Store:   store,
+			Version: version,
+			Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
+				executed.Add(1)
+				return fakeRun(u), nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	spec := Spec{Scenarios: []string{"rule-loss"}, Sizes: []int{300}}
+	run(spec, "v1")
+	base := executed.Load() // 2 units: both modes
+
+	// Adding seeds re-runs only the new units.
+	spec.Seeds = []int64{1, 2, 3}
+	run(spec, "v1")
+	if got := executed.Load() - base; got != 4 {
+		t.Fatalf("seed growth re-ran %d units; want exactly the 4 new ones", got)
+	}
+
+	// A version bump orphans every entry.
+	executed.Store(0)
+	run(spec, "v2")
+	if got := executed.Load(); got != 6 {
+		t.Fatalf("version bump re-ran %d of 6 units", got)
+	}
+}
+
+// TestCancelMidSweep: cancellation mid-sweep must (a) finish promptly
+// with one result per unit, (b) report the cancelled units as failures
+// alongside the error, and (c) leave only complete, parseable entries in
+// the store.
+func TestCancelMidSweep(t *testing.T) {
+	store := openStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := Spec{Scenarios: []string{"paper-fig5"}, Sizes: []int{100, 200}, Seeds: []int64{1, 2}}
+
+	opts := Options{
+		Workers: 2,
+		Store:   store,
+		Runner: func(ctx context.Context, u Unit) (scenario.RunReport, error) {
+			if u.Seed == 2 {
+				// Block until the sweep is cancelled, like a unit caught
+				// mid-simulation when the budget expires.
+				<-ctx.Done()
+				return scenario.RunReport{}, ctx.Err()
+			}
+			return fakeRun(u), nil
+		},
+		OnResult: func(res UnitResult) {
+			if res.Err == nil && res.Unit.Seed == 1 {
+				cancel() // first completed unit pulls the plug
+			}
+		},
+	}
+	agg, err := Run(ctx, spec, opts)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("Run error = %v; want interrupted", err)
+	}
+	if agg == nil {
+		t.Fatal("cancelled Run must still return the partial aggregate")
+	}
+	if agg.Failed == 0 || agg.Failed == agg.Units {
+		t.Fatalf("Failed=%d of %d; want a partial sweep", agg.Failed, agg.Units)
+	}
+	// Store consistency: every entry on disk is complete and parseable.
+	entries := 0
+	err = filepath.WalkDir(store.Dir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if filepath.Ext(path) != ".json" {
+			return fmt.Errorf("unexpected file %s", path)
+		}
+		entries++
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var e struct {
+			Layout int                `json:"layout"`
+			Report scenario.RunReport `json:"report"`
+		}
+		if err := json.Unmarshal(b, &e); err != nil || e.Layout != 1 {
+			return fmt.Errorf("torn store entry %s: %v", path, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := agg.Units - agg.Failed; entries != want {
+		t.Fatalf("store holds %d entries; want %d (one per completed unit)", entries, want)
+	}
+}
+
+// TestBudgetBoundsSweep: a sweep over budget stops instead of running to
+// completion.
+func TestBudgetBoundsSweep(t *testing.T) {
+	spec := Spec{Scenarios: []string{"paper-fig5"}, Sizes: []int{100, 200, 300, 400}}
+	agg, err := Run(context.Background(), spec, Options{
+		Workers: 1,
+		Budget:  30 * time.Millisecond,
+		Runner: func(ctx context.Context, u Unit) (scenario.RunReport, error) {
+			select {
+			case <-time.After(25 * time.Millisecond):
+				return fakeRun(u), nil
+			case <-ctx.Done():
+				return scenario.RunReport{}, ctx.Err()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("sweep finished under an impossible budget without error")
+	}
+	if agg == nil || agg.Failed == 0 {
+		t.Fatalf("expected budget-failed units in the aggregate, got %+v", agg)
+	}
+}
+
+// TestMultiSeedStatistics: per-cell distributions must summarize the
+// per-seed values, and the renderings must show median plus spread.
+func TestMultiSeedStatistics(t *testing.T) {
+	spec := Spec{Scenarios: []string{"paper-fig5"}, Sizes: []int{100}, Seeds: []int64{1, 2, 3}}
+	agg, err := Run(context.Background(), spec, Options{
+		Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
+			r := fakeRun(u)
+			// Standalone blackout scales with the seed: 100, 200, 300 ms
+			// (max 120, 240, 360); supercharged stays flat at 150/180.
+			if u.Mode == sim.Standalone {
+				c := 100.0 * float64(u.Seed)
+				r.Events[0].Convergence = &scenario.ConvergenceSummary{
+					Samples: 10, P50MS: c, MaxMS: c * 1.2,
+				}
+			}
+			return r, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cs := agg.Scenarios[0].Comparisons
+	if len(cs) != 1 {
+		t.Fatalf("got %d comparisons, want 1 (seeds aggregated into one row)", len(cs))
+	}
+	c := cs[0]
+	if c.Seeds != 3 {
+		t.Fatalf("Seeds = %d, want 3", c.Seeds)
+	}
+	sa := c.Standalone
+	if sa == nil || sa.P50 == nil || sa.Max == nil {
+		t.Fatalf("standalone stats missing: %+v", sa)
+	}
+	if sa.Seeds != 3 || sa.Affected != 30 || sa.Recovered != 30 {
+		t.Fatalf("flow totals wrong: %+v", sa)
+	}
+	if sa.P50.N != 3 || sa.P50.MinMS != 100 || sa.P50.MedianMS != 200 || sa.P50.MaxMS != 300 {
+		t.Fatalf("p50 dist wrong: %+v", sa.P50)
+	}
+	if sa.P50.MeanMS != 200 || sa.P50.IQRMS != 100 {
+		t.Fatalf("mean/IQR wrong: %+v", sa.P50)
+	}
+	// Speedup compares medians across seeds: 240 (standalone median max)
+	// over 180 (supercharged, flat).
+	if got, want := c.SpeedupMax, 240.0/180.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("SpeedupMax = %v, want %v", got, want)
+	}
+	doc := string(agg.Markdown(MarkdownOptions{}))
+	if !strings.Contains(doc, "| seeds |") {
+		t.Error("markdown comparison table lacks the seeds column")
+	}
+	if !strings.Contains(doc, "[100ms–300ms]") {
+		t.Errorf("markdown lacks the spread cell, got:\n%s", doc)
+	}
+	if !strings.Contains(agg.RenderTable(), "[100ms–300ms]") {
+		t.Error("text table lacks the spread cell")
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"", "[]", false},
+		{"5", "[1 2 3 4 5]", false}, // bare integer = seed count
+		{"7,11", "[7 11]", false},   // list = explicit seeds
+		{"3,", "[3]", false},        // trailing comma tolerated
+		{" 2 ", "[1 2]", false},     // count, trimmed
+		{"0", "", true},             // zero count
+		{"-3", "", true},            // negative count
+		{"x", "", true},             // not a number
+		{"1,x", "", true},           // bad list element
+		{"0,1", "", true},           // zero seed in a list
+		{"-5,2", "", true},          // negative seed in a list
+	}
+	for _, tc := range cases {
+		got, err := ParseSeeds(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseSeeds(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSeeds(%q): %v", tc.in, err)
+			continue
+		}
+		if fmt.Sprint(got) != tc.want {
+			t.Errorf("ParseSeeds(%q) = %v, want %s", tc.in, got, tc.want)
+		}
+	}
+}

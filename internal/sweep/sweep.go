@@ -16,12 +16,32 @@
 // dropped, and the final ordering is deterministic (by unit key) no
 // matter which worker finished first.
 //
+// Three properties make the sweep cheap enough to run statistically
+// (many seeds) on every push:
+//
+//   - Multi-seed statistics: comparison cells aggregate across seeds
+//     into distributions (min/median/mean/p90/max and IQR — the paper's
+//     Fig. 5 box plots in table form) instead of single-seed points.
+//   - Incremental re-sweeps: with Options.Store attached
+//     (internal/results), each unit's result is cached content-addressed
+//     by (scenario spec, mode, size, flows, seed, sim.ModelVersion); an
+//     unchanged unit is served from disk, so a re-sweep only executes
+//     what a code or spec change invalidated.
+//   - Cancellation and budgets: Run and Stream take a context and
+//     Options.Budget caps wall-clock; a cancelled sweep stops in-flight
+//     labs between simulator events and returns the partial aggregate
+//     with the remaining units as failures.
+//
 // The Aggregate renders as JSON, a text table, or the committed
-// EXPERIMENTS.md (see Markdown and cmd/experiments).
+// EXPERIMENTS.md (see Markdown and cmd/experiments); NewBench snapshots
+// a sweep's wall-clock and convergence medians for the CI perf gate
+// (cmd/bench).
 package sweep
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
@@ -61,6 +81,49 @@ type Unit struct {
 	// spec is the resolved scenario, captured at expansion time so a
 	// mid-sweep registry change cannot skew results.
 	spec scenario.Spec
+}
+
+// ParseSeeds interprets a -seeds flag value: a single integer N is a
+// seed *count* (seeds 1..N — how CI asks for "five seeds" without
+// naming them), while a comma-separated list names explicit seeds.
+// Empty input returns nil (the sweep default, seed 1).
+func ParseSeeds(s string) ([]int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if !strings.Contains(s, ",") {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad seed count %q", s)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("sweep: seed count %d must be positive", n)
+		}
+		seeds := make([]int64, n)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		return seeds, nil
+	}
+	var seeds []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad seed %q", part)
+		}
+		// Expand rejects non-positive seeds too, but failing here names
+		// the flag instead of the expanded spec.
+		if n <= 0 {
+			return nil, fmt.Errorf("sweep: seed %d must be positive", n)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds, nil
 }
 
 // Key is the unit's stable identity: scenario/mode/prefixes/seed. Final

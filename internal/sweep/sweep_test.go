@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -108,7 +109,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 	var docs [][]byte
 	var jsons [][]byte
 	for _, workers := range []int{1, 3, 16} {
-		agg, err := Run(smallSpec(), Options{Workers: workers})
+		agg, err := Run(context.Background(), smallSpec(), Options{Workers: workers})
 		if err != nil {
 			t.Fatalf("Run(workers=%d): %v", workers, err)
 		}
@@ -137,7 +138,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 // its CI freshness gate stand on.
 func TestRepeatRunDeterminism(t *testing.T) {
 	render := func() []byte {
-		agg, err := Run(smallSpec(), Options{Workers: 4})
+		agg, err := Run(context.Background(), smallSpec(), Options{Workers: 4})
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -174,14 +175,14 @@ func TestPartialFailureReported(t *testing.T) {
 	failKey := "paper-fig5/non-supercharged/200/1"
 	opts := Options{
 		Workers: 4,
-		Runner: func(u Unit) (scenario.RunReport, error) {
+		Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
 			if u.Key() == failKey {
 				return scenario.RunReport{}, fmt.Errorf("injected fault")
 			}
 			return fakeRun(u), nil
 		},
 	}
-	agg, err := Run(spec, opts)
+	agg, err := Run(context.Background(), spec, opts)
 	if err != nil {
 		t.Fatalf("Run must tolerate unit failures, got: %v", err)
 	}
@@ -217,14 +218,14 @@ func TestStreamDeliversEveryUnit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Expand: %v", err)
 	}
-	opts := Options{Workers: 3, Runner: func(u Unit) (scenario.RunReport, error) {
+	opts := Options{Workers: 3, Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
 		if u.Seed == 2 {
 			return scenario.RunReport{}, fmt.Errorf("boom")
 		}
 		return fakeRun(u), nil
 	}}
 	got := make(map[int]bool)
-	for res := range Stream(units, opts) {
+	for res := range Stream(context.Background(), units, opts) {
 		if got[res.Index] {
 			t.Fatalf("index %d delivered twice", res.Index)
 		}
@@ -243,7 +244,7 @@ func TestStreamDeliversEveryUnit(t *testing.T) {
 // over the survivors alone.
 func TestPartialRecoveryIsVisible(t *testing.T) {
 	spec := Spec{Scenarios: []string{"paper-fig5"}, Sizes: []int{100}}
-	agg, err := Run(spec, Options{Runner: func(u Unit) (scenario.RunReport, error) {
+	agg, err := Run(context.Background(), spec, Options{Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
 		r := fakeRun(u)
 		if u.Mode == sim.Supercharged {
 			// 9 of 10 flows recover fast; one never does.
@@ -273,7 +274,7 @@ func TestPartialRecoveryIsVisible(t *testing.T) {
 
 func TestSpeedupRatios(t *testing.T) {
 	spec := Spec{Scenarios: []string{"paper-fig5"}, Sizes: []int{100}}
-	agg, err := Run(spec, Options{Runner: func(u Unit) (scenario.RunReport, error) {
+	agg, err := Run(context.Background(), spec, Options{Runner: func(_ context.Context, u Unit) (scenario.RunReport, error) {
 		return fakeRun(u), nil
 	}})
 	if err != nil {

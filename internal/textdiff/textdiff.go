@@ -1,0 +1,181 @@
+// Package textdiff renders a unified diff between two texts — the
+// smallest tool that turns "CI says the committed file drifted" into
+// "CI shows which lines drifted". It exists so cmd/experiments -check
+// can print the drifted sections instead of a bare exit code; it is not
+// a general diff library (no moves, no word-level refinement).
+package textdiff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unified returns a unified diff (context lines, @@ hunk headers) from a
+// to b, labeled with the given names. It returns "" when the texts are
+// equal. The LCS is computed with the classic O(len(a)×len(b)) dynamic
+// program — fine for the documentation-sized files this package serves.
+func Unified(aName, bName string, a, b []byte, context int) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al, bl := splitLines(a), splitLines(b)
+	ops := diffOps(al, bl)
+	hunks := groupHunks(ops, context)
+	if len(hunks) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", aName, bName)
+	for _, h := range hunks {
+		fmt.Fprintf(&sb, "@@ -%s +%s @@\n", span(h.aStart, h.aLen), span(h.bStart, h.bLen))
+		for _, op := range h.ops {
+			sb.WriteString(op.tag)
+			sb.WriteString(op.line)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// splitLines splits without losing a trailing newline-less line.
+func splitLines(b []byte) []string {
+	s := string(b)
+	if s == "" {
+		return nil
+	}
+	lines := strings.Split(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// op is one diff line: tag is " " (context), "-" (only in a), "+" (only
+// in b).
+type op struct {
+	tag  string
+	line string
+	// aIdx/bIdx are the 0-based source positions (-1 when absent).
+	aIdx, bIdx int
+}
+
+// diffOps emits the full op stream via an LCS table.
+func diffOps(a, b []string) []op {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, op{" ", a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{"-", a[i], i, -1})
+			i++
+		default:
+			ops = append(ops, op{"+", b[j], -1, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{"-", a[i], i, -1})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{"+", b[j], -1, j})
+	}
+	return ops
+}
+
+// hunk is one @@ block: a run of changes plus surrounding context.
+type hunk struct {
+	aStart, aLen int // 1-based start and length on the a side
+	bStart, bLen int
+	ops          []op
+}
+
+// groupHunks windows the op stream into hunks with at most `context`
+// unchanged lines on each side, merging change runs whose context
+// windows touch.
+func groupHunks(ops []op, context int) []hunk {
+	var hunks []hunk
+	i := 0
+	for i < len(ops) {
+		if ops[i].tag == " " {
+			i++
+			continue
+		}
+		// Found a change: open a window `context` lines back…
+		start := i - context
+		if start < 0 {
+			start = 0
+		}
+		end := i
+		gap := 0
+		// …and extend it until 2×context+1 consecutive context lines (the
+		// windows of two change runs no longer touch) or the stream ends.
+		for j := i; j < len(ops); j++ {
+			if ops[j].tag == " " {
+				gap++
+				if gap > 2*context {
+					break
+				}
+			} else {
+				gap = 0
+				end = j + 1
+			}
+		}
+		stop := end + context
+		if stop > len(ops) {
+			stop = len(ops)
+		}
+		h := hunk{ops: ops[start:stop]}
+		h.aStart, h.aLen = sideSpan(h.ops, func(o op) int { return o.aIdx })
+		h.bStart, h.bLen = sideSpan(h.ops, func(o op) int { return o.bIdx })
+		hunks = append(hunks, h)
+		i = stop
+	}
+	return hunks
+}
+
+// sideSpan computes one side's 1-based start line and length.
+func sideSpan(ops []op, idx func(op) int) (start, length int) {
+	first := -1
+	for _, o := range ops {
+		if k := idx(o); k >= 0 {
+			if first == -1 {
+				first = k
+			}
+			length++
+		}
+	}
+	if first == -1 {
+		// Hunk has no lines on this side (a pure insert into an empty
+		// file, or a whole-file delete): unified format writes "0,0".
+		return 0, 0
+	}
+	return first + 1, length
+}
+
+func span(start, length int) string {
+	if length == 1 {
+		return fmt.Sprint(start)
+	}
+	return fmt.Sprintf("%d,%d", start, length)
+}

@@ -1,0 +1,80 @@
+package textdiff
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEqualTextsDiffEmpty(t *testing.T) {
+	if d := Unified("a", "b", []byte("x\ny\n"), []byte("x\ny\n"), 3); d != "" {
+		t.Fatalf("diff of equal texts = %q", d)
+	}
+	if d := Unified("a", "b", nil, nil, 3); d != "" {
+		t.Fatalf("diff of empty texts = %q", d)
+	}
+}
+
+func TestSingleChange(t *testing.T) {
+	a := []byte("one\ntwo\nthree\nfour\nfive\n")
+	b := []byte("one\ntwo\nTHREE\nfour\nfive\n")
+	d := Unified("old", "new", a, b, 1)
+	want := strings.Join([]string{
+		"--- old",
+		"+++ new",
+		"@@ -2,3 +2,3 @@",
+		" two",
+		"-three",
+		"+THREE",
+		" four",
+		"",
+	}, "\n")
+	if d != want {
+		t.Fatalf("diff:\n%s\nwant:\n%s", d, want)
+	}
+}
+
+func TestDistantChangesSplitIntoHunks(t *testing.T) {
+	var al, bl []string
+	for i := 0; i < 30; i++ {
+		line := strings.Repeat("x", 1) + "-" + string(rune('a'+i%26))
+		al = append(al, line)
+		bl = append(bl, line)
+	}
+	bl[2] = "CHANGED-EARLY"
+	bl[25] = "CHANGED-LATE"
+	d := Unified("old", "new", []byte(strings.Join(al, "\n")+"\n"), []byte(strings.Join(bl, "\n")+"\n"), 2)
+	if got := strings.Count(d, "@@"); got != 4 { // 2 per hunk header
+		t.Fatalf("want 2 hunks, got %d markers in:\n%s", got/2, d)
+	}
+	if !strings.Contains(d, "+CHANGED-EARLY") || !strings.Contains(d, "+CHANGED-LATE") {
+		t.Fatalf("both changes must appear:\n%s", d)
+	}
+	if strings.Contains(d, " "+al[13]+"\n") {
+		t.Fatalf("line far from any change leaked into a hunk:\n%s", d)
+	}
+}
+
+func TestInsertAndDelete(t *testing.T) {
+	a := []byte("keep\ngone\nkeep2\n")
+	b := []byte("keep\nkeep2\nadded\n")
+	d := Unified("old", "new", a, b, 3)
+	for _, want := range []string{"-gone", "+added", " keep", " keep2"} {
+		if !strings.Contains(d, want+"\n") {
+			t.Fatalf("diff missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestNoTrailingNewline(t *testing.T) {
+	d := Unified("old", "new", []byte("a\nb"), []byte("a\nc"), 3)
+	if !strings.Contains(d, "-b\n") || !strings.Contains(d, "+c\n") {
+		t.Fatalf("newline-less final lines mishandled:\n%s", d)
+	}
+}
+
+func TestWholeFileReplaced(t *testing.T) {
+	d := Unified("old", "new", []byte("a\n"), []byte("b\n"), 3)
+	if !strings.Contains(d, "@@ -1 +1 @@") {
+		t.Fatalf("single-line spans render without lengths:\n%s", d)
+	}
+}

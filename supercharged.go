@@ -23,9 +23,13 @@
 //     controller restarts) compiled into lab runs with per-event metrics;
 //   - internal/sweep — the parallel sweep executor: scenario × mode ×
 //     size × seed cross products run across a bounded worker pool with
-//     streamed per-run results, aggregated into the cross-scenario
-//     comparison (with per-event speedup ratios) that cmd/experiments
-//     renders as the committed EXPERIMENTS.md;
+//     streamed per-run results, aggregated into multi-seed distributions
+//     (median + spread per cell, with per-event speedup ratios) that
+//     cmd/experiments renders as the committed EXPERIMENTS.md;
+//   - internal/results — the content-addressed on-disk store of per-unit
+//     sweep results that makes re-sweeps incremental: unchanged units are
+//     served from disk, invalidation is by hash of (scenario spec, mode,
+//     size, seed, sim.ModelVersion);
 //   - internal/feed, internal/trafficgen — synthetic full-table feeds and
 //     the FPGA-style probe source/sink.
 //
@@ -34,11 +38,13 @@
 package supercharged
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"supercharged/internal/core"
 	"supercharged/internal/lab"
+	"supercharged/internal/results"
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
 	"supercharged/internal/sweep"
@@ -149,14 +155,15 @@ func LookupScenario(name string) (Scenario, bool) { return scenario.Lookup(name)
 // RegisterScenario validates and registers a user-defined scenario.
 func RegisterScenario(s Scenario) error { return scenario.Register(s) }
 
-// RunScenario executes a scenario and returns its report.
-func RunScenario(s Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
-	return scenario.Run(s, opts)
+// RunScenario executes a scenario and returns its report. The context
+// cancels the underlying simulations between events.
+func RunScenario(ctx context.Context, s Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(ctx, s, opts)
 }
 
 // RunScenarioNamed executes a registered scenario by name.
-func RunScenarioNamed(name string, opts ScenarioOptions) (*ScenarioReport, error) {
-	return scenario.RunNamed(name, opts)
+func RunScenarioNamed(ctx context.Context, name string, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.RunNamed(ctx, name, opts)
 }
 
 // Sweep re-exports: the parallel sweep executor (see internal/sweep).
@@ -168,12 +175,24 @@ type (
 	SweepUnit = sweep.Unit
 	// SweepUnitResult is one completed unit, streamed as workers finish.
 	SweepUnitResult = sweep.UnitResult
-	// SweepOptions bounds the worker pool and wires progress output.
+	// SweepOptions bounds the worker pool, wires progress output, caps
+	// the wall-clock budget, and attaches the result store for
+	// incremental re-sweeps.
 	SweepOptions = sweep.Options
 	// SweepAggregate is the deterministic cross-scenario comparison report,
-	// renderable as JSON, a text table, or EXPERIMENTS.md markdown.
+	// renderable as JSON, a text table, or EXPERIMENTS.md markdown. With
+	// several seeds every cell is a distribution (median/min/mean/p90/max
+	// and IQR across seeds) rather than a point.
 	SweepAggregate = sweep.Aggregate
+	// ResultStore is the content-addressed on-disk cache of per-unit sweep
+	// results; attach one to SweepOptions.Store and unchanged units are
+	// served from disk instead of re-run.
+	ResultStore = results.Store
 )
+
+// OpenResultStore opens (creating if needed) a result store rooted at
+// dir.
+func OpenResultStore(dir string) (*ResultStore, error) { return results.Open(dir) }
 
 // ExpandSweep resolves a sweep spec into its run units in deterministic
 // order.
@@ -181,14 +200,17 @@ func ExpandSweep(spec SweepSpec) ([]SweepUnit, error) { return sweep.Expand(spec
 
 // StreamSweep executes units across a bounded worker pool, delivering
 // each result as it completes; the channel closes when all are done.
-func StreamSweep(units []SweepUnit, opts SweepOptions) <-chan SweepUnitResult {
-	return sweep.Stream(units, opts)
+// Cancelling the context stops in-flight simulations between events.
+func StreamSweep(ctx context.Context, units []SweepUnit, opts SweepOptions) <-chan SweepUnitResult {
+	return sweep.Stream(ctx, units, opts)
 }
 
 // RunSweep expands, executes and aggregates a sweep. Unit failures are
-// reported in the aggregate rather than aborting the sweep.
-func RunSweep(spec SweepSpec, opts SweepOptions) (*SweepAggregate, error) {
-	return sweep.Run(spec, opts)
+// reported in the aggregate rather than aborting the sweep; a cancelled
+// or over-budget sweep returns the partial aggregate alongside the
+// context error.
+func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepAggregate, error) {
+	return sweep.Run(ctx, spec, opts)
 }
 
 // Experiment harness re-exports.
