@@ -19,9 +19,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -32,6 +36,7 @@ import (
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
 	"supercharged/internal/sweep"
+	"supercharged/internal/textdiff"
 )
 
 func main() {
@@ -48,6 +53,10 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "fuzz":
+		cmdFuzz(os.Args[2:])
+	case "docs":
+		cmdDocs(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,6 +72,10 @@ func usage() {
   scenario describe <name>            show a scenario's topology and timeline
   scenario run <name> [flags]         execute a scenario and report results
   scenario sweep [names...] [flags]   run many scenarios across a worker pool
+  scenario fuzz [flags]               hunt for convergence regressions with
+                                      random timelines from a seeded grammar
+  scenario docs [flags]               regenerate the builtin catalogue section
+                                      of docs/scenarios.md from the registry
 
 run flags:
   --mode both|standalone|supercharged   router modes to run (default both)
@@ -89,9 +102,31 @@ sweep flags:
   --md                                  emit the EXPERIMENTS.md rendering
   --q                                   suppress per-run progress on stderr
 
+fuzz flags:
+  --seed N                              grammar seed (default 1; the whole
+                                        session — specs, verdicts, shrinks —
+                                        reproduces byte-for-byte from it)
+  --runs N                              timelines to generate (default 20)
+  --prefixes N                          table size per run (default 2000)
+  --flows N                             probed flows per run (default 50)
+  --max-peers N / --max-events N        grammar bounds (defaults 5 / 6)
+  --slack F                             allowed supercharged/standalone
+                                        worst-blackout ratio (default 1.5)
+  --no-shrink                           report findings unminimized
+  --budget D                            wall-clock cap, e.g. 30s (0 = none)
+  --json                                emit the session result as JSON
+  --q                                   suppress the per-run timeline log
+
+docs flags:
+  --o FILE                              docs file to update (default
+                                        docs/scenarios.md)
+  --check                               verify instead of write; exit 1 and
+                                        print a diff on drift (CI)
+
 With no names, sweep covers every registered scenario. Worker count and
 store warmth only change wall-clock time: results are deterministic per
 seed, and with several seeds every cell reports median [min-max] spread.
+fuzz exits 1 if any finding survives; docs --check exits 1 on drift.
 `)
 }
 
@@ -121,6 +156,9 @@ func cmdDescribe(args []string) {
 		size := "full table"
 		if p.Prefixes > 0 {
 			size = fmt.Sprintf("%d prefixes", p.Prefixes)
+			if p.Offset > 0 {
+				size += fmt.Sprintf(" from index %d (wrapping)", p.Offset)
+			}
 		}
 		fmt.Printf("  %-6s %-8s %s\n", p.Name, role, size)
 	}
@@ -130,11 +168,20 @@ func cmdDescribe(args []string) {
 		if e.Peer != "" {
 			line += " peer=" + e.Peer
 		}
+		if len(e.Peers) > 0 {
+			line += " peers=" + strings.Join(e.Peers, "+")
+		}
 		if e.Hold > 0 {
 			line += fmt.Sprintf(" hold=%v", e.Hold)
 		}
 		if e.Fraction > 0 {
 			line += fmt.Sprintf(" fraction=%g", e.Fraction)
+		}
+		if e.Rate > 0 {
+			line += fmt.Sprintf(" rate=%d/s", e.Rate)
+		}
+		if e.Graceful {
+			line += " graceful"
 		}
 		if e.Detection != "" {
 			line += fmt.Sprintf(" detection=%s", e.Detection)
@@ -317,6 +364,135 @@ func cmdSweep(args []string) {
 	if agg.Failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func cmdFuzz(args []string) {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "grammar seed (same seed, same session)")
+	runs := fs.Int("runs", 20, "timelines to generate")
+	prefixes := fs.Int("prefixes", 0, "table size per run (0 = 2000)")
+	flows := fs.Int("flows", 0, "probed flows per run (0 = 50)")
+	maxPeers := fs.Int("max-peers", 0, "max generated peers (0 = 5)")
+	maxEvents := fs.Int("max-events", 0, "max generated events (0 = 6)")
+	slack := fs.Float64("slack", 0, "allowed supercharged/standalone ratio (0 = 1.5)")
+	noShrink := fs.Bool("no-shrink", false, "report findings unminimized")
+	budget := fs.Duration("budget", 0, "wall-clock budget (0 = none)")
+	asJSON := fs.Bool("json", false, "emit the session result as JSON")
+	quiet := fs.Bool("q", false, "suppress the per-run timeline log")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "scenario fuzz: unexpected arguments %v\n", fs.Args())
+		os.Exit(2)
+	}
+
+	opts := scenario.FuzzOptions{
+		Seed: *seed, Runs: *runs, Prefixes: *prefixes, Flows: *flows,
+		MaxPeers: *maxPeers, MaxEvents: *maxEvents, Slack: *slack,
+		NoShrink: *noShrink,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+
+	// The per-run log goes to stdout: it contains no wall-clock or host
+	// data, so `scenario fuzz -seed N` reproduces it byte-for-byte — the
+	// log IS the session transcript.
+	var progress io.Writer = os.Stdout
+	if *quiet || *asJSON {
+		progress = nil
+		if !*quiet {
+			progress = os.Stderr
+		}
+	}
+	res, err := scenario.Fuzz(ctx, opts, progress)
+	if err != nil {
+		// A budget expiry or ^C ends the session early but is not itself a
+		// failure: report the interruption and fall through to the partial
+		// session's findings (the exit code stays "findings found?").
+		fmt.Fprintf(os.Stderr, "scenario fuzz: %v\n", err)
+		if res == nil || !(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			os.Exit(1)
+		}
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario fuzz: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	}
+	if n := len(res.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "scenario fuzz: %d finding(s) in %d runs (seed %d)\n",
+			n, res.Runs, res.Seed)
+		if !*asJSON {
+			for _, f := range res.Findings {
+				repro, err := json.Marshal(minimalFinding(f))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "scenario fuzz: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "  run %d: %s\n  spec: %s\n", f.Index, f.Reason, repro)
+			}
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "scenario fuzz: no findings in %d runs (seed %d)\n", res.Runs, res.Seed)
+	}
+}
+
+// minimalFinding picks the shrunk spec when available for the repro line.
+func minimalFinding(f scenario.FuzzFinding) scenario.Spec {
+	if f.Shrunk != nil {
+		return *f.Shrunk
+	}
+	return f.Spec
+}
+
+func cmdDocs(args []string) {
+	fs := flag.NewFlagSet("docs", flag.ExitOnError)
+	out := fs.String("o", "docs/scenarios.md", "docs file to update")
+	check := fs.Bool("check", false, "verify instead of write; exit 1 and print a diff on drift")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "scenario docs: unexpected arguments %v\n", fs.Args())
+		os.Exit(2)
+	}
+	committed, err := os.ReadFile(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario docs: %v\n", err)
+		os.Exit(1)
+	}
+	spliced, err := scenario.SpliceDocs(committed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario docs: %v\n", err)
+		os.Exit(1)
+	}
+	if *check {
+		if !bytes.Equal(committed, spliced) {
+			fmt.Fprintf(os.Stderr,
+				"scenario docs: %s is stale: regenerate with `go run ./cmd/scenario docs` and commit the result\n", *out)
+			fmt.Fprint(os.Stderr, textdiff.Unified(
+				*out+" (committed)", *out+" (regenerated)", committed, spliced, 3))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "scenario docs: %s is up to date\n", *out)
+		return
+	}
+	if err := os.WriteFile(*out, spliced, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario docs: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scenario docs: wrote %s (%d builtins)\n", *out, len(scenario.List()))
 }
 
 func parseIntList(s string) ([]int, error) {

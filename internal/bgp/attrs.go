@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"net/netip"
@@ -109,6 +110,25 @@ func (p ASPath) Prepend(asn uint32) ASPath {
 	return append(ASPath{{Type: SegSequence, ASNs: []uint32{asn}}}, p...)
 }
 
+// Equal reports whether two paths are segment-for-segment identical.
+func (p ASPath) Equal(q ASPath) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i, s := range p {
+		t := q[i]
+		if s.Type != t.Type || len(s.ASNs) != len(t.ASNs) {
+			return false
+		}
+		for j, a := range s.ASNs {
+			if a != t.ASNs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Contains reports whether asn appears anywhere in the path (loop check).
 func (p ASPath) Contains(asn uint32) bool {
 	for _, s := range p {
@@ -210,6 +230,50 @@ func (a *Attrs) Clone() *Attrs {
 		}
 	}
 	return &out
+}
+
+// Equal reports semantic equality of two attribute sets — the test a
+// churn filter needs: a peer re-announcing a route with byte-identical
+// attributes (a graceful-restart replay, background UPDATE noise) is not
+// a routing change, however many times the attributes were re-parsed
+// into fresh objects.
+func (a *Attrs) Equal(b *Attrs) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Origin != b.Origin || a.NextHop != b.NextHop ||
+		a.MED != b.MED || a.HasMED != b.HasMED ||
+		a.LocalPref != b.LocalPref || a.HasLocalPref != b.HasLocalPref ||
+		a.AtomicAggregate != b.AtomicAggregate {
+		return false
+	}
+	if (a.Aggregator == nil) != (b.Aggregator == nil) {
+		return false
+	}
+	if a.Aggregator != nil && *a.Aggregator != *b.Aggregator {
+		return false
+	}
+	if !a.ASPath.Equal(b.ASPath) {
+		return false
+	}
+	if len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i, c := range a.Communities {
+		if c != b.Communities[i] {
+			return false
+		}
+	}
+	if len(a.Others) != len(b.Others) {
+		return false
+	}
+	for i, r := range a.Others {
+		o := b.Others[i]
+		if r.Flags != o.Flags || r.Code != o.Code || !bytes.Equal(r.Data, o.Data) {
+			return false
+		}
+	}
+	return true
 }
 
 func (a *Attrs) String() string {

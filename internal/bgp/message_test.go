@@ -408,6 +408,42 @@ func TestAttrsCloneIsDeep(t *testing.T) {
 	}
 }
 
+func TestAttrsEqual(t *testing.T) {
+	a := fullAttrs()
+	a.Others = []RawAttr{{Flags: flagOptional | flagTransitive, Code: 32, Data: []byte{1}}}
+	// A deep clone is semantically equal despite fresh storage — the churn
+	// filter's case: re-parsed byte-identical attributes.
+	if !a.Equal(a.Clone()) || !a.Equal(a) {
+		t.Fatal("semantically identical attrs compare unequal")
+	}
+	mutations := []func(*Attrs){
+		func(b *Attrs) { b.Origin = OriginIncomplete },
+		func(b *Attrs) { b.NextHop = netip.MustParseAddr("10.9.9.9") },
+		func(b *Attrs) { b.MED++ },
+		func(b *Attrs) { b.HasMED = !b.HasMED },
+		func(b *Attrs) { b.LocalPref++ },
+		func(b *Attrs) { b.ASPath = b.ASPath.Prepend(999) },
+		func(b *Attrs) { b.ASPath[0].ASNs[0] = 999 },
+		func(b *Attrs) { b.Communities[0]++ },
+		func(b *Attrs) { b.Communities = b.Communities[:len(b.Communities)-1] },
+		func(b *Attrs) { b.Aggregator = nil },
+		func(b *Attrs) { b.Aggregator.AS++ },
+		func(b *Attrs) { b.Others[0].Data[0] = 9 },
+		func(b *Attrs) { b.Others = nil },
+	}
+	for i, mutate := range mutations {
+		b := a.Clone()
+		mutate(b)
+		if a.Equal(b) {
+			t.Fatalf("mutation %d not detected by Equal", i)
+		}
+	}
+	var nilAttrs *Attrs
+	if nilAttrs.Equal(a) || a.Equal(nilAttrs) || !nilAttrs.Equal(nil) {
+		t.Fatal("nil handling")
+	}
+}
+
 func BenchmarkUpdateMarshal(b *testing.B) {
 	c := Codec{ASN4: true}
 	u := &Update{Attrs: fullAttrs(), NLRI: []netip.Prefix{pfx("1.0.0.0/24"), pfx("2.0.0.0/24"), pfx("3.0.0.0/24")}}

@@ -562,16 +562,32 @@ func TestEngineK3DoubleFailure(t *testing.T) {
 	}
 }
 
-func TestEngineAllNextHopsDownInstallFails(t *testing.T) {
-	gt, e, _ := newEngineFixture(t)
+func TestEngineAllNextHopsDownInstallDeferred(t *testing.T) {
+	// A group can form out of peers whose failures are still being cleaned
+	// up. Installing a rule at a dead peer would blackhole identically, so
+	// nothing is pushed — the first PeerUp of a member installs the rule.
+	gt, e, rec := newEngineFixture(t)
 	e.PeerDown(r2)
 	e.PeerDown(r3)
 	g, _ := gt.Ensure(r2, r3)
-	if err := e.InstallGroup(g); err == nil {
-		t.Fatal("install succeeded with no live next-hop")
+	if err := e.InstallGroup(g); err != nil {
+		t.Fatalf("deferred install errored: %v", err)
+	}
+	if len(rec.pushes) != 0 {
+		t.Fatalf("pushed %d rules with no live next-hop", len(rec.pushes))
+	}
+	if _, has := e.CurrentTarget(g); has {
+		t.Fatal("dead group acquired a target")
 	}
 	if !e.PeerIsDown(r2) || e.PeerIsDown(r4) {
 		t.Fatal("down bookkeeping")
+	}
+	// The backup recovering pushes the deferred rule.
+	if n, err := e.PeerUp(r3); err != nil || n != 1 {
+		t.Fatalf("PeerUp pushed %d rules (err %v), want 1", n, err)
+	}
+	if got := rec.pushes[len(rec.pushes)-1]; got.Target.NH != r3 {
+		t.Fatalf("deferred rule targets %v, want r3", got.Target.NH)
 	}
 }
 

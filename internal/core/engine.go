@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"net/netip"
 	"sort"
 	"sync"
@@ -96,10 +95,19 @@ func (e *Engine) Rewrites() uint64 {
 // pointing at the first live next-hop of its tuple (normally the primary).
 // The processor calls this from OnNewGroup before the VNH is announced, so
 // the data plane is ready before the router can send traffic to the VMAC.
+//
+// A group whose members are all currently down (possible mid-churn: a
+// routing update can form a new tuple out of peers whose failures are
+// still being cleaned up) installs nothing — a rule at a dead peer would
+// blackhole identically — and the first PeerUp of a member pushes it.
 func (e *Engine) InstallGroup(g Group) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.retargetLocked(g, false)
+	want, ok := e.bestLiveLocked(g)
+	if !ok {
+		return nil
+	}
+	return e.pushLocked(g, want)
 }
 
 // PeerDown marks nh failed and rewrites every group whose current target
@@ -193,22 +201,6 @@ func (e *Engine) retargetOneLocked(g Group) (bool, error) {
 	}
 	e.rewrites++
 	return true, nil
-}
-
-// retargetLocked is retargetOneLocked for initial installation (does not
-// count as a failure rewrite).
-func (e *Engine) retargetLocked(g Group, countRewrite bool) error {
-	want, ok := e.bestLiveLocked(g)
-	if !ok {
-		return fmt.Errorf("core: no live next-hop for %s", g)
-	}
-	if err := e.pushLocked(g, want); err != nil {
-		return err
-	}
-	if countRewrite {
-		e.rewrites++
-	}
-	return nil
 }
 
 func (e *Engine) pushLocked(g Group, target PeerPort) error {

@@ -154,7 +154,7 @@ func (p *Processor) reactOne(ch bgp.Change) (*bgp.Update, batchSig, error) {
 	// itself (Listing 1's len(new) == 1 branch).
 	nhs := p.topNextHops(ch.New)
 	if len(nhs) < 2 {
-		if state.mode == advPlain && state.nextHop == best.NextHop() && state.attrs == best.Attrs {
+		if state.mode == advPlain && state.nextHop == best.NextHop() && sameAttrs(state.attrs, best.Attrs) {
 			return nil, batchSig{}, nil // nothing material changed
 		}
 		p.clearState(pfx, state)
@@ -178,7 +178,7 @@ func (p *Processor) reactOne(ch bgp.Change) (*bgp.Update, batchSig, error) {
 		}
 	}
 	key := group.Key()
-	if state.mode == advVNH && state.groupKey == key && state.attrs == best.Attrs {
+	if state.mode == advVNH && state.groupKey == key && sameAttrs(state.attrs, best.Attrs) {
 		return nil, batchSig{}, nil // same group, same attributes: suppress
 	}
 	p.clearState(pfx, state)
@@ -188,6 +188,17 @@ func (p *Processor) reactOne(ch bgp.Change) (*bgp.Update, batchSig, error) {
 	attrs := best.Attrs.Clone()
 	attrs.NextHop = group.VNH
 	return &bgp.Update{Attrs: attrs, NLRI: []netip.Prefix{pfx}}, batchSig{src: best.Attrs, target: key}, nil
+}
+
+// sameAttrs is the processor's churn filter: pointer identity first (the
+// common case — one UPDATE's attrs shared across its NLRI), semantic
+// equality second, so a peer replaying byte-identical routes (a
+// graceful-restart refresh, background UPDATE noise) produces no
+// announcements toward the router. The legacy router has no such filter —
+// shielding it from redundant churn is part of what the supercharger
+// sells (the paper's E3 load benchmark).
+func sameAttrs(a, b *bgp.Attrs) bool {
+	return a == b || a.Equal(b)
 }
 
 func (p *Processor) clearState(pfx netip.Prefix, state advState) {

@@ -220,6 +220,34 @@ func (t *Table) Head(n int) *Table {
 	return &Table{Routes: t.Routes[:n], Templates: t.Templates}
 }
 
+// Window returns a view of n routes starting at offset, wrapping around
+// the end of the table, as a Table sharing the receiver's templates. Two
+// peers with staggered windows cover overlapping-but-different slices of
+// the prefix space — the per-prefix path-set diversity that makes a
+// many-peer fabric allocate many distinct backup-groups (nested Head
+// views can never produce more than one group per topology position).
+// n outside [0, Len] is clamped; offset is taken modulo Len; the view
+// must not be mutated.
+func (t *Table) Window(offset, n int) *Table {
+	if len(t.Routes) == 0 || n <= 0 {
+		return &Table{Templates: t.Templates}
+	}
+	if n >= len(t.Routes) {
+		return &Table{Routes: t.Routes, Templates: t.Templates}
+	}
+	offset %= len(t.Routes)
+	if offset < 0 {
+		offset += len(t.Routes)
+	}
+	if offset+n <= len(t.Routes) {
+		return &Table{Routes: t.Routes[offset : offset+n], Templates: t.Templates}
+	}
+	routes := make([]Route, 0, n)
+	routes = append(routes, t.Routes[offset:]...)
+	routes = append(routes, t.Routes[:n-(len(t.Routes)-offset)]...)
+	return &Table{Routes: routes, Templates: t.Templates}
+}
+
 // SamplePrefixes picks n probe prefixes the way the paper does: "randomly
 // selected among the IP prefixes advertised, and including the first and
 // last prefix advertised". Deterministic for a given seed.

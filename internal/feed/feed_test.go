@@ -157,6 +157,28 @@ func TestSamplePrefixesClamps(t *testing.T) {
 	}
 }
 
+func TestWindowWrapsAround(t *testing.T) {
+	tbl := Generate(Config{N: 10, Seed: 3})
+	w := tbl.Window(7, 5)
+	if w.Len() != 5 {
+		t.Fatalf("window len %d, want 5", w.Len())
+	}
+	want := append(append([]Route(nil), tbl.Routes[7:]...), tbl.Routes[:2]...)
+	if !reflect.DeepEqual(w.Routes, want) {
+		t.Fatal("wrapped window does not match routes 7,8,9,0,1")
+	}
+	// Offsets are modulo the table size; full-size windows are the table.
+	if got := tbl.Window(17, 5); !reflect.DeepEqual(got.Routes, w.Routes) {
+		t.Fatal("offset not taken modulo table size")
+	}
+	if got := tbl.Window(3, 100); got.Len() != 10 {
+		t.Fatalf("oversized window len %d, want full table", got.Len())
+	}
+	if got := tbl.Window(3, 0); got.Len() != 0 {
+		t.Fatalf("empty window len %d", got.Len())
+	}
+}
+
 func TestGeneratePanicsOnBadN(t *testing.T) {
 	defer func() {
 		if recover() == nil {

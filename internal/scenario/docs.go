@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Generated-docs support: the builtin catalogue section of
+// docs/scenarios.md is rendered from the registry (every Spec's
+// Description, Paper and Expect fields plus its actual topology and
+// timeline), spliced between the markers below, and checked by CI — so
+// the documented catalogue can never drift from the registered one.
+
+// Markers bracketing the generated catalogue inside docs/scenarios.md.
+const (
+	DocsBeginMarker = "<!-- BEGIN GENERATED: builtin catalogue — edit internal/scenario/builtin.go and run `go run ./cmd/scenario docs` -->"
+	DocsEndMarker   = "<!-- END GENERATED: builtin catalogue -->"
+)
+
+// DocsMarkdown renders the registry's builtin catalogue as the markdown
+// section between the docs markers: one entry per builtin with what it
+// models, its real topology and timeline, its paper mapping and its
+// expected outcome. Pure function of the registry — byte-identical
+// whenever the builtins are.
+func DocsMarkdown() []byte {
+	var b strings.Builder
+	for _, s := range List() {
+		fmt.Fprintf(&b, "## %s\n\n", s.Name)
+		writeWrapped(&b, "**Models:** "+s.Description)
+		b.WriteString("\n")
+		writeWrapped(&b, "**Topology:** "+topologyLine(s))
+		b.WriteString("\n**Timeline:**\n\n")
+		for _, ev := range s.Events {
+			fmt.Fprintf(&b, "- `t=%v` %s\n", ev.At, eventLine(ev))
+		}
+		b.WriteString("\n")
+		writeWrapped(&b, "**Paper mapping:** "+s.Paper)
+		b.WriteString("\n")
+		writeWrapped(&b, "**Expected outcome:** "+s.Expect)
+		b.WriteString("\n")
+	}
+	return []byte(strings.TrimSuffix(b.String(), "\n"))
+}
+
+// SpliceDocs replaces the generated catalogue between the markers of an
+// existing docs file with the current registry rendering.
+func SpliceDocs(doc []byte) ([]byte, error) {
+	begin := bytes.Index(doc, []byte(DocsBeginMarker))
+	end := bytes.Index(doc, []byte(DocsEndMarker))
+	if begin < 0 || end < 0 || end < begin {
+		return nil, fmt.Errorf("scenario: docs file is missing the generated-catalogue markers")
+	}
+	var out bytes.Buffer
+	out.Write(doc[:begin+len(DocsBeginMarker)])
+	out.WriteString("\n\n")
+	out.Write(DocsMarkdown())
+	out.WriteString("\n\n")
+	out.Write(doc[end:])
+	return out.Bytes(), nil
+}
+
+// topologyLine summarizes a spec's peer set, group size and table sizes.
+func topologyLine(s Spec) string {
+	var parts []string
+	full, windowed, capped := 0, 0, 0
+	for _, p := range s.Peers {
+		switch {
+		case p.Offset > 0:
+			windowed++
+		case p.Prefixes > 0:
+			capped++
+		default:
+			full++
+		}
+	}
+	peers := fmt.Sprintf("%d peers (%s–%s)", len(s.Peers), s.Peers[0].Name, s.Peers[len(s.Peers)-1].Name)
+	if windowed > 0 || capped > 0 {
+		var kinds []string
+		if full > 0 {
+			kinds = append(kinds, fmt.Sprintf("%d full-feed", full))
+		}
+		if capped > 0 {
+			kinds = append(kinds, fmt.Sprintf("%d partial", capped))
+		}
+		if windowed > 0 {
+			kinds = append(kinds, fmt.Sprintf("%d rotated-window", windowed))
+		}
+		peers += " — " + strings.Join(kinds, ", ")
+	}
+	parts = append(parts, peers)
+	k := s.GroupSize
+	if k == 0 {
+		k = 2
+	}
+	parts = append(parts, fmt.Sprintf("backup-groups of k=%d", k))
+	switch {
+	case len(s.PrefixSweep) > 0:
+		sizes := make([]string, len(s.PrefixSweep))
+		for i, n := range s.PrefixSweep {
+			sizes[i] = fmt.Sprint(n)
+		}
+		parts = append(parts, "table sizes "+strings.Join(sizes, ", "))
+	case s.Prefixes > 0:
+		parts = append(parts, fmt.Sprintf("table size %d", s.Prefixes))
+	default:
+		parts = append(parts, fmt.Sprintf("table size %d (default)", DefaultPrefixes))
+	}
+	if s.HoldTimer > 0 {
+		parts = append(parts, fmt.Sprintf("hold timer %v", s.HoldTimer))
+	}
+	return strings.Join(parts, "; ") + "."
+}
+
+// eventLine renders one event for the catalogue's timeline list.
+func eventLine(ev Event) string {
+	var args []string
+	if ev.Peer != "" {
+		args = append(args, "peer="+ev.Peer)
+	}
+	if len(ev.Peers) > 0 {
+		args = append(args, "peers="+strings.Join(ev.Peers, "+"))
+	}
+	if ev.Hold > 0 {
+		args = append(args, fmt.Sprintf("hold=%v", ev.Hold))
+	}
+	if ev.Fraction > 0 {
+		args = append(args, fmt.Sprintf("fraction=%g", ev.Fraction))
+	}
+	if ev.Rate > 0 {
+		args = append(args, fmt.Sprintf("rate=%d/s", ev.Rate))
+	}
+	if ev.Graceful {
+		args = append(args, "graceful")
+	}
+	if ev.Detection != "" {
+		args = append(args, "detection="+string(ev.Detection))
+	}
+	if len(args) == 0 {
+		return fmt.Sprintf("**%s**", ev.Kind)
+	}
+	return fmt.Sprintf("**%s** (%s)", ev.Kind, strings.Join(args, ", "))
+}
+
+// writeWrapped writes s wrapped at 72 columns, followed by a newline.
+func writeWrapped(b *strings.Builder, s string) {
+	const width = 72
+	line := 0
+	for _, word := range strings.Fields(s) {
+		if line > 0 && line+1+len(word) > width {
+			b.WriteString("\n")
+			line = 0
+		} else if line > 0 {
+			b.WriteString(" ")
+			line++
+		}
+		b.WriteString(word)
+		line += len(word)
+	}
+	b.WriteString("\n")
+}

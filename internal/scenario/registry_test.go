@@ -14,9 +14,22 @@ func TestBuiltinsRegistered(t *testing.T) {
 		"paper-fig5", "double-failure", "flap-storm",
 		"backup-then-primary", "partial-withdraw",
 		"rule-loss", "controller-restart", "holdtimer-failover",
+		// Second generation: fabrics, correlated failures, resets, noise.
+		"route-server-fabric", "srlg-dual-failure", "maintenance-rolling",
+		"session-reset-hard", "session-reset-graceful", "noisy-failover",
 	} {
-		if _, ok := Lookup(name); !ok {
+		s, ok := Lookup(name)
+		if !ok {
 			t.Errorf("builtin %q not registered", name)
+			continue
+		}
+		// docs/scenarios.md is generated from these fields; a builtin
+		// without them would render an empty catalogue entry.
+		if s.Paper == "" {
+			t.Errorf("builtin %q has no paper mapping", name)
+		}
+		if s.Expect == "" {
+			t.Errorf("builtin %q has no expected outcome", name)
 		}
 	}
 }

@@ -44,6 +44,11 @@ type Peer struct {
 	Weight uint32 `json:"weight,omitempty"`
 	// Prefixes caps this peer's advertised feed (0 = the full table).
 	Prefixes int `json:"prefixes,omitempty"`
+	// Offset rotates the peer's feed window to start at this table index
+	// (modulo the table size, wrapping around). Staggered windows give a
+	// many-peer fabric its per-prefix path diversity — and its many
+	// distinct backup-groups.
+	Offset int `json:"offset,omitempty"`
 }
 
 // Event is one scripted event of the scenario timeline.
@@ -54,20 +59,37 @@ type Event struct {
 	Kind Kind `json:"kind"`
 	// Peer names the affected peer (required for peer/link events).
 	Peer string `json:"peer,omitempty"`
-	// Hold is the link-flap downtime or controller-restart duration.
+	// Peers names the members of a shared-risk link group (srlg-down
+	// only, ≥ 2 distinct peers taken down by the one event).
+	Peers []string `json:"peers,omitempty"`
+	// Hold is the link-flap downtime, controller-restart duration,
+	// session-reset re-establishment time (0 = the 1 s default) or
+	// update-noise duration.
 	Hold time.Duration `json:"hold,omitempty"`
 	// Fraction is the partial-withdraw share of the peer's feed, (0, 1].
 	Fraction float64 `json:"fraction,omitempty"`
 	// Detection selects bfd (default) or hold-timer failure detection.
 	Detection Detection `json:"detection,omitempty"`
+	// Graceful preserves forwarding state across a session-reset
+	// (RFC 4724 graceful restart).
+	Graceful bool `json:"graceful,omitempty"`
+	// Rate is the update-noise intensity in UPDATEs per second.
+	Rate int `json:"rate,omitempty"`
 }
 
 // Spec is one declarative scenario: a named topology plus timeline.
 type Spec struct {
-	Name        string  `json:"name"`
-	Description string  `json:"description"`
-	Peers       []Peer  `json:"peers"`
-	Events      []Event `json:"events"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Paper maps the scenario onto the source paper: the section, figure
+	// or benchmark whose claim it exercises. Every builtin sets it;
+	// docs/scenarios.md is generated from it and CI fails on drift.
+	Paper string `json:"paper,omitempty"`
+	// Expect states the qualitative outcome a correct reproduction shows
+	// (and, for the boundary scenarios, what it must NOT show).
+	Expect string  `json:"expect,omitempty"`
+	Peers  []Peer  `json:"peers"`
+	Events []Event `json:"events"`
 	// GroupSize is the backup-group tuple size k (0 = 2, the paper's).
 	GroupSize int `json:"group_size,omitempty"`
 	// Prefixes is the default table size when no sweep or override is
@@ -128,12 +150,15 @@ func (s Spec) compile(mode sim.Mode, prefixes, flows int, seed int64) sim.Timeli
 		cfg.GroupSize = s.GroupSize
 	}
 	for _, p := range s.Peers {
-		cfg.Peers = append(cfg.Peers, sim.PeerSpec{Name: p.Name, Weight: p.Weight, Prefixes: p.Prefixes})
+		cfg.Peers = append(cfg.Peers, sim.PeerSpec{
+			Name: p.Name, Weight: p.Weight, Prefixes: p.Prefixes, Offset: p.Offset,
+		})
 	}
 	for _, e := range s.Events {
 		cfg.Events = append(cfg.Events, sim.TimelineEvent{
-			At: e.At, Kind: e.Kind, Peer: e.Peer,
+			At: e.At, Kind: e.Kind, Peer: e.Peer, Peers: e.Peers,
 			Hold: e.Hold, Fraction: e.Fraction, Detection: e.Detection,
+			Graceful: e.Graceful, Rate: e.Rate,
 		})
 	}
 	return cfg

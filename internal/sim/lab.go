@@ -194,7 +194,7 @@ func (l *lab) pathWorks(pfx netip.Prefix) bool {
 	mac := nh.MAC
 	if l.flows != nil {
 		if prov, direct := l.targets[mac]; direct {
-			return prov.up && !prov.withdrawn[pfx]
+			return prov.forwarding() && !prov.withdrawn[pfx]
 		}
 		// VMAC: resolve through the switch table.
 		eth := &packet.Ethernet{Dst: mac, Type: packet.EtherTypeIPv4}
@@ -209,7 +209,7 @@ func (l *lab) pathWorks(pfx netip.Prefix) bool {
 		}
 	}
 	prov, ok := l.targets[mac]
-	return ok && prov.up && !prov.withdrawn[pfx]
+	return ok && prov.forwarding() && !prov.withdrawn[pfx]
 }
 
 // --- failure sequence ---
@@ -259,6 +259,22 @@ func (l *lab) ctlDelay() time.Duration {
 		ctl += time.Duration(l.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
 	}
 	return ctl
+}
+
+// afterRouterCtl schedules fn after the router's control-plane delay,
+// preserving FIFO order across batches: BGP messages ride one TCP
+// session, so a batch emitted later must not overtake an earlier one,
+// however their independent jitter draws land. Without this floor a
+// withdraw burst could be applied after the re-announcement that
+// superseded it, deleting routes forever (the fuzzer found exactly that
+// interleaving).
+func (l *lab) afterRouterCtl(fn func()) {
+	at := l.clk.Now().Add(l.ctlDelay())
+	if at.Before(l.routerCtlFIFO) {
+		at = l.routerCtlFIFO
+	}
+	l.routerCtlFIFO = at
+	l.clk.AfterFunc(at.Sub(l.clk.Now()), fn)
 }
 
 // controllerDelay is how long until the controller can react: zero
@@ -318,7 +334,7 @@ func (l *lab) enqueueWalkOrder(ops []dataplane.FIBOp) {
 // plane digests the failure (RouterCtl + jitter), it rewrites every FIB
 // entry one by one in table-walk order — the linear process of Fig. 5.
 func (l *lab) standaloneReact(prov *provider) {
-	l.clk.AfterFunc(l.ctlDelay(), func() {
+	l.afterRouterCtl(func() {
 		l.enqueueFIBChanges(l.routerRIB.RemovePeer(prov.nh))
 	})
 }
@@ -338,7 +354,7 @@ func (l *lab) superchargedReact(prov *provider) {
 		if err != nil {
 			panic(fmt.Sprintf("sim: processor.PeerDown: %v", err))
 		}
-		l.clk.AfterFunc(l.ctlDelay(), func() {
+		l.afterRouterCtl(func() {
 			l.enqueueWalkOrder(l.routerApply(updates))
 		})
 	})

@@ -155,11 +155,18 @@ type provider struct {
 	as   uint32
 	meta bgp.PeerMeta
 	up   bool
+	// session is the BGP session liveness: true while established. A hard
+	// session reset (EventSessionReset without graceful restart) drops it
+	// with the link still up — the peer's forwarding state is gone until
+	// the session re-establishes and the feed replays.
+	session bool
 
-	// feedN caps the provider's advertised table (0 = full table); feed is
-	// the rendered view, assigned once the table is generated.
-	feedN int
-	feed  *feed.Table
+	// feedN caps the provider's advertised table and feedOff rotates the
+	// window start (0 = full table from index 0); feed is the rendered
+	// view, assigned once the table is generated.
+	feedN   int
+	feedOff int
+	feed    *feed.Table
 	// withdrawn marks prefixes the peer has withdrawn while its link stays
 	// up (partial-withdraw events): the destination is unreachable via
 	// this peer even though the session is alive. withdrawnN is the
@@ -170,6 +177,11 @@ type provider struct {
 	// cancelled if the link comes back before it fires.
 	detect clock.Timer
 }
+
+// forwarding reports whether packets handed to this provider reach their
+// destinations: the link is up and the peer's forwarding state exists
+// (not flushed by a non-graceful session restart).
+func (p *provider) forwarding() bool { return p.up && p.session }
 
 // Run executes one convergence experiment and returns the measurements.
 func Run(cfg Config) (*Result, error) {
@@ -258,6 +270,9 @@ type lab struct {
 	base          time.Time
 	fibBase       uint64
 	ctrlDownUntil time.Time
+	// routerCtlFIFO is the in-order floor of the router's control-plane
+	// channel: no batch may be applied before one emitted earlier.
+	routerCtlFIFO time.Time
 }
 
 // outage is one contiguous blackout window of a probed flow.
@@ -313,13 +328,15 @@ func newLab(cfg Config, peers []PeerSpec) *lab {
 	// Providers: R2 (primary, preferred via weight), R3, R4...
 	for i, spec := range peers {
 		p := &provider{
-			name:  spec.Name,
-			nh:    netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}),
-			mac:   packet.MAC{0x01 + byte(i)*0x11, 0xaa, 0, 0, 0, byte(i + 1)},
-			port:  uint16(i + 2), // port 1 is the router
-			as:    uint32(65002 + i),
-			up:    true,
-			feedN: spec.Prefixes,
+			name:    spec.Name,
+			nh:      netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}),
+			mac:     packet.MAC{0x01 + byte(i)*0x11, 0xaa, 0, 0, 0, byte(i + 1)},
+			port:    uint16(i + 2), // port 1 is the router
+			as:      uint32(65002 + i),
+			up:      true,
+			session: true,
+			feedN:   spec.Prefixes,
+			feedOff: spec.Offset,
 		}
 		if p.name == "" {
 			p.name = fmt.Sprintf("R%d", i+2)
@@ -339,12 +356,20 @@ func newLab(cfg Config, peers []PeerSpec) *lab {
 	return l
 }
 
-// assignFeeds renders each provider's advertised table view.
+// assignFeeds renders each provider's advertised table view: the full
+// table, a head-anchored cap, or a rotated circular window.
 func (l *lab) assignFeeds() {
 	for _, prov := range l.providers {
-		if prov.feedN > 0 && prov.feedN < l.table.Len() {
+		switch {
+		case prov.feedOff > 0:
+			n := prov.feedN
+			if n <= 0 || n > l.table.Len() {
+				n = l.table.Len()
+			}
+			prov.feed = l.table.Window(prov.feedOff, n)
+		case prov.feedN > 0 && prov.feedN < l.table.Len():
 			prov.feed = l.table.Head(prov.feedN)
-		} else {
+		default:
 			prov.feed = l.table
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"strings"
 	"time"
 
 	"supercharged/internal/bgp"
@@ -20,7 +21,13 @@ import (
 // DefaultConfig, probe attribution, the decision process — and leave it
 // alone for pure refactors. A stale cache is silently wrong; when in
 // doubt, bump.
-const ModelVersion = "sim-v1"
+//
+// sim-v2: second-generation event model — SRLG multi-peer failures,
+// session resets with RFC 4724 graceful restart, background UPDATE
+// noise, circular per-peer feed windows, and the processor's semantic
+// churn filter (byte-identical re-announcements no longer reach the
+// router in supercharged mode).
+const ModelVersion = "sim-v2"
 
 // EventKind enumerates the scripted timeline events the lab can replay.
 // The string values are the declarative names used by scenario specs and
@@ -53,12 +60,36 @@ const (
 	// switch rules keep forwarding (fail-standalone), but reactions to
 	// failures detected during the window wait for the restart to finish.
 	EventControllerRestart EventKind = "controller-restart"
+	// EventSRLGDown cuts every link of a shared-risk link group (Peers) at
+	// one instant — a conduit cut or power failure taking several
+	// providers down together. Each member is detected via the event's
+	// Detection path and reacted to independently; all resulting outages
+	// are attributed to this one event.
+	EventSRLGDown EventKind = "srlg-down"
+	// EventSessionReset bounces the peer's BGP session while the physical
+	// link stays up (the peer's BGP process restarted). The reset is
+	// announced (TCP reset / NOTIFICATION), so there is no detection
+	// latency. Without Graceful the peer's forwarding state dies for the
+	// restart window (Hold, default SessionUp) and the re-established
+	// session replays the full feed — full-table re-convergence churn.
+	// With Graceful (RFC 4724) forwarding state is preserved across the
+	// restart: zero blackout, and only the replay churn remains.
+	EventSessionReset EventKind = "session-reset"
+	// EventUpdateNoise has the peer re-announce chunks of its feed in
+	// 100 ms bursts at Rate updates/s for Hold — background churn during
+	// failover, the control-plane load of the paper's E3 micro-benchmark.
+	// The re-announcements change no routes: the naive standalone router
+	// still rewrites one FIB entry per update, so a failure during the
+	// noise queues behind the backlog, while the supercharged controller's
+	// churn filter drops them before they reach the router.
+	EventUpdateNoise EventKind = "update-noise"
 )
 
 // knownEventKinds lists every valid kind, in display order.
 var knownEventKinds = []EventKind{
 	EventPeerDown, EventPeerUp, EventLinkFlap, EventPartialWithdraw,
 	EventBurstReannounce, EventRuleLoss, EventControllerRestart,
+	EventSRLGDown, EventSessionReset, EventUpdateNoise,
 }
 
 // KnownEventKinds returns the valid event kinds in display order.
@@ -96,6 +127,12 @@ type PeerSpec struct {
 	Weight uint32
 	// Prefixes caps the peer's advertised feed (0 = the full table).
 	Prefixes int
+	// Offset rotates the peer's feed window: the peer advertises Prefixes
+	// routes starting at table index Offset (modulo the table size),
+	// wrapping around the end. Staggered windows give different prefixes
+	// different covering peer sets — the path-set diversity that makes a
+	// many-peer fabric allocate many distinct backup-groups.
+	Offset int
 }
 
 // TimelineEvent is one scripted event, At after traffic steady-state.
@@ -104,12 +141,22 @@ type TimelineEvent struct {
 	Kind EventKind
 	// Peer names the affected peer (required for peer/link events).
 	Peer string
-	// Hold is the link-flap downtime or controller-restart duration.
+	// Peers names the members of a shared-risk link group (srlg-down
+	// only, ≥ 2 distinct peers).
+	Peers []string
+	// Hold is the link-flap downtime, controller-restart duration,
+	// session-reset re-establishment time (0 = SessionUp) or update-noise
+	// duration.
 	Hold time.Duration
 	// Fraction is the partial-withdraw share of the peer's feed, (0, 1].
 	Fraction float64
 	// Detection selects the failure-detection path ("" = bfd).
 	Detection Detection
+	// Graceful preserves forwarding state across a session-reset
+	// (RFC 4724 graceful restart).
+	Graceful bool
+	// Rate is the update-noise intensity in UPDATEs per second.
+	Rate int
 }
 
 // TimelineConfig drives RunTimeline: the single-shot Config timing model
@@ -211,6 +258,9 @@ func (cfg *TimelineConfig) Validate() error {
 		if p.Prefixes < 0 {
 			return fmt.Errorf("sim: peer %q: negative feed size %d", name, p.Prefixes)
 		}
+		if p.Offset < 0 {
+			return fmt.Errorf("sim: peer %q: negative feed offset %d", name, p.Offset)
+		}
 	}
 	for i, ev := range cfg.Events {
 		if ev.At < 0 {
@@ -220,13 +270,32 @@ func (cfg *TimelineConfig) Validate() error {
 			return fmt.Errorf("sim: event %d: unknown kind %q", i, ev.Kind)
 		}
 		switch ev.Kind {
-		case EventPeerDown, EventPeerUp, EventLinkFlap, EventPartialWithdraw, EventBurstReannounce:
+		case EventPeerDown, EventPeerUp, EventLinkFlap, EventPartialWithdraw,
+			EventBurstReannounce, EventSessionReset, EventUpdateNoise:
 			if ev.Peer == "" {
 				return fmt.Errorf("sim: event %d (%s): missing peer", i, ev.Kind)
 			}
 			if !names[ev.Peer] {
 				return fmt.Errorf("sim: event %d (%s): unknown peer %q", i, ev.Kind, ev.Peer)
 			}
+		}
+		if ev.Kind == EventSRLGDown {
+			if len(ev.Peers) < 2 {
+				return fmt.Errorf("sim: event %d (%s): a shared-risk group needs at least 2 peers, got %d",
+					i, ev.Kind, len(ev.Peers))
+			}
+			member := make(map[string]bool, len(ev.Peers))
+			for _, name := range ev.Peers {
+				if !names[name] {
+					return fmt.Errorf("sim: event %d (%s): unknown peer %q", i, ev.Kind, name)
+				}
+				if member[name] {
+					return fmt.Errorf("sim: event %d (%s): peer %q listed twice", i, ev.Kind, name)
+				}
+				member[name] = true
+			}
+		} else if len(ev.Peers) > 0 {
+			return fmt.Errorf("sim: event %d (%s): Peers is only valid on %s", i, ev.Kind, EventSRLGDown)
 		}
 		switch ev.Kind {
 		case EventLinkFlap, EventControllerRestart:
@@ -237,6 +306,29 @@ func (cfg *TimelineConfig) Validate() error {
 			if ev.Fraction <= 0 || ev.Fraction > 1 {
 				return fmt.Errorf("sim: event %d (%s): Fraction %v outside (0, 1]", i, ev.Kind, ev.Fraction)
 			}
+		case EventSessionReset:
+			if ev.Hold < 0 {
+				return fmt.Errorf("sim: event %d (%s): negative Hold %v", i, ev.Kind, ev.Hold)
+			}
+		case EventUpdateNoise:
+			if ev.Hold <= 0 {
+				return fmt.Errorf("sim: event %d (%s): Hold must be positive", i, ev.Kind)
+			}
+			if ev.Rate <= 0 {
+				return fmt.Errorf("sim: event %d (%s): Rate must be positive", i, ev.Kind)
+			}
+			// Cap the total volume so a fuzzer-generated spec cannot turn
+			// one event into a multi-minute simulation.
+			if volume := float64(ev.Rate) * ev.Hold.Seconds(); volume > maxNoiseUpdates {
+				return fmt.Errorf("sim: event %d (%s): Rate×Hold is %.0f updates, above the %d cap",
+					i, ev.Kind, volume, int(maxNoiseUpdates))
+			}
+		}
+		if ev.Graceful && ev.Kind != EventSessionReset {
+			return fmt.Errorf("sim: event %d (%s): Graceful is only valid on %s", i, ev.Kind, EventSessionReset)
+		}
+		if ev.Rate != 0 && ev.Kind != EventUpdateNoise {
+			return fmt.Errorf("sim: event %d (%s): Rate is only valid on %s", i, ev.Kind, EventUpdateNoise)
 		}
 		if ev.Detection != "" && ev.Detection != DetectBFD && ev.Detection != DetectHoldTimer {
 			return fmt.Errorf("sim: event %d (%s): unknown detection %q", i, ev.Kind, ev.Detection)
@@ -244,6 +336,9 @@ func (cfg *TimelineConfig) Validate() error {
 	}
 	return nil
 }
+
+// maxNoiseUpdates bounds one update-noise event's total UPDATE count.
+const maxNoiseUpdates = 1_000_000
 
 // runTimeline is the timeline counterpart of run: set up steady state,
 // replay the script, drain to quiescence and attribute outages to events.
@@ -294,6 +389,18 @@ func (l *lab) applyEvent(st *eventState) {
 		l.eventRuleLoss()
 	case EventControllerRestart:
 		l.eventControllerRestart(st)
+	case EventSRLGDown:
+		for _, name := range st.ev.Peers {
+			member, ok := l.providerByName(name)
+			if !ok {
+				panic(fmt.Sprintf("sim: event references unknown peer %q", name))
+			}
+			l.eventLinkDown(st, member)
+		}
+	case EventSessionReset:
+		l.eventSessionReset(st, prov)
+	case EventUpdateNoise:
+		l.eventUpdateNoise(st, prov)
 	}
 }
 
@@ -310,7 +417,11 @@ func (l *lab) eventLinkDown(st *eventState, prov *provider) {
 	}
 	prov.detect = l.clk.AfterFunc(detect, func() {
 		prov.detect = nil
-		st.detectAt = l.clk.Now().Sub(st.absAt)
+		// An SRLG event shares one eventState across members; the first
+		// detection stamps the event's latency (they fire together anyway).
+		if st.detectAt == 0 {
+			st.detectAt = l.clk.Now().Sub(st.absAt)
+		}
 		l.reactToFailure(prov)
 	})
 }
@@ -324,31 +435,136 @@ func (l *lab) eventLinkUp(prov *provider) {
 		return
 	}
 	prov.up = true
-	if prov.detect != nil {
+	absorbed := prov.detect != nil
+	if absorbed {
 		prov.detect.Stop()
 		prov.detect = nil
-		l.reevaluateAllProbes()
-		return
 	}
 	l.reevaluateAllProbes()
-	l.clk.AfterFunc(l.tcfg.SessionUp, func() {
-		// A fresh session replays the whole feed, which supersedes any
-		// earlier partial withdraw: the peer advertises the routes again,
-		// so they are reachable via it from now on.
-		prov.withdrawn = nil
-		prov.withdrawnN = 0
-		l.reevaluateAllProbes()
-		updates, err := prov.feed.Updates(prov.as, prov.nh, bgp.Codec{ASN4: true})
-		if err != nil {
-			panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
+	if absorbed && prov.session {
+		return // absorbed flap: the session never dropped, nothing to replay
+	}
+	// Either the failure was detected (session torn down) or a hard
+	// session reset is still pending re-establishment — a flap across the
+	// restart window must not cancel it for good.
+	l.clk.AfterFunc(l.tcfg.SessionUp, func() { l.replayFeed(prov, true) })
+}
+
+// replayFeed models a freshly (re-)established BGP session replaying the
+// peer's entire feed. The replay supersedes any earlier partial withdraw:
+// the peer advertises the routes again, so they are reachable via it from
+// now on. peerUp additionally runs the engine's PeerUp retarget in
+// supercharged mode (a session the engine saw die).
+func (l *lab) replayFeed(prov *provider, peerUp bool) {
+	prov.session = true // a replaying session is an established one
+	prov.withdrawn = nil
+	prov.withdrawnN = 0
+	l.reevaluateAllProbes()
+	updates, err := prov.feed.Updates(prov.as, prov.nh, bgp.Codec{ASN4: true})
+	if err != nil {
+		panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
+	}
+	l.ingest(prov, updates, peerUp)
+}
+
+// eventSessionReset bounces the peer's BGP session while the link stays
+// up. The reset is announced, not detected: the failure reaction (if any)
+// starts immediately, with no BFD or hold-timer latency.
+func (l *lab) eventSessionReset(st *eventState, prov *provider) {
+	if !prov.up || !prov.session {
+		return // link dead or session already down: nothing to reset
+	}
+	restart := st.ev.Hold
+	if restart == 0 {
+		restart = l.tcfg.SessionUp
+	}
+	if st.ev.Graceful {
+		// RFC 4724: the restarting peer preserves its forwarding state, so
+		// the data plane never notices. The re-established session replays
+		// the full feed (ending with End-of-RIB), superseding the now-stale
+		// routes — pure control-plane churn, zero blackout.
+		l.clk.AfterFunc(restart, func() {
+			if prov.up && prov.session {
+				l.replayFeed(prov, false)
+			}
+		})
+		return
+	}
+	// Hard reset: the peer's BGP process restarted without graceful
+	// restart, flushing its forwarding state — traffic sent into it
+	// blackholes for the restart window, and the local side tears its
+	// routes down through the mode's usual pipeline (supercharged: the
+	// engine retargets groups away from the peer; standalone: RIB flush
+	// plus the per-entry FIB walk).
+	prov.session = false
+	l.reevaluateAllProbes()
+	l.reactToFailure(prov)
+	l.clk.AfterFunc(restart, func() {
+		if !prov.up || prov.session {
+			return // link died meanwhile (eventLinkUp replays) or already re-established
 		}
-		l.ingest(prov, updates, true)
+		l.replayFeed(prov, true)
 	})
+}
+
+// noiseBurstEvery is the update-noise burst cadence: Rate updates/s are
+// delivered as one batch per 100 ms, mimicking the bursty arrivals of the
+// paper's E3 load benchmark.
+const noiseBurstEvery = 100 * time.Millisecond
+
+// eventUpdateNoise schedules the background-churn bursts: every 100 ms
+// for Hold, the peer re-announces the next Rate/10 routes of its feed
+// (wrapping around), with unchanged attributes.
+func (l *lab) eventUpdateNoise(st *eventState, prov *provider) {
+	bursts := int(st.ev.Hold / noiseBurstEvery)
+	if bursts < 1 {
+		bursts = 1
+	}
+	perBurst := int(float64(st.ev.Rate)*noiseBurstEvery.Seconds() + 0.5)
+	if perBurst < 1 {
+		perBurst = 1
+	}
+	for k := 0; k < bursts; k++ {
+		start := k * perBurst
+		l.clk.AfterFunc(time.Duration(k)*noiseBurstEvery, func() {
+			l.noiseBurst(prov, start, perBurst)
+		})
+	}
+}
+
+// noiseBurst re-announces n routes of the peer's feed starting at index
+// start (mod feed size) as single-prefix UPDATEs through the mode's
+// control plane. The routes are byte-identical to what the peer already
+// advertised: no reachability changes, only processing load. The naive
+// standalone router turns every one into a FIB write; the supercharged
+// controller's churn filter drops them all.
+func (l *lab) noiseBurst(prov *provider, start, n int) {
+	if !prov.up || !prov.session || prov.feed.Len() == 0 {
+		return // a dead peer or session emits nothing
+	}
+	updates := make([]*bgp.Update, 0, n)
+	for i := 0; i < n; i++ {
+		r := prov.feed.Routes[(start+i)%prov.feed.Len()]
+		if prov.withdrawn[r.Prefix] {
+			// A peer only refreshes routes it still has: re-announcing a
+			// withdrawn prefix would silently revert the withdraw (the
+			// fuzzer caught exactly this inconsistency).
+			continue
+		}
+		updates = append(updates, &bgp.Update{
+			Attrs: prov.feed.AttrsFor(r.Template, prov.as, prov.nh),
+			NLRI:  []netip.Prefix{r.Prefix},
+		})
+	}
+	l.ingest(prov, updates, false)
 }
 
 // eventPartialWithdraw marks the head chunk of the peer's feed withdrawn
 // and sends the WITHDRAW through the mode's control plane.
 func (l *lab) eventPartialWithdraw(st *eventState, prov *provider) {
+	if !prov.up || !prov.session {
+		return // a dead peer or session emits nothing
+	}
 	n := int(math.Ceil(st.ev.Fraction * float64(prov.feed.Len())))
 	if n <= 0 {
 		return
@@ -374,6 +590,9 @@ func (l *lab) eventPartialWithdraw(st *eventState, prov *provider) {
 // eventBurstReannounce replays the peer's withdrawn chunk (or, with
 // nothing withdrawn, its whole feed) as one announcement burst.
 func (l *lab) eventBurstReannounce(prov *provider) {
+	if !prov.up || !prov.session {
+		return // a dead peer or session emits nothing
+	}
 	chunk := prov.feed
 	if prov.withdrawnN > 0 {
 		chunk = prov.feed.Head(prov.withdrawnN)
@@ -426,7 +645,7 @@ func (l *lab) eventControllerRestart(st *eventState) {
 func (l *lab) ingest(prov *provider, updates []*bgp.Update, peerUp bool) {
 	switch l.cfg.Mode {
 	case Standalone:
-		l.clk.AfterFunc(l.ctlDelay(), func() {
+		l.afterRouterCtl(func() {
 			var changes []bgp.Change
 			for _, u := range updates {
 				changes = append(changes, l.routerRIB.Update(prov.meta, u)...)
@@ -448,7 +667,7 @@ func (l *lab) ingest(prov *provider, updates []*bgp.Update, peerUp bool) {
 					panic(fmt.Sprintf("sim: engine.PeerUp: %v", err))
 				}
 			}
-			l.clk.AfterFunc(l.ctlDelay(), func() {
+			l.afterRouterCtl(func() {
 				l.enqueueWalkOrder(l.routerApply(toRouter))
 			})
 		})
@@ -481,8 +700,12 @@ func (l *lab) harvestTimeline() *TimelineResult {
 		res.RuleRewrites = int(l.engine.Rewrites())
 	}
 	for i, st := range l.events {
+		peer := st.ev.Peer
+		if len(st.ev.Peers) > 0 {
+			peer = strings.Join(st.ev.Peers, "+") // SRLG: the whole risk group
+		}
 		res.Events = append(res.Events, EventResult{
-			Index: i, Kind: st.ev.Kind, Peer: st.ev.Peer,
+			Index: i, Kind: st.ev.Kind, Peer: peer,
 			At: st.ev.At, DetectAt: st.detectAt,
 		})
 	}

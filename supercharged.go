@@ -20,7 +20,11 @@
 //     the harness regenerating every figure/table of the paper's §4;
 //   - internal/scenario — the declarative failure-scenario engine: named
 //     event timelines (peer failures, flaps, partial withdraws, rule loss,
-//     controller restarts) compiled into lab runs with per-event metrics;
+//     controller restarts, shared-risk link groups, session resets with
+//     RFC 4724 graceful restart, background UPDATE noise) compiled into
+//     lab runs with per-event metrics, plus the scenario fuzzer that
+//     hunts for standalone-vs-supercharged convergence regressions with
+//     a seeded grammar and a shrinking minimizer;
 //   - internal/sweep — the parallel sweep executor: scenario × mode ×
 //     size × seed cross products run across a bounded worker pool with
 //     streamed per-run results, aggregated into multi-seed distributions
@@ -132,17 +136,46 @@ type (
 	ScenarioReport = scenario.Report
 )
 
-// Scenario event kinds and detection paths.
+// Scenario event kinds and detection paths. The first block is the
+// first-generation single-peer events; the second block is the
+// second-generation model (DESIGN.md §7): correlated multi-peer
+// failures, BGP session resets with RFC 4724 graceful restart, and
+// background UPDATE noise.
 const (
-	EventPeerDown          = sim.EventPeerDown
-	EventPeerUp            = sim.EventPeerUp
-	EventLinkFlap          = sim.EventLinkFlap
-	EventPartialWithdraw   = sim.EventPartialWithdraw
-	EventBurstReannounce   = sim.EventBurstReannounce
-	EventRuleLoss          = sim.EventRuleLoss
+	// EventPeerDown cuts a provider's link for good.
+	EventPeerDown = sim.EventPeerDown
+	// EventPeerUp restores a cut link; the session re-establishes and the
+	// peer replays its feed.
+	EventPeerUp = sim.EventPeerUp
+	// EventLinkFlap cuts a link and restores it Hold later; flaps shorter
+	// than the detection time are absorbed.
+	EventLinkFlap = sim.EventLinkFlap
+	// EventPartialWithdraw withdraws the head Fraction of the peer's feed
+	// with the link up.
+	EventPartialWithdraw = sim.EventPartialWithdraw
+	// EventBurstReannounce replays the peer's withdrawn chunk (or full
+	// feed) in one burst.
+	EventBurstReannounce = sim.EventBurstReannounce
+	// EventRuleLoss wipes the switch flow table; the controller resyncs it.
+	EventRuleLoss = sim.EventRuleLoss
+	// EventControllerRestart takes the controller down for Hold.
 	EventControllerRestart = sim.EventControllerRestart
 
-	DetectBFD       = sim.DetectBFD
+	// EventSRLGDown cuts every link of a shared-risk group (Event.Peers)
+	// in one event — a conduit cut taking several providers down at once.
+	EventSRLGDown = sim.EventSRLGDown
+	// EventSessionReset bounces the peer's BGP session with the link up;
+	// Event.Graceful selects RFC 4724 graceful restart (forwarding state
+	// preserved) versus a hard restart (blackout until the session
+	// re-establishes and replays).
+	EventSessionReset = sim.EventSessionReset
+	// EventUpdateNoise re-announces feed chunks at Event.Rate updates/s
+	// for Event.Hold — background control-plane load during failover.
+	EventUpdateNoise = sim.EventUpdateNoise
+
+	// DetectBFD notices failures in BFDMult × BFDInterval (90 ms).
+	DetectBFD = sim.DetectBFD
+	// DetectHoldTimer waits for the BGP hold timer (90 s default).
 	DetectHoldTimer = sim.DetectHoldTimer
 )
 
@@ -164,6 +197,48 @@ func RunScenario(ctx context.Context, s Scenario, opts ScenarioOptions) (*Scenar
 // RunScenarioNamed executes a registered scenario by name.
 func RunScenarioNamed(ctx context.Context, name string, opts ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.RunNamed(ctx, name, opts)
+}
+
+// Fuzzer re-exports: randomized regression hunting over the scenario
+// engine (see internal/scenario and docs/fuzzing.md).
+type (
+	// FuzzOptions parameterizes a fuzzing session: grammar seed and
+	// bounds, per-run table size, and the allowed supercharged-vs-
+	// standalone convergence slack.
+	FuzzOptions = scenario.FuzzOptions
+	// FuzzResult is one fuzzing session's outcome; its findings carry
+	// the offending specs and their shrunk 1-minimal reproductions.
+	FuzzResult = scenario.FuzzResult
+	// FuzzFinding is one flagged spec with the oracle's verdict.
+	FuzzFinding = scenario.FuzzFinding
+)
+
+// FuzzScenarios generates random valid timelines from the seeded
+// grammar, checks each for a standalone-vs-supercharged convergence
+// regression, and shrinks every finding. The whole session is a pure
+// function of FuzzOptions.Seed. progress (optional) receives one
+// reproducible line per checked spec.
+func FuzzScenarios(ctx context.Context, opts FuzzOptions, progress io.Writer) (*FuzzResult, error) {
+	return scenario.Fuzz(ctx, opts, progress)
+}
+
+// GenerateFuzzSpec re-derives the index-th generated spec of a fuzzing
+// session — the reproduction contract behind every finding.
+func GenerateFuzzSpec(seed int64, index int, opts FuzzOptions) Scenario {
+	return scenario.GenerateSpec(seed, index, opts)
+}
+
+// CheckScenario runs one spec through the fuzzing oracle: both modes,
+// compared. A non-empty reason describes the supercharged regression;
+// an empty reason means the spec passes.
+func CheckScenario(ctx context.Context, s Scenario, opts FuzzOptions) (string, error) {
+	return scenario.CheckSpec(ctx, s, opts)
+}
+
+// ShrinkScenario greedily minimizes a failing spec to a 1-minimal
+// reproduction (removing any single event makes the oracle pass).
+func ShrinkScenario(ctx context.Context, s Scenario, opts FuzzOptions) (Scenario, string, error) {
+	return scenario.ShrinkSpec(ctx, s, opts)
 }
 
 // Sweep re-exports: the parallel sweep executor (see internal/sweep).
