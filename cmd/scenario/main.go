@@ -57,6 +57,8 @@ func main() {
 		cmdFuzz(os.Args[2:])
 	case "docs":
 		cmdDocs(os.Args[2:])
+	case "results":
+		cmdResults(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -76,6 +78,9 @@ func usage() {
                                       random timelines from a seeded grammar
   scenario docs [flags]               regenerate the builtin catalogue section
                                       of docs/scenarios.md from the registry
+  scenario results stats [flags]      result-store footprint: entries, bytes,
+                                      age histogram
+  scenario results evict [flags]      prune the result store by age and size
 
 run flags:
   --mode both|standalone|supercharged   router modes to run (default both)
@@ -89,6 +94,8 @@ sweep flags:
   --workers N                           worker pool size (default GOMAXPROCS)
   --mode both|standalone|supercharged   router modes (default both)
   --sizes N,N,...                       table sizes (default per-scenario)
+  --tier s|m|l|xl                       named size tier instead of --sizes
+                                        (xl = 100k and 1M prefixes)
   --seeds N | N,N,...                   a bare integer is a seed COUNT
                                         (5 = seeds 1..5); a comma list
                                         names explicit seeds (default 1)
@@ -122,6 +129,18 @@ docs flags:
                                         docs/scenarios.md)
   --check                               verify instead of write; exit 1 and
                                         print a diff on drift (CI)
+
+results flags (stats and evict):
+  --store DIR                           result-store directory
+                                        (default .sweep-cache)
+  --json                                emit JSON instead of the table
+evict only:
+  --max-age D                           remove entries older than D
+                                        (Go duration, e.g. 168h; 0 = no limit)
+  --max-bytes N                         remove oldest entries until the store
+                                        fits in N bytes (0 = no limit)
+  --dry-run                             report what would be removed, remove
+                                        nothing
 
 With no names, sweep covers every registered scenario. Worker count and
 store warmth only change wall-clock time: results are deterministic per
@@ -277,6 +296,7 @@ func cmdSweep(args []string) {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	mode := fs.String("mode", "both", "both|standalone|supercharged")
 	sizes := fs.String("sizes", "", "comma-separated table sizes (default per-scenario)")
+	tier := fs.String("tier", "", "named size tier (s|m|l|xl) instead of --sizes")
 	seeds := fs.String("seeds", "", "seed count, or comma-separated explicit seeds (default 1)")
 	flows := fs.Int("flows", 0, "probed flows per run (0 = default 100)")
 	storeDir := fs.String("store", ".sweep-cache", "result-store directory (empty = no caching)")
@@ -320,6 +340,7 @@ func cmdSweep(args []string) {
 		fmt.Fprintf(os.Stderr, "scenario: --sizes: %v\n", err)
 		os.Exit(2)
 	}
+	spec.Tier = *tier
 	if spec.Seeds, err = sweep.ParseSeeds(*seeds); err != nil {
 		fmt.Fprintf(os.Stderr, "scenario: --seeds: %v\n", err)
 		os.Exit(2)
@@ -493,6 +514,92 @@ func cmdDocs(args []string) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "scenario docs: wrote %s (%d builtins)\n", *out, len(scenario.List()))
+}
+
+// cmdResults is the store-hygiene surface: `results stats` reports the
+// store's footprint, `results evict` prunes it by age and size. The
+// store only ever grows otherwise — every code change orphans the old
+// model version's entries in place.
+func cmdResults(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: scenario results stats|evict [flags]")
+		os.Exit(2)
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("results "+sub, flag.ExitOnError)
+	storeDir := fs.String("store", ".sweep-cache", "result-store directory")
+	asJSON := fs.Bool("json", false, "emit JSON instead of the table")
+	maxAge := fs.Duration("max-age", 0, "evict: remove entries older than this (0 = no age limit)")
+	maxBytes := fs.Int64("max-bytes", 0, "evict: prune oldest entries until the store fits (0 = no size limit)")
+	dryRun := fs.Bool("dry-run", false, "evict: report only, remove nothing")
+	if err := fs.Parse(rest); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "scenario results %s: unexpected arguments %v\n", sub, fs.Args())
+		os.Exit(2)
+	}
+	store, err := results.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario results: %v\n", err)
+		os.Exit(1)
+	}
+	switch sub {
+	case "stats":
+		st, err := store.Stats(time.Now())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario results: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(st, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scenario results: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(append(out, '\n'))
+			return
+		}
+		fmt.Printf("store    %s\n", store.Dir())
+		fmt.Printf("entries  %d\n", st.Entries)
+		fmt.Printf("bytes    %d (%.1f MiB)\n", st.Bytes, float64(st.Bytes)/(1<<20))
+		if !st.Oldest.IsZero() {
+			fmt.Printf("oldest   %s\n", st.Oldest.Format(time.RFC3339))
+			fmt.Printf("newest   %s\n", st.Newest.Format(time.RFC3339))
+		}
+		fmt.Println("age histogram:")
+		for _, b := range st.Ages {
+			fmt.Printf("  <=%-6s %7d entries %12d bytes\n", b.Label, b.Entries, b.Bytes)
+		}
+	case "evict":
+		if *maxAge <= 0 && *maxBytes <= 0 {
+			fmt.Fprintln(os.Stderr, "scenario results evict: nothing to do (set --max-age and/or --max-bytes)")
+			os.Exit(2)
+		}
+		res, err := store.Evict(results.EvictOptions{MaxAge: *maxAge, MaxBytes: *maxBytes, DryRun: *dryRun})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario results: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scenario results: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(append(out, '\n'))
+			return
+		}
+		verb := "removed"
+		if *dryRun {
+			verb = "would remove"
+		}
+		fmt.Printf("%s %d entries (%d bytes); kept %d entries (%d bytes)\n",
+			verb, res.Removed, res.RemovedBytes, res.Kept, res.KeptBytes)
+	default:
+		fmt.Fprintf(os.Stderr, "scenario results: unknown subcommand %q (want stats or evict)\n", sub)
+		os.Exit(2)
+	}
 }
 
 func parseIntList(s string) ([]int, error) {

@@ -1,0 +1,144 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// Interner canonicalizes semantically equal *Attrs to a single pointer:
+// Intern returns the first pointer it ever saw for each distinct attribute
+// set (keyed by a semantic hash, verified by Attrs.Equal). Once every
+// attribute set flowing through a RIB is interned, "did the attributes
+// change?" — the processor's churn filter, its batching signatures, the
+// RIB's own identical-re-announcement fast path — degrades from a deep
+// structural comparison to a pointer compare, which is what keeps the
+// steady-state churn path allocation-free at full-table scale.
+//
+// Contract: attributes passed to Intern are frozen — the caller must not
+// mutate them (nor anything reachable from them) afterwards, because the
+// returned canonical pointer may be shared by every path in the table.
+// Code that needs to modify attributes clones first (Attrs.Clone), exactly
+// as the controller already does before rewriting next-hops.
+//
+// An interner only grows: canonical sets are retained for its lifetime.
+// That is the right trade for routing tables, where the distinct attribute
+// sets number in the tens of thousands (feed templates × peers) while the
+// paths sharing them number in the millions.
+type Interner struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*Attrs
+	size    int
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{buckets: make(map[uint64][]*Attrs)}
+}
+
+// Intern returns the canonical pointer for a: the previously interned
+// pointer of a semantically equal set if one exists (a itself is then
+// discarded), else a, which becomes canonical. Nil stays nil.
+func (in *Interner) Intern(a *Attrs) *Attrs {
+	if a == nil {
+		return nil
+	}
+	h := hashAttrs(a)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range in.buckets[h] {
+		if c == a || c.Equal(a) {
+			return c
+		}
+	}
+	in.buckets[h] = append(in.buckets[h], a)
+	in.size++
+	return a
+}
+
+// Len returns the number of distinct canonical attribute sets.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.size
+}
+
+// fnv64 is an allocation-free FNV-1a accumulator over the fields the
+// semantic equality Attrs.Equal compares. Hash collisions are harmless
+// (the bucket verifies with Equal); what matters is that equal sets hash
+// equally, so the hash must cover exactly the Equal fields.
+type fnv64 uint64
+
+const (
+	fnvOffset64 fnv64 = 14695981039346656037
+	fnvPrime64  fnv64 = 1099511628211
+)
+
+func (h *fnv64) byte(b byte) {
+	*h = (*h ^ fnv64(b)) * fnvPrime64
+}
+
+func (h *fnv64) u32(v uint32) {
+	h.byte(byte(v >> 24))
+	h.byte(byte(v >> 16))
+	h.byte(byte(v >> 8))
+	h.byte(byte(v))
+}
+
+func (h *fnv64) bool(v bool) {
+	if v {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+func (h *fnv64) addr(a netip.Addr) {
+	if !a.IsValid() {
+		h.byte(0)
+		return
+	}
+	h.byte(1)
+	b := a.As16()
+	for _, x := range b {
+		h.byte(x)
+	}
+}
+
+func hashAttrs(a *Attrs) uint64 {
+	h := fnvOffset64
+	h.byte(byte(a.Origin))
+	h.addr(a.NextHop)
+	h.bool(a.HasMED)
+	h.u32(a.MED)
+	h.bool(a.HasLocalPref)
+	h.u32(a.LocalPref)
+	h.bool(a.AtomicAggregate)
+	if a.Aggregator != nil {
+		h.byte(1)
+		h.u32(a.Aggregator.AS)
+		h.addr(a.Aggregator.ID)
+	} else {
+		h.byte(0)
+	}
+	for _, s := range a.ASPath {
+		h.byte(byte(s.Type))
+		h.u32(uint32(len(s.ASNs)))
+		for _, asn := range s.ASNs {
+			h.u32(asn)
+		}
+	}
+	h.u32(uint32(len(a.Communities)))
+	for _, c := range a.Communities {
+		h.u32(uint32(c))
+	}
+	h.u32(uint32(len(a.Others)))
+	for _, r := range a.Others {
+		h.byte(r.Flags)
+		h.byte(r.Code)
+		h.u32(uint32(len(r.Data)))
+		for _, x := range r.Data {
+			h.byte(x)
+		}
+	}
+	return uint64(h)
+}

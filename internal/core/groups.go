@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"supercharged/internal/packet"
 )
@@ -22,6 +23,10 @@ type Group struct {
 	// Prefixes counts member prefixes (bookkeeping for the ops endpoint
 	// and ablations).
 	Prefixes int
+	// key caches the canonical tuple key for groups minted by a
+	// GroupTable, so the hot paths (per-prefix AddRef/suppress checks
+	// during a full-table load) don't rebuild the string per call.
+	key string
 }
 
 // Primary returns the group's primary next-hop.
@@ -31,7 +36,12 @@ func (g Group) Primary() netip.Addr { return g.NHs[0] }
 func (g Group) Backup() netip.Addr { return g.NHs[1] }
 
 // Key returns the canonical string key of the ordered tuple.
-func (g Group) Key() string { return groupKeyOf(g.NHs) }
+func (g Group) Key() string {
+	if g.key != "" {
+		return g.key
+	}
+	return groupKeyOf(g.NHs)
+}
 
 func (g Group) String() string {
 	parts := make([]string, len(g.NHs))
@@ -59,6 +69,10 @@ type GroupTable struct {
 	pool   *VNHPool
 	groups map[string]*Group
 	byVNH  map[netip.Addr]*Group
+	// byKeyLookups counts ByKey calls — the regression tests use it to
+	// assert the processor resolves advertised groups via the keyed map
+	// instead of scanning All().
+	byKeyLookups atomic.Uint64
 }
 
 // NewGroupTable returns an empty table allocating from pool.
@@ -90,10 +104,22 @@ func (t *GroupTable) Ensure(nhs ...netip.Addr) (Group, error) {
 	if err != nil {
 		return Group{}, err
 	}
-	g := &Group{NHs: append([]netip.Addr(nil), nhs...), VNH: vnh, VMAC: vmac}
+	g := &Group{NHs: append([]netip.Addr(nil), nhs...), VNH: vnh, VMAC: vmac, key: key}
 	t.groups[key] = g
 	t.byVNH[vnh] = g
 	return *g, nil
+}
+
+// ByKey resolves a canonical tuple key (Group.Key) to its group — the
+// O(1) lookup Processor.Advertised uses instead of scanning All().
+func (t *GroupTable) ByKey(key string) (Group, bool) {
+	t.byKeyLookups.Add(1)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if g, ok := t.groups[key]; ok {
+		return *g, true
+	}
+	return Group{}, false
 }
 
 // Get returns the group for the tuple if it exists.

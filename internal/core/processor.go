@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"slices"
 	"sync"
 
 	"supercharged/internal/bgp"
@@ -14,6 +15,13 @@ import (
 // re-announce toward the supercharged router — with the next-hop rewritten
 // to the group's virtual next-hop, so that the router's flat FIB ends up
 // tagging traffic with the group's VMAC.
+//
+// The processor is engineered for full-table scale (~1M prefixes): change
+// buffers and next-hop scratch space are reused across calls, the RIB's
+// attribute interner turns the churn filter (sameAttrs) and the batching
+// signatures into pointer compares, and emitted UPDATE batches come from
+// a pool (see RecycleUpdates). The steady-state churn path — a peer
+// re-announcing routes with unchanged attributes — allocates nothing.
 type Processor struct {
 	// GroupSize is the backup-group tuple size k (default 2, the paper's
 	// configuration: protects against any single link or node failure).
@@ -28,6 +36,11 @@ type Processor struct {
 
 	mu  sync.Mutex
 	adv map[netip.Prefix]advState
+	// chScratch and nhScratch are per-processor reusable buffers for RIB
+	// change lists and the top-next-hop extraction; both are only touched
+	// under mu.
+	chScratch []bgp.Change
+	nhScratch []netip.Addr
 }
 
 // advState records what the processor last announced to the router for a
@@ -37,6 +50,10 @@ type advState struct {
 	groupKey string     // mode == advVNH
 	nextHop  netip.Addr // mode == advPlain
 	attrs    *bgp.Attrs // identity of the source attrs last rendered
+	// nhs is the announced group's ordered tuple (mode == advVNH). It
+	// shares the group's own NHs slice, so the suppress check compares
+	// addresses without building a key string or allocating.
+	nhs []netip.Addr
 }
 
 type advMode uint8
@@ -59,6 +76,21 @@ func NewProcessor(rib *bgp.RIB, groups *GroupTable) *Processor {
 	return &Processor{GroupSize: 2, rib: rib, groups: groups, adv: make(map[netip.Prefix]advState)}
 }
 
+// Reserve pre-sizes the processor's advertised-state map for about n
+// prefixes, sparing the map-growth re-zeroing a full-table load would
+// otherwise pay. Call it before feeding the table; it never shrinks.
+func (p *Processor) Reserve(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > len(p.adv) {
+		adv := make(map[netip.Prefix]advState, n)
+		for k, v := range p.adv {
+			adv[k] = v
+		}
+		p.adv = adv
+	}
+}
+
 // RIB returns the processor's routing table.
 func (p *Processor) RIB() *bgp.RIB { return p.rib }
 
@@ -74,68 +106,122 @@ func (p *Processor) Groups() *GroupTable { return p.groups }
 // streams processed concurrently must react to RIB changes in the order
 // they were applied, or a stale single-path view could overwrite a newer
 // VNH announcement.
+//
+// The returned updates may come from a pool: callers that finish with
+// them can hand them back via RecycleUpdates (optional — an unrecycled
+// batch is ordinary garbage).
 func (p *Processor) Process(peer bgp.PeerMeta, upd *bgp.Update) ([]*bgp.Update, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	changes := p.rib.Update(peer, upd)
-	return p.reactLocked(changes)
+	changes := p.rib.UpdateInto(peer, upd, p.chScratch[:0])
+	p.chScratch = changes
+	out, err := p.reactLocked(changes)
+	// Zero the consumed slots so the retained buffer does not pin dead
+	// Path lists (a 100k-change PeerDown would otherwise stay reachable
+	// through the scratch until that many later changes overwrite it).
+	clear(changes)
+	return out, err
 }
 
 // PeerDown removes every path learned from the peer and returns the
 // resulting UPDATE stream toward the router. Note that data-plane
 // convergence does NOT wait for these: the engine's switch rewrite
 // restores connectivity first, and this control-plane cleanup proceeds at
-// the router's own pace.
+// the router's own pace. The per-peer RIB index makes the removal
+// proportional to the peer's own prefix count, not the table size.
 func (p *Processor) PeerDown(peerAddr netip.Addr) ([]*bgp.Update, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	changes := p.rib.RemovePeer(peerAddr)
-	return p.reactLocked(changes)
+	changes := p.rib.RemovePeerInto(peerAddr, p.chScratch[:0])
+	p.chScratch = changes
+	out, err := p.reactLocked(changes)
+	clear(changes) // see Process: don't pin dead Paths through the scratch
+	return out, err
 }
 
 // batchSig identifies announcements that can share one outgoing UPDATE:
 // same source attribute object rendered toward the same target (VNH group
 // or plain next-hop). Clones of the same source with the same target are
-// byte-identical.
+// byte-identical. With interned attributes the comparison is pointer and
+// value compares only — no key strings are built to decide a merge.
 type batchSig struct {
-	src    *bgp.Attrs
-	target string
+	src *bgp.Attrs
+	vnh bool
+	nh  netip.Addr // plain target (vnh == false)
+	key string     // group key (vnh == true; the group's cached key)
+}
+
+// updatePool recycles the Update batches the processor emits, so a
+// full-feed replay (graceful-restart refresh, session recovery) reuses
+// message objects and their NLRI backing arrays instead of allocating a
+// fresh batch per reaction.
+var updatePool = sync.Pool{New: func() any { return new(bgp.Update) }}
+
+func newPooledUpdate() *bgp.Update {
+	u := updatePool.Get().(*bgp.Update)
+	u.Withdrawn = u.Withdrawn[:0]
+	u.NLRI = u.NLRI[:0]
+	u.Attrs = nil
+	return u
+}
+
+// RecycleUpdates returns a batch previously emitted by Process or
+// PeerDown to the pool. Callers must not touch the updates afterwards;
+// recycling is optional and only ever correct for batches the processor
+// itself returned (feed-generated updates are not pooled).
+func RecycleUpdates(upds []*bgp.Update) {
+	for _, u := range upds {
+		if u != nil {
+			updatePool.Put(u)
+		}
+	}
 }
 
 // reactLocked translates RIB changes into announcements per Listing 1,
 // coalescing consecutive prefixes that render identically (one inbound
 // UPDATE carrying many NLRI of one template yields one outbound UPDATE).
-// Callers hold p.mu.
+// The coalescing happens before rendering: a prefix joining the running
+// batch appends its NLRI to the open update instead of cloning attributes
+// and building a message that would immediately be merged away — at a 1M
+// full-table load that is the difference between a handful of rendered
+// attribute sets and a million discarded clones. Callers hold p.mu.
 func (p *Processor) reactLocked(changes []bgp.Change) ([]*bgp.Update, error) {
 	var out []*bgp.Update
 	var lastSig batchSig
+	var last *bgp.Update // open announcement batch (== out[len-1], Attrs != nil)
 	for _, ch := range changes {
-		upd, sig, err := p.reactOne(ch)
+		upd, sig, err := p.reactOne(ch, last, lastSig)
 		if err != nil {
 			return out, err
 		}
 		if upd == nil {
+			continue // suppressed by the churn filter
+		}
+		if upd == last {
+			continue // merged into the open batch
+		}
+		if upd.Attrs == nil {
+			// A withdraw extends a preceding pure-withdraw message.
+			if n := len(out); n > 0 && out[n-1].Attrs == nil {
+				out[n-1].Withdrawn = append(out[n-1].Withdrawn, upd.Withdrawn...)
+				updatePool.Put(upd)
+				continue
+			}
+			out = append(out, upd)
+			last, lastSig = nil, batchSig{}
 			continue
 		}
-		if n := len(out); n > 0 {
-			prev := out[n-1]
-			if upd.Attrs != nil && prev.Attrs != nil && sig == lastSig &&
-				len(upd.Withdrawn) == 0 && len(prev.Withdrawn) == 0 {
-				prev.NLRI = append(prev.NLRI, upd.NLRI...)
-				continue
-			}
-			if upd.Attrs == nil && prev.Attrs == nil {
-				prev.Withdrawn = append(prev.Withdrawn, upd.Withdrawn...)
-				continue
-			}
-		}
 		out = append(out, upd)
-		lastSig = sig
+		last, lastSig = upd, sig
 	}
 	return out, nil
 }
 
-func (p *Processor) reactOne(ch bgp.Change) (*bgp.Update, batchSig, error) {
+// reactOne reacts to one RIB change. prev is the open announcement batch
+// (with its signature lastSig): when the change renders identically,
+// reactOne appends the prefix to prev and returns prev itself to signal
+// the merge.
+func (p *Processor) reactOne(ch bgp.Change, prev *bgp.Update, lastSig batchSig) (*bgp.Update, batchSig, error) {
 	pfx := ch.Prefix
 	state := p.adv[pfx]
 
@@ -145,7 +231,9 @@ func (p *Processor) reactOne(ch bgp.Change) (*bgp.Update, batchSig, error) {
 		if state.mode == advNone {
 			return nil, batchSig{}, nil
 		}
-		return &bgp.Update{Withdrawn: []netip.Prefix{pfx}}, batchSig{}, nil
+		u := newPooledUpdate()
+		u.Withdrawn = append(u.Withdrawn, pfx)
+		return u, batchSig{}, nil
 	}
 
 	best := ch.New[0]
@@ -159,11 +247,26 @@ func (p *Processor) reactOne(ch bgp.Change) (*bgp.Update, batchSig, error) {
 		}
 		p.clearState(pfx, state)
 		p.adv[pfx] = advState{mode: advPlain, nextHop: best.NextHop(), attrs: best.Attrs}
-		sig := batchSig{src: best.Attrs, target: "plain|" + best.NextHop().String()}
-		return &bgp.Update{Attrs: best.Attrs, NLRI: []netip.Prefix{pfx}}, sig, nil
+		sig := batchSig{src: best.Attrs, nh: best.NextHop()}
+		if prev != nil && sig == lastSig {
+			prev.NLRI = append(prev.NLRI, pfx)
+			return prev, sig, nil
+		}
+		u := newPooledUpdate()
+		u.Attrs = best.Attrs
+		u.NLRI = append(u.NLRI, pfx)
+		return u, sig, nil
 	}
 
-	// Multi-path: ensure the backup-group and announce via its VNH.
+	// Multi-path: same tuple, same attributes — suppress before paying
+	// for any group lookup or key construction. This is the steady-state
+	// churn path (graceful-restart replays, background UPDATE noise) and
+	// it must not allocate.
+	if state.mode == advVNH && sameAttrs(state.attrs, best.Attrs) && slices.Equal(state.nhs, nhs) {
+		return nil, batchSig{}, nil
+	}
+
+	// Ensure the backup-group and announce via its VNH.
 	group, existed := p.groups.Get(nhs...)
 	if !existed {
 		var err error
@@ -178,21 +281,27 @@ func (p *Processor) reactOne(ch bgp.Change) (*bgp.Update, batchSig, error) {
 		}
 	}
 	key := group.Key()
-	if state.mode == advVNH && state.groupKey == key && sameAttrs(state.attrs, best.Attrs) {
-		return nil, batchSig{}, nil // same group, same attributes: suppress
-	}
 	p.clearState(pfx, state)
-	p.adv[pfx] = advState{mode: advVNH, groupKey: key, attrs: best.Attrs}
+	p.adv[pfx] = advState{mode: advVNH, groupKey: key, attrs: best.Attrs, nhs: group.NHs}
 	p.groups.AddRef(key)
 
+	sig := batchSig{src: best.Attrs, vnh: true, key: key}
+	if prev != nil && sig == lastSig {
+		prev.NLRI = append(prev.NLRI, pfx)
+		return prev, sig, nil
+	}
 	attrs := best.Attrs.Clone()
 	attrs.NextHop = group.VNH
-	return &bgp.Update{Attrs: attrs, NLRI: []netip.Prefix{pfx}}, batchSig{src: best.Attrs, target: key}, nil
+	u := newPooledUpdate()
+	u.Attrs = attrs
+	u.NLRI = append(u.NLRI, pfx)
+	return u, sig, nil
 }
 
-// sameAttrs is the processor's churn filter: pointer identity first (the
-// common case — one UPDATE's attrs shared across its NLRI), semantic
-// equality second, so a peer replaying byte-identical routes (a
+// sameAttrs is the processor's churn filter: pointer identity first (with
+// the RIB's interner this is the only comparison that ever runs — every
+// stored attribute pointer is canonical), semantic equality as the
+// defensive fallback, so a peer replaying byte-identical routes (a
 // graceful-restart refresh, background UPDATE noise) produces no
 // announcements toward the router. The legacy router has no such filter —
 // shielding it from redundant churn is part of what the supercharger
@@ -209,13 +318,17 @@ func (p *Processor) clearState(pfx netip.Prefix, state advState) {
 }
 
 // topNextHops extracts the first GroupSize distinct next-hops from the
-// ranked path list.
+// ranked path list into the processor's reusable scratch buffer; the
+// returned slice is only valid until the next call.
 func (p *Processor) topNextHops(paths []*bgp.Path) []netip.Addr {
 	k := p.GroupSize
 	if k < 2 {
 		k = 2
 	}
-	nhs := make([]netip.Addr, 0, k)
+	if cap(p.nhScratch) < k {
+		p.nhScratch = make([]netip.Addr, 0, k)
+	}
+	nhs := p.nhScratch[:0]
 	for _, path := range paths {
 		nh := path.NextHop()
 		dup := false
@@ -238,6 +351,7 @@ func (p *Processor) topNextHops(paths []*bgp.Path) []netip.Addr {
 
 // Advertised returns what the processor last announced for pfx: the
 // next-hop the router sees (real or virtual) and whether it is virtual.
+// Group resolution is a keyed lookup (GroupTable.ByKey), not a scan.
 func (p *Processor) Advertised(pfx netip.Prefix) (nh netip.Addr, virtual, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -248,10 +362,8 @@ func (p *Processor) Advertised(pfx netip.Prefix) (nh netip.Addr, virtual, ok boo
 	if st.mode == advPlain {
 		return st.nextHop, false, true
 	}
-	for _, g := range p.groups.All() {
-		if g.Key() == st.groupKey {
-			return g.VNH, true, true
-		}
+	if g, found := p.groups.ByKey(st.groupKey); found {
+		return g.VNH, true, true
 	}
 	return netip.Addr{}, false, false
 }

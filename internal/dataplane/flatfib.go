@@ -87,6 +87,27 @@ func NewFlatFIBNoLPM(clk clock.Clock, perEntry time.Duration) *FlatFIB {
 // PerEntry returns the configured per-entry installation cost.
 func (f *FlatFIB) PerEntry() time.Duration { return f.perEntry }
 
+// Reserve pre-sizes the table for about n entries (map buckets and walk
+// order), so a full-table load skips the growth re-zeroing. It only ever
+// grows the reservation.
+func (f *FlatFIB) Reserve(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= len(f.entries) {
+		return
+	}
+	entries := make(map[netip.Prefix]*fibSlot, n)
+	for k, v := range f.entries {
+		entries[k] = v
+	}
+	f.entries = entries
+	if cap(f.order) < n {
+		order := make([]*fibSlot, len(f.order), n)
+		copy(order, f.order)
+		f.order = order
+	}
+}
+
 // Len returns the number of installed prefixes.
 func (f *FlatFIB) Len() int {
 	f.mu.Lock()

@@ -90,13 +90,23 @@ func Generate(cfg Config) *Table {
 
 	seen := make(map[netip.Prefix]bool, cfg.N)
 	t.Routes = make([]Route, 0, cfg.N)
+	// Templates are assigned in bursty runs, the way real feeds arrive:
+	// consecutive routes of one template render as one batched UPDATE
+	// (Updates/StreamUpdates flush per run). Per-route random templates
+	// would shred a 1M-prefix feed into a million single-prefix messages.
+	template, runLeft := 0, 0
 	for len(t.Routes) < cfg.N {
 		p := genPrefix(rng, totalWeight)
 		if seen[p] {
 			continue
 		}
 		seen[p] = true
-		t.Routes = append(t.Routes, Route{Prefix: p, Template: rng.Intn(nTemplates)})
+		if runLeft == 0 {
+			template = rng.Intn(nTemplates)
+			runLeft = 16 + rng.Intn(69) // run length 16..84, mean ~50
+		}
+		runLeft--
+		t.Routes = append(t.Routes, Route{Prefix: p, Template: template})
 	}
 	return t
 }
@@ -173,17 +183,49 @@ func (t *Table) AttrsFor(template int, peerAS uint32, nextHop netip.Addr) *bgp.A
 // Updates renders the full table as the batched UPDATE stream peer (AS,
 // nextHop) would send, preserving announcement order within each template
 // batch and respecting the 4096-byte message limit.
+//
+// The whole stream is materialized at once: at full-table scale (~1M
+// prefixes) prefer StreamUpdates, which yields the same messages one at a
+// time in the same order without holding the entire rendered feed in
+// memory.
 func (t *Table) Updates(peerAS uint32, nextHop netip.Addr, codec bgp.Codec) ([]*bgp.Update, error) {
-	// Group consecutive routes by template to mimic real feed batching
-	// while keeping a deterministic global order.
 	var out []*bgp.Update
+	err := t.StreamUpdates(peerAS, nextHop, codec, func(u *bgp.Update) error {
+		out = append(out, u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StreamUpdates renders the feed as Updates does — same batching, same
+// order, same messages — but hands each UPDATE to fn as soon as it is
+// built instead of materializing the whole stream. Only one template
+// batch is ever in memory at a time, which is what lets the simulator
+// load 1M-prefix per-peer feeds without a per-peer copy of the rendered
+// table. fn must not retain the update's slices beyond its own call
+// unless it owns them (the simulator applies each update synchronously).
+// A non-nil error from fn aborts the stream and is returned.
+func (t *Table) StreamUpdates(peerAS uint32, nextHop netip.Addr, codec bgp.Codec, fn func(*bgp.Update) error) error {
+	// Group consecutive routes by template to mimic real feed batching
+	// while keeping a deterministic global order. Rendered attributes are
+	// cached per template for the duration of this stream, so a template
+	// recurring across many runs is rendered once — and downstream
+	// interners recognize it by pointer.
+	attrsCache := make(map[int]*bgp.Attrs)
 	var runStart int
 	flush := func(end int) error {
 		if runStart >= end {
 			return nil
 		}
 		tmplIdx := t.Routes[runStart].Template
-		attrs := t.AttrsFor(tmplIdx, peerAS, nextHop)
+		attrs := attrsCache[tmplIdx]
+		if attrs == nil {
+			attrs = t.AttrsFor(tmplIdx, peerAS, nextHop)
+			attrsCache[tmplIdx] = attrs
+		}
 		nlri := make([]netip.Prefix, 0, end-runStart)
 		for _, r := range t.Routes[runStart:end] {
 			nlri = append(nlri, r.Prefix)
@@ -192,18 +234,22 @@ func (t *Table) Updates(peerAS uint32, nextHop netip.Addr, codec bgp.Codec) ([]*
 		if err != nil {
 			return err
 		}
-		out = append(out, ups...)
+		for _, u := range ups {
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
 		runStart = end
 		return nil
 	}
 	for i := 1; i <= len(t.Routes); i++ {
 		if i == len(t.Routes) || t.Routes[i].Template != t.Routes[i-1].Template {
 			if err := flush(i); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Head returns a view of the first n routes as a Table sharing the
@@ -232,12 +278,15 @@ func (t *Table) Window(offset, n int) *Table {
 	if len(t.Routes) == 0 || n <= 0 {
 		return &Table{Templates: t.Templates}
 	}
-	if n >= len(t.Routes) {
-		return &Table{Routes: t.Routes, Templates: t.Templates}
+	if n > len(t.Routes) {
+		n = len(t.Routes)
 	}
 	offset %= len(t.Routes)
 	if offset < 0 {
 		offset += len(t.Routes)
+	}
+	if offset == 0 && n == len(t.Routes) {
+		return &Table{Routes: t.Routes, Templates: t.Templates}
 	}
 	if offset+n <= len(t.Routes) {
 		return &Table{Routes: t.Routes[offset : offset+n], Templates: t.Templates}

@@ -171,8 +171,17 @@ func TestWindowWrapsAround(t *testing.T) {
 	if got := tbl.Window(17, 5); !reflect.DeepEqual(got.Routes, w.Routes) {
 		t.Fatal("offset not taken modulo table size")
 	}
+	// A full-size window with an offset still rotates: announcement
+	// order determines the standalone FIB-walk order, so dropping the
+	// rotation would silently change what a staggered-full-feed spec
+	// measures.
 	if got := tbl.Window(3, 100); got.Len() != 10 {
 		t.Fatalf("oversized window len %d, want full table", got.Len())
+	} else if !reflect.DeepEqual(got.Routes[0], tbl.Routes[3]) {
+		t.Fatal("oversized window dropped its rotation")
+	}
+	if got := tbl.Window(0, 100); !reflect.DeepEqual(got.Routes, tbl.Routes) {
+		t.Fatal("zero-offset full window must be the table itself")
 	}
 	if got := tbl.Window(3, 0); got.Len() != 0 {
 		t.Fatalf("empty window len %d", got.Len())

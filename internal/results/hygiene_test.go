@@ -1,0 +1,164 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"supercharged/internal/scenario"
+)
+
+// putN stores n distinct entries and returns their keys in insertion
+// order, with file mtimes staggered one minute apart (oldest first).
+func putN(t *testing.T, s *Store, n int, base time.Time) []Key {
+	t.Helper()
+	var keys []Key
+	for i := 0; i < n; i++ {
+		k, err := KeyFor(KeyInput{Mode: "standalone", Prefixes: 1000 + i, Seed: 1, Version: "test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(k, scenario.RunReport{Prefixes: 1000 + i}); err != nil {
+			t.Fatal(err)
+		}
+		mtime := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.path(k), mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func TestStoreStats(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	// Three entries: ~8 days, ~2 days and ~30 minutes old.
+	keys := putN(t, s, 3, now.Add(-8*24*time.Hour))
+	recent := now.Add(-2 * 24 * time.Hour)
+	os.Chtimes(s.path(keys[1]), recent, recent)
+	fresh := now.Add(-30 * time.Minute)
+	os.Chtimes(s.path(keys[2]), fresh, fresh)
+
+	st, err := s.Stats(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("entries %d, want 3", st.Entries)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("bytes %d, want > 0", st.Bytes)
+	}
+	if !st.Oldest.Before(st.Newest) {
+		t.Fatalf("oldest %v !< newest %v", st.Oldest, st.Newest)
+	}
+	byLabel := map[string]int{}
+	total := 0
+	for _, b := range st.Ages {
+		byLabel[b.Label] = b.Entries
+		total += b.Entries
+	}
+	if total != 3 {
+		t.Fatalf("histogram covers %d entries, want 3", total)
+	}
+	if byLabel["1h"] != 1 || byLabel["1w"] != 1 || byLabel["4w"] != 1 {
+		t.Fatalf("histogram wrong: %v", byLabel)
+	}
+}
+
+func TestStoreEvictByAge(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	keys := putN(t, s, 4, now.Add(-10*24*time.Hour)) // all ~10 days old
+	fresh := now.Add(-time.Hour)
+	os.Chtimes(s.path(keys[3]), fresh, fresh)
+
+	res, err := s.Evict(EvictOptions{MaxAge: 7 * 24 * time.Hour, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 3 || res.Kept != 1 {
+		t.Fatalf("evict removed %d kept %d, want 3/1", res.Removed, res.Kept)
+	}
+	// The expired entries are cache misses now; the fresh one survives.
+	for _, k := range keys[:3] {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("expired entry %s still readable", k)
+		}
+	}
+	if _, ok := s.Get(keys[3]); !ok {
+		t.Fatal("fresh entry evicted")
+	}
+}
+
+func TestStoreEvictBySize(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	keys := putN(t, s, 4, now.Add(-time.Hour))
+	st, err := s.Stats(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEntry := st.Bytes / 4
+	// Budget for two entries: the two oldest must go.
+	res, err := s.Evict(EvictOptions{MaxBytes: 2 * perEntry, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 2 || res.Kept != 2 {
+		t.Fatalf("evict removed %d kept %d, want 2/2", res.Removed, res.Kept)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived a size eviction")
+	}
+	if _, ok := s.Get(keys[3]); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestStoreEvictDryRun(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	keys := putN(t, s, 3, now.Add(-10*24*time.Hour))
+	res, err := s.Evict(EvictOptions{MaxAge: time.Hour, Now: now, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 3 {
+		t.Fatalf("dry run would remove %d, want 3", res.Removed)
+	}
+	for _, k := range keys {
+		if _, ok := s.Get(k); !ok {
+			t.Fatal("dry run actually removed an entry")
+		}
+	}
+}
+
+func TestStoreEvictNoLimitsNoOp(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putN(t, s, 2, time.Now().Add(-time.Hour))
+	res, err := s.Evict(EvictOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 0 || res.Kept != 2 {
+		t.Fatalf("zero-option evict removed %d kept %d, want 0/2", res.Removed, res.Kept)
+	}
+}

@@ -25,7 +25,9 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"supercharged/internal/scenario"
 )
@@ -173,4 +175,167 @@ func (s *Store) Len() (int, error) {
 		return nil
 	})
 	return n, err
+}
+
+// entryInfo is one on-disk entry's bookkeeping for stats and eviction.
+type entryInfo struct {
+	path  string
+	bytes int64
+	mtime time.Time
+}
+
+// scan walks the store collecting every entry's size and modification
+// time. A modification time is a usable age proxy because entries are
+// written exactly once (atomic rename) and only ever rewritten after a
+// corruption self-heal.
+func (s *Store) scan() ([]entryInfo, error) {
+	var entries []entryInfo
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			// An entry deleted by a concurrent evict/self-heal is not an
+			// inconsistency; skip it.
+			return nil
+		}
+		entries = append(entries, entryInfo{path: path, bytes: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	return entries, err
+}
+
+// AgeBucket is one row of the stats age histogram.
+type AgeBucket struct {
+	// Label names the bucket's upper bound ("1h", "1d", ...; the last
+	// bucket is "older").
+	Label string `json:"label"`
+	// Entries and Bytes count the entries whose age falls in the bucket.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats summarizes the store's footprint: entry count, total bytes, age
+// range and an age histogram — the `scenario results stats` output.
+type Stats struct {
+	Entries int         `json:"entries"`
+	Bytes   int64       `json:"bytes"`
+	Oldest  time.Time   `json:"oldest,omitempty"`
+	Newest  time.Time   `json:"newest,omitempty"`
+	Ages    []AgeBucket `json:"ages"`
+}
+
+// ageBounds are the histogram's bucket upper bounds.
+var ageBounds = []struct {
+	label string
+	upTo  time.Duration
+}{
+	{"1h", time.Hour},
+	{"1d", 24 * time.Hour},
+	{"1w", 7 * 24 * time.Hour},
+	{"4w", 28 * 24 * time.Hour},
+}
+
+// Stats scans the store and summarizes it relative to now.
+func (s *Store) Stats(now time.Time) (Stats, error) {
+	entries, err := s.scan()
+	if err != nil {
+		return Stats{}, fmt.Errorf("results: stats: %w", err)
+	}
+	st := Stats{Entries: len(entries)}
+	st.Ages = make([]AgeBucket, len(ageBounds)+1)
+	for i, b := range ageBounds {
+		st.Ages[i].Label = b.label
+	}
+	st.Ages[len(ageBounds)].Label = "older"
+	for _, e := range entries {
+		st.Bytes += e.bytes
+		if st.Oldest.IsZero() || e.mtime.Before(st.Oldest) {
+			st.Oldest = e.mtime
+		}
+		if e.mtime.After(st.Newest) {
+			st.Newest = e.mtime
+		}
+		idx := len(ageBounds)
+		age := now.Sub(e.mtime)
+		for i, b := range ageBounds {
+			if age <= b.upTo {
+				idx = i
+				break
+			}
+		}
+		st.Ages[idx].Entries++
+		st.Ages[idx].Bytes += e.bytes
+	}
+	return st, nil
+}
+
+// EvictOptions bounds the store for Evict. Zero values mean "no limit on
+// this axis"; an all-zero options value evicts nothing.
+type EvictOptions struct {
+	// MaxAge removes entries older than this (by file modification time).
+	MaxAge time.Duration
+	// MaxBytes removes oldest-first until the store's total size fits.
+	MaxBytes int64
+	// Now anchors age computation (zero = time.Now()).
+	Now time.Time
+	// DryRun counts what would be evicted without deleting anything.
+	DryRun bool
+}
+
+// EvictResult reports what Evict did.
+type EvictResult struct {
+	Removed      int   `json:"removed"`
+	RemovedBytes int64 `json:"removed_bytes"`
+	Kept         int   `json:"kept"`
+	KeptBytes    int64 `json:"kept_bytes"`
+}
+
+// Evict applies age- then size-based eviction: entries beyond MaxAge are
+// removed outright, then the oldest survivors go until the store fits in
+// MaxBytes. Removing a cache entry is always safe — the only cost is the
+// evicted unit re-running on its next sweep — so eviction errors on
+// individual files are ignored (a file already gone is a success).
+func (s *Store) Evict(opts EvictOptions) (EvictResult, error) {
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	entries, err := s.scan()
+	if err != nil {
+		return EvictResult{}, fmt.Errorf("results: evict: %w", err)
+	}
+	// Oldest first: age eviction is order-independent, size eviction is
+	// LRU-by-write-time.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	var total int64
+	for _, e := range entries {
+		total += e.bytes
+	}
+	var res EvictResult
+	for _, e := range entries {
+		expired := opts.MaxAge > 0 && now.Sub(e.mtime) > opts.MaxAge
+		oversize := opts.MaxBytes > 0 && total > opts.MaxBytes
+		if !expired && !oversize {
+			res.Kept++
+			res.KeptBytes += e.bytes
+			continue
+		}
+		if !opts.DryRun {
+			if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+				// Leave it; it will count as kept.
+				res.Kept++
+				res.KeptBytes += e.bytes
+				continue
+			}
+		}
+		total -= e.bytes
+		res.Removed++
+		res.RemovedBytes += e.bytes
+	}
+	return res, nil
 }

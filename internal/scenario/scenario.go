@@ -22,11 +22,43 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"supercharged/internal/sim"
 )
+
+// sizeTiers names the standard table-size ladders a sweep can ask for by
+// name instead of spelling out prefix counts. The xl tier is the
+// full-Internet scale the ROADMAP targets (~1M prefixes; the paper's own
+// sweep stops at 500k) — expensive enough that the builtin covering it
+// caps its seed axis (Spec.MaxSeeds) to keep CI within budget.
+var sizeTiers = map[string][]int{
+	"s":  {1_000},
+	"m":  {5_000, 10_000},
+	"l":  {50_000, 100_000},
+	"xl": {100_000, 1_000_000},
+}
+
+// TierSizes resolves a named size tier to its table sizes (a copy).
+func TierSizes(name string) ([]int, bool) {
+	sizes, ok := sizeTiers[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]int(nil), sizes...), true
+}
+
+// Tiers returns the known size-tier names, sorted.
+func Tiers() []string {
+	names := make([]string, 0, len(sizeTiers))
+	for name := range sizeTiers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Kind aliases the simulator's event kinds; see sim.EventKind for the
 // catalogue.
@@ -100,6 +132,11 @@ type Spec struct {
 	// PrefixSweep runs the scenario once per listed table size — how
 	// paper-fig5 shows flat-vs-linear scaling.
 	PrefixSweep []int `json:"prefix_sweep,omitempty"`
+	// MaxSeeds caps how many of a sweep's seeds run this scenario
+	// (0 = no cap). The xl-tier builtin sets 1: a 1M-prefix lab is
+	// deterministic per seed but costs real wall-clock, and the CI
+	// budget spends its seed repetitions on the cheap sizes.
+	MaxSeeds int `json:"max_seeds,omitempty"`
 	// HoldTimer overrides the hold-timer detection latency (0 = 90 s).
 	HoldTimer time.Duration `json:"hold_timer,omitempty"`
 }
@@ -121,6 +158,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Flows < 0 {
 		return fmt.Errorf("scenario %q: negative flow count %d", s.Name, s.Flows)
+	}
+	if s.MaxSeeds < 0 {
+		return fmt.Errorf("scenario %q: negative seed cap %d", s.Name, s.MaxSeeds)
 	}
 	for _, n := range s.PrefixSweep {
 		if n <= 0 {

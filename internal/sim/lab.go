@@ -23,6 +23,7 @@ const routerPortOnSwitch uint16 = 1
 func (l *lab) setup() error {
 	cfg := l.cfg
 	l.fib = dataplane.NewFlatFIBNoLPM(l.clk, cfg.PerEntry)
+	l.fib.Reserve(cfg.NumPrefixes)
 
 	switch cfg.Mode {
 	case Standalone:
@@ -34,18 +35,19 @@ func (l *lab) setup() error {
 }
 
 // setupStandalone loads both provider feeds straight into the router's own
-// RIB and installs the flat FIB: every prefix resolves to R2's MAC.
+// RIB and installs the flat FIB: every prefix resolves to R2's MAC. Feeds
+// stream one UPDATE at a time (feed.Table.StreamUpdates) and the change
+// buffer is reused across messages, so a 1M-prefix load never holds a
+// per-peer rendered table in memory.
 func (l *lab) setupStandalone() error {
-	l.routerRIB = bgp.NewRIB()
+	l.routerRIB = bgp.NewRIBSized(l.cfg.NumPrefixes)
 	codec := bgp.Codec{ASN4: true}
-	var ops []dataplane.FIBOp
+	ops := make([]dataplane.FIBOp, 0, l.cfg.NumPrefixes)
+	var changes []bgp.Change
 	for _, prov := range l.providers {
-		updates, err := prov.feed.Updates(prov.as, prov.nh, codec)
-		if err != nil {
-			return err
-		}
-		for _, u := range updates {
-			for _, ch := range l.routerRIB.Update(prov.meta, u) {
+		err := prov.feed.StreamUpdates(prov.as, prov.nh, codec, func(u *bgp.Update) error {
+			changes = l.routerRIB.UpdateInto(prov.meta, u, changes[:0])
+			for _, ch := range changes {
 				// Best-path selection; install/replace the FIB entry.
 				best := ch.New[0]
 				target, ok := l.providerByNH(best.NextHop())
@@ -57,6 +59,10 @@ func (l *lab) setupStandalone() error {
 					NH:     dataplane.L2NH{MAC: target.mac, Port: int(routerPortOnSwitch)},
 				})
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	l.fib.LoadSync(ops)
@@ -78,23 +84,25 @@ func (l *lab) setupSupercharged() error {
 	for _, prov := range l.providers {
 		l.engine.RegisterPeer(core.PeerPort{NH: prov.nh, MAC: prov.mac, Port: prov.port})
 	}
-	l.proc = core.NewProcessor(nil, groups)
+	l.proc = core.NewProcessor(bgp.NewRIBSized(cfg.NumPrefixes), groups)
 	l.proc.GroupSize = cfg.GroupSize
 	l.proc.OnNewGroup = l.engine.InstallGroup
+	l.proc.Reserve(cfg.NumPrefixes)
 
 	codec := bgp.Codec{ASN4: true}
-	var ops []dataplane.FIBOp
+	ops := make([]dataplane.FIBOp, 0, cfg.NumPrefixes)
 	for _, prov := range l.providers {
-		updates, err := prov.feed.Updates(prov.as, prov.nh, codec)
-		if err != nil {
-			return err
-		}
-		for _, u := range updates {
+		err := prov.feed.StreamUpdates(prov.as, prov.nh, codec, func(u *bgp.Update) error {
 			out, err := l.proc.Process(prov.meta, u)
 			if err != nil {
 				return err
 			}
 			ops = append(ops, l.routerApply(out)...)
+			core.RecycleUpdates(out)
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	l.fib.LoadSync(ops)
@@ -356,6 +364,7 @@ func (l *lab) superchargedReact(prov *provider) {
 		}
 		l.afterRouterCtl(func() {
 			l.enqueueWalkOrder(l.routerApply(updates))
+			core.RecycleUpdates(updates)
 		})
 	})
 }

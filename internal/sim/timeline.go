@@ -9,25 +9,28 @@ import (
 	"time"
 
 	"supercharged/internal/bgp"
+	"supercharged/internal/core"
 	"supercharged/internal/dataplane"
 	"supercharged/internal/feed"
 )
 
 // ModelVersion identifies the simulator's semantics and calibrated timing
 // model for result caching (internal/results): it is hashed into every
-// cached unit's key, so bumping it invalidates all previously stored
-// measurements at once. Bump it whenever a code change can alter any
-// measured number — event semantics, the timing defaults of
-// DefaultConfig, probe attribution, the decision process — and leave it
-// alone for pure refactors. A stale cache is silently wrong; when in
-// doubt, bump.
+// cached unit's key, so a change to it invalidates all previously stored
+// measurements at once.
 //
-// sim-v2: second-generation event model — SRLG multi-peer failures,
-// session resets with RFC 4724 graceful restart, background UPDATE
-// noise, circular per-peer feed windows, and the processor's semantic
-// churn filter (byte-identical re-announcements no longer reach the
-// router in supercharged mode).
-const ModelVersion = "sim-v2"
+// The trailing component is generated (cmd/modelhash, CI-checked): the
+// truncated hash of every non-test source in the packages that can shape
+// a cached report (the simulator and its measurement-relevant dependency
+// closure — see cmd/modelhash's hashedPackages). Nobody bumps this by
+// hand anymore — any edit to
+// those packages, semantic or "just" a hot-path rewrite, reshapes the
+// version mechanically, because a stale cache is silently wrong and a
+// forgotten bump used to be the way to get one. The sim-v3 prefix
+// records the generation: third-generation model — batched feed template
+// runs, interned attributes, the indexed RIB — on top of sim-v2's SRLG /
+// graceful-restart / update-noise event model.
+const ModelVersion = "sim-v3-" + modelSourcesHash
 
 // EventKind enumerates the scripted timeline events the lab can replay.
 // The string values are the declarative names used by scenario specs and
@@ -456,15 +459,19 @@ func (l *lab) eventLinkUp(prov *provider) {
 // now on. peerUp additionally runs the engine's PeerUp retarget in
 // supercharged mode (a session the engine saw die).
 func (l *lab) replayFeed(prov *provider, peerUp bool) {
+	if !prov.up {
+		// The link died again between the recovery being scheduled and
+		// now (down/up/down inside one SessionUp window): a session
+		// cannot establish over a dead link, and replaying anyway would
+		// resurrect the dead peer's routes with no withdraw ever coming —
+		// a permanent phantom blackhole for every flow steered into it.
+		return
+	}
 	prov.session = true // a replaying session is an established one
 	prov.withdrawn = nil
 	prov.withdrawnN = 0
 	l.reevaluateAllProbes()
-	updates, err := prov.feed.Updates(prov.as, prov.nh, bgp.Codec{ASN4: true})
-	if err != nil {
-		panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
-	}
-	l.ingest(prov, updates, peerUp)
+	l.ingestFeed(prov, prov.feed, peerUp)
 }
 
 // eventSessionReset bounces the peer's BGP session while the link stays
@@ -542,6 +549,12 @@ func (l *lab) noiseBurst(prov *provider, start, n int) {
 	if !prov.up || !prov.session || prov.feed.Len() == 0 {
 		return // a dead peer or session emits nothing
 	}
+	// Rendered attributes are cached per template for the burst (the
+	// same trick StreamUpdates uses): a capped noise event is up to 1M
+	// updates, and re-rendering attrs the interner would immediately
+	// deduplicate is garbage on the exact path the churn filter keeps
+	// allocation-free.
+	attrsCache := make(map[int]*bgp.Attrs)
 	updates := make([]*bgp.Update, 0, n)
 	for i := 0; i < n; i++ {
 		r := prov.feed.Routes[(start+i)%prov.feed.Len()]
@@ -551,8 +564,13 @@ func (l *lab) noiseBurst(prov *provider, start, n int) {
 			// fuzzer caught exactly this inconsistency).
 			continue
 		}
+		attrs := attrsCache[r.Template]
+		if attrs == nil {
+			attrs = prov.feed.AttrsFor(r.Template, prov.as, prov.nh)
+			attrsCache[r.Template] = attrs
+		}
 		updates = append(updates, &bgp.Update{
-			Attrs: prov.feed.AttrsFor(r.Template, prov.as, prov.nh),
+			Attrs: attrs,
 			NLRI:  []netip.Prefix{r.Prefix},
 		})
 	}
@@ -603,11 +621,7 @@ func (l *lab) eventBurstReannounce(prov *provider) {
 	prov.withdrawnN = 0
 	// Reachability via this peer is restored upstream immediately.
 	l.reevaluateAllProbes()
-	updates, err := chunk.Updates(prov.as, prov.nh, bgp.Codec{ASN4: true})
-	if err != nil {
-		panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
-	}
-	l.ingest(prov, updates, false)
+	l.ingestFeed(prov, chunk, false)
 }
 
 // eventRuleLoss wipes the switch flow table; the controller detects the
@@ -637,30 +651,62 @@ func (l *lab) eventControllerRestart(st *eventState) {
 	}
 }
 
-// ingest feeds a peer's UPDATE stream through the mode's control plane:
-// straight into the router's RIB in standalone mode, through the
+// ingest feeds a peer's materialized UPDATE batch through the mode's
+// control plane; see ingestStream.
+func (l *lab) ingest(prov *provider, updates []*bgp.Update, peerUp bool) {
+	l.ingestStream(prov, func(fn func(*bgp.Update) error) error {
+		for _, u := range updates {
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, peerUp)
+}
+
+// ingestFeed streams a whole feed view through the mode's control plane
+// without materializing the rendered UPDATE list — the path full-table
+// session replays take, sized for the 1M-prefix xl tier.
+func (l *lab) ingestFeed(prov *provider, table *feed.Table, peerUp bool) {
+	l.ingestStream(prov, func(fn func(*bgp.Update) error) error {
+		return table.StreamUpdates(prov.as, prov.nh, bgp.Codec{ASN4: true}, fn)
+	}, peerUp)
+}
+
+// ingestStream feeds a peer's UPDATE stream through the mode's control
+// plane: straight into the router's RIB in standalone mode, through the
 // supercharger's processor (and, on session recovery, the engine's PeerUp
 // retarget) in supercharged mode. The router's FIB walk follows after its
-// usual control-plane delay.
-func (l *lab) ingest(prov *provider, updates []*bgp.Update, peerUp bool) {
+// usual control-plane delay. The source function is invoked once, inside
+// the control-plane stage, so streams render at ingestion time rather
+// than at scheduling time.
+func (l *lab) ingestStream(prov *provider, source func(fn func(*bgp.Update) error) error, peerUp bool) {
 	switch l.cfg.Mode {
 	case Standalone:
 		l.afterRouterCtl(func() {
 			var changes []bgp.Change
-			for _, u := range updates {
+			err := source(func(u *bgp.Update) error {
 				changes = append(changes, l.routerRIB.Update(prov.meta, u)...)
+				return nil
+			})
+			if err != nil {
+				panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
 			}
 			l.enqueueFIBChanges(changes)
 		})
 	case Supercharged:
 		l.clk.AfterFunc(l.controllerDelay(), func() {
 			var toRouter []*bgp.Update
-			for _, u := range updates {
+			err := source(func(u *bgp.Update) error {
 				out, err := l.proc.Process(prov.meta, u)
 				if err != nil {
 					panic(fmt.Sprintf("sim: processor.Process: %v", err))
 				}
 				toRouter = append(toRouter, out...)
+				return nil
+			})
+			if err != nil {
+				panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
 			}
 			if peerUp {
 				if _, err := l.engine.PeerUp(prov.nh); err != nil {
@@ -669,6 +715,7 @@ func (l *lab) ingest(prov *provider, updates []*bgp.Update, peerUp bool) {
 			}
 			l.afterRouterCtl(func() {
 				l.enqueueWalkOrder(l.routerApply(toRouter))
+				core.RecycleUpdates(toRouter)
 			})
 		})
 	}

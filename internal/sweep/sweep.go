@@ -61,7 +61,12 @@ type Spec struct {
 	// Sizes overrides the table sizes for every scenario (empty = each
 	// scenario's own PrefixSweep or default size).
 	Sizes []int `json:"sizes,omitempty"`
-	// Seeds lists the RNG seeds (empty = {1}).
+	// Tier names a registered size tier (scenario.TierSizes: s, m, l,
+	// xl) as a shorthand for Sizes; setting both is an error. The xl
+	// tier is the 100k/1M full-Internet scale.
+	Tier string `json:"tier,omitempty"`
+	// Seeds lists the RNG seeds (empty = {1}). A scenario with a
+	// MaxSeeds cap runs only the first MaxSeeds of them.
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Flows overrides the probed-flow count per run (0 = the lab's 100).
 	Flows int `json:"flows,omitempty"`
@@ -167,11 +172,22 @@ func Expand(spec Spec) ([]Unit, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1}
 	}
+	specSizes := spec.Sizes
+	if spec.Tier != "" {
+		if len(specSizes) > 0 {
+			return nil, fmt.Errorf("sweep: Tier %q and explicit Sizes are mutually exclusive", spec.Tier)
+		}
+		tierSizes, ok := scenario.TierSizes(spec.Tier)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown size tier %q (have: %v)", spec.Tier, scenario.Tiers())
+		}
+		specSizes = tierSizes
+	}
 	// Duplicate axis values would collide on unit keys and silently
 	// overwrite each other in the aggregate's mode pairing — reject them
 	// with the same loudness as duplicate scenario names.
 	sizeSeen := make(map[int]bool)
-	for _, n := range spec.Sizes {
+	for _, n := range specSizes {
 		if n <= 0 {
 			return nil, fmt.Errorf("sweep: table size %d must be positive", n)
 		}
@@ -202,13 +218,20 @@ func Expand(spec Spec) ([]Unit, error) {
 			return nil, fmt.Errorf("sweep: scenario %q listed twice", name)
 		}
 		seen[name] = true
-		sizes := spec.Sizes
+		sizes := specSizes
 		if len(sizes) == 0 {
 			sizes = sc.Sizes(0)
 		}
+		// A seed-capped scenario (the expensive xl tier) runs only the
+		// first MaxSeeds seeds of the sweep's axis; the aggregate's
+		// per-cell statistics already report the per-cell seed count.
+		scSeeds := seeds
+		if sc.MaxSeeds > 0 && len(scSeeds) > sc.MaxSeeds {
+			scSeeds = scSeeds[:sc.MaxSeeds]
+		}
 		for _, size := range sizes {
 			for _, mode := range modes {
-				for _, seed := range seeds {
+				for _, seed := range scSeeds {
 					units = append(units, Unit{
 						Scenario: name,
 						Mode:     mode,

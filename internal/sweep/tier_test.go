@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"testing"
+
+	"supercharged/internal/scenario"
+)
+
+// TestExpandTier resolves a named size tier into the cross product.
+func TestExpandTier(t *testing.T) {
+	units, err := Expand(Spec{Scenarios: []string{"paper-fig5"}, Tier: "xl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := scenario.TierSizes("xl")
+	sizes := map[int]bool{}
+	for _, u := range units {
+		sizes[u.Prefixes] = true
+	}
+	if len(sizes) != len(want) {
+		t.Fatalf("tier expanded to sizes %v, want %v", sizes, want)
+	}
+	for _, n := range want {
+		if !sizes[n] {
+			t.Fatalf("tier xl missing size %d (got %v)", n, sizes)
+		}
+	}
+	if _, err := Expand(Spec{Tier: "nope"}); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+	if _, err := Expand(Spec{Tier: "xl", Sizes: []int{1000}}); err == nil {
+		t.Fatal("Tier+Sizes accepted")
+	}
+}
+
+// TestExpandMaxSeeds asserts a seed-capped scenario runs only the first
+// MaxSeeds seeds while uncapped scenarios keep the full axis.
+func TestExpandMaxSeeds(t *testing.T) {
+	spec := Spec{
+		Scenarios: []string{"paper-fig5", "paper-fig5-xl"},
+		Sizes:     []int{2000},
+		Seeds:     []int64{1, 2, 3},
+	}
+	units, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedsOf := map[string]map[int64]bool{}
+	for _, u := range units {
+		if seedsOf[u.Scenario] == nil {
+			seedsOf[u.Scenario] = map[int64]bool{}
+		}
+		seedsOf[u.Scenario][u.Seed] = true
+	}
+	if got := len(seedsOf["paper-fig5"]); got != 3 {
+		t.Fatalf("uncapped scenario ran %d seeds, want 3", got)
+	}
+	if got := len(seedsOf["paper-fig5-xl"]); got != 1 {
+		t.Fatalf("capped scenario ran %d seeds, want 1 (MaxSeeds)", got)
+	}
+	if !seedsOf["paper-fig5-xl"][1] {
+		t.Fatal("capped scenario must keep the FIRST seed of the axis")
+	}
+}
+
+// TestXLBuiltinShape pins the xl builtin's contract: the tier sizes and
+// the seed cap the CI budget depends on.
+func TestXLBuiltinShape(t *testing.T) {
+	sc, ok := scenario.Lookup("paper-fig5-xl")
+	if !ok {
+		t.Fatal("paper-fig5-xl not registered")
+	}
+	if sc.MaxSeeds != 1 {
+		t.Fatalf("paper-fig5-xl MaxSeeds %d, want 1", sc.MaxSeeds)
+	}
+	want, _ := scenario.TierSizes("xl")
+	got := sc.Sizes(0)
+	if len(got) != len(want) {
+		t.Fatalf("paper-fig5-xl sizes %v, want tier xl %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paper-fig5-xl sizes %v, want tier xl %v", got, want)
+		}
+	}
+	if got[len(got)-1] != 1_000_000 {
+		t.Fatalf("xl tier must top out at 1M prefixes, got %v", got)
+	}
+}

@@ -46,8 +46,10 @@ import (
 	"io"
 	"time"
 
+	"supercharged/internal/bgp"
 	"supercharged/internal/core"
 	"supercharged/internal/lab"
+	"supercharged/internal/microbench"
 	"supercharged/internal/results"
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
@@ -85,6 +87,25 @@ const (
 // NewProcessor builds a Listing-1 processor; nil arguments create fresh
 // state.
 func NewProcessor(groups *GroupTable) *Processor { return core.NewProcessor(nil, groups) }
+
+// RecycleUpdates hands a batch emitted by Processor.Process/PeerDown back
+// to the update pool once the caller is done with it. Optional; never
+// recycle updates from any other source.
+func RecycleUpdates(upds []*bgp.Update) { core.RecycleUpdates(upds) }
+
+// NewRIB builds an empty BGP RIB (merged Adj-RIB-In with the full
+// decision process, a per-peer prefix index and interned attributes).
+func NewRIB() *bgp.RIB { return bgp.NewRIB() }
+
+// NewRIBSized builds a RIB pre-sized for about n prefixes — at
+// full-table scale this skips hundreds of megabytes of map-growth
+// re-zeroing.
+func NewRIBSized(n int) *bgp.RIB { return bgp.NewRIBSized(n) }
+
+// NewAttrsInterner builds a canonical-pointer pool for BGP path
+// attributes: semantically equal attribute sets intern to one pointer,
+// making downstream equality checks pointer compares.
+func NewAttrsInterner() *bgp.Interner { return bgp.NewInterner() }
 
 // NewGroupTable builds a backup-group table over pool (nil = sequential).
 func NewGroupTable(pool *VNHPool) *GroupTable { return core.NewGroupTable(pool) }
@@ -286,6 +307,30 @@ func StreamSweep(ctx context.Context, units []SweepUnit, opts SweepOptions) <-ch
 // context error.
 func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepAggregate, error) {
 	return sweep.Run(ctx, spec, opts)
+}
+
+// TierSizes resolves a named table-size tier (s, m, l, xl — xl is the
+// 100k/1M full-Internet scale) to its prefix counts.
+func TierSizes(name string) ([]int, bool) { return scenario.TierSizes(name) }
+
+// Micro-benchmark re-exports: the hot-path suite behind `cmd/bench
+// micro` and the committed BENCH_micro.json baseline.
+type (
+	// MicroSnapshot is one suite run's measurements.
+	MicroSnapshot = microbench.Snapshot
+	// MicroOptions filters and wires progress for a suite run.
+	MicroOptions = microbench.Options
+)
+
+// RunMicroBench executes the hot-path micro-benchmark suite (RIB update
+// churn, indexed vs full-scan RemovePeer at the 1M shape, the
+// processor's zero-alloc churn filter, group allocation).
+func RunMicroBench(opts MicroOptions) (*MicroSnapshot, error) { return microbench.Run(opts) }
+
+// CompareMicroBench gates a suite run against a baseline snapshot; see
+// microbench.Compare for the tolerance and grace-floor semantics.
+func CompareMicroBench(baseline, current *MicroSnapshot, tol float64) []string {
+	return microbench.Compare(baseline, current, tol)
 }
 
 // Experiment harness re-exports.
