@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"supercharged/internal/lab"
+	"supercharged/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	sizes := flag.String("sizes", "", "comma-separated prefix counts for fig5 (default: paper sweep)")
 	runs := flag.Int("runs", 3, "repetitions per fig5 cell (paper: 3)")
 	prefixes := flag.Int("prefixes", 500_000, "feed size for the micro benchmark (paper: 500k)")
+	listen := flag.String("listen", "", "serve /metrics, /runs and /debug/pprof on this address while experiments run")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -35,10 +37,27 @@ func main() {
 		progress = os.Stderr
 	}
 
+	// The tracker treats each experiment as one tracked unit, so /runs
+	// shows which experiment is in flight; /debug/pprof is the real payoff
+	// here — the lab's long sweeps are where CPU profiles matter.
+	var tracker *telemetry.RunTracker
+	if *listen != "" {
+		tracker = telemetry.NewRunTracker(0)
+		srv, err := telemetry.Serve(*listen, telemetry.NewRegistry(), tracker)
+		if err != nil {
+			log.Fatalf("lab: -listen: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "lab: serving /metrics, /runs, /debug/pprof on http://%s\n", srv.Addr)
+	}
+
 	run := func(name string, fn func() error) {
 		fmt.Printf("== %s ==\n", name)
 		t0 := time.Now()
-		if err := fn(); err != nil {
+		tracker.Start(name)
+		err := fn()
+		tracker.Finish(name, time.Since(t0), false, err)
+		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))

@@ -36,6 +36,7 @@ import (
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
 	"supercharged/internal/sweep"
+	"supercharged/internal/telemetry"
 	"supercharged/internal/textdiff"
 )
 
@@ -88,6 +89,10 @@ run flags:
   --flows N                             probed flows per run (default 100)
   --seed N                              RNG seed (default 1; same seed, same report)
   --format json|csv|table               report format on stdout (default json)
+  --trace FILE                          write the runs' virtual-time spans as
+                                        Chrome trace-event JSON (open in
+                                        Perfetto / chrome://tracing)
+  --trace-jsonl FILE                    write the raw span stream as JSONL
   --q                                   suppress progress output on stderr
 
 sweep flags:
@@ -105,6 +110,15 @@ sweep flags:
                                         "" disables caching)
   --budget D                            wall-clock budget, e.g. 30s
                                         (0 = none)
+  --listen ADDR                         serve /metrics, /runs and /debug/pprof
+                                        on ADDR (e.g. 127.0.0.1:9475) during
+                                        the sweep
+  --linger D                            keep the --listen endpoint up D after
+                                        the sweep finishes (^C stops early)
+  --trace-dir DIR                       write each executed unit's virtual-time
+                                        trace into DIR (<key>.trace.jsonl plus
+                                        Perfetto-openable <key>.trace.json;
+                                        cache hits produce no trace)
   --json                                emit the full aggregate as JSON
   --md                                  emit the EXPERIMENTS.md rendering
   --q                                   suppress per-run progress on stderr
@@ -219,6 +233,8 @@ func cmdRun(args []string) {
 	flows := fs.Int("flows", 0, "probed flows per run (0 = default 100)")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	format := fs.String("format", "json", "json|csv|table")
+	traceOut := fs.String("trace", "", "write the runs' virtual-time spans as Chrome trace-event JSON (Perfetto-openable)")
+	traceJSONL := fs.String("trace-jsonl", "", "write the runs' virtual-time spans as JSONL")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	// Accept both `run <name> --flags` and `run --flags <name>`.
 	var name string
@@ -254,6 +270,9 @@ func cmdRun(args []string) {
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
+	if *traceOut != "" || *traceJSONL != "" {
+		opts.Instrument.Trace = telemetry.NewTrace()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -262,6 +281,27 @@ func cmdRun(args []string) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err) // package errors already carry the scenario: prefix
 		os.Exit(1)
+	}
+	if tr := opts.Instrument.Trace; tr != nil {
+		exports := []struct {
+			path  string
+			write func(io.Writer) error
+		}{
+			{*traceJSONL, tr.WriteJSONL},
+			{*traceOut, tr.WriteChromeTrace},
+		}
+		for _, e := range exports {
+			if e.path == "" {
+				continue
+			}
+			if err := writeTraceFile(e.path, e.write); err != nil {
+				fmt.Fprintf(os.Stderr, "scenario: trace: %v\n", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "scenario: wrote %s (%d spans)\n", e.path, tr.Len())
+			}
+		}
 	}
 
 	switch *format {
@@ -301,6 +341,9 @@ func cmdSweep(args []string) {
 	flows := fs.Int("flows", 0, "probed flows per run (0 = default 100)")
 	storeDir := fs.String("store", ".sweep-cache", "result-store directory (empty = no caching)")
 	budget := fs.Duration("budget", 0, "wall-clock budget for the sweep (0 = none)")
+	listen := fs.String("listen", "", "serve /metrics, /runs and /debug/pprof on this address during the sweep")
+	linger := fs.Duration("linger", 0, "keep the --listen endpoint up this long after the sweep (^C stops early)")
+	traceDir := fs.String("trace-dir", "", "write per-executed-unit virtual-time traces (.trace.jsonl + .trace.json) here")
 	asJSON := fs.Bool("json", false, "emit the full aggregate as JSON")
 	asMD := fs.Bool("md", false, "emit the EXPERIMENTS.md rendering")
 	quiet := fs.Bool("q", false, "suppress per-run progress output")
@@ -346,7 +389,7 @@ func cmdSweep(args []string) {
 		os.Exit(2)
 	}
 
-	opts := sweep.Options{Workers: *workers, Budget: *budget}
+	opts := sweep.Options{Workers: *workers, Budget: *budget, TraceDir: *traceDir}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -357,6 +400,18 @@ func cmdSweep(args []string) {
 			os.Exit(1)
 		}
 		opts.Store = store
+	}
+	var srv *telemetry.Server
+	if *listen != "" {
+		opts.Telemetry = telemetry.NewRegistry()
+		opts.Runs = telemetry.NewRunTracker(0)
+		srv, err = telemetry.Serve(*listen, opts.Telemetry, opts.Runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: --listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "scenario sweep: serving /metrics, /runs, /debug/pprof on http://%s\n", srv.Addr)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -382,9 +437,29 @@ func cmdSweep(args []string) {
 	default:
 		fmt.Print(agg.RenderTable())
 	}
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "scenario sweep: endpoint up for %v more on http://%s (^C to stop)\n", *linger, srv.Addr)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+		}
+	}
 	if agg.Failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile creates path and streams one trace export into it.
+func writeTraceFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdFuzz(args []string) {

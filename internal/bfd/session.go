@@ -50,6 +50,9 @@ type Config struct {
 	Seed int64
 	// Logf, if set, receives diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics, if set, counts transitions and observes detection
+	// latency; nil disables the hooks.
+	Metrics *Metrics
 }
 
 // Session is one asynchronous-mode BFD session.
@@ -274,6 +277,7 @@ func (s *Session) HandlePacket(buf []byte) {
 	s.mu.Unlock()
 
 	if changed {
+		s.cfg.Metrics.transition()
 		s.cfg.Logf("bfd %d: %s -> %s", s.cfg.LocalDiscr, old, next)
 		if cb != nil {
 			cb(next, diag)
@@ -303,8 +307,11 @@ func (s *Session) detectExpired() {
 	s.state = StateDown
 	s.diag = DiagControlTimeExpired
 	cb := s.cfg.OnStateChange
+	detection := s.detectionTimeLocked()
 	s.mu.Unlock()
 
+	s.cfg.Metrics.transition()
+	s.cfg.Metrics.detected(detection.Seconds())
 	s.cfg.Logf("bfd %d: %s -> Down (detection time expired)", s.cfg.LocalDiscr, old)
 	if cb != nil {
 		cb(StateDown, DiagControlTimeExpired)

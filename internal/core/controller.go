@@ -14,6 +14,7 @@ import (
 	"supercharged/internal/clock"
 	"supercharged/internal/openflow"
 	"supercharged/internal/packet"
+	"supercharged/internal/telemetry"
 )
 
 // PeerConfig describes one of the supercharged router's (former) BGP
@@ -72,6 +73,11 @@ type ControllerConfig struct {
 	FlowPriority uint16
 	Clock        clock.Clock
 	Logf         func(format string, args ...any)
+	// Telemetry, if set, registers the controller's metric series
+	// (processor, engine, BFD, router session) on the registry and makes
+	// OpsHandler serve /metrics. Nil (the default) compiles every hook
+	// to a no-op sink.
+	Telemetry *telemetry.Registry
 }
 
 // Controller is the deployable supercharger: §3's prototype (ExaBGP +
@@ -84,6 +90,9 @@ type Controller struct {
 	engine *Engine
 	arp    *ARPResponder
 	ofc    *openflow.Controller
+
+	bfdMetrics      *bfd.Metrics
+	updatesToRouter *telemetry.Counter
 
 	mu          sync.Mutex
 	peerSess    map[netip.Addr]*bgp.Session
@@ -122,6 +131,20 @@ func NewController(cfg ControllerConfig) *Controller {
 	c.proc = NewProcessor(nil, c.groups)
 	c.proc.GroupSize = cfg.GroupSize
 	c.proc.OnNewGroup = c.engine.InstallGroup
+
+	if cfg.Telemetry != nil {
+		c.proc.Metrics = NewProcMetrics(cfg.Telemetry)
+		c.engine.Metrics = NewEngineMetrics(cfg.Telemetry)
+		c.bfdMetrics = bfd.NewMetrics(cfg.Telemetry)
+		c.updatesToRouter = cfg.Telemetry.Counter("supercharged_ctl_updates_to_router_total",
+			"BGP UPDATE messages sent on the session toward the supercharged router.")
+		cfg.Telemetry.GaugeFunc("supercharged_ctl_groups",
+			"Backup groups currently allocated.",
+			func() float64 { return float64(len(c.groups.All())) })
+		cfg.Telemetry.GaugeFunc("supercharged_ctl_advertised_prefixes",
+			"Prefixes currently advertised toward the router.",
+			func() float64 { return float64(c.proc.AdvertisedCount()) })
+	}
 
 	c.ofc = openflow.NewController(openflow.ControllerConfig{
 		Logf:       cfg.Logf,
@@ -179,6 +202,7 @@ func (c *Controller) Start() {
 				Transport:  p.BFD.Transport,
 				Clock:      c.cfg.Clock,
 				Logf:       c.cfg.Logf,
+				Metrics:    c.bfdMetrics,
 				OnStateChange: func(st bfd.State, d bfd.Diag) {
 					switch st {
 					case bfd.StateDown:
@@ -303,6 +327,7 @@ func (c *Controller) sendToRouter(updates []*bgp.Update) {
 			c.cfg.Logf("core: send to router: %v", err)
 			return
 		}
+		c.updatesToRouter.Inc()
 	}
 }
 
@@ -491,7 +516,9 @@ func (c *Controller) Status() Status {
 	return st
 }
 
-// OpsHandler returns an http.Handler exposing /status (JSON).
+// OpsHandler returns an http.Handler exposing /status (JSON) and, when
+// the controller was built with a Telemetry registry, /metrics
+// (Prometheus text exposition).
 func (c *Controller) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
@@ -502,5 +529,11 @@ func (c *Controller) OpsHandler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if c.cfg.Telemetry != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			c.cfg.Telemetry.WritePrometheus(w)
+		})
+	}
 	return mux
 }

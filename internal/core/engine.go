@@ -44,6 +44,9 @@ func (f FlowPusherFunc) PushGroupRule(g Group, target PeerPort) error { return f
 // regardless of table size.
 type Engine struct {
 	pusher FlowPusher
+	// Metrics, if set, counts the engine's data-plane work (see
+	// NewEngineMetrics). Nil is the disabled sink.
+	Metrics *EngineMetrics
 
 	mu      sync.Mutex
 	peers   map[netip.Addr]PeerPort
@@ -120,6 +123,7 @@ func (e *Engine) PeerDown(nh netip.Addr) (int, error) {
 		return 0, nil
 	}
 	e.down[nh] = true
+	e.Metrics.peerDown()
 	return e.retargetAllLocked(nh)
 }
 
@@ -132,6 +136,7 @@ func (e *Engine) PeerUp(nh netip.Addr) (int, error) {
 		return 0, nil
 	}
 	delete(e.down, nh)
+	e.Metrics.peerUp()
 	return e.retargetAllLocked(nh)
 }
 
@@ -143,6 +148,7 @@ func (e *Engine) PeerUp(nh netip.Addr) (int, error) {
 func (e *Engine) Resync() (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.Metrics.resync()
 	n := 0
 	var firstErr error
 	for _, g := range e.groups.All() {
@@ -200,6 +206,7 @@ func (e *Engine) retargetOneLocked(g Group) (bool, error) {
 		return false, err
 	}
 	e.rewrites++
+	e.Metrics.failureRewrite()
 	return true, nil
 }
 
@@ -207,6 +214,7 @@ func (e *Engine) pushLocked(g Group, target PeerPort) error {
 	if err := e.pusher.PushGroupRule(g, target); err != nil {
 		return err
 	}
+	e.Metrics.rulePush()
 	e.targets[g.Key()] = target.NH
 	return nil
 }

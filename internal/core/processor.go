@@ -30,6 +30,10 @@ type Processor struct {
 	// group, before the announcement using its VNH is returned. The
 	// convergence engine installs the group's initial switch rule here.
 	OnNewGroup func(Group) error
+	// Metrics, if set, counts the processor's work (see NewProcMetrics).
+	// Nil is the disabled sink: every hook is one branch, so the
+	// zero-alloc churn path stays zero-alloc.
+	Metrics *ProcMetrics
 
 	rib    *bgp.RIB
 	groups *GroupTable
@@ -113,6 +117,7 @@ func (p *Processor) Groups() *GroupTable { return p.groups }
 func (p *Processor) Process(peer bgp.PeerMeta, upd *bgp.Update) ([]*bgp.Update, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.Metrics.update()
 	changes := p.rib.UpdateInto(peer, upd, p.chScratch[:0])
 	p.chScratch = changes
 	out, err := p.reactLocked(changes)
@@ -231,6 +236,7 @@ func (p *Processor) reactOne(ch bgp.Change, prev *bgp.Update, lastSig batchSig) 
 		if state.mode == advNone {
 			return nil, batchSig{}, nil
 		}
+		p.Metrics.withdrawn()
 		u := newPooledUpdate()
 		u.Withdrawn = append(u.Withdrawn, pfx)
 		return u, batchSig{}, nil
@@ -243,10 +249,12 @@ func (p *Processor) reactOne(ch bgp.Change, prev *bgp.Update, lastSig batchSig) 
 	nhs := p.topNextHops(ch.New)
 	if len(nhs) < 2 {
 		if state.mode == advPlain && state.nextHop == best.NextHop() && sameAttrs(state.attrs, best.Attrs) {
+			p.Metrics.suppressed()
 			return nil, batchSig{}, nil // nothing material changed
 		}
 		p.clearState(pfx, state)
 		p.adv[pfx] = advState{mode: advPlain, nextHop: best.NextHop(), attrs: best.Attrs}
+		p.Metrics.announced()
 		sig := batchSig{src: best.Attrs, nh: best.NextHop()}
 		if prev != nil && sig == lastSig {
 			prev.NLRI = append(prev.NLRI, pfx)
@@ -263,6 +271,7 @@ func (p *Processor) reactOne(ch bgp.Change, prev *bgp.Update, lastSig batchSig) 
 	// churn path (graceful-restart replays, background UPDATE noise) and
 	// it must not allocate.
 	if state.mode == advVNH && sameAttrs(state.attrs, best.Attrs) && slices.Equal(state.nhs, nhs) {
+		p.Metrics.suppressed()
 		return nil, batchSig{}, nil
 	}
 
@@ -274,6 +283,7 @@ func (p *Processor) reactOne(ch bgp.Change, prev *bgp.Update, lastSig batchSig) 
 		if err != nil {
 			return nil, batchSig{}, err
 		}
+		p.Metrics.groupAllocated()
 		if p.OnNewGroup != nil {
 			if err := p.OnNewGroup(group); err != nil {
 				return nil, batchSig{}, err
@@ -284,6 +294,7 @@ func (p *Processor) reactOne(ch bgp.Change, prev *bgp.Update, lastSig batchSig) 
 	p.clearState(pfx, state)
 	p.adv[pfx] = advState{mode: advVNH, groupKey: key, attrs: best.Attrs, nhs: group.NHs}
 	p.groups.AddRef(key)
+	p.Metrics.announced()
 
 	sig := batchSig{src: best.Attrs, vnh: true, key: key}
 	if prev != nil && sig == lastSig {

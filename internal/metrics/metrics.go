@@ -68,8 +68,23 @@ func SummarizeDurations(ds []time.Duration) Summary {
 }
 
 // Percentile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
-// sample using linear interpolation between closest ranks (the same method
-// as numpy's default). It panics if sorted is empty.
+// sample. It panics if sorted is empty.
+//
+// The estimator is Hyndman & Fan type 7 (numpy's default, R's
+// quantile(type=7)): the quantile sits at continuous rank h = q·(n−1)
+// over the order statistics, linearly interpolated between the two
+// closest ranks. Consequences worth knowing at the boundaries:
+//
+//   - q=0 and q=1 are exactly the sample min and max — the estimator
+//     never extrapolates beyond the observed range.
+//   - Whenever h lands on an integer rank (every quantile of the form
+//     k/(n−1)), the result is exactly that order statistic, not an
+//     average of neighbours; e.g. the median of an odd-length sample is
+//     the middle element bit-for-bit.
+//   - For n=1 every quantile is the single sample.
+//
+// The hi index is clamped as a defence against floating-point rounding
+// pushing q·(n−1) past n−1 for q just below 1.
 func Percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("metrics: Percentile of empty sample")
@@ -83,6 +98,9 @@ func Percentile(sorted []float64, q float64) float64 {
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
 	if lo == hi {
 		return sorted[lo]
 	}

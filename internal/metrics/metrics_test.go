@@ -44,6 +44,35 @@ func TestPercentileBounds(t *testing.T) {
 	}
 }
 
+// The HF-7 estimator hits order statistics exactly whenever the
+// continuous rank q·(n−1) is an integer — no neighbour averaging at
+// those points, and no extrapolation past the sample at the extremes.
+func TestPercentileBoundaryExactness(t *testing.T) {
+	s := []float64{10, 20, 30, 40, 50}
+	for i, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := Percentile(s, q); got != s[i] {
+			t.Errorf("Percentile(q=%v) = %v, want exact order statistic %v", q, got, s[i])
+		}
+	}
+	// Single sample: every quantile is that sample.
+	one := []float64{42}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got := Percentile(one, q); got != 42 {
+			t.Errorf("Percentile([42], %v) = %v, want 42", q, got)
+		}
+	}
+	// q just below 1 must stay within the sample even when rounding
+	// pushes q·(n−1) against the top rank.
+	under := math.Nextafter(1, 0)
+	if got := Percentile(s, under); got < s[3] || got > s[4] {
+		t.Errorf("Percentile(q=1-ulp) = %v, outside [%v, %v]", got, s[3], s[4])
+	}
+	// Two samples: q=0.5 is the midpoint, the simplest interpolation.
+	if got := Percentile([]float64{1, 3}, 0.5); got != 2 {
+		t.Errorf("Percentile([1 3], 0.5) = %v, want 2", got)
+	}
+}
+
 func TestPercentilePanicsOnEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

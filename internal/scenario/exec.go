@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"supercharged/internal/sim"
+	"supercharged/internal/telemetry"
 )
 
 // DefaultPrefixes is the table size used when neither the spec nor the
@@ -26,6 +27,16 @@ type Options struct {
 	Seed int64
 	// Progress, if set, receives one line per run.
 	Progress io.Writer
+	// Instrument attaches telemetry to every run (zero value = off).
+	Instrument Instrumentation
+}
+
+// Instrumentation bundles the optional observability attachments a run
+// carries: a virtual-time trace recorder and a metrics registry. The
+// zero value disables both — the simulator's hooks compile to no-ops.
+type Instrumentation struct {
+	Trace     *telemetry.Trace
+	Telemetry *telemetry.Registry
 }
 
 // Sizes returns the table sizes one execution of the spec covers:
@@ -53,6 +64,14 @@ func (s Spec) Sizes(override int) []int {
 // to call concurrently. The context cancels the underlying simulation
 // between events; flows and seed of zero take the usual defaults.
 func RunOne(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunReport, error) {
+	return RunOneInstrumented(ctx, spec, mode, prefixes, flows, seed, Instrumentation{})
+}
+
+// RunOneInstrumented is RunOne with telemetry attached: ins.Trace
+// records the run's virtual-time pipeline spans and ins.Telemetry its
+// metric series. The measurements are byte-identical to an
+// uninstrumented run — telemetry observes the model, it never steers it.
+func RunOneInstrumented(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, seed int64, ins Instrumentation) (RunReport, error) {
 	if err := spec.Validate(); err != nil {
 		return RunReport{}, err
 	}
@@ -62,7 +81,10 @@ func RunOne(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, 
 	if seed == 0 {
 		seed = 1
 	}
-	res, err := sim.RunTimeline(ctx, spec.compile(mode, prefixes, flows, seed))
+	cfg := spec.compile(mode, prefixes, flows, seed)
+	cfg.Trace = ins.Trace
+	cfg.Telemetry = ins.Telemetry
+	res, err := sim.RunTimeline(ctx, cfg)
 	if err != nil {
 		return RunReport{}, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, prefixes, err)
 	}
@@ -92,7 +114,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 			if opts.Progress != nil {
 				fmt.Fprintf(opts.Progress, "scenario %s: %s @ %d prefixes...\n", spec.Name, mode, n)
 			}
-			res, err := sim.RunTimeline(ctx, spec.compile(mode, n, opts.Flows, seed))
+			cfg := spec.compile(mode, n, opts.Flows, seed)
+			cfg.Trace = opts.Instrument.Trace
+			cfg.Telemetry = opts.Instrument.Telemetry
+			res, err := sim.RunTimeline(ctx, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, n, err)
 			}

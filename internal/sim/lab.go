@@ -64,6 +64,7 @@ func (l *lab) setupStandalone() error {
 		if err != nil {
 			return err
 		}
+		l.traceFeedIngest(prov, prov.feed.Len())
 	}
 	l.fib.LoadSync(ops)
 	l.fib.OnApplied = l.onFIBApplied
@@ -88,6 +89,7 @@ func (l *lab) setupSupercharged() error {
 	l.proc.GroupSize = cfg.GroupSize
 	l.proc.OnNewGroup = l.engine.InstallGroup
 	l.proc.Reserve(cfg.NumPrefixes)
+	l.wireCoreMetrics()
 
 	codec := bgp.Codec{ASN4: true}
 	ops := make([]dataplane.FIBOp, 0, cfg.NumPrefixes)
@@ -104,6 +106,7 @@ func (l *lab) setupSupercharged() error {
 		if err != nil {
 			return err
 		}
+		l.traceFeedIngest(prov, prov.feed.Len())
 	}
 	l.fib.LoadSync(ops)
 	l.fib.OnApplied = l.onFIBApplied
@@ -168,6 +171,7 @@ func (l *lab) providerByNH(nh netip.Addr) (*provider, bool) {
 // immediately.
 func (l *lab) pushRule(g core.Group, target core.PeerPort) error {
 	delay := l.cfg.ControllerReact + l.cfg.FlowModLatency
+	l.traceRuleInstall(delay)
 	l.clk.AfterFunc(delay, func() {
 		l.flows.Upsert(dataplane.Flow{
 			Priority: 100,
@@ -225,6 +229,7 @@ func (l *lab) pathWorks(pfx netip.Prefix) bool {
 // failProvider cuts the link to prov and schedules the BFD detection and
 // reaction pipeline for the current mode (the single-shot Run path).
 func (l *lab) failProvider(prov *provider) {
+	cutAt := l.clk.Now()
 	l.linkDown(prov)
 	detect := time.Duration(l.cfg.BFDMult) * l.cfg.BFDInterval
 	prov.detect = l.clk.AfterFunc(detect, func() {
@@ -232,6 +237,7 @@ func (l *lab) failProvider(prov *provider) {
 		if l.result.DetectAt == 0 {
 			l.result.DetectAt = l.clk.Now().Sub(l.failAbs)
 		}
+		l.traceDetect(0, prov, cutAt)
 		l.reactToFailure(prov)
 	})
 }
@@ -342,7 +348,9 @@ func (l *lab) enqueueWalkOrder(ops []dataplane.FIBOp) {
 // plane digests the failure (RouterCtl + jitter), it rewrites every FIB
 // entry one by one in table-walk order — the linear process of Fig. 5.
 func (l *lab) standaloneReact(prov *provider) {
+	start := l.clk.Now()
 	l.afterRouterCtl(func() {
+		l.traceRouterCtl(start)
 		l.enqueueFIBChanges(l.routerRIB.RemovePeer(prov.nh))
 	})
 }
@@ -353,16 +361,20 @@ func (l *lab) standaloneReact(prov *provider) {
 // traffic impact.
 func (l *lab) superchargedReact(prov *provider) {
 	l.clk.AfterFunc(l.controllerDelay(), func() {
-		if _, err := l.engine.PeerDown(prov.nh); err != nil {
+		n, err := l.engine.PeerDown(prov.nh)
+		if err != nil {
 			panic(fmt.Sprintf("sim: engine.PeerDown: %v", err))
 		}
+		l.traceCtlNotified(prov, n)
 		// Control-plane cleanup toward the router (unmeasured but real):
 		// the processor withdraws/re-announces, the router walks its FIB.
 		updates, err := l.proc.PeerDown(prov.nh)
 		if err != nil {
 			panic(fmt.Sprintf("sim: processor.PeerDown: %v", err))
 		}
+		ctlStart := l.clk.Now()
 		l.afterRouterCtl(func() {
+			l.traceRouterCtl(ctlStart)
 			l.enqueueWalkOrder(l.routerApply(updates))
 			core.RecycleUpdates(updates)
 		})

@@ -24,6 +24,7 @@ import (
 	"supercharged/internal/dataplane"
 	"supercharged/internal/feed"
 	"supercharged/internal/packet"
+	"supercharged/internal/telemetry"
 )
 
 // Mode selects the router under test.
@@ -88,6 +89,14 @@ type Config struct {
 	// Providers is the number of provider peers (default 2: R2 primary,
 	// R3 backup; A2 uses 3).
 	Providers int
+
+	// Trace, if set, records virtual-time spans of the convergence
+	// pipeline (see internal/telemetry and sim's telemetry.go). Nil — the
+	// default — disables tracing entirely.
+	Trace *telemetry.Trace `json:"-"`
+	// Telemetry, if set, registers the run's metric series on the
+	// registry. Nil disables every metric hook.
+	Telemetry *telemetry.Registry `json:"-"`
 }
 
 // DefaultConfig returns the calibrated configuration for n prefixes.
@@ -273,6 +282,10 @@ type lab struct {
 	// routerCtlFIFO is the in-order floor of the router's control-plane
 	// channel: no batch may be applied before one emitted earlier.
 	routerCtlFIFO time.Time
+
+	// Telemetry wiring (zero when disabled; see telemetry.go).
+	tracePID int
+	metrics  *simMetrics
 }
 
 // outage is one contiguous blackout window of a probed flow.
@@ -377,13 +390,16 @@ func (l *lab) assignFeeds() {
 
 func (l *lab) run() (*Result, error) {
 	cfg := l.cfg
+	l.traceStart()
 	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
 	l.assignFeeds()
 
 	if err := l.setup(); err != nil {
 		return nil, err
 	}
+	l.wireMetrics()
 	l.setupProbes()
+	l.traceSetup()
 
 	// Schedule the failure relative to the post-setup clock (setup may
 	// have consumed virtual time draining rule installs).
@@ -416,10 +432,13 @@ func (l *lab) run() (*Result, error) {
 		conv := l.quantizedGap(pr, first)
 		pos, _ := l.fib.Position(pr.prefix)
 		res.Flows = append(res.Flows, FlowResult{Prefix: pr.prefix, Position: pos, Convergence: conv})
+		l.traceConverge(0, pr, first, conv)
+		l.metrics.observeConvergence(conv)
 		if d := first.end.Sub(failAbs); d > res.DataPlaneDone {
 			res.DataPlaneDone = d
 		}
 	}
+	l.metrics.runDone(l.fib.Applied())
 	return res, nil
 }
 

@@ -180,6 +180,7 @@ type TimelineConfig struct {
 // eventState tracks one scheduled event through the run.
 type eventState struct {
 	ev       TimelineEvent
+	idx      int
 	absAt    time.Time
 	detectAt time.Duration
 }
@@ -347,18 +348,21 @@ const maxNoiseUpdates = 1_000_000
 // replay the script, drain to quiescence and attribute outages to events.
 func (l *lab) runTimeline(ctx context.Context) (*TimelineResult, error) {
 	cfg := l.cfg
+	l.traceStart()
 	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
 	l.assignFeeds()
 
 	if err := l.setup(); err != nil {
 		return nil, err
 	}
+	l.wireMetrics()
 	l.setupProbes()
+	l.traceSetup()
 
 	l.base = l.clk.Now()
 	l.fibBase = l.fib.Applied()
 	for i := range l.tcfg.Events {
-		st := &eventState{ev: l.tcfg.Events[i], absAt: l.base.Add(l.tcfg.Events[i].At)}
+		st := &eventState{ev: l.tcfg.Events[i], idx: i, absAt: l.base.Add(l.tcfg.Events[i].At)}
 		l.events = append(l.events, st)
 		l.clk.AfterFunc(st.ev.At, func() { l.applyEvent(st) })
 	}
@@ -369,6 +373,8 @@ func (l *lab) runTimeline(ctx context.Context) (*TimelineResult, error) {
 }
 
 func (l *lab) applyEvent(st *eventState) {
+	l.traceEvent(st)
+	l.metrics.eventApplied()
 	var prov *provider
 	if st.ev.Peer != "" {
 		var ok bool
@@ -413,6 +419,7 @@ func (l *lab) eventLinkDown(st *eventState, prov *provider) {
 	if !prov.up {
 		return
 	}
+	cutAt := l.clk.Now()
 	l.linkDown(prov)
 	detect := time.Duration(l.cfg.BFDMult) * l.cfg.BFDInterval
 	if st.ev.Detection == DetectHoldTimer {
@@ -425,6 +432,7 @@ func (l *lab) eventLinkDown(st *eventState, prov *provider) {
 		if st.detectAt == 0 {
 			st.detectAt = l.clk.Now().Sub(st.absAt)
 		}
+		l.traceDetect(st.idx+1, prov, cutAt)
 		l.reactToFailure(prov)
 	})
 }
@@ -683,7 +691,9 @@ func (l *lab) ingestFeed(prov *provider, table *feed.Table, peerUp bool) {
 func (l *lab) ingestStream(prov *provider, source func(fn func(*bgp.Update) error) error, peerUp bool) {
 	switch l.cfg.Mode {
 	case Standalone:
+		ctlStart := l.clk.Now()
 		l.afterRouterCtl(func() {
+			l.traceRouterCtl(ctlStart)
 			var changes []bgp.Change
 			err := source(func(u *bgp.Update) error {
 				changes = append(changes, l.routerRIB.Update(prov.meta, u)...)
@@ -697,7 +707,9 @@ func (l *lab) ingestStream(prov *provider, source func(fn func(*bgp.Update) erro
 	case Supercharged:
 		l.clk.AfterFunc(l.controllerDelay(), func() {
 			var toRouter []*bgp.Update
+			nIn := 0
 			err := source(func(u *bgp.Update) error {
+				nIn++
 				out, err := l.proc.Process(prov.meta, u)
 				if err != nil {
 					panic(fmt.Sprintf("sim: processor.Process: %v", err))
@@ -708,12 +720,15 @@ func (l *lab) ingestStream(prov *provider, source func(fn func(*bgp.Update) erro
 			if err != nil {
 				panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
 			}
+			l.traceChurnFilter(prov, nIn, len(toRouter))
 			if peerUp {
 				if _, err := l.engine.PeerUp(prov.nh); err != nil {
 					panic(fmt.Sprintf("sim: engine.PeerUp: %v", err))
 				}
 			}
+			ctlStart := l.clk.Now()
 			l.afterRouterCtl(func() {
+				l.traceRouterCtl(ctlStart)
 				l.enqueueWalkOrder(l.routerApply(toRouter))
 				core.RecycleUpdates(toRouter)
 			})
@@ -769,9 +784,13 @@ func (l *lab) harvestTimeline() *TimelineResult {
 				continue
 			}
 			er.Recovered++
-			er.Convergence = append(er.Convergence, l.quantizedGap(pr, o))
+			conv := l.quantizedGap(pr, o)
+			er.Convergence = append(er.Convergence, conv)
+			l.traceConverge(idx+1, pr, o, conv)
+			l.metrics.observeConvergence(conv)
 		}
 	}
+	l.metrics.runDone(res.FIBWrites)
 	return res
 }
 

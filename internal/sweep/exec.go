@@ -5,13 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"supercharged/internal/results"
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
+	"supercharged/internal/telemetry"
 )
 
 // Options parameterizes a sweep execution.
@@ -45,6 +49,18 @@ type Options struct {
 	// scenario.RunOne. Tests inject failures and delays here. The store,
 	// when set, wraps whichever runner is in effect.
 	Runner func(context.Context, Unit) (scenario.RunReport, error)
+	// Telemetry, if set, registers the sweep's metric series (unit
+	// outcomes, store hits/misses, per-unit wall and virtual time) and
+	// attaches the registry to every executed unit's simulation.
+	Telemetry *telemetry.Registry
+	// Runs, if set, tracks units through their lifecycle for the live
+	// /runs status page.
+	Runs *telemetry.RunTracker
+	// TraceDir, if set, writes each executed (non-cached) unit's
+	// virtual-time trace into the directory as <key>.trace.jsonl plus the
+	// Perfetto-openable <key>.trace.json. Cache hits skip simulation
+	// entirely, so they produce no trace.
+	TraceDir string
 }
 
 // UnitResult is one completed unit, streamed as workers finish.
@@ -84,8 +100,50 @@ func (o Options) runner() func(context.Context, Unit) (scenario.RunReport, error
 		return o.Runner
 	}
 	return func(ctx context.Context, u Unit) (scenario.RunReport, error) {
-		return scenario.RunOne(ctx, u.spec, u.Mode, u.Prefixes, u.Flows, u.Seed)
+		ins := scenario.Instrumentation{Telemetry: o.Telemetry}
+		if o.TraceDir != "" {
+			ins.Trace = telemetry.NewTrace()
+		}
+		rep, err := scenario.RunOneInstrumented(ctx, u.spec, u.Mode, u.Prefixes, u.Flows, u.Seed, ins)
+		if err == nil && ins.Trace != nil {
+			if werr := writeUnitTrace(o.TraceDir, u, ins.Trace); werr != nil {
+				// Trace export is best-effort telemetry: the unit's
+				// measurement stands even when the disk write fails.
+				fmt.Fprintf(os.Stderr, "sweep: trace for %s: %v\n", u.Key(), werr)
+			}
+		}
+		return rep, err
 	}
+}
+
+// writeUnitTrace exports one unit's trace as JSONL plus Chrome
+// trace-event JSON under dir, with the unit key's path separators
+// flattened into a filename.
+func writeUnitTrace(dir string, u Unit, tr *telemetry.Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, strings.ReplaceAll(u.Key(), "/", "_"))
+	jf, err := os.Create(base + ".trace.jsonl")
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(base + ".trace.json")
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
 }
 
 // key computes the unit's store address.
@@ -100,10 +158,78 @@ func (o Options) key(u Unit) (results.Key, error) {
 	})
 }
 
+// sweepMetrics is the executor's registry-backed instrument bundle; nil
+// (no Options.Telemetry) disables every hook.
+type sweepMetrics struct {
+	storeHits   *telemetry.Counter
+	storeMisses *telemetry.Counter
+	unitsOK     *telemetry.Counter
+	unitsFailed *telemetry.Counter
+	unitsCached *telemetry.Counter
+	unitWall    *telemetry.Histogram
+	unitVirtual *telemetry.Histogram
+}
+
+// metrics registers the sweep series on the options' registry (nil
+// registry returns the disabled bundle). Registration is idempotent, so
+// repeated sweeps over one registry share the same series.
+func (o Options) metrics() *sweepMetrics {
+	reg := o.Telemetry
+	if reg == nil {
+		return nil
+	}
+	return &sweepMetrics{
+		storeHits: reg.Counter("supercharged_sweep_store_hits_total",
+			"Units served from the content-addressed result store."),
+		storeMisses: reg.Counter("supercharged_sweep_store_misses_total",
+			"Units not found in the result store (executed for real)."),
+		unitsOK: reg.Counter("supercharged_sweep_units_ok_total",
+			"Units that completed successfully (executed, not cached)."),
+		unitsFailed: reg.Counter("supercharged_sweep_units_failed_total",
+			"Units that failed (including cancellation)."),
+		unitsCached: reg.Counter("supercharged_sweep_units_cached_total",
+			"Units resolved from the result store."),
+		unitWall: reg.Histogram("supercharged_sweep_unit_wall_seconds",
+			"Host wall-clock cost per unit.", nil),
+		unitVirtual: reg.Histogram("supercharged_sweep_unit_virtual_seconds",
+			"Virtual lab time per unit (the report's elapsed).", nil),
+	}
+}
+
+func (m *sweepMetrics) storeLookup(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.storeHits.Inc()
+	} else {
+		m.storeMisses.Inc()
+	}
+}
+
+// unitDone classifies one finished unit and observes its costs.
+func (m *sweepMetrics) unitDone(res UnitResult) {
+	if m == nil {
+		return
+	}
+	switch {
+	case res.Err != nil:
+		m.unitsFailed.Inc()
+	case res.Cached:
+		m.unitsCached.Inc()
+	default:
+		m.unitsOK.Inc()
+	}
+	m.unitWall.ObserveDuration(res.Wall)
+	if res.Run != nil && !res.Cached {
+		m.unitVirtual.Observe(res.Run.ElapsedMS / 1e3)
+	}
+}
+
 // runUnit resolves one unit: store hit, or a real run followed by a
 // best-effort store write. A failed store write is not a unit failure —
 // the measurement is still good, the cache just misses next time.
-func runUnit(ctx context.Context, u Unit, opts Options, run func(context.Context, Unit) (scenario.RunReport, error)) (res UnitResult) {
+func runUnit(ctx context.Context, u Unit, opts Options, m *sweepMetrics, run func(context.Context, Unit) (scenario.RunReport, error)) (res UnitResult) {
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
@@ -113,7 +239,9 @@ func runUnit(ctx context.Context, u Unit, opts Options, run func(context.Context
 		k, err := opts.key(u)
 		if err == nil {
 			key = k
-			if rep, ok := opts.Store.Get(key); ok {
+			rep, ok := opts.Store.Get(key)
+			m.storeLookup(ok)
+			if ok {
 				res.Run, res.Cached = rep, true
 				return res
 			}
@@ -145,6 +273,8 @@ func Stream(ctx context.Context, units []Unit, opts Options) <-chan UnitResult {
 		workers = len(units)
 	}
 	run := opts.runner()
+	m := opts.metrics()
+	opts.Runs.SetTotal(len(units))
 
 	jobs := make(chan int)
 	out := make(chan UnitResult, workers)
@@ -154,10 +284,14 @@ func Stream(ctx context.Context, units []Unit, opts Options) <-chan UnitResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				key := units[i].Key()
+				opts.Runs.Start(key)
 				t0 := time.Now()
-				res := runUnit(ctx, units[i], opts, run)
+				res := runUnit(ctx, units[i], opts, m, run)
 				res.Index, res.Unit = i, units[i]
 				res.Wall = time.Since(t0)
+				opts.Runs.Finish(key, res.Wall, res.Cached, res.Err)
+				m.unitDone(res)
 				out <- res
 			}
 		}()
@@ -189,6 +323,12 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Aggregate, error) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
 		defer cancel()
+	}
+	if opts.Progress != nil {
+		// One serialized writer for every progress line: the collection
+		// loop below is single-goroutine, but worker-side warnings (trace
+		// export) and a live status server can interleave on the same fd.
+		opts.Progress = telemetry.NewSyncWriter(opts.Progress)
 	}
 	t0 := time.Now()
 	collected := make([]UnitResult, len(units))

@@ -1,0 +1,401 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. All methods are safe on
+// a nil receiver (no-ops), so disabled telemetry costs one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (CAS loop; contended adds retry).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bounds are inclusive upper bounds, observations above the last
+// bound land only in the implicit +Inf bucket. The hot path (Observe) is
+// a linear bucket scan plus atomic adds — no locks, no allocations.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // per-bucket (non-cumulative; summed at scrape)
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	n      atomic.Uint64
+}
+
+// DefBuckets are the default latency bounds in seconds, spanning the
+// paper's landscape: ~150 ms supercharged convergence on the low end,
+// multi-minute standalone FIB walks on the high end.
+var DefBuckets = []float64{
+	.001, .005, .01, .025, .05, .1, .15, .25, .5, 1, 2.5, 5, 10, 30, 60, 150,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metricKind tags a registered series for the TYPE line.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one registered time series.
+type series struct {
+	name   string // full series name, labels included
+	family string // name with labels stripped — HELP/TYPE unit
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration methods are get-or-create and
+// idempotent per name; a nil *Registry returns nil metrics from every
+// getter, which is the disabled configuration (all hooks no-op).
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*series
+	order  []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*series)}
+}
+
+// Series renders a full series name with label pairs, for registering
+// labeled metrics: Series("peer_up", "peer", "203.0.113.1") yields
+// `peer_up{peer="203.0.113.1"}`. kv must alternate key, value.
+func Series(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: Series needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// familyOf strips the label set from a full series name.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// lookup returns the existing series or registers a new one built by mk.
+func (r *Registry) lookup(name, help string, kind metricKind, mk func() *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byName[name]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as a different kind", name))
+		}
+		return s
+	}
+	s := mk()
+	s.name, s.family, s.help, s.kind = name, familyOf(name), help, kind
+	r.byName[name] = s
+	r.order = append(r.order, s)
+	return s
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Nil registry returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, func() *series { return &series{c: new(Counter)} }).c
+}
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, func() *series { return &series{g: new(Gauge)} }).g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time (process stats, table sizes). Re-registering the same name
+// replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	s := r.lookup(name, help, kindGaugeFunc, func() *series { return &series{} })
+	r.mu.Lock()
+	s.gf = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name with the given
+// ascending upper bounds (nil bounds = DefBuckets). Bounds are fixed at
+// first registration; later calls return the existing histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must be ascending")
+	}
+	return r.lookup(name, help, kindHistogram, func() *series {
+		return &series{h: &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)),
+		}}
+	}).h
+}
+
+// snapshot returns the registered series grouped per family in a stable
+// order: families sorted by name, series within a family in
+// registration order.
+func (r *Registry) snapshot() [][]*series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byFamily := make(map[string][]*series)
+	var families []string
+	for _, s := range r.order {
+		if _, ok := byFamily[s.family]; !ok {
+			families = append(families, s.family)
+		}
+		byFamily[s.family] = append(byFamily[s.family], s)
+	}
+	sort.Strings(families)
+	out := make([][]*series, 0, len(families))
+	for _, f := range families {
+		out = append(out, byFamily[f])
+	}
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): one HELP/TYPE pair per
+// family, histograms as cumulative _bucket series with le labels plus
+// _sum and _count. Safe to call concurrently with metric updates; a nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, family := range r.snapshot() {
+		head := family[0]
+		if head.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", head.family, head.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", head.family, typeName(head.kind)); err != nil {
+			return err
+		}
+		for _, s := range family {
+			if err := writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	switch s.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", s.name, s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", s.name, formatFloat(s.g.Value()))
+		return err
+	case kindGaugeFunc:
+		v := 0.0
+		if s.gf != nil {
+			v = s.gf()
+		}
+		_, err := fmt.Fprintf(w, "%s %s\n", s.name, formatFloat(v))
+		return err
+	case kindHistogram:
+		h := s.h
+		// Cumulative buckets: each le bound includes everything below it.
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(s.name, formatFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.inf.Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(s.name, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", suffixSeries(s.name, "_sum"), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", suffixSeries(s.name, "_count"), h.Count())
+		return err
+	}
+	return nil
+}
+
+// bucketSeries renders name_bucket{...,le="bound"}, merging with any
+// existing label set on the series name.
+func bucketSeries(name, le string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + "_bucket{" + name[i+1:len(name)-1] + `,le="` + le + `"}`
+	}
+	return name + `_bucket{le="` + le + `"}`
+}
+
+// suffixSeries renders name_sum / name_count, preserving labels.
+func suffixSeries(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest exact
+// decimal, integral values without a trailing ".0".
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %v, want 1", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil registry write: %v", err)
+	}
+}
+
+// The disabled configuration (nil receivers everywhere) must not
+// allocate: it is on the simulator's hot paths and pinned the same way
+// core's churn filter is.
+func TestNilSinkZeroAllocs(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var tr *Trace
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(0.25)
+		tr.Add(Span{Name: "x"})
+	}); n != 0 {
+		t.Fatalf("nil sink allocates %v/op, want 0", n)
+	}
+}
+
+// The enabled steady-state paths must not allocate either: counters and
+// histogram observes are atomics only.
+func TestEnabledHotPathZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hot_total", "")
+	h := reg.Histogram("hot_seconds", "", nil)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(0.042)
+	}); n != 0 {
+		t.Fatalf("enabled hot path allocates %v/op, want 0", n)
+	}
+}
+
+func TestRegistryIdempotentAndKindChecked(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "first")
+	b := reg.Counter("dup_total", "second help is ignored")
+	if a != b {
+		t.Fatal("re-registration must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("dup_total", "")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got != 2.65 {
+		t.Fatalf("sum = %v, want 2.65", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative: le=0.1 holds 2 (0.05 and the inclusive 0.1), le=1
+	// holds 3, +Inf holds all 4.
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesLabels(t *testing.T) {
+	if got := Series("peer_up", "peer", "R2"); got != `peer_up{peer="R2"}` {
+		t.Fatalf("Series = %q", got)
+	}
+	reg := NewRegistry()
+	reg.Counter(Series("peer_up_total", "peer", "R1"), "per-peer ups").Inc()
+	reg.Counter(Series("peer_up_total", "peer", "R2"), "per-peer ups").Add(2)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE peer_up_total counter") != 1 {
+		t.Fatalf("labeled series must share one TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `peer_up_total{peer="R1"} 1`) || !strings.Contains(out, `peer_up_total{peer="R2"} 2`) {
+		t.Fatalf("missing labeled samples:\n%s", out)
+	}
+}
+
+// Golden-file pin of the exposition format: a fixed registry must render
+// byte-identically. Guards HELP/TYPE ordering, cumulative buckets,
+// label merging and float formatting against accidental drift.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_updates_total", "Updates applied.").Add(42)
+	reg.Gauge("demo_table_size", "Current table size.").Set(5000)
+	reg.GaugeFunc("demo_uptime_ratio", "Computed at scrape.", func() float64 { return 0.25 })
+	h := reg.Histogram("demo_latency_seconds", "Convergence latency.", []float64{0.1, 0.25, 1})
+	h.Observe(0.05)
+	h.Observe(0.2)
+	h.Observe(3)
+	reg.Counter(Series("demo_peer_state_total", "peer", "R1"), "Per-peer transitions.").Inc()
+	reg.Counter(Series("demo_peer_state_total", "peer", "R2"), "Per-peer transitions.").Add(3)
+	hl := reg.Histogram(Series("demo_labeled_seconds", "mode", "fast"), "Labeled histogram.", []float64{1})
+	hl.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// Registration and updates from many goroutines must be race-free (run
+// under -race in CI) and converge to exact totals.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Everyone registers the same names — get-or-create must
+			// hand back the shared instances.
+			c := reg.Counter("conc_total", "")
+			h := reg.Histogram("conc_seconds", "", nil)
+			gauge := reg.Gauge("conc_gauge", "")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(0.01)
+				gauge.Add(1)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := reg.WritePrometheus(&buf); err != nil {
+						t.Errorf("concurrent write: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("conc_total", "").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Histogram("conc_seconds", "", nil).Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Gauge("conc_gauge", "").Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSyncWriterSerializes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSyncWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := w.Write([]byte("one atomic line\n")); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line != "one atomic line" {
+			t.Fatalf("interleaved write: %q", line)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in observability endpoint: /metrics (Prometheus
+// text), /runs (JSON sweep status), /debug/pprof/* (the standard Go
+// profiles), and a plain-text index at /.
+type Server struct {
+	// Addr is the bound listen address (useful when the requested port
+	// was :0).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler builds the observability mux for reg and runs (either may be
+// nil; the corresponding endpoint then serves empty output).
+func Handler(reg *Registry, runs *RunTracker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "supercharged observability endpoint")
+		fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+		fmt.Fprintln(w, "  /runs          sweep status (JSON)")
+		fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(runs.Snapshot())
+	})
+	// net/http/pprof only self-registers on http.DefaultServeMux; wire
+	// its handlers onto this mux explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves the observability endpoints in a
+// background goroutine until Close. The returned Server's Addr holds
+// the concrete bound address (resolving :0 port requests).
+func Serve(addr string, reg *Registry, runs *RunTracker) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           Handler(reg, runs),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

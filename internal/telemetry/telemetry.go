@@ -1,0 +1,57 @@
+// Package telemetry is the observability layer of the convergence lab:
+// a dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) that renders the Prometheus text exposition format, a
+// virtual-time trace recorder that emits the convergence pipeline's
+// spans as JSONL and Chrome trace-event JSON (openable directly in
+// Perfetto), a run tracker backing the live /runs status page, and the
+// opt-in HTTP server that serves all of it plus net/http/pprof.
+//
+// Two properties shape every API here:
+//
+//   - Nil is off. Every hot-path method — Counter.Inc, Gauge.Set,
+//     Histogram.Observe, Trace.Add, RunTracker.Start — is safe on a nil
+//     receiver and compiles down to one branch when telemetry is
+//     disabled. Instrumented packages hold possibly-nil pointers and
+//     call unconditionally; the zero-alloc churn-filter pin
+//     (internal/core's AllocsPerRun test) stays green with hooks in
+//     place.
+//
+//   - Enabled paths stay allocation-free too. Counters and gauges are
+//     single atomic words; histograms are atomic bucket arrays with a
+//     CAS-updated float sum. Only registration (once per series) and
+//     scraping (once per poll) take locks or allocate.
+//
+// The trace recorder measures in *virtual* time: spans carry offsets of
+// the lab's discrete-event clock, so a 1M-prefix run that takes 30 s of
+// host time renders as the handful of virtual seconds the model says
+// convergence took — the same numbers the reports print.
+package telemetry
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes writes from multiple goroutines onto one
+// underlying writer, one Write call per Write — progress lines from a
+// sweep's worker pool cannot interleave mid-line. A nil *SyncWriter
+// discards writes.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a discarding writer.
+func NewSyncWriter(w io.Writer) *SyncWriter {
+	return &SyncWriter{w: w}
+}
+
+// Write implements io.Writer under the mutex.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	if s == nil || s.w == nil {
+		return len(p), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one recorded interval (or instant, when Dur is zero) of the
+// convergence pipeline. Start and Dur are *virtual* time: offsets from
+// the lab clock's epoch (time.Unix(0,0)), not host wall-clock. A span is
+// keyed by the process/thread pair its recorder registered — by
+// convention pid = one (mode, size) run, tid = one timeline event — plus
+// the structured fields below.
+type Span struct {
+	// Name is the span's pipeline stage (see docs/observability.md for
+	// the catalogue): setup, feed-ingest, failure-detected,
+	// controller-notified, churn-filter, rules-computed, rule-install,
+	// flow-converged, ...
+	Name string `json:"name"`
+	// Cat groups spans for trace-viewer filtering: pipeline, event, sweep.
+	Cat string `json:"cat,omitempty"`
+	// PID/TID place the span on the trace viewer's process/thread grid.
+	PID int `json:"pid"`
+	TID int `json:"tid"`
+	// Start is the virtual-time offset of the span's begin; Dur its
+	// virtual duration (0 = instant marker).
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+
+	// Optional structured arguments.
+	Peer   string `json:"peer,omitempty"`   // BGP peer involved
+	Kind   string `json:"kind,omitempty"`   // timeline event kind
+	Prefix string `json:"prefix,omitempty"` // probed prefix (flow spans)
+	N      int    `json:"n,omitempty"`      // input count (updates, rules)
+	Out    int    `json:"out,omitempty"`    // output count (after filtering)
+}
+
+// Trace records spans from one or more virtual-clock runs. All methods
+// are nil-safe: a nil *Trace drops everything, which is the disabled
+// configuration. Recording takes one mutex-guarded append; traces are
+// per-run (per sweep unit), so there is no cross-run contention.
+type Trace struct {
+	mu      sync.Mutex
+	spans   []Span
+	procs   map[int]string // pid -> process name
+	threads map[[2]int]string
+	nextPID int
+	procOrd []int
+	thrOrd  [][2]int
+}
+
+// NewTrace returns an empty trace recorder.
+func NewTrace() *Trace {
+	return &Trace{
+		procs:   make(map[int]string),
+		threads: make(map[[2]int]string),
+	}
+}
+
+// Process registers a named process row (one per run, by convention)
+// and returns its pid. Returns 0 on a nil trace.
+func (t *Trace) Process(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextPID++
+	pid := t.nextPID
+	t.procs[pid] = name
+	t.procOrd = append(t.procOrd, pid)
+	return pid
+}
+
+// Thread names a thread row within a process (one per timeline event,
+// by convention; tid 0 is the run-level row).
+func (t *Trace) Thread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := [2]int{pid, tid}
+	if _, ok := t.threads[k]; !ok {
+		t.thrOrd = append(t.thrOrd, k)
+	}
+	t.threads[k] = name
+}
+
+// Add records a span.
+func (t *Trace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans (0 on nil).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// WriteJSONL writes one span per line as JSON — the stable,
+// grep/jq-friendly export. Round-trips through ReadJSONL.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses spans written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var spans []Span
+	dec := json.NewDecoder(r)
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return spans, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: bad span at #%d: %w", len(spans), err)
+		}
+		spans = append(spans, s)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array.
+// Timestamps and durations are microseconds per the format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in Chrome trace-event JSON (the
+// {"traceEvents": [...]} object form), openable directly in Perfetto or
+// chrome://tracing. Spans become "X" complete events; zero-duration
+// spans become "i" instants; process and thread names become "M"
+// metadata events. Virtual nanoseconds map to trace microseconds, so
+// the viewer's time axis reads directly in virtual time.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]chromeEvent, 0, len(t.spans)+len(t.procs)+len(t.threads))
+	for _, pid := range t.procOrd {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": t.procs[pid]},
+		})
+	}
+	for _, k := range t.thrOrd {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]any{"name": t.threads[k]},
+		})
+	}
+	spans := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3, // ns -> µs
+			Dur:  float64(s.Dur) / 1e3,
+			PID:  s.PID,
+			TID:  s.TID,
+		}
+		if s.Dur == 0 {
+			ev.Ph, ev.Dur = "i", 0
+		}
+		args := make(map[string]any)
+		if s.Peer != "" {
+			args["peer"] = s.Peer
+		}
+		if s.Kind != "" {
+			args["kind"] = s.Kind
+		}
+		if s.Prefix != "" {
+			args["prefix"] = s.Prefix
+		}
+		if s.N != 0 {
+			args["n"] = s.N
+		}
+		if s.Out != 0 {
+			args["out"] = s.Out
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

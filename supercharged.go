@@ -54,6 +54,7 @@ import (
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
 	"supercharged/internal/sweep"
+	"supercharged/internal/telemetry"
 )
 
 // Re-exported core types.
@@ -312,6 +313,48 @@ func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepAgg
 // TierSizes resolves a named table-size tier (s, m, l, xl — xl is the
 // 100k/1M full-Internet scale) to its prefix counts.
 func TierSizes(name string) ([]int, bool) { return scenario.TierSizes(name) }
+
+// Telemetry re-exports: the observability layer (DESIGN.md §9,
+// docs/observability.md). Everything is opt-in and nil-is-off:
+// instrumented and bare runs produce byte-identical reports.
+type (
+	// MetricsRegistry holds counters, gauges and histograms and renders
+	// the Prometheus text exposition; a nil registry disables every hook.
+	MetricsRegistry = telemetry.Registry
+	// ConvergenceTrace records the convergence pipeline as structured
+	// spans in virtual time, exportable as JSONL or Chrome trace-event
+	// JSON (Perfetto-openable).
+	ConvergenceTrace = telemetry.Trace
+	// TraceSpan is one recorded pipeline interval or instant.
+	TraceSpan = telemetry.Span
+	// Instrumentation bundles the attachments a scenario run carries.
+	Instrumentation = scenario.Instrumentation
+	// TelemetryServer is the opt-in HTTP endpoint serving /metrics,
+	// /runs and /debug/pprof.
+	TelemetryServer = telemetry.Server
+	// RunTracker follows sweep units through their lifecycle for the
+	// live /runs page; attach via SweepOptions.Runs.
+	RunTracker = telemetry.RunTracker
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewConvergenceTrace builds an empty trace recorder.
+func NewConvergenceTrace() *ConvergenceTrace { return telemetry.NewTrace() }
+
+// ServeTelemetry starts the observability endpoint on addr (":0" picks
+// an ephemeral port; the bound address is in the returned server's
+// Addr). reg and runs may each be nil.
+func ServeTelemetry(addr string, reg *MetricsRegistry, runs *RunTracker) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, reg, runs)
+}
+
+// RunScenarioInstrumented executes one (mode, size) scenario run with a
+// trace recorder and/or metrics registry attached.
+func RunScenarioInstrumented(ctx context.Context, s Scenario, mode sim.Mode, prefixes, flows int, seed int64, ins Instrumentation) (scenario.RunReport, error) {
+	return scenario.RunOneInstrumented(ctx, s, mode, prefixes, flows, seed, ins)
+}
 
 // Micro-benchmark re-exports: the hot-path suite behind `cmd/bench
 // micro` and the committed BENCH_micro.json baseline.
