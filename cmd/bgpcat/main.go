@@ -1,9 +1,13 @@
-// Command bgpcat decodes wire-format messages from hex input — a debug
-// companion for the protocol substrates.
+// Command bgpcat decodes wire-format messages — a debug companion for
+// the protocol substrates. Stdin carries hex (one message per line);
+// file arguments carry raw binary, which is how real captures and MRT
+// dumps arrive.
 //
 //	echo ffffffffffffffffffffffffffffffff001304 | bgpcat           # BGP
 //	bgpcat -proto of   < openflow-hex.txt                          # OpenFlow
 //	bgpcat -proto bfd  < bfd-hex.txt                               # BFD
+//	bgpcat -proto mrt  bview.20150801.mrt.gz                       # MRT dump
+//	bgpcat updates.bin                                             # framed BGP
 package main
 
 import (
@@ -11,21 +15,151 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 
 	"supercharged/internal/bfd"
 	"supercharged/internal/bgp"
+	"supercharged/internal/mrt"
 	"supercharged/internal/openflow"
 )
 
 func main() {
-	proto := flag.String("proto", "bgp", "bgp|of|bfd")
-	asn4 := flag.Bool("asn4", true, "decode BGP AS_PATH with 4-octet ASNs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	scanner := bufio.NewScanner(os.Stdin)
+// run is main with its edges injected, so the smoke tests drive the
+// whole command without a subprocess. Returns the exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bgpcat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	proto := fs.String("proto", "bgp", "bgp|of|bfd|mrt")
+	asn4 := fs.Bool("asn4", true, "decode BGP AS_PATH with 4-octet ASNs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *proto {
+	case "bgp", "of", "bfd", "mrt":
+	default:
+		fmt.Fprintf(stderr, "bgpcat: unknown -proto %q\n", *proto)
+		return 2
+	}
+
+	// File arguments are raw binary streams; stdin is hex lines. MRT is
+	// inherently a binary stream format, so -proto mrt needs files.
+	if files := fs.Args(); len(files) > 0 {
+		code := 0
+		for _, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "bgpcat: %v\n", err)
+				code = 1
+				continue
+			}
+			err = decodeStream(*proto, *asn4, f, stdout, stderr)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "bgpcat: %s: %v\n", path, err)
+				code = 1
+			}
+		}
+		return code
+	}
+	if *proto == "mrt" {
+		if err := decodeStream("mrt", *asn4, stdin, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "bgpcat: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	return decodeHexLines(*proto, *asn4, stdin, stdout, stderr)
+}
+
+// decodeStream decodes a raw binary stream: MRT records, or
+// back-to-back framed BGP messages. The hex-line protos have no framing
+// to recover from a byte stream, so files reject them.
+func decodeStream(proto string, asn4 bool, r io.Reader, stdout, stderr io.Writer) error {
+	switch proto {
+	case "mrt":
+		return decodeMRT(r, stdout)
+	case "bgp":
+		br := bufio.NewReader(r)
+		codec := bgp.Codec{ASN4: asn4}
+		for {
+			msg, err := codec.ReadMessage(br)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			printBGP(stdout, msg)
+		}
+	default:
+		return fmt.Errorf("-proto %s has no stream framing; pipe hex lines on stdin instead", proto)
+	}
+}
+
+// decodeMRT prints one line per MRT record. Decode errors end the
+// stream — a corrupt record leaves no resynchronization point.
+func decodeMRT(r io.Reader, w io.Writer) error {
+	rd := mrt.NewReader(r)
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch {
+		case rec.PeerIndex != nil:
+			fmt.Fprintf(w, "PEER_INDEX_TABLE collector=%s view=%q peers=%d\n",
+				rec.PeerIndex.CollectorID, rec.PeerIndex.ViewName, len(rec.PeerIndex.Peers))
+		case rec.RIB != nil:
+			for _, e := range rec.RIB.Entries {
+				peer := fmt.Sprintf("#%d", e.PeerIndex)
+				if pi := rd.PeerIndex(); pi != nil && int(e.PeerIndex) < len(pi.Peers) {
+					p := pi.Peers[e.PeerIndex]
+					peer = fmt.Sprintf("%s (AS%d)", p.Addr, p.AS)
+				}
+				pathID := ""
+				if rec.RIB.AddPath {
+					pathID = fmt.Sprintf(" path-id=%d", e.PathID)
+				}
+				fmt.Fprintf(w, "RIB seq=%d %s via %s%s as-path [%s]\n",
+					rec.RIB.Seq, rec.RIB.Prefix, peer, pathID, e.Attrs.ASPath)
+			}
+		case rec.BGP4MP != nil:
+			m := rec.BGP4MP
+			if m.StateChange {
+				fmt.Fprintf(w, "BGP4MP STATE_CHANGE peer=%s as=%d %d->%d\n", m.PeerIP, m.PeerAS, m.OldState, m.NewState)
+			} else {
+				fmt.Fprintf(w, "BGP4MP MESSAGE peer=%s as=%d ", m.PeerIP, m.PeerAS)
+				printBGP(w, m.Message)
+			}
+		default:
+			fmt.Fprintf(w, "SKIP type=%d subtype=%d len=%d\n", rec.Header.Type, rec.Header.Subtype, rec.Header.Length)
+		}
+	}
+}
+
+func printBGP(w io.Writer, msg bgp.Message) {
+	switch m := msg.(type) {
+	case *bgp.Open:
+		fmt.Fprintf(w, "OPEN version=%d as=%d hold=%d id=%s caps=%d\n", m.Version, m.AS, m.HoldTime, m.ID, len(m.Caps))
+	case *bgp.Update:
+		fmt.Fprintf(w, "UPDATE %s\n", m)
+	case *bgp.Notification:
+		fmt.Fprintf(w, "%s\n", m)
+	case *bgp.Keepalive:
+		fmt.Fprintln(w, "KEEPALIVE")
+	}
+}
+
+func decodeHexLines(proto string, asn4 bool, stdin io.Reader, stdout, stderr io.Writer) int {
+	scanner := bufio.NewScanner(stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
 	for scanner.Scan() {
@@ -41,46 +175,37 @@ func main() {
 		}
 		raw, err := hex.DecodeString(text)
 		if err != nil {
-			log.Printf("line %d: %v", lineNo, err)
+			fmt.Fprintf(stderr, "line %d: %v\n", lineNo, err)
 			continue
 		}
-		switch *proto {
+		switch proto {
 		case "bgp":
-			msg, err := (bgp.Codec{ASN4: *asn4}).Unmarshal(raw)
+			msg, err := (bgp.Codec{ASN4: asn4}).Unmarshal(raw)
 			if err != nil {
-				log.Printf("line %d: %v", lineNo, err)
+				fmt.Fprintf(stderr, "line %d: %v\n", lineNo, err)
 				continue
 			}
-			switch m := msg.(type) {
-			case *bgp.Open:
-				fmt.Printf("OPEN version=%d as=%d hold=%d id=%s caps=%d\n", m.Version, m.AS, m.HoldTime, m.ID, len(m.Caps))
-			case *bgp.Update:
-				fmt.Printf("UPDATE %s\n", m)
-			case *bgp.Notification:
-				fmt.Printf("%s\n", m)
-			case *bgp.Keepalive:
-				fmt.Println("KEEPALIVE")
-			}
+			printBGP(stdout, msg)
 		case "of":
 			msg, xid, err := openflow.Unmarshal(raw)
 			if err != nil {
-				log.Printf("line %d: %v", lineNo, err)
+				fmt.Fprintf(stderr, "line %d: %v\n", lineNo, err)
 				continue
 			}
-			fmt.Printf("%s xid=%d %+v\n", msg.MsgType(), xid, msg)
+			fmt.Fprintf(stdout, "%s xid=%d %+v\n", msg.MsgType(), xid, msg)
 		case "bfd":
 			var p bfd.ControlPacket
 			if err := p.Unmarshal(raw); err != nil {
-				log.Printf("line %d: %v", lineNo, err)
+				fmt.Fprintf(stderr, "line %d: %v\n", lineNo, err)
 				continue
 			}
-			fmt.Printf("BFD state=%s diag=%s my=%d your=%d tx=%v mult=%d\n",
+			fmt.Fprintf(stdout, "BFD state=%s diag=%s my=%d your=%d tx=%v mult=%d\n",
 				p.State, p.Diag, p.MyDiscr, p.YourDiscr, p.DesiredMinTx, p.DetectMult)
-		default:
-			log.Fatalf("unknown -proto %q", *proto)
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "bgpcat: %v\n", err)
+		return 1
 	}
+	return 0
 }

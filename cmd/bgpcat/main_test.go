@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/mrt"
+)
+
+// smoke drives run() end to end and returns (exit code, stdout, stderr).
+func smoke(t *testing.T, args []string, stdin []byte) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, bytes.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestHexStdinBGP(t *testing.T) {
+	raw, err := bgp.Codec{}.Marshal(&bgp.Keepalive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := "# comment\n\n" + hex.EncodeToString(raw) + "\n"
+	code, out, stderr := smoke(t, nil, []byte(in))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.TrimSpace(out) != "KEEPALIVE" {
+		t.Fatalf("stdout: %q", out)
+	}
+}
+
+func TestHexStdinBadLineContinues(t *testing.T) {
+	raw, err := bgp.Codec{}.Marshal(&bgp.Keepalive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := "nothex\n" + hex.EncodeToString(raw) + "\n"
+	code, out, stderr := smoke(t, nil, []byte(in))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "KEEPALIVE") || !strings.Contains(stderr, "line 1") {
+		t.Fatalf("stdout %q stderr %q", out, stderr)
+	}
+}
+
+// writeDump renders a tiny MRT dump: a peer index, one RIB record, one
+// BGP4MP keepalive.
+func writeDump(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dump.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := mrt.NewWriter(f)
+	peer := netip.MustParseAddr("203.0.113.1")
+	if err := w.WritePeerIndex(&mrt.PeerIndex{
+		ViewName: "smoke",
+		Peers:    []mrt.Peer{{Addr: peer, AS: 65002}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	attrs := &bgp.Attrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.Sequence(65002, 64512),
+		NextHop: peer,
+	}
+	if err := w.WriteRIB(netip.MustParsePrefix("10.0.0.0/8"),
+		[]mrt.RIBEntry{{PeerIndex: 0, Attrs: attrs}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBGP4MP(&mrt.BGP4MP{
+		PeerAS: 65002, LocalAS: 65001,
+		PeerIP: peer, LocalIP: netip.MustParseAddr("203.0.113.2"),
+		Message: &bgp.Keepalive{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMRTFile(t *testing.T) {
+	path := writeDump(t)
+	code, out, stderr := smoke(t, []string{"-proto", "mrt", path}, nil)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		`PEER_INDEX_TABLE collector=192.0.2.255 view="smoke" peers=1`,
+		"RIB seq=0 10.0.0.0/8 via 203.0.113.1 (AS65002) as-path [65002 64512]",
+		"BGP4MP MESSAGE peer=203.0.113.1 as=65002 KEEPALIVE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBGPFileStream(t *testing.T) {
+	var buf bytes.Buffer
+	c := bgp.Codec{}
+	for _, m := range []bgp.Message{&bgp.Keepalive{}, &bgp.Notification{Code: bgp.NotifCease, Subcode: 4}} {
+		if err := c.WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "updates.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := smoke(t, []string{path}, nil)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "KEEPALIVE") || !strings.Contains(out, "cease") {
+		t.Fatalf("stdout: %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, _ := smoke(t, []string{"-proto", "nope"}, nil); code != 2 {
+		t.Errorf("unknown proto: exit %d, want 2", code)
+	}
+	if code, _, stderr := smoke(t, []string{"no/such/file.mrt", "-proto", "mrt"}, nil); code == 0 {
+		t.Errorf("missing file: exit 0, stderr %q", stderr)
+	}
+	// Hex-line protos have no stream framing: files reject them.
+	path := writeDump(t)
+	if code, _, stderr := smoke(t, []string{"-proto", "of", path}, nil); code != 1 ||
+		!strings.Contains(stderr, "no stream framing") {
+		t.Errorf("of over file: exit %d, stderr %q", code, stderr)
+	}
+	// A truncated MRT file fails with the reader's typed error surfaced.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.mrt")
+	if err := os.WriteFile(cut, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := smoke(t, []string{"-proto", "mrt", cut}, nil); code != 1 ||
+		!strings.Contains(stderr, "truncated") {
+		t.Errorf("truncated dump: exit %d, stderr %q", code, stderr)
+	}
+}

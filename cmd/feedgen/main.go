@@ -1,10 +1,16 @@
 // Command feedgen generates a synthetic full-table BGP feed (the RIPE RIS
-// stand-in) and either prints it or serves it as a BGP speaker — handy as
-// the "provider" end of a supercharged deployment.
+// stand-in) and either prints it, serves it as a BGP speaker, or renders
+// it as an MRT TABLE_DUMP_V2 dump. It can also start from a real dump
+// instead of the generator (-from-mrt) and cut it down (-sample) — the
+// workflow that produced the committed testdata/ris-sample.mrt fixture.
 //
 //	feedgen -n 500000 -print | head              # dump prefixes
 //	feedgen -n 100000 -serve 127.0.0.1:1791 \
 //	        -as 65002 -nh 203.0.113.1            # act as provider R2
+//	feedgen -n 50000 -peers 2 \
+//	        -mrt testdata/ris-sample.mrt         # author an MRT fixture
+//	feedgen -from-mrt bview.20150801.mrt.gz \
+//	        -sample 50000 -mrt sample.mrt        # sample a real RIS dump
 package main
 
 import (
@@ -28,10 +34,57 @@ func main() {
 	as := flag.Uint("as", 65002, "local AS when serving")
 	peerAS := flag.Uint("peer-as", 0, "expected peer AS (0 accepts any)")
 	nh := flag.String("nh", "203.0.113.1", "next-hop (and router id) to announce")
+	mrtOut := flag.String("mrt", "", "write the table as an MRT TABLE_DUMP_V2 dump to this file")
+	fromMRT := flag.String("from-mrt", "", "load the table from this MRT dump (plain or .gz) instead of generating")
+	sample := flag.Int("sample", 0, "deterministically subsample the table to this many routes (0 = all)")
+	peers := flag.Int("peers", 1, "peer count for -mrt output (lab providers R2, R3, ...)")
 	flag.Parse()
 
-	table := feed.Generate(feed.Config{N: *n, Seed: *seed})
+	var table *feed.Table
+	if *fromMRT != "" {
+		f, err := os.Open(*fromMRT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dump, err := feed.FromMRT(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		table = dump.Table
+		log.Printf("feedgen: loaded %d routes (%d templates, %d peers) from %s",
+			table.Len(), len(table.Templates), len(dump.Peers), *fromMRT)
+	} else {
+		table = feed.Generate(feed.Config{N: *n, Seed: *seed})
+	}
+	if *sample > 0 {
+		table = table.Sample(*sample)
+	}
 	nhAddr := netip.MustParseAddr(*nh)
+
+	if *mrtOut != "" {
+		var mrtPeers []feed.MRTPeer
+		for i := 0; i < *peers; i++ {
+			// The lab's provider addressing: R2 = 203.0.113.1 AS 65002,
+			// R3 = 203.0.113.2 AS 65003, ...
+			mrtPeers = append(mrtPeers, feed.MRTPeer{
+				Addr: netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}),
+				AS:   uint32(65002 + i),
+			})
+		}
+		f, err := os.Create(*mrtOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := table.WriteMRT(f, mrtPeers); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("feedgen: wrote %d routes x %d peers to %s", table.Len(), len(mrtPeers), *mrtOut)
+		return
+	}
 
 	if *doPrint {
 		w := bufio.NewWriter(os.Stdout)
@@ -50,7 +103,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("feedgen: serving %d prefixes as AS%d on %s", *n, *as, *serve)
+	log.Printf("feedgen: serving %d prefixes as AS%d on %s", table.Len(), *as, *serve)
 	for {
 		conn, err := l.Accept()
 		if err != nil {

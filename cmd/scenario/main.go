@@ -88,6 +88,8 @@ run flags:
   --prefixes N                          table size (overrides spec default/sweep)
   --flows N                             probed flows per run (default 100)
   --seed N                              RNG seed (default 1; same seed, same report)
+  --table FILE                          MRT TABLE_DUMP_V2 dump (plain or .gz) to
+                                        replay instead of the synthetic feed
   --format json|csv|table               report format on stdout (default json)
   --trace FILE                          write the runs' virtual-time spans as
                                         Chrome trace-event JSON (open in
@@ -232,6 +234,7 @@ func cmdRun(args []string) {
 	prefixes := fs.Int("prefixes", 0, "table size (0 = spec default or sweep)")
 	flows := fs.Int("flows", 0, "probed flows per run (0 = default 100)")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	table := fs.String("table", "", "MRT dump to replay instead of the synthetic feed")
 	format := fs.String("format", "json", "json|csv|table")
 	traceOut := fs.String("trace", "", "write the runs' virtual-time spans as Chrome trace-event JSON (Perfetto-openable)")
 	traceJSONL := fs.String("trace-jsonl", "", "write the runs' virtual-time spans as JSONL")
@@ -256,7 +259,7 @@ func cmdRun(args []string) {
 		os.Exit(2)
 	}
 
-	opts := scenario.Options{Prefixes: *prefixes, Flows: *flows, Seed: *seed}
+	opts := scenario.Options{Prefixes: *prefixes, Flows: *flows, Seed: *seed, Table: *table}
 	switch *mode {
 	case "both", "":
 	case "standalone":

@@ -409,6 +409,22 @@ func parseASPath(b []byte, asn4 bool) (ASPath, error) {
 	return p, nil
 }
 
+// ParseAttrs decodes one raw path-attribute block (the byte range an
+// UPDATE's "total path attribute length" frames, without message
+// framing around it). MRT TABLE_DUMP_V2 RIB entries carry exactly this
+// block per route, which is why it is exported: internal/mrt decodes
+// dump entries through the same parser — and the same validation — the
+// live session path uses.
+func (c Codec) ParseAttrs(b []byte) (*Attrs, error) {
+	return parseAttrs(b, c)
+}
+
+// MarshalAttrs encodes a as a raw path-attribute block — the inverse
+// of ParseAttrs, used by the MRT fixture writer to author RIB entries.
+func (c Codec) MarshalAttrs(a *Attrs) ([]byte, error) {
+	return a.marshal(c)
+}
+
 func parseAttrs(b []byte, c Codec) (*Attrs, error) {
 	a := &Attrs{}
 	seen := map[uint8]bool{}
@@ -489,10 +505,13 @@ func parseAttrs(b []byte, c Codec) (*Attrs, error) {
 				return nil, fmt.Errorf("%w: unrecognized well-known attribute %d", ErrBadMessage, code)
 			}
 			// Optional: preserve transitive ones (with partial bit set on
-			// re-advertisement per RFC 4271 §5); drop non-transitive.
+			// re-advertisement per RFC 4271 §5); drop non-transitive. The
+			// extended-length bit is an encoding artifact, not a semantic
+			// one — marshal re-derives it from the body size — so it is
+			// cleared here to make parse→marshal→parse a fixed point.
 			if flags&flagTransitive != 0 {
 				a.Others = append(a.Others, RawAttr{
-					Flags: flags | flagPartial,
+					Flags: (flags | flagPartial) &^ flagExtLen,
 					Code:  code,
 					Data:  append([]byte(nil), body...),
 				})

@@ -1,0 +1,231 @@
+package bgp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+// fuzzSeedMessages marshals a representative message mix as fuzz seeds:
+// the mutator starts from valid wire images of every message type
+// instead of rediscovering the marker and framing byte by byte.
+func fuzzSeedMessages(f *testing.F) {
+	f.Helper()
+	for _, asn4 := range []bool{false, true} {
+		c := Codec{ASN4: asn4}
+		msgs := []Message{
+			&Open{Version: 4, AS: 65001, HoldTime: 90, ID: addr("192.0.2.1"),
+				Caps: []Capability{{Code: CapASN4, Data: []byte{0, 0, 0xfd, 0xe9}}}},
+			&Keepalive{},
+			&Notification{Code: NotifCease, Subcode: 4},
+			&Update{Attrs: fullAttrs(), NLRI: []netip.Prefix{pfx("10.0.0.0/8"), pfx("192.0.2.0/24")}},
+			&Update{Withdrawn: []netip.Prefix{pfx("198.51.100.0/24")}},
+		}
+		for _, m := range msgs {
+			if raw, err := c.Marshal(m); err == nil {
+				f.Add(raw)
+			}
+		}
+	}
+}
+
+// FuzzReadMessage holds the message codec's trust-boundary contract: a
+// hostile byte stream either decodes or fails with a typed error —
+// never a panic — and whatever decodes must survive a marshal →
+// unmarshal round trip when re-marshalling succeeds.
+func FuzzReadMessage(f *testing.F) {
+	fuzzSeedMessages(f)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, asn4 := range []bool{false, true} {
+			c := Codec{ASN4: asn4}
+			r := bytes.NewReader(data)
+			for {
+				msg, err := c.ReadMessage(r)
+				if err != nil {
+					// io.EOF / io.ErrUnexpectedEOF end the stream; decode
+					// failures must be the codec's typed errors.
+					if err == io.EOF || err == io.ErrUnexpectedEOF {
+						break
+					}
+					if !errors.Is(err, ErrBadMarker) && !errors.Is(err, ErrBadLength) && !errors.Is(err, ErrBadMessage) {
+						t.Fatalf("asn4=%v: untyped error: %v", asn4, err)
+					}
+					break
+				}
+				// Decoded messages re-marshal and re-decode to semantic
+				// equality. UPDATEs with attributes but no NLRI may carry
+				// an unmarshalable next-hop (the wire allows it, Marshal
+				// does not re-derive it) — a Marshal error is acceptable
+				// there, silent divergence is not.
+				raw, err := c.Marshal(msg)
+				if err != nil {
+					continue
+				}
+				again, err := c.Unmarshal(raw)
+				if err != nil {
+					t.Fatalf("asn4=%v: re-marshaled message does not decode: %v", asn4, err)
+				}
+				assertSameMessage(t, msg, again)
+			}
+		}
+	})
+}
+
+// FuzzParseAttrs drives the attribute block parser — the path every MRT
+// RIB entry takes — with the same never-panic and fixed-point contract.
+func FuzzParseAttrs(f *testing.F) {
+	for _, asn4 := range []bool{false, true} {
+		c := Codec{ASN4: asn4}
+		if raw, err := c.MarshalAttrs(fullAttrs()); err == nil {
+			f.Add(raw)
+		}
+	}
+	// An unknown optional-transitive attribute with extended length: the
+	// parser must normalize it into the partial-bit canonical form.
+	f.Add([]byte{0xd0, 0xfe, 0x00, 0x03, 1, 2, 3})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, asn4 := range []bool{false, true} {
+			c := Codec{ASN4: asn4}
+			attrs, err := c.ParseAttrs(data)
+			if err != nil {
+				continue // any typed parse error is fine; panics are the bug
+			}
+			raw, err := c.MarshalAttrs(attrs)
+			if err != nil {
+				// Parseable blocks may still be unmarshalable (e.g. no
+				// next-hop attribute present): acceptable.
+				continue
+			}
+			again, err := c.ParseAttrs(raw)
+			if err != nil {
+				t.Fatalf("asn4=%v: re-marshaled attrs do not parse: %v", asn4, err)
+			}
+			if !attrs.Equal(again) {
+				t.Fatalf("asn4=%v: parse/marshal fixed point broken:\n  first  %+v\n  second %+v", asn4, attrs, again)
+			}
+		}
+	})
+}
+
+// assertSameMessage compares two decoded messages semantically, per type.
+func assertSameMessage(t *testing.T, a, b Message) {
+	t.Helper()
+	if a.Type() != b.Type() {
+		t.Fatalf("round trip changed message type: %v -> %v", a.Type(), b.Type())
+	}
+	switch am := a.(type) {
+	case *Update:
+		bm := b.(*Update)
+		if len(am.Withdrawn) != len(bm.Withdrawn) || len(am.NLRI) != len(bm.NLRI) {
+			t.Fatalf("round trip changed prefix counts: %v -> %v", am, bm)
+		}
+		for i := range am.Withdrawn {
+			if am.Withdrawn[i] != bm.Withdrawn[i] {
+				t.Fatalf("withdrawn[%d]: %v -> %v", i, am.Withdrawn[i], bm.Withdrawn[i])
+			}
+		}
+		for i := range am.NLRI {
+			if am.NLRI[i] != bm.NLRI[i] {
+				t.Fatalf("nlri[%d]: %v -> %v", i, am.NLRI[i], bm.NLRI[i])
+			}
+		}
+		if (am.Attrs == nil) != (bm.Attrs == nil) {
+			t.Fatalf("round trip dropped attrs: %v -> %v", am, bm)
+		}
+		if am.Attrs != nil && !am.Attrs.Equal(bm.Attrs) {
+			t.Fatalf("attrs: %v -> %v", am.Attrs, bm.Attrs)
+		}
+	case *Open:
+		bm := b.(*Open)
+		if am.Version != bm.Version || am.AS != bm.AS || am.HoldTime != bm.HoldTime || am.ID != bm.ID {
+			t.Fatalf("open: %+v -> %+v", am, bm)
+		}
+		// CapASN4 is codec-managed (marshal always advertises it, once),
+		// so compare the capability lists with it filtered out.
+		if got, want := nonASN4Caps(bm.Caps), nonASN4Caps(am.Caps); len(got) != len(want) {
+			t.Fatalf("open caps: %+v -> %+v", am.Caps, bm.Caps)
+		}
+	case *Notification:
+		bm := b.(*Notification)
+		if am.Code != bm.Code || am.Subcode != bm.Subcode || !bytes.Equal(am.Data, bm.Data) {
+			t.Fatalf("notification: %+v -> %+v", am, bm)
+		}
+	}
+}
+
+// An unknown optional-transitive attribute that arrived with the
+// extended-length flag must parse to the same canonical form as its
+// compact-length twin: the flag is an encoding artifact marshal
+// re-derives, and storing it would break the parse→marshal→parse fixed
+// point FuzzParseAttrs holds (the bug this regression pins down).
+func TestParseAttrsNormalizesExtendedLength(t *testing.T) {
+	c := Codec{ASN4: true}
+	compact := []byte{0xc0, 0xfe, 3, 1, 2, 3}     // flags: optional|transitive
+	extended := []byte{0xd0, 0xfe, 0, 3, 1, 2, 3} // same, with extLen
+	// Neither block has a next-hop, so parse-only comparison:
+	a1, err := c.ParseAttrs(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.ParseAttrs(extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Equal(a2) {
+		t.Fatalf("extended-length encoding changed the parse:\n  compact  %+v\n  extended %+v", a1, a2)
+	}
+	if len(a2.Others) != 1 || a2.Others[0].Flags&0x10 != 0 {
+		t.Fatalf("stored flags %#x still carry the extended-length bit", a2.Others[0].Flags)
+	}
+}
+
+// An OPEN that already lists the ASN4 capability (every decoded OPEN
+// does — marshal adds it) must not grow a duplicate on re-marshal.
+// Found by FuzzReadMessage: parse→marshal appended a second CapASN4 per
+// cycle, so capability lists grew without bound across round trips.
+func TestOpenRemarshalKeepsOneASN4Cap(t *testing.T) {
+	c := Codec{}
+	raw, err := c.Marshal(&Open{Version: 4, AS: 65001, HoldTime: 90, ID: addr("192.0.2.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		msg, err := c.Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := msg.(*Open)
+		n := 0
+		for _, cap := range o.Caps {
+			if cap.Code == CapASN4 {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("cycle %d: %d ASN4 capabilities, want exactly 1", cycle, n)
+		}
+		if o.AS != 65001 {
+			t.Fatalf("cycle %d: AS = %d", cycle, o.AS)
+		}
+		if raw, err = c.Marshal(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func nonASN4Caps(caps []Capability) []Capability {
+	var out []Capability
+	for _, c := range caps {
+		if c.Code != CapASN4 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

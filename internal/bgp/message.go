@@ -201,9 +201,24 @@ func (o *Open) marshal() ([]byte, error) {
 		as2 = ASTrans
 	}
 	// Always advertise ASN4 with our real AS; RFC 6793 makes this safe.
+	// If the caller (or a previous decode) already lists the capability,
+	// refresh it in place instead of appending a duplicate — marshal must
+	// be a fixed point under parse→marshal cycles, not grow the list by
+	// one per round trip.
 	asn4 := make([]byte, 4)
 	binary.BigEndian.PutUint32(asn4, o.AS)
-	caps = append(append([]Capability{}, caps...), Capability{Code: CapASN4, Data: asn4})
+	caps = append([]Capability{}, caps...)
+	refreshed := false
+	for i, c := range caps {
+		if c.Code == CapASN4 {
+			caps[i].Data = asn4
+			refreshed = true
+			break
+		}
+	}
+	if !refreshed {
+		caps = append(caps, Capability{Code: CapASN4, Data: asn4})
+	}
 
 	var capBytes []byte
 	for _, c := range caps {

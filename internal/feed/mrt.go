@@ -1,0 +1,219 @@
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/mrt"
+)
+
+// Dump is an MRT RIB dump loaded into the feed model: the merged table
+// the simulator replays, plus one view per dump peer. All tables share
+// one Templates slice, so template indices are comparable across views
+// — exactly the sharing contract Head and Window already have.
+type Dump struct {
+	// Table is the merged table: one route per prefix, in dump order,
+	// carrying the prefix's first RIB entry (the collector lists its
+	// best path first).
+	Table *Table
+	// Peers holds one per-peer view per dump peer that contributed at
+	// least one entry, in peer-index order: that peer's routes, in dump
+	// order — what that neighbor's session replay would announce.
+	Peers []DumpPeer
+}
+
+// DumpPeer is one dump peer's identity and table view.
+type DumpPeer struct {
+	// Addr is the peer's transport address from the PEER_INDEX_TABLE.
+	Addr netip.Addr
+	// AS is the peer's autonomous-system number.
+	AS uint32
+	// Table is the peer's view, sharing the dump's Templates.
+	Table *Table
+}
+
+// FromMRT loads a TABLE_DUMP_V2 dump (plain or gzip) into feed form.
+// Non-RIB records (BGP4MP traces, unsupported subtypes) are skipped;
+// additional-path entries collapse onto their prefix like any other.
+//
+// Attribute sets become shared Templates via semantic interning: two
+// entries announcing the same origin/AS-path/MED/communities reference
+// one template, however many million routes carry it — the same dedup
+// the synthetic generator gets by construction. Attribute fields the
+// template form cannot carry (LOCAL_PREF, aggregator, unknown
+// transitive attributes) are dropped; next-hops are dropped too, since
+// the simulator re-announces every route from its own peers (AttrsFor
+// sets the announcing peer's next-hop and prepends its AS, as a real
+// provider would).
+//
+// Loading is deterministic: the same dump bytes yield the same tables,
+// route for route and template index for template index.
+func FromMRT(r io.Reader) (*Dump, error) {
+	rd := mrt.NewReader(r)
+	in := bgp.NewInterner()
+	rd.SetInterner(in)
+
+	var templates []Template
+	tmplIdx := make(map[*bgp.Attrs]int)
+	templateFor := func(a *bgp.Attrs) int {
+		// Canonicalize to the template fields only, then intern: one
+		// canonical pointer per distinct template, mapped to its index.
+		c := &bgp.Attrs{
+			Origin:      a.Origin,
+			ASPath:      a.ASPath,
+			MED:         a.MED,
+			HasMED:      a.HasMED,
+			Communities: a.Communities,
+		}
+		canon := in.Intern(c)
+		if idx, ok := tmplIdx[canon]; ok {
+			return idx
+		}
+		idx := len(templates)
+		templates = append(templates, Template{
+			ASPath:      canon.ASPath,
+			Origin:      canon.Origin,
+			MED:         canon.MED,
+			HasMED:      canon.HasMED,
+			Communities: canon.Communities,
+		})
+		tmplIdx[canon] = idx
+		return idx
+	}
+
+	merged := &Table{}
+	seen := make(map[netip.Prefix]bool)
+	var peerRoutes map[int][]Route
+	var peerSeen map[int]map[netip.Prefix]bool
+	var peerIndex *mrt.PeerIndex
+
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("feed: load MRT: %w", err)
+		}
+		if rec.PeerIndex != nil {
+			peerIndex = rec.PeerIndex
+			if peerRoutes == nil {
+				peerRoutes = make(map[int][]Route, len(peerIndex.Peers))
+				peerSeen = make(map[int]map[netip.Prefix]bool, len(peerIndex.Peers))
+			}
+			continue
+		}
+		if rec.RIB == nil || len(rec.RIB.Entries) == 0 {
+			continue
+		}
+		prefix := rec.RIB.Prefix
+		for i, e := range rec.RIB.Entries {
+			tmpl := templateFor(e.Attrs)
+			if i == 0 && !seen[prefix] {
+				seen[prefix] = true
+				merged.Routes = append(merged.Routes, Route{Prefix: prefix, Template: tmpl})
+			}
+			pi := int(e.PeerIndex)
+			if peerSeen[pi] == nil {
+				peerSeen[pi] = make(map[netip.Prefix]bool)
+			}
+			if peerSeen[pi][prefix] {
+				continue // additional paths collapse onto the first
+			}
+			peerSeen[pi][prefix] = true
+			peerRoutes[pi] = append(peerRoutes[pi], Route{Prefix: prefix, Template: tmpl})
+		}
+	}
+	if len(merged.Routes) == 0 {
+		return nil, errors.New("feed: MRT dump has no IPv4 unicast RIB records")
+	}
+	merged.Templates = templates
+
+	dump := &Dump{Table: merged}
+	for i, p := range peerIndex.Peers {
+		routes := peerRoutes[i]
+		if len(routes) == 0 {
+			continue
+		}
+		dump.Peers = append(dump.Peers, DumpPeer{
+			Addr:  p.Addr,
+			AS:    p.AS,
+			Table: &Table{Routes: routes, Templates: templates},
+		})
+	}
+	return dump, nil
+}
+
+// MRTPeer names one peer a WriteMRT dump advertises from: its address
+// (also used as the BGP identifier and the announced next-hop) and AS.
+type MRTPeer struct {
+	Addr netip.Addr
+	AS   uint32
+}
+
+// WriteMRT renders the table as a TABLE_DUMP_V2 dump: a
+// PEER_INDEX_TABLE naming peers, then one RIB record per route with one
+// entry per peer, each entry carrying the template's attributes as that
+// peer would announce them (its AS prepended, its address as next-hop).
+// An empty peer list defaults to the lab's primary (203.0.113.1,
+// AS 65002). Output is deterministic: fixture dumps reproduce
+// byte-for-byte from (table, peers).
+func (t *Table) WriteMRT(w io.Writer, peers []MRTPeer) error {
+	if len(peers) == 0 {
+		peers = []MRTPeer{{Addr: netip.AddrFrom4([4]byte{203, 0, 113, 1}), AS: 65002}}
+	}
+	mw := mrt.NewWriter(w)
+	pi := &mrt.PeerIndex{
+		CollectorID: netip.AddrFrom4([4]byte{192, 0, 2, 255}),
+		ViewName:    "supercharged-feed",
+	}
+	for _, p := range peers {
+		pi.Peers = append(pi.Peers, mrt.Peer{BGPID: p.Addr, Addr: p.Addr, AS: p.AS})
+	}
+	if err := mw.WritePeerIndex(pi); err != nil {
+		return err
+	}
+	// Rendered attributes cached per (template, peer): consecutive
+	// routes of one template reuse the rendering, as StreamUpdates does.
+	cache := make([]map[int]*bgp.Attrs, len(peers))
+	for i := range cache {
+		cache[i] = make(map[int]*bgp.Attrs)
+	}
+	entries := make([]mrt.RIBEntry, len(peers))
+	for _, r := range t.Routes {
+		for i, p := range peers {
+			attrs := cache[i][r.Template]
+			if attrs == nil {
+				attrs = t.AttrsFor(r.Template, p.AS, p.Addr)
+				cache[i][r.Template] = attrs
+			}
+			entries[i] = mrt.RIBEntry{PeerIndex: uint16(i), Attrs: attrs}
+		}
+		if err := mw.WriteRIB(r.Prefix, entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample returns a deterministic n-route subsample preserving dump
+// order (an even stride over the table, always keeping the first
+// route) — how a committed test fixture is cut from a multi-hundred-
+// thousand-route RIS dump. n >= Len returns the table unchanged; the
+// view shares the receiver's templates and must not be mutated.
+func (t *Table) Sample(n int) *Table {
+	if n <= 0 {
+		return &Table{Templates: t.Templates}
+	}
+	if n >= len(t.Routes) {
+		return t
+	}
+	routes := make([]Route, 0, n)
+	for i := 0; i < n; i++ {
+		routes = append(routes, t.Routes[i*len(t.Routes)/n])
+	}
+	return &Table{Routes: routes, Templates: t.Templates}
+}

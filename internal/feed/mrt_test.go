@@ -1,0 +1,307 @@
+package feed
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"net/netip"
+	"testing"
+
+	"supercharged/internal/mrt"
+)
+
+// mrtBytes renders a table as a dump for the given peer specs.
+func mrtBytes(t *testing.T, table *Table, peers []MRTPeer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := table.WriteMRT(&buf, peers); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func labPeers(n int) []MRTPeer {
+	var out []MRTPeer
+	for i := 0; i < n; i++ {
+		out = append(out, MRTPeer{
+			Addr: netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}),
+			AS:   uint32(65002 + i),
+		})
+	}
+	return out
+}
+
+// A generated table written as MRT and loaded back must reproduce every
+// prefix in order, and the per-peer views must mirror the merged table.
+// This is the synthetic↔real bridge: whatever holds for Generate output
+// holds for a dump of it.
+func TestWriteMRTFromMRTRoundTrip(t *testing.T) {
+	table := Generate(Config{N: 500, Seed: 7})
+	raw := mrtBytes(t, table, labPeers(2))
+
+	dump, err := FromMRT(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Table.Len() != table.Len() {
+		t.Fatalf("merged table: %d routes, want %d", dump.Table.Len(), table.Len())
+	}
+	for i, r := range dump.Table.Routes {
+		if r.Prefix != table.Routes[i].Prefix {
+			t.Fatalf("route %d: prefix %v, want %v", i, r.Prefix, table.Routes[i].Prefix)
+		}
+	}
+	// Template structure survives. Each dump peer announces with its own
+	// AS prepended, so the shared pool can hold up to one variant per
+	// (source template, peer) — but the merged table (first entry per
+	// prefix, i.e. one peer's view) must dedup back to exactly the
+	// source's template count, with routes sharing a source template
+	// sharing a loaded one.
+	used := func(tb *Table) int {
+		seen := map[int]bool{}
+		for _, r := range tb.Routes {
+			seen[r.Template] = true
+		}
+		return len(seen)
+	}
+	if got, want := used(dump.Table), used(table); got != want {
+		t.Fatalf("merged table references %d templates, want %d", got, want)
+	}
+	if max := used(table) * 2; len(dump.Table.Templates) > max {
+		t.Fatalf("template pool grew to %d, cap is %d (used source templates x peers)", len(dump.Table.Templates), max)
+	}
+	byTemplate := map[int]int{}
+	for i, r := range dump.Table.Routes {
+		src := table.Routes[i].Template
+		if prev, ok := byTemplate[src]; ok {
+			if r.Template != prev {
+				t.Fatalf("route %d: source template %d mapped to both %d and %d", i, src, prev, r.Template)
+			}
+		} else {
+			byTemplate[src] = r.Template
+		}
+	}
+	// The loaded template keeps the dump's AS path: source path with the
+	// announcing peer's AS prepended by AttrsFor at write time.
+	first := dump.Table.Templates[dump.Table.Routes[0].Template]
+	src := table.Templates[table.Routes[0].Template]
+	if first.ASPath.First() != 65002 {
+		t.Fatalf("loaded path %v does not start with the announcing AS", first.ASPath)
+	}
+	if first.ASPath.Length() != src.ASPath.Length()+1 {
+		t.Fatalf("loaded path length %d, want source %d + 1", first.ASPath.Length(), src.ASPath.Length())
+	}
+
+	// Per-peer views: both dump peers announced every prefix.
+	if len(dump.Peers) != 2 {
+		t.Fatalf("%d dump peers, want 2", len(dump.Peers))
+	}
+	for i, p := range dump.Peers {
+		if want := uint32(65002 + i); p.AS != want {
+			t.Errorf("peer %d: AS %d, want %d", i, p.AS, want)
+		}
+		if p.Table.Len() != table.Len() {
+			t.Errorf("peer %d: %d routes, want %d", i, p.Table.Len(), table.Len())
+		}
+		if &p.Table.Templates[0] != &dump.Table.Templates[0] {
+			t.Errorf("peer %d does not share the merged table's templates", i)
+		}
+	}
+}
+
+// Loading is deterministic: same bytes, same tables.
+func TestFromMRTDeterministic(t *testing.T) {
+	raw := mrtBytes(t, Generate(Config{N: 200, Seed: 3}), labPeers(2))
+	a, err := FromMRT(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromMRT(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Len() != b.Table.Len() || len(a.Table.Templates) != len(b.Table.Templates) {
+		t.Fatalf("two loads disagree: %d/%d routes, %d/%d templates",
+			a.Table.Len(), b.Table.Len(), len(a.Table.Templates), len(b.Table.Templates))
+	}
+	for i := range a.Table.Routes {
+		if a.Table.Routes[i] != b.Table.Routes[i] {
+			t.Fatalf("route %d: %+v vs %+v", i, a.Table.Routes[i], b.Table.Routes[i])
+		}
+	}
+}
+
+// Gzip-compressed dumps load identically to plain ones — RIS publishes
+// nothing uncompressed.
+func TestFromMRTGzip(t *testing.T) {
+	raw := mrtBytes(t, Generate(Config{N: 100, Seed: 1}), labPeers(1))
+	var zipped bytes.Buffer
+	zw := gzip.NewWriter(&zipped)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := FromMRT(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGz, err := FromMRT(&zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Table.Len() != fromGz.Table.Len() {
+		t.Fatalf("gzip load: %d routes, plain %d", fromGz.Table.Len(), plain.Table.Len())
+	}
+}
+
+// A dump with no IPv4 RIB records is an error, not an empty table — a
+// simulator fed zero routes would measure nothing and report success.
+func TestFromMRTEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	if err := w.WritePeerIndex(&mrt.PeerIndex{Peers: []mrt.Peer{
+		{Addr: netip.MustParseAddr("203.0.113.1"), AS: 65002},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromMRT(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("empty dump loaded without error")
+	}
+	if _, err := FromMRT(bytes.NewReader([]byte{0, 1, 2})); err == nil {
+		t.Fatal("garbage loaded without error")
+	} else if !errors.Is(err, mrt.ErrTruncated) && !errors.Is(err, mrt.ErrBadRecord) {
+		t.Fatalf("garbage error untyped: %v", err)
+	}
+}
+
+// Additional paths and repeated prefixes collapse: the merged table
+// keeps one route per prefix (first wins), per-peer views one per
+// (peer, prefix).
+func TestFromMRTCollapsesDuplicates(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	if err := w.WritePeerIndex(&mrt.PeerIndex{Peers: []mrt.Peer{
+		{Addr: netip.MustParseAddr("203.0.113.1"), AS: 65002},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	table := Generate(Config{N: 1, Seed: 1})
+	a := table.AttrsFor(table.Routes[0].Template, 65002, netip.MustParseAddr("203.0.113.1"))
+	p := netip.MustParsePrefix("10.0.0.0/8")
+	// Two paths for one prefix (add-path), then the prefix again.
+	if err := w.WriteRIB(p, []mrt.RIBEntry{
+		{PeerIndex: 0, PathID: 1, Attrs: a},
+		{PeerIndex: 0, PathID: 2, Attrs: a},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(p, []mrt.RIBEntry{{PeerIndex: 0, Attrs: a}}); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := FromMRT(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Table.Len() != 1 {
+		t.Fatalf("merged table has %d routes, want 1", dump.Table.Len())
+	}
+	if len(dump.Peers) != 1 || dump.Peers[0].Table.Len() != 1 {
+		t.Fatalf("peer view: %+v, want one route", dump.Peers)
+	}
+}
+
+// The sim-facing views must behave identically over an MRT-backed table:
+// Head/Window share templates, SamplePrefixes includes first and last
+// and is seed-deterministic. This is what lets runTimeline swap backends
+// without caring where the table came from.
+func TestViewsOverMRTTable(t *testing.T) {
+	raw := mrtBytes(t, Generate(Config{N: 1000, Seed: 5}), labPeers(2))
+	dump, err := FromMRT(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := dump.Table
+
+	head := table.Head(100)
+	if head.Len() != 100 {
+		t.Fatalf("Head(100).Len() = %d", head.Len())
+	}
+	if &head.Templates[0] != &table.Templates[0] {
+		t.Error("Head does not share templates")
+	}
+	for i := range head.Routes {
+		if head.Routes[i] != table.Routes[i] {
+			t.Fatalf("Head route %d diverges", i)
+		}
+	}
+	if table.Head(table.Len()+50).Len() != table.Len() {
+		t.Error("Head past the end did not clamp")
+	}
+
+	win := table.Window(950, 100)
+	if win.Len() != 100 {
+		t.Fatalf("Window(950,100).Len() = %d", win.Len())
+	}
+	if win.Routes[0] != table.Routes[950] || win.Routes[99] != table.Routes[49] {
+		t.Error("Window did not wrap around the table end")
+	}
+	if &win.Templates[0] != &table.Templates[0] {
+		t.Error("Window does not share templates")
+	}
+
+	s1 := table.SamplePrefixes(10, 42)
+	s2 := table.SamplePrefixes(10, 42)
+	if len(s1) != 10 {
+		t.Fatalf("SamplePrefixes returned %d", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("SamplePrefixes not deterministic per seed")
+		}
+	}
+	if s1[0] != table.Routes[0].Prefix || s1[1] != table.Routes[table.Len()-1].Prefix {
+		t.Error("SamplePrefixes must include the first and last advertised prefix")
+	}
+
+	// AttrsFor over a loaded template announces like any other table.
+	attrs := table.AttrsFor(table.Routes[0].Template, 65099, netip.MustParseAddr("198.51.100.1"))
+	if attrs.ASPath.First() != 65099 || attrs.NextHop != netip.MustParseAddr("198.51.100.1") {
+		t.Errorf("AttrsFor over MRT template: %v", attrs)
+	}
+}
+
+// Sample keeps dump order, always includes the first route, and is a
+// no-op past Len.
+func TestTableSample(t *testing.T) {
+	table := Generate(Config{N: 1000, Seed: 2})
+	s := table.Sample(100)
+	if s.Len() != 100 {
+		t.Fatalf("Sample(100).Len() = %d", s.Len())
+	}
+	if s.Routes[0] != table.Routes[0] {
+		t.Error("Sample dropped the first route")
+	}
+	last := -1
+	pos := map[Route]int{}
+	for i, r := range table.Routes {
+		pos[r] = i
+	}
+	for _, r := range s.Routes {
+		p, ok := pos[r]
+		if !ok {
+			t.Fatalf("sampled route %+v not in the source table", r)
+		}
+		if p <= last {
+			t.Fatal("Sample reordered routes")
+		}
+		last = p
+	}
+	if got := table.Sample(5000); got != table {
+		t.Error("Sample past Len must return the table unchanged")
+	}
+	if table.Sample(0).Len() != 0 {
+		t.Error("Sample(0) must be empty")
+	}
+}

@@ -1,0 +1,203 @@
+package mrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// validDump builds a known-good two-record dump (peer index + one RIB)
+// for the corruption tests to mutilate.
+func validDump(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndex(testPeerIndex()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), []RIBEntry{{PeerIndex: 0, Attrs: testAttrs(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain reads records until the first error and returns it (nil if the
+// stream ends cleanly).
+func drain(b []byte) error {
+	rd := NewReader(bytes.NewReader(b))
+	for {
+		if _, err := rd.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Every way a dump can be cut short or corrupted must surface as the
+// matching typed error — never a panic, never a silent success.
+func TestCorruption(t *testing.T) {
+	good := validDump(t)
+	peerIndexLen := 12 + int(binary.BigEndian.Uint32(good[8:12]))
+
+	tests := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{
+			"header cut short",
+			func(b []byte) []byte { return b[:7] },
+			ErrTruncated,
+		},
+		{
+			"body cut short",
+			func(b []byte) []byte { return b[:peerIndexLen-3] },
+			ErrTruncated,
+		},
+		{
+			"file ends mid second record",
+			func(b []byte) []byte { return b[:len(b)-5] },
+			ErrTruncated,
+		},
+		{
+			"length field past the allocation cap",
+			func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				binary.BigEndian.PutUint32(c[8:12], maxRecordLen+1)
+				return c
+			},
+			ErrBadRecord,
+		},
+		{
+			"RIB before any peer index",
+			func(b []byte) []byte { return b[peerIndexLen:] },
+			ErrNoPeerIndex,
+		},
+		{
+			"RIB entry references a peer past the table",
+			func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				// Entry's peer index field sits right after the RIB
+				// record's seq(4) + plen(1) + prefix(1 byte for /8) +
+				// count(2).
+				off := peerIndexLen + 12 + 4 + 1 + 1 + 2
+				binary.BigEndian.PutUint16(c[off:off+2], 99)
+				return c
+			},
+			ErrNoPeerIndex,
+		},
+		{
+			"IPv4 prefix length over 32",
+			func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				c[peerIndexLen+12+4] = 33
+				return c
+			},
+			ErrBadRecord,
+		},
+		{
+			"peer count overruns the peer index body",
+			func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				// Peer count sits after collector(4) + namelen(2) + name.
+				nameLen := int(binary.BigEndian.Uint16(c[12+4 : 12+6]))
+				off := 12 + 4 + 2 + nameLen
+				binary.BigEndian.PutUint16(c[off:off+2], 0xffff)
+				return c
+			},
+			ErrBadRecord,
+		},
+		{
+			"trailing garbage after the record payload",
+			func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				// Grow the first record's declared length by 2 and slip two
+				// bytes in after its body: cursor.done must reject them.
+				binary.BigEndian.PutUint32(c[8:12], uint32(peerIndexLen-12+2))
+				tail := append([]byte{0xaa, 0xbb}, c[peerIndexLen:]...)
+				return append(c[:peerIndexLen], tail...)
+			},
+			ErrBadRecord,
+		},
+		{
+			"RIB attributes unparseable",
+			func(b []byte) []byte {
+				c := append([]byte(nil), b...)
+				// Zero the first attribute's flag byte: NEXT_HOP becomes a
+				// malformed well-known attribute framing for the bgp parser.
+				// The attr block starts after peer(2)+orig(4)+alen(2).
+				off := peerIndexLen + 12 + 4 + 1 + 1 + 2 + 2 + 4 + 2
+				c[off] = 0xff
+				return c
+			},
+			ErrBadRecord,
+		},
+		{
+			"gzip magic with garbage after it",
+			func([]byte) []byte { return []byte{0x1f, 0x8b, 0x00, 0x00} },
+			ErrBadRecord,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := drain(tt.mutate(append([]byte(nil), good...)))
+			if err == nil {
+				t.Fatalf("decoded successfully, want %v", tt.wantErr)
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("err = %v, want errors.Is(..., %v)", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// A truncated file still yields every complete record before the error
+// — a partially fetched dump is partially usable.
+func TestTruncatedTail(t *testing.T) {
+	good := validDump(t)
+	rd := NewReader(bytes.NewReader(good[:len(good)-1]))
+	if rec, err := rd.Next(); err != nil || rec.PeerIndex == nil {
+		t.Fatalf("first record: %+v, %v", rec, err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("second record err = %v, want ErrTruncated", err)
+	}
+}
+
+// Writer-side validation mirrors the reader's rules: what WriteRIB
+// rejects is exactly what Next could never have produced.
+func TestWriterValidation(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), []RIBEntry{{Attrs: testAttrs(0)}}); !errors.Is(err, ErrNoPeerIndex) {
+		t.Errorf("WriteRIB before index: err = %v, want ErrNoPeerIndex", err)
+	}
+	if err := w.WritePeerIndex(testPeerIndex()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("2001:db8::/32"), []RIBEntry{{Attrs: testAttrs(0)}}); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("IPv6 prefix: err = %v, want ErrBadRecord", err)
+	}
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), []RIBEntry{{PeerIndex: 7, Attrs: testAttrs(0)}}); !errors.Is(err, ErrNoPeerIndex) {
+		t.Errorf("bad peer ref: err = %v, want ErrNoPeerIndex", err)
+	}
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), nil); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("no entries: err = %v, want ErrBadRecord", err)
+	}
+	if err := w.WriteBGP4MP(&BGP4MP{
+		PeerAS: 70000, LocalAS: 65001,
+		PeerIP: addr("203.0.113.1"), LocalIP: addr("203.0.113.9"),
+		StateChange: true,
+	}); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("AS 70000 without AS4: err = %v, want ErrBadRecord", err)
+	}
+	if err := w.WriteBGP4MP(&BGP4MP{
+		PeerIP: addr("203.0.113.1"), LocalIP: addr("2001:db8::1"),
+		StateChange: true,
+	}); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("mixed address families: err = %v, want ErrBadRecord", err)
+	}
+}

@@ -1,0 +1,182 @@
+package mrt
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supercharged/internal/bgp"
+)
+
+// goldenDump authors the committed fixture dump: a deliberately varied
+// record mix (multi-entry RIBs, add-path, IPv6 peer, BGP4MP message and
+// state change, an unsupported record) written deterministically.
+func goldenDump(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Timestamp = 1438387200 // 2015-08-01, the paper's era
+	if err := w.WritePeerIndex(testPeerIndex()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), []RIBEntry{
+		{PeerIndex: 0, OriginatedAt: 1438387100, Attrs: testAttrs(0)},
+		{PeerIndex: 1, OriginatedAt: 1438387150, Attrs: testAttrs(1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("198.51.100.128/25"), []RIBEntry{
+		{PeerIndex: 1, PathID: 3, Attrs: testAttrs(2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.writeRecord(11, 0, []byte{1, 2, 3}); err != nil { // OSPFv2: skipped
+		t.Fatal(err)
+	}
+	if err := w.WriteBGP4MP(&BGP4MP{
+		PeerAS: 65002, LocalAS: 65001,
+		PeerIP: addr("203.0.113.1"), LocalIP: addr("203.0.113.9"),
+		Message: &bgp.Update{
+			Withdrawn: []netip.Prefix{pfx("192.0.2.0/24")},
+			Attrs:     testAttrs(3),
+			NLRI:      []netip.Prefix{pfx("203.0.113.0/24")},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBGP4MP(&BGP4MP{
+		PeerAS: 4200000001, LocalAS: 65001, AS4: true,
+		PeerIP: addr("2001:db8::2"), LocalIP: addr("2001:db8::1"),
+		StateChange: true, OldState: 4, NewState: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// goldenView flattens decoded records into a JSON-stable shape: what
+// the golden file freezes. Every decoded field appears so any codec
+// drift — flag handling, attribute folding, subtype selection — shows
+// up as a golden diff, not as silent reinterpretation.
+type goldenView struct {
+	Header Header     `json:"header"`
+	Peers  *PeerIndex `json:"peers,omitempty"`
+	RIB    *ribView   `json:"rib,omitempty"`
+	BGP4MP *mpView    `json:"bgp4mp,omitempty"`
+}
+
+type ribView struct {
+	Seq     uint32      `json:"seq"`
+	Prefix  string      `json:"prefix"`
+	AddPath bool        `json:"add_path,omitempty"`
+	Entries []entryView `json:"entries"`
+}
+
+type entryView struct {
+	Peer         uint16 `json:"peer"`
+	OriginatedAt uint32 `json:"originated_at,omitempty"`
+	PathID       uint32 `json:"path_id,omitempty"`
+	Attrs        string `json:"attrs"`
+	NextHop      string `json:"next_hop"`
+}
+
+type mpView struct {
+	PeerAS      uint32 `json:"peer_as"`
+	LocalAS     uint32 `json:"local_as"`
+	PeerIP      string `json:"peer_ip"`
+	LocalIP     string `json:"local_ip"`
+	AS4         bool   `json:"as4,omitempty"`
+	Message     string `json:"message,omitempty"`
+	StateChange bool   `json:"state_change,omitempty"`
+	OldState    uint16 `json:"old_state,omitempty"`
+	NewState    uint16 `json:"new_state,omitempty"`
+}
+
+func viewOf(rec *Record) goldenView {
+	v := goldenView{Header: rec.Header, Peers: rec.PeerIndex}
+	if rec.RIB != nil {
+		rv := &ribView{Seq: rec.RIB.Seq, Prefix: rec.RIB.Prefix.String(), AddPath: rec.RIB.AddPath}
+		for _, e := range rec.RIB.Entries {
+			rv.Entries = append(rv.Entries, entryView{
+				Peer: e.PeerIndex, OriginatedAt: e.OriginatedAt, PathID: e.PathID,
+				Attrs: e.Attrs.String(), NextHop: e.Attrs.NextHop.String(),
+			})
+		}
+		v.RIB = rv
+	}
+	if m := rec.BGP4MP; m != nil {
+		mv := &mpView{
+			PeerAS: m.PeerAS, LocalAS: m.LocalAS,
+			PeerIP: m.PeerIP.String(), LocalIP: m.LocalIP.String(),
+			AS4: m.AS4, StateChange: m.StateChange, OldState: m.OldState, NewState: m.NewState,
+		}
+		if m.Message != nil {
+			mv.Message = m.Message.(*bgp.Update).String()
+		}
+		v.BGP4MP = mv
+	}
+	return v
+}
+
+// The committed sample.mrt must decode to exactly the committed JSON.
+// UPDATE_GOLDEN=1 regenerates both — the dump from the deterministic
+// writer, the JSON from the reader — so the pair can never drift from
+// the codec without this test noticing.
+func TestGolden(t *testing.T) {
+	dumpPath := filepath.Join("testdata", "sample.mrt")
+	goldPath := filepath.Join("testdata", "sample.golden.json")
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dumpPath, goldenDump(t), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	raw, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatalf("read fixture: %v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	// The committed bytes must match what today's writer would emit —
+	// writer determinism across versions, not just within one process.
+	if want := goldenDump(t); !bytes.Equal(raw, want) {
+		t.Fatalf("%s drifted from the writer's output (regenerate with UPDATE_GOLDEN=1)", dumpPath)
+	}
+
+	var views []goldenView
+	rd := NewReader(bytes.NewReader(raw))
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode fixture: %v", err)
+		}
+		views = append(views, viewOf(rec))
+	}
+	got, err := json.MarshalIndent(views, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("decoded fixture drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", goldPath, got, want)
+	}
+}

@@ -1,0 +1,167 @@
+// Package mrt reads and writes MRT routing-information export records
+// (RFC 6396) — the format RIPE RIS and RouteViews publish their RIB
+// snapshots ("bview") and update traces in. It is the repo's bridge
+// from synthetic feeds to real full-Internet tables: internal/feed
+// loads a TABLE_DUMP_V2 dump through Reader into the same *feed.Table
+// the simulator already consumes, so every scenario can replay real
+// routes instead of generated ones.
+//
+// The subset implemented is the one the convergence lab needs:
+//
+//   - TABLE_DUMP_V2 PEER_INDEX_TABLE, RIB_IPV4_UNICAST and its
+//     additional-path variant (RFC 8050) — RIB snapshots.
+//   - BGP4MP / BGP4MP_ET MESSAGE, MESSAGE_AS4 and the two STATE_CHANGE
+//     subtypes — update traces, decoded through the internal/bgp codec.
+//
+// Records of any other type or subtype are surfaced with their header
+// only (Record with no payload field set), so a caller can count and
+// skip them without the package guessing at semantics it doesn't have.
+//
+// This is a binary codec at a trust boundary: every decode error is a
+// typed error (ErrTruncated, ErrBadRecord, ErrNoPeerIndex — wrapped
+// with record context), never a panic, and the package carries golden,
+// round-trip, corruption and fuzz suites to keep it that way.
+package mrt
+
+import (
+	"errors"
+	"net/netip"
+
+	"supercharged/internal/bgp"
+)
+
+// MRT record types (RFC 6396 §4).
+const (
+	TypeTableDumpV2 uint16 = 13
+	TypeBGP4MP      uint16 = 16
+	// TypeBGP4MPET is BGP4MP with an extended (microsecond) timestamp
+	// (RFC 6396 §3): same subtypes, four extra timestamp bytes.
+	TypeBGP4MPET uint16 = 17
+)
+
+// TABLE_DUMP_V2 subtypes (RFC 6396 §4.3, RFC 8050 §4).
+const (
+	SubtypePeerIndexTable        uint16 = 1
+	SubtypeRIBIPv4Unicast        uint16 = 2
+	SubtypeRIBIPv4UnicastAddPath uint16 = 8
+)
+
+// BGP4MP subtypes (RFC 6396 §4.4, RFC 8050 §3).
+const (
+	SubtypeStateChange    uint16 = 0
+	SubtypeMessage        uint16 = 1
+	SubtypeMessageAS4     uint16 = 4
+	SubtypeStateChangeAS4 uint16 = 5
+)
+
+// Decode errors. Every error returned by Reader wraps exactly one of
+// these (plus, for attribute errors, the underlying bgp error), so
+// callers can classify failures without string matching.
+var (
+	// ErrTruncated reports a record cut short: a header or body that
+	// ends before its declared length — the file stopped mid-record.
+	ErrTruncated = errors.New("mrt: truncated record")
+	// ErrBadRecord reports a structurally invalid record body: lengths
+	// that overflow the record, impossible prefix sizes, unparseable
+	// path attributes.
+	ErrBadRecord = errors.New("mrt: malformed record")
+	// ErrNoPeerIndex reports a RIB entry record arriving before any
+	// PEER_INDEX_TABLE, or referencing a peer index past the table —
+	// the dump cannot say who announced the route.
+	ErrNoPeerIndex = errors.New("mrt: RIB entry without matching peer index")
+)
+
+// maxRecordLen bounds one record body. Real TABLE_DUMP_V2 records are
+// a few KB; the cap keeps a corrupted length field from turning into a
+// multi-GB allocation.
+const maxRecordLen = 16 << 20
+
+// Header is the common MRT record header.
+type Header struct {
+	// Timestamp is the record's capture time in Unix seconds.
+	Timestamp uint32
+	Type      uint16
+	Subtype   uint16
+	// Length is the body length in bytes (header excluded).
+	Length uint32
+}
+
+// Peer is one entry of a PEER_INDEX_TABLE: the BGP neighbor a RIB
+// entry's PeerIndex points at.
+type Peer struct {
+	// BGPID is the peer's BGP identifier.
+	BGPID netip.Addr
+	// Addr is the peer's transport address (IPv4 or IPv6).
+	Addr netip.Addr
+	// AS is the peer's autonomous-system number.
+	AS uint32
+}
+
+// PeerIndex is the PEER_INDEX_TABLE record every TABLE_DUMP_V2 dump
+// opens with: the collector's identity and the peer list RIB entries
+// reference by index.
+type PeerIndex struct {
+	CollectorID netip.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+// RIBEntry is one peer's path for a RIB record's prefix.
+type RIBEntry struct {
+	// PeerIndex indexes the dump's PeerIndex.Peers.
+	PeerIndex uint16
+	// OriginatedAt is when the path was last changed (Unix seconds).
+	OriginatedAt uint32
+	// PathID is the additional-path identifier (RFC 8050 subtypes
+	// only; zero otherwise).
+	PathID uint32
+	// Attrs are the decoded path attributes. TABLE_DUMP_V2 encodes
+	// AS_PATH with 4-octet ASNs unconditionally, and an abbreviated
+	// MP_REACH_NLRI (next-hop only) may stand in for NEXT_HOP — the
+	// reader folds both into the canonical bgp.Attrs form.
+	Attrs *bgp.Attrs
+}
+
+// RIB is one RIB_IPV4_UNICAST record: every known path for one prefix.
+type RIB struct {
+	// Seq is the record's sequence number within the dump.
+	Seq    uint32
+	Prefix netip.Prefix
+	// AddPath marks the RFC 8050 additional-path subtype (entries
+	// carry PathID).
+	AddPath bool
+	Entries []RIBEntry
+}
+
+// BGP4MP is one BGP4MP / BGP4MP_ET record: a BGP message or session
+// state change observed between the collector and a peer.
+type BGP4MP struct {
+	PeerAS  uint32
+	LocalAS uint32
+	// Interface is the collector's interface index.
+	Interface uint16
+	PeerIP    netip.Addr
+	LocalIP   netip.Addr
+	// AS4 marks the 4-octet-AS subtypes (MESSAGE_AS4,
+	// STATE_CHANGE_AS4); it is also the codec the message was decoded
+	// with.
+	AS4 bool
+	// Message is the decoded BGP message (MESSAGE subtypes; nil for
+	// state changes).
+	Message bgp.Message
+	// StateChange marks the STATE_CHANGE subtypes; OldState and
+	// NewState are the FSM states (RFC 6396 §4.4.1).
+	StateChange bool
+	OldState    uint16
+	NewState    uint16
+}
+
+// Record is one decoded MRT record. Exactly one of PeerIndex, RIB and
+// BGP4MP is set for the supported types; all three are nil for record
+// types the package only skips (Header still describes them).
+type Record struct {
+	Header    Header
+	PeerIndex *PeerIndex
+	RIB       *RIB
+	BGP4MP    *BGP4MP
+}

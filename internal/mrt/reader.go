@@ -1,0 +1,465 @@
+package mrt
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"supercharged/internal/bgp"
+)
+
+// Reader streams MRT records from r. Records are decoded one at a time
+// — a full-table dump is never held in memory — and the PEER_INDEX_TABLE
+// is retained so later RIB records can resolve their peer references.
+//
+// Gzip-compressed input (how RIS and RouteViews publish dumps) is
+// detected by magic bytes and decompressed transparently.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+	// n counts records handed out, for error context.
+	n     int
+	peers *PeerIndex
+	// intern, when set, canonicalizes every decoded attribute set —
+	// full tables repeat a few tens of thousands of attribute sets
+	// across millions of entries, and downstream consumers (the feed
+	// loader's template dedup) recognize interned sets by pointer.
+	intern *bgp.Interner
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// SetInterner canonicalizes decoded attribute sets through in (nil
+// disables interning). Interned attributes are frozen: callers must
+// clone before mutating, per the interner's contract.
+func (r *Reader) SetInterner(in *bgp.Interner) { r.intern = in }
+
+// PeerIndex returns the dump's peer table once a PEER_INDEX_TABLE
+// record has been read (nil before).
+func (r *Reader) PeerIndex() *PeerIndex { return r.peers }
+
+// Next decodes and returns the next record. It returns io.EOF at a
+// clean end of input, ErrTruncated when the input stops mid-record, and
+// ErrBadRecord / ErrNoPeerIndex (wrapped with record context) on
+// malformed bodies. It never panics on hostile input.
+func (r *Reader) Next() (*Record, error) {
+	if !r.started {
+		r.started = true
+		if magic, err := r.r.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+			zr, err := gzip.NewReader(r.r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: gzip: %v", ErrBadRecord, err)
+			}
+			r.r = bufio.NewReaderSize(zr, 64<<10)
+		}
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: record %d: header cut short", ErrTruncated, r.n)
+	}
+	rec := &Record{Header: Header{
+		Timestamp: binary.BigEndian.Uint32(hdr[0:4]),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+		Length:    binary.BigEndian.Uint32(hdr[8:12]),
+	}}
+	if rec.Header.Length > maxRecordLen {
+		return nil, fmt.Errorf("%w: record %d: body length %d exceeds the %d cap",
+			ErrBadRecord, r.n, rec.Header.Length, maxRecordLen)
+	}
+	body := make([]byte, rec.Header.Length)
+	if n, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("%w: record %d: body cut short (%d of %d bytes)",
+			ErrTruncated, r.n, n, rec.Header.Length)
+	}
+	idx := r.n
+	r.n++
+	if err := r.decodeBody(rec, body); err != nil {
+		return nil, fmt.Errorf("record %d (type %d subtype %d): %w",
+			idx, rec.Header.Type, rec.Header.Subtype, err)
+	}
+	return rec, nil
+}
+
+func (r *Reader) decodeBody(rec *Record, body []byte) error {
+	switch rec.Header.Type {
+	case TypeTableDumpV2:
+		switch rec.Header.Subtype {
+		case SubtypePeerIndexTable:
+			pi, err := parsePeerIndex(body)
+			if err != nil {
+				return err
+			}
+			rec.PeerIndex = pi
+			r.peers = pi
+		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv4UnicastAddPath:
+			rib, err := r.parseRIB(body, rec.Header.Subtype == SubtypeRIBIPv4UnicastAddPath)
+			if err != nil {
+				return err
+			}
+			rec.RIB = rib
+		}
+	case TypeBGP4MP, TypeBGP4MPET:
+		if rec.Header.Type == TypeBGP4MPET {
+			// Extended timestamp: four microsecond bytes precede the body.
+			if len(body) < 4 {
+				return fmt.Errorf("%w: BGP4MP_ET shorter than its microsecond field", ErrBadRecord)
+			}
+			body = body[4:]
+		}
+		m, err := parseBGP4MP(rec.Header.Subtype, body)
+		if err != nil {
+			return err
+		}
+		rec.BGP4MP = m
+	}
+	// Unsupported types/subtypes: header-only record, caller skips.
+	return nil
+}
+
+// cursor is a bounds-checked byte walker; every read reports truncation
+// through ErrBadRecord instead of slicing past the buffer.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) take(n int, what string) ([]byte, error) {
+	if n < 0 || len(c.b)-c.off < n {
+		return nil, fmt.Errorf("%w: %s overruns the record body", ErrBadRecord, what)
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out, nil
+}
+
+func (c *cursor) u8(what string) (uint8, error) {
+	b, err := c.take(1, what)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *cursor) u16(what string) (uint16, error) {
+	b, err := c.take(2, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (c *cursor) u32(what string) (uint32, error) {
+	b, err := c.take(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (c *cursor) addr4(what string) (netip.Addr, error) {
+	b, err := c.take(4, what)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return netip.AddrFrom4([4]byte(b)), nil
+}
+
+func (c *cursor) addr16(what string) (netip.Addr, error) {
+	b, err := c.take(16, what)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return netip.AddrFrom16([16]byte(b)), nil
+}
+
+func (c *cursor) done() error {
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing bytes after the record payload", ErrBadRecord, len(c.b)-c.off)
+	}
+	return nil
+}
+
+// Peer-entry type bits (RFC 6396 §4.3.1).
+const (
+	peerFlagIPv6 = 0x01
+	peerFlagAS4  = 0x02
+)
+
+func parsePeerIndex(body []byte) (*PeerIndex, error) {
+	c := &cursor{b: body}
+	pi := &PeerIndex{}
+	var err error
+	if pi.CollectorID, err = c.addr4("collector id"); err != nil {
+		return nil, err
+	}
+	nameLen, err := c.u16("view name length")
+	if err != nil {
+		return nil, err
+	}
+	name, err := c.take(int(nameLen), "view name")
+	if err != nil {
+		return nil, err
+	}
+	pi.ViewName = string(name)
+	count, err := c.u16("peer count")
+	if err != nil {
+		return nil, err
+	}
+	pi.Peers = make([]Peer, 0, count)
+	for i := 0; i < int(count); i++ {
+		ptype, err := c.u8("peer type")
+		if err != nil {
+			return nil, err
+		}
+		var p Peer
+		if p.BGPID, err = c.addr4("peer BGP id"); err != nil {
+			return nil, err
+		}
+		if ptype&peerFlagIPv6 != 0 {
+			p.Addr, err = c.addr16("peer address")
+		} else {
+			p.Addr, err = c.addr4("peer address")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ptype&peerFlagAS4 != 0 {
+			p.AS, err = c.u32("peer AS")
+		} else {
+			var as2 uint16
+			as2, err = c.u16("peer AS")
+			p.AS = uint32(as2)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pi.Peers = append(pi.Peers, p)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return pi, nil
+}
+
+// tableDumpCodec decodes RIB-entry attributes: TABLE_DUMP_V2 always
+// encodes AS_PATH (and AGGREGATOR) with 4-octet ASNs (RFC 6396 §4.3.4).
+var tableDumpCodec = bgp.Codec{ASN4: true}
+
+func (r *Reader) parseRIB(body []byte, addPath bool) (*RIB, error) {
+	if r.peers == nil {
+		return nil, fmt.Errorf("%w: no PEER_INDEX_TABLE seen yet", ErrNoPeerIndex)
+	}
+	c := &cursor{b: body}
+	rib := &RIB{AddPath: addPath}
+	var err error
+	if rib.Seq, err = c.u32("sequence"); err != nil {
+		return nil, err
+	}
+	bits, err := c.u8("prefix length")
+	if err != nil {
+		return nil, err
+	}
+	if bits > 32 {
+		return nil, fmt.Errorf("%w: IPv4 prefix length %d", ErrBadRecord, bits)
+	}
+	pfxBytes, err := c.take(int(bits+7)/8, "prefix")
+	if err != nil {
+		return nil, err
+	}
+	var addr [4]byte
+	copy(addr[:], pfxBytes)
+	rib.Prefix = netip.PrefixFrom(netip.AddrFrom4(addr), int(bits)).Masked()
+	count, err := c.u16("entry count")
+	if err != nil {
+		return nil, err
+	}
+	rib.Entries = make([]RIBEntry, 0, count)
+	for i := 0; i < int(count); i++ {
+		var e RIBEntry
+		if e.PeerIndex, err = c.u16("peer index"); err != nil {
+			return nil, err
+		}
+		if int(e.PeerIndex) >= len(r.peers.Peers) {
+			return nil, fmt.Errorf("%w: entry %d references peer %d of %d",
+				ErrNoPeerIndex, i, e.PeerIndex, len(r.peers.Peers))
+		}
+		if e.OriginatedAt, err = c.u32("originated time"); err != nil {
+			return nil, err
+		}
+		if addPath {
+			if e.PathID, err = c.u32("path id"); err != nil {
+				return nil, err
+			}
+		}
+		attrLen, err := c.u16("attribute length")
+		if err != nil {
+			return nil, err
+		}
+		attrBytes, err := c.take(int(attrLen), "attributes")
+		if err != nil {
+			return nil, err
+		}
+		if e.Attrs, err = r.parseRIBAttrs(attrBytes); err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		rib.Entries = append(rib.Entries, e)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return rib, nil
+}
+
+// parseRIBAttrs decodes a RIB entry's attribute block. Dumps may carry
+// the next-hop as an abbreviated MP_REACH_NLRI (RFC 6396 §4.3.4: just
+// the next-hop field, no NLRI) instead of a NEXT_HOP attribute; the bgp
+// parser drops that optional non-transitive attribute, so the next-hop
+// is scanned out first and folded into Attrs.NextHop.
+func (r *Reader) parseRIBAttrs(b []byte) (*bgp.Attrs, error) {
+	attrs, err := tableDumpCodec.ParseAttrs(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRecord, err)
+	}
+	if !attrs.NextHop.IsValid() {
+		if nh, ok := scanMPNextHop(b); ok {
+			attrs.NextHop = nh
+		}
+	}
+	if r.intern != nil {
+		attrs = r.intern.Intern(attrs)
+	}
+	return attrs, nil
+}
+
+// attrMPReachNLRI is the MP_REACH_NLRI attribute code (RFC 4760).
+const attrMPReachNLRI = 14
+
+// scanMPNextHop walks an attribute block looking for the abbreviated
+// TABLE_DUMP_V2 MP_REACH_NLRI (next-hop length, next-hop) and returns
+// the IPv4-mappable next-hop. The walk mirrors the bgp parser's framing
+// exactly; it reports false on anything it does not recognize (the
+// caller treats a missing next-hop as data, not an error).
+func scanMPNextHop(b []byte) (netip.Addr, bool) {
+	for len(b) >= 3 {
+		flags, code := b[0], b[1]
+		var alen, off int
+		if flags&0x10 != 0 { // extended length
+			if len(b) < 4 {
+				return netip.Addr{}, false
+			}
+			alen, off = int(binary.BigEndian.Uint16(b[2:4])), 4
+		} else {
+			alen, off = int(b[2]), 3
+		}
+		if len(b) < off+alen {
+			return netip.Addr{}, false
+		}
+		body := b[off : off+alen]
+		b = b[off+alen:]
+		if code != attrMPReachNLRI {
+			continue
+		}
+		if len(body) < 1 || len(body) < 1+int(body[0]) {
+			return netip.Addr{}, false
+		}
+		nh := body[1 : 1+int(body[0])]
+		switch len(nh) {
+		case 4:
+			return netip.AddrFrom4([4]byte(nh)), true
+		case 16:
+			a := netip.AddrFrom16([16]byte(nh))
+			if a.Is4In6() {
+				return a.Unmap(), true
+			}
+			return a, true
+		}
+		return netip.Addr{}, false
+	}
+	return netip.Addr{}, false
+}
+
+func parseBGP4MP(subtype uint16, body []byte) (*BGP4MP, error) {
+	m := &BGP4MP{}
+	switch subtype {
+	case SubtypeMessageAS4, SubtypeStateChangeAS4:
+		m.AS4 = true
+	case SubtypeMessage, SubtypeStateChange:
+	default:
+		return nil, nil // unsupported subtype: header-only record
+	}
+	c := &cursor{b: body}
+	var err error
+	if m.AS4 {
+		if m.PeerAS, err = c.u32("peer AS"); err != nil {
+			return nil, err
+		}
+		if m.LocalAS, err = c.u32("local AS"); err != nil {
+			return nil, err
+		}
+	} else {
+		var as2 uint16
+		if as2, err = c.u16("peer AS"); err != nil {
+			return nil, err
+		}
+		m.PeerAS = uint32(as2)
+		if as2, err = c.u16("local AS"); err != nil {
+			return nil, err
+		}
+		m.LocalAS = uint32(as2)
+	}
+	if m.Interface, err = c.u16("interface index"); err != nil {
+		return nil, err
+	}
+	af, err := c.u16("address family")
+	if err != nil {
+		return nil, err
+	}
+	switch af {
+	case 1:
+		if m.PeerIP, err = c.addr4("peer ip"); err != nil {
+			return nil, err
+		}
+		if m.LocalIP, err = c.addr4("local ip"); err != nil {
+			return nil, err
+		}
+	case 2:
+		if m.PeerIP, err = c.addr16("peer ip"); err != nil {
+			return nil, err
+		}
+		if m.LocalIP, err = c.addr16("local ip"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: BGP4MP address family %d", ErrBadRecord, af)
+	}
+	if subtype == SubtypeStateChange || subtype == SubtypeStateChangeAS4 {
+		m.StateChange = true
+		if m.OldState, err = c.u16("old state"); err != nil {
+			return nil, err
+		}
+		if m.NewState, err = c.u16("new state"); err != nil {
+			return nil, err
+		}
+		if err := c.done(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	raw := c.b[c.off:]
+	msg, err := (bgp.Codec{ASN4: m.AS4}).Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadRecord, err)
+	}
+	m.Message = msg
+	return m, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"supercharged/internal/feed"
 	"supercharged/internal/sim"
 	"supercharged/internal/telemetry"
 )
@@ -25,6 +26,9 @@ type Options struct {
 	// Seed drives every random choice (default 1); the same seed yields
 	// an identical report.
 	Seed int64
+	// Table overrides the spec's MRT dump path (replay a real RIB
+	// through any scenario without editing it). Empty keeps the spec's.
+	Table string
 	// Progress, if set, receives one line per run.
 	Progress io.Writer
 	// Instrument attaches telemetry to every run (zero value = off).
@@ -84,6 +88,13 @@ func RunOneInstrumented(ctx context.Context, spec Spec, mode sim.Mode, prefixes,
 	cfg := spec.compile(mode, prefixes, flows, seed)
 	cfg.Trace = ins.Trace
 	cfg.Telemetry = ins.Telemetry
+	if spec.Table != "" {
+		table, err := LoadTable(spec.Table)
+		if err != nil {
+			return RunReport{}, err
+		}
+		cfg.Table = table
+	}
 	res, err := sim.RunTimeline(ctx, cfg)
 	if err != nil {
 		return RunReport{}, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, prefixes, err)
@@ -106,6 +117,16 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	if opts.Table != "" {
+		spec.Table = opts.Table
+	}
+	var table *feed.Table
+	if spec.Table != "" {
+		var err error
+		if table, err = LoadTable(spec.Table); err != nil {
+			return nil, err
+		}
+	}
 	sizes := spec.Sizes(opts.Prefixes)
 
 	rep := &Report{Scenario: spec.Name, Description: spec.Description, Seed: seed}
@@ -117,6 +138,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 			cfg := spec.compile(mode, n, opts.Flows, seed)
 			cfg.Trace = opts.Instrument.Trace
 			cfg.Telemetry = opts.Instrument.Telemetry
+			cfg.Table = table
 			res, err := sim.RunTimeline(ctx, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, n, err)

@@ -139,6 +139,15 @@ type Spec struct {
 	MaxSeeds int `json:"max_seeds,omitempty"`
 	// HoldTimer overrides the hold-timer detection latency (0 = 90 s).
 	HoldTimer time.Duration `json:"hold_timer,omitempty"`
+	// Table names an MRT TABLE_DUMP_V2 dump (plain or gzip) to replay
+	// instead of the synthetic feed: every run announces the dump's
+	// first Prefixes routes. Relative paths resolve against the working
+	// directory and then upward (so tests and CI find repo-root
+	// testdata from any package directory). The path is part of the
+	// spec — and therefore of the result-store cache key — but the dump
+	// is only opened at run time, so registering a table-backed builtin
+	// does not require the file to exist.
+	Table string `json:"table,omitempty"`
 }
 
 // Validate checks the spec without running it: scenario-level shape here,

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"supercharged/internal/feed"
+)
+
+// tableCache memoizes loaded dumps by resolved path: a prefix sweep (or
+// a multi-mode run) replays the same multi-megabyte dump many times, and
+// parsing it once per process is enough. Tables are read-only after
+// load, so sharing one *feed.Table across concurrent runs is safe.
+var tableCache sync.Map // resolved path -> *feed.Table
+
+// LoadTable loads the MRT dump at path into a feed table (merged view),
+// memoized per resolved path. Relative paths are tried against the
+// working directory first, then each parent directory — the same upward
+// search a git-aware tool does — so `testdata/ris-sample.mrt` resolves
+// from the repo root, a package directory under `go test`, and CI alike.
+func LoadTable(path string) (*feed.Table, error) {
+	resolved, err := resolveTablePath(path)
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := tableCache.Load(resolved); ok {
+		return t.(*feed.Table), nil
+	}
+	f, err := os.Open(resolved)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: open table: %w", err)
+	}
+	defer f.Close()
+	dump, err := feed.FromMRT(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: table %s: %w", path, err)
+	}
+	actual, _ := tableCache.LoadOrStore(resolved, dump.Table)
+	return actual.(*feed.Table), nil
+}
+
+// resolveTablePath finds the dump file: absolute paths as-is, relative
+// paths against the working directory and then upward through parents.
+func resolveTablePath(path string) (string, error) {
+	if filepath.IsAbs(path) {
+		if _, err := os.Stat(path); err != nil {
+			return "", fmt.Errorf("scenario: table %s: %w", path, err)
+		}
+		return path, nil
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", fmt.Errorf("scenario: table %s: %w", path, err)
+	}
+	for {
+		cand := filepath.Join(dir, path)
+		if _, err := os.Stat(cand); err == nil {
+			return cand, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("scenario: table %s: not found in %s or any parent", path, mustGetwd())
+		}
+		dir = parent
+	}
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}

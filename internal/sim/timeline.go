@@ -169,6 +169,12 @@ type TimelineConfig struct {
 	Config
 	Peers  []PeerSpec
 	Events []TimelineEvent
+	// Table, when set, replaces the synthetic feed: the run announces
+	// the first NumPrefixes routes of this table (an MRT-loaded real RIB,
+	// typically) instead of feed.Generate output. The table must hold at
+	// least NumPrefixes routes — a short table fails loudly rather than
+	// silently shrinking the experiment.
+	Table *feed.Table `json:"-"`
 	// HoldTimer is the hold-timer detection latency (default 90 s, the
 	// BGP default).
 	HoldTimer time.Duration
@@ -349,7 +355,14 @@ const maxNoiseUpdates = 1_000_000
 func (l *lab) runTimeline(ctx context.Context) (*TimelineResult, error) {
 	cfg := l.cfg
 	l.traceStart()
-	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
+	if l.tcfg.Table != nil {
+		if l.tcfg.Table.Len() < cfg.NumPrefixes {
+			return nil, fmt.Errorf("sim: table holds %d routes, run needs %d prefixes", l.tcfg.Table.Len(), cfg.NumPrefixes)
+		}
+		l.table = l.tcfg.Table.Head(cfg.NumPrefixes)
+	} else {
+		l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
+	}
 	l.assignFeeds()
 
 	if err := l.setup(); err != nil {

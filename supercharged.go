@@ -35,7 +35,10 @@
 //     served from disk, invalidation is by hash of (scenario spec, mode,
 //     size, seed, sim.ModelVersion);
 //   - internal/feed, internal/trafficgen — synthetic full-table feeds and
-//     the FPGA-style probe source/sink.
+//     the FPGA-style probe source/sink;
+//   - internal/mrt — streaming reader/writer for RFC 6396 MRT dumps
+//     (TABLE_DUMP_V2 + BGP4MP), the bridge that replays real collector
+//     RIBs through every scenario (feed.FromMRT, `scenario run --table`).
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
@@ -48,8 +51,10 @@ import (
 
 	"supercharged/internal/bgp"
 	"supercharged/internal/core"
+	"supercharged/internal/feed"
 	"supercharged/internal/lab"
 	"supercharged/internal/microbench"
+	"supercharged/internal/mrt"
 	"supercharged/internal/results"
 	"supercharged/internal/scenario"
 	"supercharged/internal/sim"
@@ -393,3 +398,36 @@ func RunGroups(cfg lab.GroupsConfig) ([]lab.GroupsRow, error) { return lab.RunGr
 func FirstEntry(prefixes, runs int, seed int64) (time.Duration, error) {
 	return lab.FirstEntry(prefixes, runs, seed)
 }
+
+// Feed re-exports: routing tables the lab announces, from the synthetic
+// generator or a real MRT dump (docs/feeds.md, DESIGN.md §10).
+type (
+	// FeedTable is a routing table: routes over a shared, interned
+	// attribute-template pool. Both backends produce one.
+	FeedTable = feed.Table
+	// FeedConfig parameterizes the synthetic generator.
+	FeedConfig = feed.Config
+	// FeedDump is a loaded MRT dump: the merged table plus per-peer views.
+	FeedDump = feed.Dump
+	// MRTReader streams records from an RFC 6396 dump (gzip'd or plain).
+	MRTReader = mrt.Reader
+	// MRTWriter renders records as an RFC 6396 dump.
+	MRTWriter = mrt.Writer
+	// MRTRecord is one decoded MRT record.
+	MRTRecord = mrt.Record
+)
+
+// GenerateFeed builds the synthetic table: N prefixes over a template
+// pool, deterministic per (N, Seed).
+func GenerateFeed(cfg FeedConfig) *FeedTable { return feed.Generate(cfg) }
+
+// LoadMRT reads a TABLE_DUMP_V2 dump (gzip detected transparently) into
+// a merged table plus per-peer views sharing one interned template pool.
+func LoadMRT(r io.Reader) (*FeedDump, error) { return feed.FromMRT(r) }
+
+// NewMRTReader wraps r for record-at-a-time decoding; NewMRTWriter is
+// its inverse.
+func NewMRTReader(r io.Reader) *MRTReader { return mrt.NewReader(r) }
+
+// NewMRTWriter returns a writer rendering records to w.
+func NewMRTWriter(w io.Writer) *MRTWriter { return mrt.NewWriter(w) }
