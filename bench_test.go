@@ -8,6 +8,7 @@ package supercharged
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,7 +31,7 @@ func BenchmarkFig5(b *testing.B) {
 			b.Run(name, func(b *testing.B) {
 				var last metrics.Summary
 				for i := 0; i < b.N; i++ {
-					res, err := sim.Run(sim.Config{Mode: mode, NumPrefixes: n, Seed: int64(i + 1)})
+					res, err := sim.Run(context.Background(), sim.Config{Mode: mode, NumPrefixes: n, Seed: int64(i + 1)})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -53,7 +54,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkFirstEntry(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		d, err := lab.FirstEntry(1_000, 3, int64(i+1))
+		d, err := lab.FirstEntry(context.Background(), 1_000, 3, int64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkFirstEntry(b *testing.B) {
 func BenchmarkControllerUpdate(b *testing.B) {
 	var last *lab.MicroResult
 	for i := 0; i < b.N; i++ {
-		res, err := lab.RunMicro(lab.MicroConfig{Prefixes: 100_000, Seed: int64(i + 1)})
+		res, err := lab.RunMicro(context.Background(), lab.MicroConfig{Prefixes: 100_000, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func BenchmarkBackupGroups(b *testing.B) {
 	var rows []lab.GroupsRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = lab.RunGroups(lab.GroupsConfig{MaxPeers: 10})
+		rows, err = lab.RunGroups(context.Background(), lab.GroupsConfig{MaxPeers: 10})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,11 +110,11 @@ func BenchmarkBackupGroups(b *testing.B) {
 func BenchmarkImprovementFactor(b *testing.B) {
 	var factor float64
 	for i := 0; i < b.N; i++ {
-		std, err := sim.Run(sim.Config{Mode: sim.Standalone, NumPrefixes: 50_000, Seed: int64(i + 1)})
+		std, err := sim.Run(context.Background(), sim.Config{Mode: sim.Standalone, NumPrefixes: 50_000, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
-		sup, err := sim.Run(sim.Config{Mode: sim.Supercharged, NumPrefixes: 50_000, Seed: int64(i + 1)})
+		sup, err := sim.Run(context.Background(), sim.Config{Mode: sim.Supercharged, NumPrefixes: 50_000, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkImprovementFactor(b *testing.B) {
 // supercharged convergence budget.
 func BenchmarkAblationBFDSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := lab.RunBFDSweep(5_000, nil, int64(i+1)); err != nil {
+		if _, err := lab.RunBFDSweep(context.Background(), 5_000, nil, int64(i+1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkAblationBFDSweep(b *testing.B) {
 // BenchmarkAblationK3 regenerates A2: k=3 groups under double failure.
 func BenchmarkAblationK3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := lab.RunK3(2_000, int64(i+1)); err != nil {
+		if _, err := lab.RunK3(context.Background(), 2_000, int64(i+1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,7 +148,7 @@ func BenchmarkAblationK3(b *testing.B) {
 // reordered delivery, sequential vs deterministic allocation.
 func BenchmarkAblationReplicas(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := lab.RunReplicaDeterminism(2_000, 4, int64(i+1)); err != nil {
+		if _, err := lab.RunReplicaDeterminism(context.Background(), 2_000, 4, int64(i+1)); err != nil {
 			b.Fatal(err)
 		}
 	}

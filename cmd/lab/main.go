@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"supercharged/internal/lab"
@@ -24,6 +27,8 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	experiment := flag.String("experiment", "all", "fig5|micro|groups|ablation|all")
 	sizes := flag.String("sizes", "", "comma-separated prefix counts for fig5 (default: paper sweep)")
 	runs := flag.Int("runs", 3, "repetitions per fig5 cell (paper: 3)")
@@ -77,12 +82,12 @@ func main() {
 					cfg.Sizes = append(cfg.Sizes, n)
 				}
 			}
-			res, err := lab.RunFig5(cfg, progress)
+			res, err := lab.RunFig5(ctx, cfg, progress)
 			if err != nil {
 				return err
 			}
 			fmt.Println(res.Render())
-			best, err := lab.FirstEntry(1_000, *runs, 1)
+			best, err := lab.FirstEntry(ctx, 1_000, *runs, 1)
 			if err != nil {
 				return err
 			}
@@ -92,7 +97,7 @@ func main() {
 	}
 	if want("micro") {
 		run("micro — controller per-update latency (E3)", func() error {
-			res, err := lab.RunMicro(lab.MicroConfig{Prefixes: *prefixes, Seed: 1})
+			res, err := lab.RunMicro(ctx, lab.MicroConfig{Prefixes: *prefixes, Seed: 1})
 			if err != nil {
 				return err
 			}
@@ -102,7 +107,7 @@ func main() {
 	}
 	if want("groups") {
 		run("groups — backup-group scaling (E4)", func() error {
-			rows, err := lab.RunGroups(lab.GroupsConfig{MaxPeers: 10})
+			rows, err := lab.RunGroups(ctx, lab.GroupsConfig{MaxPeers: 10})
 			if err != nil {
 				return err
 			}
@@ -112,7 +117,7 @@ func main() {
 	}
 	if want("ablation") {
 		run("ablation A1 — replica determinism", func() error {
-			rows, err := lab.RunReplicaDeterminism(2_000, 4, 1)
+			rows, err := lab.RunReplicaDeterminism(ctx, 2_000, 4, 1)
 			if err != nil {
 				return err
 			}
@@ -120,7 +125,7 @@ func main() {
 			return nil
 		})
 		run("ablation A2 — backup-group size k=3, double failure", func() error {
-			res, err := lab.RunK3(5_000, 1)
+			res, err := lab.RunK3(ctx, 5_000, 1)
 			if err != nil {
 				return err
 			}
@@ -128,7 +133,7 @@ func main() {
 			return nil
 		})
 		run("ablation A3 — BFD interval sweep", func() error {
-			rows, err := lab.RunBFDSweep(10_000, nil, 1)
+			rows, err := lab.RunBFDSweep(ctx, 10_000, nil, 1)
 			if err != nil {
 				return err
 			}

@@ -259,33 +259,33 @@ func cmdRun(args []string) {
 		os.Exit(2)
 	}
 
-	opts := scenario.Options{Prefixes: *prefixes, Flows: *flows, Seed: *seed, Table: *table}
+	runner := scenario.Runner{Prefixes: *prefixes, Flows: *flows, Seed: *seed, Table: *table}
 	switch *mode {
 	case "both", "":
 	case "standalone":
-		opts.Modes = []sim.Mode{sim.Standalone}
+		runner.Modes = []sim.Mode{sim.Standalone}
 	case "supercharged":
-		opts.Modes = []sim.Mode{sim.Supercharged}
+		runner.Modes = []sim.Mode{sim.Supercharged}
 	default:
 		fmt.Fprintf(os.Stderr, "scenario: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 	if !*quiet {
-		opts.Progress = os.Stderr
+		runner.Progress = os.Stderr
 	}
 	if *traceOut != "" || *traceJSONL != "" {
-		opts.Instrument.Trace = telemetry.NewTrace()
+		runner.Trace = telemetry.NewTrace()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	t0 := time.Now()
-	rep, err := scenario.RunNamed(ctx, name, opts)
+	rep, err := runner.RunNamed(ctx, name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err) // package errors already carry the scenario: prefix
 		os.Exit(1)
 	}
-	if tr := opts.Instrument.Trace; tr != nil {
+	if tr := runner.Trace; tr != nil {
 		exports := []struct {
 			path  string
 			write func(io.Writer) error

@@ -4,6 +4,14 @@
 //
 //	supercharged -config lab.json
 //
+// The serve subcommand instead runs the concurrent controller daemon
+// under replayed load — synthetic tables or an MRT dump streamed by N
+// peers into the sharded RIB, batched out to simulated routers — with
+// live Prometheus metrics:
+//
+//	supercharged serve -peers 4 -prefixes 50000 -listen 127.0.0.1:9090
+//	supercharged serve -mrt rib.mrt -rate 25000 -duration 30s
+//
 // Configuration (JSON):
 //
 //	{
@@ -74,6 +82,10 @@ type configJSON struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	configPath := flag.String("config", "", "path to JSON configuration (required)")
 	flag.Parse()
 	if *configPath == "" {

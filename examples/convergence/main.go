@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +25,7 @@ func main() {
 		cfg.Sizes = []int{1_000, 5_000, 10_000, 50_000}
 		fmt.Println("(reduced sweep — pass -full for the paper's 1k..500k)")
 	}
-	res, err := lab.RunFig5(cfg, os.Stderr)
+	res, err := lab.RunFig5(context.Background(), cfg, os.Stderr)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ import (
 func main() {
 	fmt.Println("Replica agreement under reordered BGP delivery (2000 prefixes, 4 peers):")
 	fmt.Println()
-	rows, err := lab.RunReplicaDeterminism(2000, 4, 7)
+	rows, err := lab.RunReplicaDeterminism(context.Background(), 2000, 4, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

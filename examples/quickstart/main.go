@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,16 +15,17 @@ import (
 
 func main() {
 	const prefixes = 50_000
+	ctx := context.Background()
 
 	fmt.Printf("Convergence after the primary provider fails (%d prefixes, 100 flows):\n\n", prefixes)
 
-	std, err := supercharged.RunSim(supercharged.SimConfig{
+	std, err := supercharged.RunSim(ctx, supercharged.SimConfig{
 		Mode: supercharged.Standalone, NumPrefixes: prefixes, Seed: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sup, err := supercharged.RunSim(supercharged.SimConfig{
+	sup, err := supercharged.RunSim(ctx, supercharged.SimConfig{
 		Mode: supercharged.Supercharged, NumPrefixes: prefixes, Seed: 1,
 	})
 	if err != nil {

@@ -30,8 +30,8 @@ func main() {
 	// 1. A built-in: the backup dies first, then the primary. The engine
 	// must skip the dead backup and retarget straight to the tertiary.
 	fmt.Println("== backup-then-primary (built-in, 2000 prefixes) ==")
-	rep, err := supercharged.RunScenarioNamed(context.Background(), "backup-then-primary",
-		supercharged.ScenarioOptions{Prefixes: 2000})
+	runner := supercharged.ScenarioRunner{Prefixes: 2000}
+	rep, err := runner.RunNamed(context.Background(), "backup-then-primary")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("== example-custom (2000 prefixes) ==")
-	rep, err = supercharged.RunScenario(context.Background(), custom, supercharged.ScenarioOptions{Prefixes: 2000})
+	rep, err = runner.Run(context.Background(), custom)
 	if err != nil {
 		log.Fatal(err)
 	}

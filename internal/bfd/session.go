@@ -37,7 +37,9 @@ type Config struct {
 	DetectMult uint8
 	// Transport carries outgoing control packets.
 	Transport Transport
-	// Clock drives all timers.
+	// Clock drives all timers. Any clock.Source works: the session is
+	// agnostic to whether the callbacks come from the virtual lab, the
+	// paced wall source or free-running system timers (nil = system).
 	Clock clock.Clock
 	// OnStateChange fires on every transition with the new state and the
 	// diagnostic; the controller's convergence engine hooks the Up→Down

@@ -1,0 +1,302 @@
+package clock
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+)
+
+// Source is a Clock whose scheduled work some goroutine drives: the
+// execution half of the time abstraction. The lab, the controller and
+// the daemon are written against Source, so the same engine runs under
+// the discrete-event Virtual clock (deterministic, milliseconds of CPU
+// per simulated convergence) and under real time (Wall for the
+// serialized dispatcher, Threaded for free-threaded services) without
+// touching engine code.
+type Source interface {
+	Clock
+
+	// Drive executes scheduled callbacks until the source is idle, the
+	// event budget maxEvents is exhausted, or ctx is done (returning
+	// ctx's error; nil otherwise). It returns the source's time when it
+	// stopped. On Virtual this pumps the event queue instantly; on Wall
+	// it paces the queue against the system clock; on Threaded — where
+	// callbacks run on their own goroutines and there is no serialized
+	// pump to budget — it ignores maxEvents and blocks until every
+	// outstanding timer has fired or been stopped (the drain primitive
+	// behind graceful shutdown).
+	Drive(ctx context.Context, maxEvents int) (time.Time, error)
+
+	// Pending reports the number of scheduled callbacks that have not
+	// yet fired.
+	Pending() int
+}
+
+var (
+	_ Source = (*Virtual)(nil)
+	_ Source = (*Wall)(nil)
+	_ Source = (*Threaded)(nil)
+)
+
+// Wall is a real-time Source with the Virtual clock's execution model:
+// deadlines are wall-clock instants, Drive paces the event heap against
+// the system clock, and callbacks run serially on the driving
+// goroutine. Because execution is serialized exactly as under Virtual,
+// an engine whose state is unsynchronized (the lab) runs race-free on a
+// Wall source, and the virtual-vs-real equivalence tests can compare
+// the two directly. Events that are due in the same dispatch batch obey
+// the Virtual ordering contract: deadline order, FIFO among equal
+// deadlines.
+type Wall struct {
+	mu    sync.Mutex
+	queue eventQueue
+	seq   uint64
+	wake  chan struct{}
+}
+
+// NewWall returns a Wall source with an empty queue.
+func NewWall() *Wall { return &Wall{wake: make(chan struct{}, 1)} }
+
+// Now returns the system time.
+func (w *Wall) Now() time.Time { return time.Now() }
+
+// Sleep blocks the calling goroutine for d of real time.
+func (w *Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After returns a channel receiving the time once d has elapsed; the
+// send happens on the driving goroutine.
+func (w *Wall) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	w.AfterFunc(d, func() { ch <- time.Now() })
+	return ch
+}
+
+// AfterFunc schedules f to run once d has elapsed. f runs on the
+// goroutine driving the source, never inline with AfterFunc.
+func (w *Wall) AfterFunc(d time.Duration, f func()) Timer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return &virtualTimer{ev: w.rescheduleLocked(d, f)}
+}
+
+// NewTicker returns a Ticker firing every d on the driving goroutine.
+func (w *Wall) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	t := &virtualTicker{clk: w, period: d, ch: make(chan time.Time, 1)}
+	t.arm()
+	return t
+}
+
+// Pending returns the number of scheduled events that have not yet
+// fired.
+func (w *Wall) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.queue)
+}
+
+func (w *Wall) lock()   { w.mu.Lock() }
+func (w *Wall) unlock() { w.mu.Unlock() }
+
+func (w *Wall) removeLocked(ev *event) {
+	heap.Remove(&w.queue, ev.index)
+	ev.index = -1
+}
+
+func (w *Wall) rescheduleLocked(d time.Duration, fn func()) *event {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: time.Now().Add(d), fn: fn, seq: w.seq, clk: w}
+	w.seq++
+	heap.Push(&w.queue, ev)
+	// Nudge a Drive blocked on a later deadline; cap-1 channel, dropped
+	// when a nudge is already queued.
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return ev
+}
+
+// Drive executes due callbacks serially, sleeping on a real timer until
+// the next deadline, until the queue drains, maxEvents callbacks have
+// fired, or ctx is done. New events scheduled while Drive sleeps (from
+// callbacks or other goroutines) wake it immediately.
+func (w *Wall) Drive(ctx context.Context, maxEvents int) (time.Time, error) {
+	for fired := 0; fired < maxEvents; {
+		if err := ctx.Err(); err != nil {
+			return time.Now(), err
+		}
+		w.mu.Lock()
+		if len(w.queue) == 0 {
+			w.mu.Unlock()
+			return time.Now(), nil
+		}
+		if wait := time.Until(w.queue[0].at); wait > 0 {
+			w.mu.Unlock()
+			tm := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				tm.Stop()
+				return time.Now(), ctx.Err()
+			case <-tm.C:
+			case <-w.wake:
+				tm.Stop()
+			}
+			continue
+		}
+		ev := heap.Pop(&w.queue).(*event)
+		ev.fired = true
+		w.mu.Unlock()
+		ev.fn()
+		fired++
+	}
+	return time.Now(), nil
+}
+
+// Threaded is the free-threaded real-time Source for concurrent
+// services: callbacks fire on their own goroutines exactly as
+// time.AfterFunc's do, and Drive blocks until every outstanding timer
+// has fired or been stopped — the drain primitive the daemon's graceful
+// shutdown uses. Reset has package-time semantics: a Reset racing the
+// in-flight callback is the caller's coordination problem, as with
+// time.Timer.
+type Threaded struct {
+	mu      sync.Mutex
+	pending int
+	changed chan struct{}
+}
+
+// NewThreaded returns a Threaded source with no outstanding timers.
+func NewThreaded() *Threaded { return &Threaded{changed: make(chan struct{}, 1)} }
+
+// Now returns the system time.
+func (c *Threaded) Now() time.Time { return time.Now() }
+
+// Sleep blocks the calling goroutine for d of real time.
+func (c *Threaded) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After returns a channel receiving the time once d has elapsed. Unlike
+// time.After, the underlying timer counts toward Pending until it
+// fires.
+func (c *Threaded) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.AfterFunc(d, func() { ch <- time.Now() })
+	return ch
+}
+
+func (c *Threaded) add(n int) {
+	c.mu.Lock()
+	c.pending += n
+	c.mu.Unlock()
+	select {
+	case c.changed <- struct{}{}:
+	default:
+	}
+}
+
+// AfterFunc schedules f on its own goroutine once d has elapsed.
+func (c *Threaded) AfterFunc(d time.Duration, f func()) Timer {
+	t := &threadedTimer{src: c, fn: f, active: true}
+	c.add(1)
+	t.t = time.AfterFunc(d, t.fire)
+	return t
+}
+
+// NewTicker returns a real ticker. It counts as one pending callback
+// until Stop: a live ticker keeps Drive from reporting quiescence, so
+// stop tickers before draining.
+func (c *Threaded) NewTicker(d time.Duration) Ticker {
+	c.add(1)
+	return &threadedTicker{src: c, t: time.NewTicker(d)}
+}
+
+// Pending reports the number of armed timers (tickers count as one
+// each until stopped).
+func (c *Threaded) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending
+}
+
+// Drive blocks until no timers are outstanding or ctx is done.
+// maxEvents is ignored (see Source).
+func (c *Threaded) Drive(ctx context.Context, maxEvents int) (time.Time, error) {
+	for {
+		c.mu.Lock()
+		n := c.pending
+		c.mu.Unlock()
+		if n == 0 {
+			return time.Now(), nil
+		}
+		select {
+		case <-ctx.Done():
+			return time.Now(), ctx.Err()
+		case <-c.changed:
+		}
+	}
+}
+
+type threadedTimer struct {
+	src *Threaded
+	fn  func()
+
+	mu     sync.Mutex
+	t      *time.Timer
+	active bool
+}
+
+func (t *threadedTimer) fire() {
+	t.mu.Lock()
+	wasActive := t.active
+	t.active = false
+	t.mu.Unlock()
+	t.fn()
+	if wasActive {
+		t.src.add(-1)
+	}
+}
+
+func (t *threadedTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.active {
+		return false
+	}
+	if !t.t.Stop() {
+		// The callback already started; fire owns the pending decrement.
+		return false
+	}
+	t.active = false
+	t.src.add(-1)
+	return true
+}
+
+func (t *threadedTimer) Reset(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	wasActive := t.active
+	if !wasActive {
+		t.active = true
+		t.src.add(1)
+	}
+	t.t.Reset(d)
+	return wasActive
+}
+
+type threadedTicker struct {
+	src  *Threaded
+	t    *time.Ticker
+	once sync.Once
+}
+
+func (t *threadedTicker) C() <-chan time.Time { return t.t.C }
+
+func (t *threadedTicker) Stop() {
+	t.t.Stop()
+	t.once.Do(func() { t.src.add(-1) })
+}

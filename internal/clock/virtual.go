@@ -7,11 +7,30 @@ import (
 	"time"
 )
 
-// Virtual is a discrete-event Clock. Time advances only when Advance, Run or
-// RunUntilIdle is called; scheduled callbacks run inline with those calls, in
-// timestamp order (FIFO among equal timestamps). All methods are safe for
-// concurrent use, but the typical simulation is single-threaded: components
-// schedule work with AfterFunc and one driver loop pumps the queue.
+// Virtual is a discrete-event Clock (and Source). Time advances only when
+// Advance, Run, RunUntilIdle or Drive is called; scheduled callbacks run
+// inline with those calls, in timestamp order (FIFO among equal timestamps).
+// All methods are safe for concurrent use, but the typical simulation is
+// single-threaded: components schedule work with AfterFunc and one driver
+// loop pumps the queue.
+//
+// Ordering contract — pinned by the ordering tests in clock_test.go and
+// source_test.go, and relied on by every simulation result in this
+// repository:
+//
+//  1. Events fire in deadline order.
+//  2. Events sharing a deadline fire in the order they were scheduled
+//     (FIFO by a per-source sequence number). This includes zero-delay
+//     events scheduled from inside a firing callback: they run after
+//     every event already queued at the same instant.
+//  3. Reset re-enqueues the timer with a fresh sequence number, so a
+//     timer Reset onto an already-occupied deadline fires after the
+//     events that were there first.
+//  4. A negative delay clamps to zero. The event fires at the current
+//     time on the next pump — never inline with AfterFunc itself.
+//
+// Wall implements the same contract for events that are due in the same
+// dispatch batch; see source.go.
 type Virtual struct {
 	mu      sync.Mutex
 	now     time.Time
@@ -171,13 +190,48 @@ func (v *Virtual) RunUntilIdleCtx(ctx context.Context, maxEvents int) (time.Time
 	return v.Now(), nil
 }
 
+// Drive implements Source: RunUntilIdleCtx under the source-neutral
+// name, so engines written against Source run byte-identically on a
+// Virtual clock.
+func (v *Virtual) Drive(ctx context.Context, maxEvents int) (time.Time, error) {
+	return v.RunUntilIdleCtx(ctx, maxEvents)
+}
+
+// scheduler is the slice of a time source that pending timers talk to:
+// Stop and Reset manipulate the owning source's event heap under its
+// lock. Virtual and Wall both implement it, which lets them share the
+// timer and ticker machinery below.
+type scheduler interface {
+	lock()
+	unlock()
+	// removeLocked unlinks a still-pending event from the heap. The
+	// caller holds the source lock and has checked ev.index >= 0.
+	removeLocked(ev *event)
+	// rescheduleLocked schedules fn after d from the source's current
+	// time with a fresh sequence number and returns the new event. The
+	// caller holds the source lock.
+	rescheduleLocked(d time.Duration, fn func()) *event
+}
+
+func (v *Virtual) lock()   { v.mu.Lock() }
+func (v *Virtual) unlock() { v.mu.Unlock() }
+
+func (v *Virtual) removeLocked(ev *event) {
+	heap.Remove(&v.queue, ev.index)
+	ev.index = -1
+}
+
+func (v *Virtual) rescheduleLocked(d time.Duration, fn func()) *event {
+	return v.scheduleLocked(d, fn).ev
+}
+
 type event struct {
 	at    time.Time
 	fn    func()
 	seq   uint64
 	index int
 	fired bool
-	clk   *Virtual
+	clk   scheduler
 }
 
 type eventQueue []*event
@@ -218,13 +272,12 @@ func (t *virtualTimer) Stop() bool {
 	defer t.mu.Unlock()
 	ev := t.ev
 	clk := ev.clk
-	clk.mu.Lock()
-	defer clk.mu.Unlock()
+	clk.lock()
+	defer clk.unlock()
 	if ev.fired || ev.index < 0 {
 		return false
 	}
-	heap.Remove(&clk.queue, ev.index)
-	ev.index = -1
+	clk.removeLocked(ev)
 	return true
 }
 
@@ -233,19 +286,18 @@ func (t *virtualTimer) Reset(d time.Duration) bool {
 	defer t.mu.Unlock()
 	ev := t.ev
 	clk := ev.clk
-	clk.mu.Lock()
-	defer clk.mu.Unlock()
+	clk.lock()
+	defer clk.unlock()
 	active := !ev.fired && ev.index >= 0
 	if active {
-		heap.Remove(&clk.queue, ev.index)
-		ev.index = -1
+		clk.removeLocked(ev)
 	}
-	t.ev = clk.scheduleLocked(d, ev.fn).ev
+	t.ev = clk.rescheduleLocked(d, ev.fn)
 	return active
 }
 
 type virtualTicker struct {
-	clk    *Virtual
+	clk    Clock
 	period time.Duration
 	ch     chan time.Time
 	mu     sync.Mutex

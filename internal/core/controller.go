@@ -71,8 +71,12 @@ type ControllerConfig struct {
 	// FlowPriority for backup-group rules (static L2 rules use
 	// FlowPriority-50).
 	FlowPriority uint16
-	Clock        clock.Clock
-	Logf         func(format string, args ...any)
+	// Clock schedules every controller timer (BFD transmit/detect, BGP
+	// keepalives). Any clock.Source satisfies it, so the same controller
+	// runs under the lab's virtual clock, the paced wall source, or the
+	// free-threaded daemon source; nil means the system clock.
+	Clock clock.Clock
+	Logf  func(format string, args ...any)
 	// Telemetry, if set, registers the controller's metric series
 	// (processor, engine, BFD, router session) on the registry and makes
 	// OpsHandler serve /metrics. Nil (the default) compiles every hook

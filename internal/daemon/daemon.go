@@ -1,0 +1,418 @@
+// Package daemon is the long-running controller service behind
+// `supercharged serve`: the batch lab's control plane turned into a
+// concurrent pipeline. Per-peer ingestion goroutines stream BGP UPDATEs
+// from their sources into a sharded, per-peer-indexed RIB; a batching
+// stage accumulates the resulting best-path changes and fans them out
+// to every downstream router over bounded queues (a slow router
+// backpressures ingestion instead of dropping routes); and the whole
+// pipeline drains gracefully under context cancellation. A source that
+// fails mid-stream is treated as a session failure: the daemon
+// withdraws the peer's routes via the indexed RemovePeer — the paper's
+// failover event, at service scale.
+//
+// The daemon observes real time through clock.Clock, so tests can run
+// it against any source; its concurrency is free-threaded (goroutines +
+// channels), unlike the lab's serial discrete-event engine.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/clock"
+	"supercharged/internal/telemetry"
+)
+
+// Config assembles a daemon.
+type Config struct {
+	// Sources are the upstream peers; one ingestion goroutine each.
+	Sources []PeerSource
+	// Routers are the downstream sinks; one delivery goroutine and one
+	// bounded queue each. No routers = ingest-only (the RIB still
+	// builds, nothing is programmed).
+	Routers []RouterSink
+	// Shards splits the RIB lock domain (default 8).
+	Shards int
+	// SizeHint pre-sizes the RIB for about this many prefixes.
+	SizeHint int
+	// BatchSize flushes a batch when it reaches this many changes
+	// (default 4096).
+	BatchSize int
+	// BatchInterval flushes a non-empty batch at least this often
+	// (default 50 ms).
+	BatchInterval time.Duration
+	// QueueDepth bounds each router's batch queue (default 64). A full
+	// queue blocks the flusher, which blocks ingestion: backpressure,
+	// not loss.
+	QueueDepth int
+	// Clock drives batching timers and latency stamps (nil = system).
+	Clock clock.Clock
+	// Telemetry, if set, registers the daemon's metric series: per-peer
+	// session state and update counts, batch/queue gauges, propagation
+	// latency and failover convergence histograms. Nil disables all of
+	// it — the pipeline behaves identically either way.
+	Telemetry *telemetry.Registry
+	// Logf, if set, receives lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is the running service. Lifecycle: New → Start → (serve) →
+// Drain or Stop. Start, Drain and Stop are all idempotent.
+type Daemon struct {
+	cfg     Config
+	clk     clock.Clock
+	rib     *ShardedRIB
+	metrics *metrics
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	hardStop chan struct{} // closed by Stop: lets a blocked flush abort
+
+	mu      sync.Mutex
+	started bool
+	batch   []RouteChange
+	seq     uint64
+	flushT  clock.Timer
+	closed  bool // intake closed; no further flushes may enqueue
+
+	queues  []chan Batch
+	sendMu  sync.Mutex     // serializes queue sends, so Seq order holds per queue
+	srcWG   sync.WaitGroup // ingestion goroutines
+	sinkWG  sync.WaitGroup // delivery goroutines
+	drainMu sync.Mutex     // serializes Drain/Stop shutdown
+	drained bool
+	downMu  sync.Mutex
+	down    map[string]bool // peers already withdrawn
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// New builds a daemon; Start brings it up.
+func New(cfg Config) *Daemon {
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 4096
+	}
+	if cfg.BatchInterval == 0 {
+		cfg.BatchInterval = 50 * time.Millisecond
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		rib:      NewShardedRIB(cfg.Shards, cfg.SizeHint),
+		down:     make(map[string]bool),
+		hardStop: make(chan struct{}),
+	}
+	d.metrics = newMetrics(cfg.Telemetry, d)
+	return d
+}
+
+// RIB exposes the daemon's table (live; safe for concurrent reads).
+func (d *Daemon) RIB() *ShardedRIB { return d.rib }
+
+// Start launches the pipeline: one goroutine per source, one per
+// router, plus the batch flusher. Idempotent; the second call is a
+// no-op. ctx cancels ingestion (sources see it via their Run context);
+// use Drain for a graceful stop that flushes in-flight work.
+func (d *Daemon) Start(ctx context.Context) {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.ctx, d.cancel = context.WithCancel(ctx)
+	d.queues = make([]chan Batch, len(d.cfg.Routers))
+	for i := range d.cfg.Routers {
+		d.queues[i] = make(chan Batch, d.cfg.QueueDepth)
+	}
+	d.mu.Unlock()
+
+	for i, sink := range d.cfg.Routers {
+		d.sinkWG.Add(1)
+		go d.deliver(d.queues[i], sink)
+	}
+	for _, src := range d.cfg.Sources {
+		d.srcWG.Add(1)
+		d.metrics.sessionUp(src, true)
+		go d.ingest(src)
+	}
+	d.armFlush()
+	d.cfg.Logf("daemon: started (%d peers, %d routers, %d shards)",
+		len(d.cfg.Sources), len(d.cfg.Routers), d.cfg.Shards)
+}
+
+// ingest runs one source and applies its stream to the sharded RIB.
+func (d *Daemon) ingest(src PeerSource) {
+	defer d.srcWG.Done()
+	peer := src.Peer()
+	err := src.Run(d.ctx, func(u *bgp.Update) error {
+		if err := d.ctx.Err(); err != nil {
+			return err
+		}
+		// Changes are enqueued from inside the shard lock (UpdateEmit's
+		// contract): for any prefix, the batch stream carries its changes
+		// in RIB-mutation order, so the last change a sink applies is the
+		// RIB's final word. Applying first and enqueueing after would open
+		// a window where two peers' changes for one prefix enter the batch
+		// in the opposite order they hit the RIB — a stale withdraw could
+		// then shadow the surviving announcement downstream.
+		changed := 0
+		d.rib.UpdateEmit(peer, u, func(ch []RouteChange) {
+			changed += len(ch)
+			d.enqueue(ch)
+		})
+		d.metrics.updates(src, len(u.NLRI), len(u.Withdrawn), changed)
+		return nil
+	})
+	switch {
+	case err == nil:
+		// Clean end of feed: session stays up, routes stay in.
+		d.cfg.Logf("daemon: peer %s: feed complete (%d routes)", src.Name(), d.rib.PeerLen(peer.Addr))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Shutdown, not failure.
+	default:
+		d.cfg.Logf("daemon: peer %s: session failed: %v", src.Name(), err)
+		d.PeerDown(src)
+	}
+}
+
+// PeerDown withdraws every route learned from the source's peer — the
+// failover event. Idempotent per peer; the convergence histogram
+// observes the wall time from the failure to the last router queue
+// accepting the withdraw batch.
+func (d *Daemon) PeerDown(src PeerSource) {
+	name := src.Name()
+	d.downMu.Lock()
+	if d.down[name] {
+		d.downMu.Unlock()
+		return
+	}
+	d.down[name] = true
+	d.downMu.Unlock()
+
+	d.metrics.sessionUp(src, false)
+	t0 := d.clk.Now()
+	// Enqueue under the shard locks (see ingest) so the withdraws order
+	// correctly against any still-streaming peer's announcements.
+	n := d.rib.RemovePeerEmit(src.Peer().Addr, d.enqueue)
+	d.flush() // failover does not wait for the batching window
+	d.metrics.failover(d.clk.Now().Sub(t0), n)
+	d.cfg.Logf("daemon: peer %s: withdrew %d routes in %v", name, n, d.clk.Now().Sub(t0))
+}
+
+// enqueue appends changes to the pending batch, flushing on size. The
+// ingestion paths call it while holding the originating RIB shard's
+// lock — that is what keeps per-prefix order in the batch stream equal
+// to RIB-mutation order. A size-triggered flush can therefore block on
+// a full router queue with a shard lock held: backpressure propagates
+// all the way to that shard's writers, by design.
+func (d *Daemon) enqueue(changes []RouteChange) {
+	if len(changes) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.batch = append(d.batch, changes...)
+	full := len(d.batch) >= d.cfg.BatchSize
+	d.mu.Unlock()
+	if full {
+		d.flush()
+	}
+}
+
+// armFlush schedules the interval flush.
+func (d *Daemon) armFlush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.flushT = d.clk.AfterFunc(d.cfg.BatchInterval, func() {
+		d.flush()
+		d.armFlush()
+	})
+}
+
+// flush ships the pending batch to every router queue. Sends block on
+// full queues — that is the backpressure path, and it holds during a
+// graceful drain too (the final flush waits for the sinks to catch up).
+// Only a hard Stop aborts a blocked send, because its sink goroutines
+// are exiting and would never free the queue. sendMu serializes
+// concurrent flushers so batches enter every queue in Seq order.
+func (d *Daemon) flush() {
+	d.sendMu.Lock()
+	defer d.sendMu.Unlock()
+	d.mu.Lock()
+	if len(d.batch) == 0 || d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.seq++
+	b := Batch{Seq: d.seq, At: d.clk.Now(), Changes: d.batch}
+	d.batch = nil
+	queues := d.queues
+	d.mu.Unlock()
+
+	d.metrics.flush(len(b.Changes))
+	for _, q := range queues {
+		select {
+		case q <- b:
+		case <-d.hardStop:
+			return
+		}
+	}
+}
+
+// deliver consumes one router's queue until it closes.
+func (d *Daemon) deliver(q chan Batch, sink RouterSink) {
+	defer d.sinkWG.Done()
+	for b := range q {
+		if err := sink.Apply(b); err != nil {
+			d.recordErr(fmt.Errorf("daemon: router %s: %w", sink.Name(), err))
+			continue
+		}
+		d.metrics.delivered(sink, len(b.Changes), d.clk.Now().Sub(b.At))
+	}
+}
+
+// Wait blocks until every source's feed has ended on its own — clean
+// completion or session failure — or ctx expires. It does not stop the
+// daemon: the flusher keeps running and the RIB stays live, so callers
+// typically Wait (finite replays) and then Drain. For endless sources,
+// skip Wait and Drain directly.
+func (d *Daemon) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		d.srcWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain performs a graceful shutdown: stop intake (sources see their
+// context cancelled), wait for ingestion to finish, flush the final
+// batch, close the router queues and wait for every queued batch to be
+// applied. ctx bounds the wait; on expiry Drain falls back to Stop
+// semantics and returns the context's error. Idempotent — concurrent
+// and repeated calls all observe the one shutdown.
+func (d *Daemon) Drain(ctx context.Context) error {
+	d.drainMu.Lock()
+	defer d.drainMu.Unlock()
+	if d.drained {
+		return d.err()
+	}
+	d.drained = true
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	if !started {
+		return nil
+	}
+
+	d.cancel() // stop sources
+	done := make(chan struct{})
+	go func() {
+		d.srcWG.Wait()
+		d.finalFlush()
+		d.closeQueues()
+		d.sinkWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		d.stopFlushTimer()
+		d.cfg.Logf("daemon: drained (%d prefixes in RIB)", d.rib.Len())
+		return d.err()
+	case <-ctx.Done():
+		d.stopFlushTimer()
+		d.recordErr(fmt.Errorf("daemon: drain: %w", ctx.Err()))
+		return d.err()
+	}
+}
+
+// Stop is the hard shutdown: cancel everything, drop queued work, wait
+// for goroutines. Idempotent, and safe after Drain.
+func (d *Daemon) Stop() {
+	d.drainMu.Lock()
+	defer d.drainMu.Unlock()
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	if !started {
+		return
+	}
+	if !d.drained {
+		d.drained = true
+		d.cancel()
+		close(d.hardStop)
+		d.srcWG.Wait()
+		d.closeQueues()
+		d.sinkWG.Wait()
+	}
+	d.stopFlushTimer()
+}
+
+// finalFlush ships whatever ingestion left pending. Called with intake
+// finished, before queues close.
+func (d *Daemon) finalFlush() { d.flush() }
+
+// closeQueues marks the pipeline closed and closes every router queue
+// exactly once.
+func (d *Daemon) closeQueues() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	queues := d.queues
+	d.mu.Unlock()
+	for _, q := range queues {
+		close(q)
+	}
+}
+
+func (d *Daemon) stopFlushTimer() {
+	d.mu.Lock()
+	if d.flushT != nil {
+		d.flushT.Stop()
+		d.flushT = nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+}
+
+func (d *Daemon) recordErr(err error) {
+	d.errMu.Lock()
+	d.errs = append(d.errs, err)
+	d.errMu.Unlock()
+}
+
+// err joins every recorded pipeline error.
+func (d *Daemon) err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return errors.Join(d.errs...)
+}

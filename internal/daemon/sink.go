@@ -1,0 +1,105 @@
+package daemon
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Batch is one flushed unit of the downstream pipeline: the route
+// changes accumulated over one batching window, in RIB-application
+// order per prefix.
+type Batch struct {
+	// Seq numbers batches in flush order; every router sees the same
+	// sequence, so sinks can assert ordered, gap-free delivery.
+	Seq uint64
+	// At is the flush instant on the daemon's clock — propagation
+	// latency is measured from here to Apply completion.
+	At time.Time
+	// Changes are the window's route changes, oldest first. A prefix may
+	// appear more than once; the last occurrence wins.
+	Changes []RouteChange
+}
+
+// RouterSink is one downstream router the daemon programs. Apply is
+// called serially per sink from that sink's own delivery goroutine; a
+// slow sink fills its bounded queue and backpressures ingestion rather
+// than dropping batches.
+type RouterSink interface {
+	Name() string
+	Apply(b Batch) error
+}
+
+// FIBSink is an in-memory downstream router: it programs a map FIB,
+// tracking applied batches and entries — the stand-in sink behind
+// `supercharged serve` and the concurrency tests.
+type FIBSink struct {
+	name string
+	// Delay simulates per-batch programming latency (0 = instant).
+	Delay time.Duration
+
+	mu      sync.Mutex
+	fib     map[netip.Prefix]netip.Addr
+	batches uint64
+	lastSeq uint64
+	gaps    int
+}
+
+// NewFIBSink builds an empty in-memory router FIB.
+func NewFIBSink(name string) *FIBSink {
+	return &FIBSink{name: name, fib: make(map[netip.Prefix]netip.Addr)}
+}
+
+func (s *FIBSink) Name() string { return s.name }
+
+// Apply programs the batch into the FIB. Withdraws delete the entry.
+func (s *FIBSink) Apply(b Batch) error {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batches > 0 && b.Seq != s.lastSeq+1 {
+		s.gaps++
+	}
+	s.lastSeq = b.Seq
+	s.batches++
+	for _, ch := range b.Changes {
+		if ch.NextHop.IsValid() {
+			s.fib[ch.Prefix] = ch.NextHop
+		} else {
+			delete(s.fib, ch.Prefix)
+		}
+	}
+	return nil
+}
+
+// Len returns the programmed entry count.
+func (s *FIBSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.fib)
+}
+
+// Batches returns how many batches were applied.
+func (s *FIBSink) Batches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches
+}
+
+// Gaps returns how many sequence gaps were observed (0 on a healthy
+// pipeline — bounded queues block, they never drop).
+func (s *FIBSink) Gaps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gaps
+}
+
+// NextHop reads one programmed entry.
+func (s *FIBSink) NextHop(p netip.Prefix) (netip.Addr, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nh, ok := s.fib[p]
+	return nh, ok
+}

@@ -1,0 +1,180 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/clock"
+	"supercharged/internal/feed"
+)
+
+// PeerSource is one upstream BGP feed: the daemon runs each source on
+// its own ingestion goroutine and applies everything it emits to the
+// sharded RIB under the source's peer identity. Run streams UPDATEs
+// into emit until the feed is exhausted (clean session close), the
+// context is cancelled, or the source fails — a non-cancellation error
+// is treated as a session failure and triggers the peer's withdraw
+// (RemovePeer) downstream, the daemon-scale version of the paper's
+// failover event.
+type PeerSource interface {
+	// Peer identifies the session; Meta.Addr keys the RIB's per-peer
+	// index and the per-peer telemetry series.
+	Peer() bgp.PeerMeta
+	// Name labels the peer in logs and metrics.
+	Name() string
+	// Run streams updates. emit's error (backpressure, shutdown) must
+	// abort the stream and be returned unwrapped.
+	Run(ctx context.Context, emit func(*bgp.Update) error) error
+}
+
+// ErrSessionFailed is the conventional failure a load-generating source
+// returns to script a peer failure (TableReplay.FailAfter).
+var ErrSessionFailed = fmt.Errorf("daemon: scripted session failure")
+
+// TableReplay replays a routing table as one peer's feed: the MRT
+// bridge (feed.FromMRT) or the synthetic generator both produce the
+// *feed.Table it streams. It is the daemon's load generator.
+type TableReplay struct {
+	// PeerName labels the peer ("" = addr).
+	PeerName string
+	// Meta is the session identity; Meta.Addr must be set.
+	Meta bgp.PeerMeta
+	// Table is the feed to replay.
+	Table *feed.Table
+	// NextHop is the announced NEXT_HOP (default Meta.Addr).
+	NextHop netip.Addr
+	// Rate paces the replay in routes per second (0 = as fast as the
+	// pipeline accepts). Pacing happens in 10 ms quanta against Clock.
+	Rate int
+	// Loop, when positive, replays the table that many extra times after
+	// the initial announcement (identical re-announcements — update
+	// churn the RIB recognizes by interned-attribute pointer compare).
+	Loop int
+	// FailAfter, when positive, ends the session with ErrSessionFailed
+	// after that many routes have been emitted — the scripted peer
+	// failure the daemon converges around.
+	FailAfter int
+	// Clock paces the replay (nil = system).
+	Clock clock.Clock
+}
+
+// NewSynthetic builds a TableReplay over a generated table: n prefixes,
+// deterministic per seed, announced by the given peer.
+func NewSynthetic(name string, meta bgp.PeerMeta, n int, seed int64, rate int) *TableReplay {
+	return &TableReplay{
+		PeerName: name,
+		Meta:     meta,
+		Table:    feed.Generate(feed.Config{N: n, Seed: seed}),
+		Rate:     rate,
+	}
+}
+
+func (t *TableReplay) Peer() bgp.PeerMeta { return t.Meta }
+
+func (t *TableReplay) Name() string {
+	if t.PeerName != "" {
+		return t.PeerName
+	}
+	return t.Meta.Addr.String()
+}
+
+// Run streams the table (and its Loop replays) through emit, paced at
+// Rate. The context is polled between updates, so cancellation takes
+// effect within one batch.
+func (t *TableReplay) Run(ctx context.Context, emit func(*bgp.Update) error) error {
+	clk := t.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	nh := t.NextHop
+	if !nh.IsValid() {
+		nh = t.Meta.Addr
+	}
+	pace := newPacer(clk, t.Rate)
+	sent := 0
+	pass := func() error {
+		return t.Table.StreamUpdates(t.Meta.AS, nh, bgp.Codec{}, func(u *bgp.Update) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := pace.wait(ctx, len(u.NLRI)); err != nil {
+				return err
+			}
+			if err := emit(u); err != nil {
+				return err
+			}
+			sent += len(u.NLRI)
+			if t.FailAfter > 0 && sent >= t.FailAfter {
+				return ErrSessionFailed
+			}
+			return nil
+		})
+	}
+	for i := 0; i <= t.Loop; i++ {
+		if err := pass(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pacer meters emission at a routes-per-second budget in 10 ms quanta.
+// A zero rate never waits.
+type pacer struct {
+	clk     clock.Clock
+	quantum time.Duration
+	budget  int // routes per quantum
+	avail   int
+	next    time.Time
+}
+
+func newPacer(clk clock.Clock, rate int) *pacer {
+	p := &pacer{clk: clk, quantum: 10 * time.Millisecond}
+	if rate > 0 {
+		p.budget = rate / 100
+		if p.budget == 0 {
+			p.budget = 1
+		}
+		p.avail = p.budget
+		p.next = clk.Now().Add(p.quantum)
+	}
+	return p
+}
+
+// wait debits n routes from the budget and sleeps off any debt: a
+// batch larger than one quantum's budget (updates carry hundreds of
+// prefixes) stalls for proportionally many quanta, so the long-run rate
+// holds regardless of batch shape.
+func (p *pacer) wait(ctx context.Context, n int) error {
+	if p.budget == 0 {
+		return nil
+	}
+	p.avail -= n
+	for p.avail < 0 {
+		d := p.next.Sub(p.clk.Now())
+		if d > 0 {
+			if err := sleepCtx(ctx, p.clk, d); err != nil {
+				return err
+			}
+		}
+		p.avail += p.budget
+		p.next = p.next.Add(p.quantum)
+	}
+	return nil
+}
+
+// sleepCtx sleeps d on clk, abandoning the wait when ctx is done.
+func sleepCtx(ctx context.Context, clk clock.Clock, d time.Duration) error {
+	done := make(chan struct{})
+	tm := clk.AfterFunc(d, func() { close(done) })
+	defer tm.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

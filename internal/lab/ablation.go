@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -37,7 +38,7 @@ type ReplicaDeterminism struct {
 
 // RunReplicaDeterminism builds two replicas per allocation mode and
 // compares their eventual outputs.
-func RunReplicaDeterminism(prefixes int, peers int, seed int64) ([]ReplicaDeterminism, error) {
+func RunReplicaDeterminism(ctx context.Context, prefixes int, peers int, seed int64) ([]ReplicaDeterminism, error) {
 	if prefixes <= 0 {
 		prefixes = 2000
 	}
@@ -89,6 +90,9 @@ func RunReplicaDeterminism(prefixes int, peers int, seed int64) ([]ReplicaDeterm
 
 	var out []ReplicaDeterminism
 	for _, mode := range []core.AllocMode{core.AllocSequential, core.AllocDeterministic} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gtA, procA, err := replay(mode, seed+100)
 		if err != nil {
 			return nil, err
@@ -145,7 +149,7 @@ type BFDSweepRow struct {
 }
 
 // RunBFDSweep sweeps the BFD interval at a fixed table size.
-func RunBFDSweep(prefixes int, intervals []time.Duration, seed int64) ([]BFDSweepRow, error) {
+func RunBFDSweep(ctx context.Context, prefixes int, intervals []time.Duration, seed int64) ([]BFDSweepRow, error) {
 	if prefixes <= 0 {
 		prefixes = 10_000
 	}
@@ -157,7 +161,7 @@ func RunBFDSweep(prefixes int, intervals []time.Duration, seed int64) ([]BFDSwee
 	}
 	var rows []BFDSweepRow
 	for _, iv := range intervals {
-		res, err := sim.Run(sim.Config{
+		res, err := sim.Run(ctx, sim.Config{
 			Mode: sim.Supercharged, NumPrefixes: prefixes, Seed: seed, BFDInterval: iv,
 		})
 		if err != nil {
@@ -190,11 +194,11 @@ type K3Result struct {
 }
 
 // RunK3 runs the double-failure scenario with three providers and k=3.
-func RunK3(prefixes int, seed int64) (*K3Result, error) {
+func RunK3(ctx context.Context, prefixes int, seed int64) (*K3Result, error) {
 	if prefixes <= 0 {
 		prefixes = 5000
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := sim.Run(ctx, sim.Config{
 		Mode: sim.Supercharged, NumPrefixes: prefixes, Seed: seed,
 		GroupSize: 3, Providers: 3, SecondFailure: 500 * time.Millisecond,
 	})

@@ -4,6 +4,7 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -54,8 +55,8 @@ type Fig5Result struct {
 }
 
 // RunFig5 executes the sweep. Progress, if non-nil, receives one line per
-// completed run.
-func RunFig5(cfg Fig5Config, progress io.Writer) (*Fig5Result, error) {
+// completed run. The context cancels the sweep between simulator events.
+func RunFig5(ctx context.Context, cfg Fig5Config, progress io.Writer) (*Fig5Result, error) {
 	if len(cfg.Sizes) == 0 {
 		cfg.Sizes = Fig5Sweep
 	}
@@ -75,7 +76,7 @@ func RunFig5(cfg Fig5Config, progress io.Writer) (*Fig5Result, error) {
 		for _, mode := range []sim.Mode{sim.Standalone, sim.Supercharged} {
 			var samples []float64
 			for r := 0; r < cfg.Runs; r++ {
-				out, err := sim.Run(sim.Config{
+				out, err := sim.Run(ctx, sim.Config{
 					Mode:        mode,
 					NumPrefixes: n,
 					NumFlows:    cfg.Flows,
@@ -152,10 +153,10 @@ func (r *Fig5Result) Render() string {
 // FirstEntry reports the standalone best case (E2, paper: 375 ms to the
 // first FIB entry) measured as the minimum convergence across runs at the
 // given size.
-func FirstEntry(n int, runs int, seed int64) (time.Duration, error) {
+func FirstEntry(ctx context.Context, n int, runs int, seed int64) (time.Duration, error) {
 	best := time.Duration(1<<63 - 1)
 	for r := 0; r < runs; r++ {
-		out, err := sim.Run(sim.Config{Mode: sim.Standalone, NumPrefixes: n, Seed: seed + int64(r)})
+		out, err := sim.Run(ctx, sim.Config{Mode: sim.Standalone, NumPrefixes: n, Seed: seed + int64(r)})
 		if err != nil {
 			return 0, err
 		}

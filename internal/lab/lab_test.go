@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ import (
 var testSizes = []int{1000, 5000, 10000}
 
 func TestFig5ShapeOnReducedSweep(t *testing.T) {
-	res, err := RunFig5(Fig5Config{Sizes: testSizes, Runs: 2, Flows: 50, Seed: 3}, nil)
+	res, err := RunFig5(context.Background(), Fig5Config{Sizes: testSizes, Runs: 2, Flows: 50, Seed: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFig5ShapeOnReducedSweep(t *testing.T) {
 }
 
 func TestFig5PaperReferenceAttached(t *testing.T) {
-	res, err := RunFig5(Fig5Config{Sizes: []int{1000}, Runs: 1, Flows: 20, Seed: 1}, nil)
+	res, err := RunFig5(context.Background(), Fig5Config{Sizes: []int{1000}, Runs: 1, Flows: 20, Seed: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFig5PaperReferenceAttached(t *testing.T) {
 }
 
 func TestFirstEntryMatchesPaperRegime(t *testing.T) {
-	best, err := FirstEntry(1000, 3, 1)
+	best, err := FirstEntry(context.Background(), 1000, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFirstEntryMatchesPaperRegime(t *testing.T) {
 }
 
 func TestMicroBenchmark(t *testing.T) {
-	res, err := RunMicro(MicroConfig{Prefixes: 20000, Seed: 1})
+	res, err := RunMicro(context.Background(), MicroConfig{Prefixes: 20000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestMicroBenchmark(t *testing.T) {
 }
 
 func TestGroupsFormula(t *testing.T) {
-	rows, err := RunGroups(GroupsConfig{MaxPeers: 6})
+	rows, err := RunGroups(context.Background(), GroupsConfig{MaxPeers: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestGroupsFormula(t *testing.T) {
 }
 
 func TestReplicaDeterminismAblation(t *testing.T) {
-	rows, err := RunReplicaDeterminism(1500, 4, 1)
+	rows, err := RunReplicaDeterminism(context.Background(), 1500, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestReplicaDeterminismAblation(t *testing.T) {
 }
 
 func TestBFDSweepMonotone(t *testing.T) {
-	rows, err := RunBFDSweep(2000, nil, 1)
+	rows, err := RunBFDSweep(context.Background(), 2000, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestBFDSweepMonotone(t *testing.T) {
 }
 
 func TestK3Ablation(t *testing.T) {
-	res, err := RunK3(1000, 1)
+	res, err := RunK3(context.Background(), 1000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -41,8 +42,9 @@ var (
 )
 
 // RunMicro replays both peer feeds through a fresh Processor, timing each
-// UPDATE's processing (decision process + Listing 1 + NH rewrite).
-func RunMicro(cfg MicroConfig) (*MicroResult, error) {
+// UPDATE's processing (decision process + Listing 1 + NH rewrite). The
+// context cancels the replay between peers.
+func RunMicro(ctx context.Context, cfg MicroConfig) (*MicroResult, error) {
 	if cfg.Prefixes <= 0 {
 		cfg.Prefixes = 500_000
 	}
@@ -66,6 +68,9 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	var samples []float64
 	start := time.Now()
 	for _, p := range peers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		updates, err := table.Updates(p.as, p.nh, codec)
 		if err != nil {
 			return nil, err
@@ -119,7 +124,7 @@ type GroupsRow struct {
 
 // RunGroups realizes every (primary, backup) ordering among n peers and
 // counts allocated groups, checking the paper's n!/(n-2)! formula.
-func RunGroups(cfg GroupsConfig) ([]GroupsRow, error) {
+func RunGroups(ctx context.Context, cfg GroupsConfig) ([]GroupsRow, error) {
 	if cfg.MaxPeers == 0 {
 		cfg.MaxPeers = 10
 	}
@@ -128,6 +133,9 @@ func RunGroups(cfg GroupsConfig) ([]GroupsRow, error) {
 	}
 	var rows []GroupsRow
 	for n := 2; n <= cfg.MaxPeers; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		proc := core.NewProcessor(nil, core.NewGroupTable(core.NewVNHPool(core.AllocDeterministic)))
 		peers := make([]bgp.PeerMeta, n)
 		for i := range peers {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"supercharged/internal/clock"
 	"supercharged/internal/feed"
 	"supercharged/internal/sim"
 	"supercharged/internal/telemetry"
@@ -14,8 +15,13 @@ import (
 // caller picks one.
 const DefaultPrefixes = 5000
 
-// Options parameterizes one scenario execution.
-type Options struct {
+// Runner is the one scenario execution front door: every knob that used
+// to be spread across Options, Instrumentation and positional arguments
+// lives here, and every entrypoint (Run, RunNamed, RunUnit — plus the
+// deprecated wrappers below) funnels through it. The zero value runs
+// the default experiment: standalone vs supercharged on a fresh virtual
+// clock, seed 1, spec-chosen sizes, no telemetry.
+type Runner struct {
 	// Modes lists the router modes to run (default: standalone then
 	// supercharged, so reports always compare the two).
 	Modes []sim.Mode
@@ -31,16 +37,128 @@ type Options struct {
 	Table string
 	// Progress, if set, receives one line per run.
 	Progress io.Writer
-	// Instrument attaches telemetry to every run (zero value = off).
-	Instrument Instrumentation
+	// Trace, if set, records every run's pipeline spans in source time.
+	Trace *telemetry.Trace
+	// Telemetry, if set, receives every run's metric series.
+	Telemetry *telemetry.Registry
+	// Source, if set, supplies the time source for each run. It is a
+	// factory, not a value: every run owns its lab and must own its
+	// source, so sharing one Source across runs would leak state between
+	// them. Nil runs each lab on a fresh virtual clock at the Unix epoch
+	// — the deterministic default whose reports are byte-reproducible.
+	Source func() clock.Source
 }
 
-// Instrumentation bundles the optional observability attachments a run
-// carries: a virtual-time trace recorder and a metrics registry. The
-// zero value disables both — the simulator's hooks compile to no-ops.
-type Instrumentation struct {
-	Trace     *telemetry.Trace
-	Telemetry *telemetry.Registry
+// modes returns the mode list with the compare-both default applied.
+func (r Runner) modes() []sim.Mode {
+	if len(r.Modes) > 0 {
+		return r.Modes
+	}
+	return []sim.Mode{sim.Standalone, sim.Supercharged}
+}
+
+// Run executes spec in every requested mode (and, for sweeping specs, at
+// every table size) and assembles the per-event convergence report. The
+// context cancels the execution between simulator events.
+func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if r.Table != "" {
+		spec.Table = r.Table
+	}
+	// Load the replay table once for the whole matrix, not per run.
+	var table *feed.Table
+	if spec.Table != "" {
+		var err error
+		if table, err = LoadTable(spec.Table); err != nil {
+			return nil, err
+		}
+	}
+	sizes := spec.Sizes(r.Prefixes)
+
+	rep := &Report{Scenario: spec.Name, Description: spec.Description, Seed: seed}
+	for _, mode := range r.modes() {
+		for _, n := range sizes {
+			if r.Progress != nil {
+				fmt.Fprintf(r.Progress, "scenario %s: %s @ %d prefixes...\n", spec.Name, mode, n)
+			}
+			run, err := r.runCompiled(ctx, spec, mode, n, r.Flows, seed, table)
+			if err != nil {
+				return nil, err
+			}
+			rep.Runs = append(rep.Runs, run)
+		}
+	}
+	return rep, nil
+}
+
+// RunNamed looks up and runs a registered scenario.
+func (r Runner) RunNamed(ctx context.Context, name string) (*Report, error) {
+	spec, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have: %v)", name, Names())
+	}
+	return r.Run(ctx, spec)
+}
+
+// RunUnit executes spec exactly once — one mode, one table size — and
+// returns that single run's report. It is the unit of work a parallel
+// sweep distributes across workers: per-(mode, size) runs are fully
+// independent (each builds its own lab and time source), so RunUnit is
+// safe to call concurrently. The positional arguments vary per unit and
+// therefore stay explicit rather than living on the Runner; prefixes,
+// flows and seed of zero take the usual defaults. The Runner supplies
+// everything a whole sweep shares: table override, instrumentation,
+// time-source factory.
+func (r Runner) RunUnit(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunReport, error) {
+	if err := spec.Validate(); err != nil {
+		return RunReport{}, err
+	}
+	if prefixes <= 0 {
+		prefixes = spec.Sizes(0)[0]
+	}
+	if flows == 0 {
+		flows = r.Flows
+	}
+	if seed == 0 {
+		seed = r.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	if r.Table != "" {
+		spec.Table = r.Table
+	}
+	var table *feed.Table
+	if spec.Table != "" {
+		var err error
+		if table, err = LoadTable(spec.Table); err != nil {
+			return RunReport{}, err
+		}
+	}
+	return r.runCompiled(ctx, spec, mode, prefixes, flows, seed, table)
+}
+
+// runCompiled compiles and executes one (mode, size) cell with the
+// runner's instrumentation and time source attached.
+func (r Runner) runCompiled(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, seed int64, table *feed.Table) (RunReport, error) {
+	cfg := spec.compile(mode, prefixes, flows, seed)
+	cfg.Trace = r.Trace
+	cfg.Telemetry = r.Telemetry
+	cfg.Table = table
+	if r.Source != nil {
+		cfg.Source = r.Source()
+	}
+	res, err := sim.RunTimeline(ctx, cfg)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, prefixes, err)
+	}
+	return buildRunReport(res), nil
 }
 
 // Sizes returns the table sizes one execution of the spec covers:
@@ -61,99 +179,75 @@ func (s Spec) Sizes(override int) []int {
 	return []int{n}
 }
 
-// RunOne executes spec exactly once — one mode, one table size — and
-// returns that single run's report. It is the unit of work a parallel
-// sweep distributes across workers: per-(mode, size) runs are fully
-// independent (each builds its own virtual-clock lab), so RunOne is safe
-// to call concurrently. The context cancels the underlying simulation
-// between events; flows and seed of zero take the usual defaults.
+// --- Deprecated wrappers -----------------------------------------------
+//
+// The pre-Runner surface: thin adapters so existing call sites keep
+// compiling while they migrate. Nothing below adds behavior.
+
+// Options parameterizes one scenario execution.
+//
+// Deprecated: use Runner, which carries the same knobs plus the
+// instrumentation attachments directly.
+type Options struct {
+	Modes    []sim.Mode
+	Prefixes int
+	Flows    int
+	Seed     int64
+	Table    string
+	Progress io.Writer
+	// Instrument attaches telemetry to every run (zero value = off).
+	Instrument Instrumentation
+}
+
+// Instrumentation bundles the optional observability attachments a run
+// carries: a virtual-time trace recorder and a metrics registry. The
+// zero value disables both — the simulator's hooks compile to no-ops.
+//
+// Deprecated: set Trace and Telemetry on Runner directly.
+type Instrumentation struct {
+	Trace     *telemetry.Trace
+	Telemetry *telemetry.Registry
+}
+
+// runner adapts the legacy options bundle onto the Runner it describes.
+func (o Options) runner() Runner {
+	return Runner{
+		Modes:     o.Modes,
+		Prefixes:  o.Prefixes,
+		Flows:     o.Flows,
+		Seed:      o.Seed,
+		Table:     o.Table,
+		Progress:  o.Progress,
+		Trace:     o.Instrument.Trace,
+		Telemetry: o.Instrument.Telemetry,
+	}
+}
+
+// RunOne executes spec exactly once — one mode, one table size.
+//
+// Deprecated: use Runner{}.RunUnit.
 func RunOne(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, seed int64) (RunReport, error) {
-	return RunOneInstrumented(ctx, spec, mode, prefixes, flows, seed, Instrumentation{})
+	return Runner{}.RunUnit(ctx, spec, mode, prefixes, flows, seed)
 }
 
-// RunOneInstrumented is RunOne with telemetry attached: ins.Trace
-// records the run's virtual-time pipeline spans and ins.Telemetry its
-// metric series. The measurements are byte-identical to an
-// uninstrumented run — telemetry observes the model, it never steers it.
+// RunOneInstrumented is RunOne with telemetry attached.
+//
+// Deprecated: use Runner{Trace: ..., Telemetry: ...}.RunUnit.
 func RunOneInstrumented(ctx context.Context, spec Spec, mode sim.Mode, prefixes, flows int, seed int64, ins Instrumentation) (RunReport, error) {
-	if err := spec.Validate(); err != nil {
-		return RunReport{}, err
-	}
-	if prefixes <= 0 {
-		prefixes = spec.Sizes(0)[0]
-	}
-	if seed == 0 {
-		seed = 1
-	}
-	cfg := spec.compile(mode, prefixes, flows, seed)
-	cfg.Trace = ins.Trace
-	cfg.Telemetry = ins.Telemetry
-	if spec.Table != "" {
-		table, err := LoadTable(spec.Table)
-		if err != nil {
-			return RunReport{}, err
-		}
-		cfg.Table = table
-	}
-	res, err := sim.RunTimeline(ctx, cfg)
-	if err != nil {
-		return RunReport{}, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, prefixes, err)
-	}
-	return buildRunReport(res), nil
+	return Runner{Trace: ins.Trace, Telemetry: ins.Telemetry}.RunUnit(ctx, spec, mode, prefixes, flows, seed)
 }
 
-// Run executes spec in every requested mode (and, for sweeping specs, at
-// every table size) and assembles the per-event convergence report. The
-// context cancels the execution between simulator events.
+// Run executes spec under the legacy options bundle.
+//
+// Deprecated: use Runner.Run.
 func Run(ctx context.Context, spec Spec, opts Options) (*Report, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	modes := opts.Modes
-	if len(modes) == 0 {
-		modes = []sim.Mode{sim.Standalone, sim.Supercharged}
-	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	if opts.Table != "" {
-		spec.Table = opts.Table
-	}
-	var table *feed.Table
-	if spec.Table != "" {
-		var err error
-		if table, err = LoadTable(spec.Table); err != nil {
-			return nil, err
-		}
-	}
-	sizes := spec.Sizes(opts.Prefixes)
-
-	rep := &Report{Scenario: spec.Name, Description: spec.Description, Seed: seed}
-	for _, mode := range modes {
-		for _, n := range sizes {
-			if opts.Progress != nil {
-				fmt.Fprintf(opts.Progress, "scenario %s: %s @ %d prefixes...\n", spec.Name, mode, n)
-			}
-			cfg := spec.compile(mode, n, opts.Flows, seed)
-			cfg.Trace = opts.Instrument.Trace
-			cfg.Telemetry = opts.Instrument.Telemetry
-			cfg.Table = table
-			res, err := sim.RunTimeline(ctx, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("scenario %q (%s, %d prefixes): %w", spec.Name, mode, n, err)
-			}
-			rep.Runs = append(rep.Runs, buildRunReport(res))
-		}
-	}
-	return rep, nil
+	return opts.runner().Run(ctx, spec)
 }
 
-// RunNamed looks up and runs a registered scenario.
+// RunNamed looks up and runs a registered scenario under the legacy
+// options bundle.
+//
+// Deprecated: use Runner.RunNamed.
 func RunNamed(ctx context.Context, name string, opts Options) (*Report, error) {
-	spec, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown scenario %q (have: %v)", name, Names())
-	}
-	return Run(ctx, spec, opts)
+	return opts.runner().RunNamed(ctx, name)
 }

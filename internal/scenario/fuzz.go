@@ -343,14 +343,15 @@ func CheckSpec(ctx context.Context, spec Spec, opts FuzzOptions) (string, error)
 	if exhaustible(spec) {
 		return "", nil
 	}
-	sa, err := RunOne(ctx, spec, sim.Standalone, opts.Prefixes, opts.Flows, 1)
+	var r Runner
+	sa, err := r.RunUnit(ctx, spec, sim.Standalone, opts.Prefixes, opts.Flows, 1)
 	if err != nil {
 		if ctx.Err() != nil {
 			return "", err
 		}
 		return fmt.Sprintf("standalone run failed: %v", err), nil
 	}
-	su, err := RunOne(ctx, spec, sim.Supercharged, opts.Prefixes, opts.Flows, 1)
+	su, err := r.RunUnit(ctx, spec, sim.Supercharged, opts.Prefixes, opts.Flows, 1)
 	if err != nil {
 		if ctx.Err() != nil {
 			return "", err

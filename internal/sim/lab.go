@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -20,7 +21,7 @@ const routerPortOnSwitch uint16 = 1
 // allocated, VNHs announced, ARP resolved and switch rules installed.
 // Setup is not part of the measured experiment, so table loads are
 // synchronous.
-func (l *lab) setup() error {
+func (l *lab) setup(ctx context.Context) error {
 	cfg := l.cfg
 	l.fib = dataplane.NewFlatFIBNoLPM(l.clk, cfg.PerEntry)
 	l.fib.Reserve(cfg.NumPrefixes)
@@ -29,7 +30,7 @@ func (l *lab) setup() error {
 	case Standalone:
 		return l.setupStandalone()
 	case Supercharged:
-		return l.setupSupercharged()
+		return l.setupSupercharged(ctx)
 	}
 	return fmt.Errorf("sim: unknown mode %d", cfg.Mode)
 }
@@ -75,7 +76,7 @@ func (l *lab) setupStandalone() error {
 // core.Processor, the router receives VNH announcements, resolves them via
 // the ARP responder and installs VMAC-tagged FIB entries; the engine
 // installs one switch rule per backup-group.
-func (l *lab) setupSupercharged() error {
+func (l *lab) setupSupercharged(ctx context.Context) error {
 	cfg := l.cfg
 	pool := core.NewVNHPool(cfg.AllocMode)
 	groups := core.NewGroupTable(pool)
@@ -112,7 +113,9 @@ func (l *lab) setupSupercharged() error {
 	l.fib.OnApplied = l.onFIBApplied
 	// Setup-phase rule installs happen synchronously; drain them now so
 	// they are in place before traffic starts.
-	l.clk.RunUntilIdleLimit(1_000_000)
+	if _, err := l.clk.Drive(ctx, 1_000_000); err != nil {
+		return fmt.Errorf("sim: setup cancelled: %w", err)
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -90,7 +91,16 @@ type Config struct {
 	// R3 backup; A2 uses 3).
 	Providers int
 
-	// Trace, if set, records virtual-time spans of the convergence
+	// Source is the time source the lab runs on. Nil — the default —
+	// builds a fresh virtual discrete-event source starting at the Unix
+	// epoch: the deterministic lab. A clock.Wall source runs the same
+	// engine paced by the system clock (the virtual-vs-real equivalence
+	// tests do exactly that); the source must serialize callbacks on the
+	// driving goroutine, as Virtual and Wall do — the lab's state is
+	// unsynchronized.
+	Source clock.Source `json:"-"`
+
+	// Trace, if set, records source-time spans of the convergence
 	// pipeline (see internal/telemetry and sim's telemetry.go). Nil — the
 	// default — disables tracing entirely.
 	Trace *telemetry.Trace `json:"-"`
@@ -193,7 +203,9 @@ type provider struct {
 func (p *provider) forwarding() bool { return p.up && p.session }
 
 // Run executes one convergence experiment and returns the measurements.
-func Run(cfg Config) (*Result, error) {
+// The context cancels the run between simulator events; a cancelled run
+// returns ctx's error and no partial result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.NumPrefixes <= 0 {
 		return nil, fmt.Errorf("sim: NumPrefixes must be positive")
 	}
@@ -203,7 +215,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	lab := newLab(cfg, nil)
-	return lab.run()
+	return lab.run(ctx)
 }
 
 // withDefaults fills zero fields from the calibrated DefaultConfig.
@@ -249,8 +261,13 @@ func (cfg Config) withDefaults() Config {
 }
 
 type lab struct {
-	cfg   Config
-	clk   *clock.Virtual
+	cfg Config
+	// clk is the run's time source; every timer and timestamp in the lab
+	// goes through it. epoch is the source's time when the lab was built
+	// — the origin all reported offsets and trace spans are relative to
+	// (Unix(0,0) for the default virtual source).
+	clk   clock.Source
+	epoch time.Time
 	rng   *rand.Rand
 	table *feed.Table
 
@@ -319,15 +336,18 @@ func (p *probe) closeAt(at time.Time) {
 	}
 }
 
-var zeroTime = time.Unix(0, 0).UTC()
-
 // newLab builds the lab. peers parameterizes the provider topology; nil
 // synthesizes cfg.Providers identical full-feed peers (R2 preferred, then
 // descending), the paper's fixed setup.
 func newLab(cfg Config, peers []PeerSpec) *lab {
+	src := cfg.Source
+	if src == nil {
+		src = clock.NewVirtualAtZero()
+	}
 	l := &lab{
 		cfg:     cfg,
-		clk:     clock.NewVirtualAtZero(),
+		clk:     src,
+		epoch:   src.Now(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		probes:  make(map[netip.Prefix]*probe),
 		targets: make(map[packet.MAC]*provider),
@@ -388,13 +408,13 @@ func (l *lab) assignFeeds() {
 	}
 }
 
-func (l *lab) run() (*Result, error) {
+func (l *lab) run(ctx context.Context) (*Result, error) {
 	cfg := l.cfg
 	l.traceStart()
 	l.table = feed.Generate(feed.Config{N: cfg.NumPrefixes, Seed: cfg.Seed})
 	l.assignFeeds()
 
-	if err := l.setup(); err != nil {
+	if err := l.setup(ctx); err != nil {
 		return nil, err
 	}
 	l.wireMetrics()
@@ -412,7 +432,9 @@ func (l *lab) run() (*Result, error) {
 
 	// Drive the event loop dry. The FIB walk dominates: bound events
 	// generously.
-	l.clk.RunUntilIdleLimit(50_000_000)
+	if _, err := l.clk.Drive(ctx, 50_000_000); err != nil {
+		return nil, fmt.Errorf("sim: run cancelled: %w", err)
+	}
 
 	// Harvest measurements.
 	res := l.result
@@ -448,9 +470,9 @@ func (l *lab) run() (*Result, error) {
 func (l *lab) quantizedGap(pr *probe, o outage) time.Duration {
 	iv := l.cfg.ProbeInterval
 	// Last probe at or before the blackout started.
-	lastBefore := alignDown(o.start.Sub(zeroTime)-pr.phase, iv) + pr.phase
+	lastBefore := alignDown(o.start.Sub(l.epoch)-pr.phase, iv) + pr.phase
 	// First probe at or after recovery.
-	firstAfter := alignUp(o.end.Sub(zeroTime)-pr.phase, iv) + pr.phase
+	firstAfter := alignUp(o.end.Sub(l.epoch)-pr.phase, iv) + pr.phase
 	return firstAfter - lastBefore
 }
 

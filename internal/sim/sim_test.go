@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -9,7 +10,7 @@ import (
 
 func run(t *testing.T, cfg Config) *Result {
 	t.Helper()
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,10 +177,10 @@ func TestProbeQuantizationRespectsInterval(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Config{Mode: Standalone, NumPrefixes: 0}); err == nil {
+	if _, err := Run(context.Background(), Config{Mode: Standalone, NumPrefixes: 0}); err == nil {
 		t.Fatal("accepted zero prefixes")
 	}
-	if _, err := Run(Config{Mode: Standalone, NumPrefixes: 10, Providers: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{Mode: Standalone, NumPrefixes: 10, Providers: 1}); err == nil {
 		t.Fatal("accepted one provider")
 	}
 }
@@ -197,7 +198,7 @@ func TestImprovementFactorAtScale(t *testing.T) {
 
 func BenchmarkSimStandalone10k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Config{Mode: Standalone, NumPrefixes: 10000, Seed: int64(i)}); err != nil {
+		if _, err := Run(context.Background(), Config{Mode: Standalone, NumPrefixes: 10000, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -205,7 +206,7 @@ func BenchmarkSimStandalone10k(b *testing.B) {
 
 func BenchmarkSimSupercharged10k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Config{Mode: Supercharged, NumPrefixes: 10000, Seed: int64(i)}); err != nil {
+		if _, err := Run(context.Background(), Config{Mode: Supercharged, NumPrefixes: 10000, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

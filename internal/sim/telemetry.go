@@ -17,10 +17,11 @@ import (
 //
 // Span geometry: one trace *process* per run (mode · size · seed), one
 // *thread* per timeline event (tid = event index + 1), with tid 0 as the
-// run-level pipeline row (setup, feed ingest, rule installs). All spans
-// are in virtual time: offsets of the lab clock from its epoch
-// (time.Unix(0,0)), so the viewer's axis shows exactly the durations the
-// reports print.
+// run-level pipeline row (setup, feed ingest, rule installs). All span
+// timestamps come from the run's time source: offsets from the lab's
+// epoch — the source's time when the lab was built, time.Unix(0,0) for
+// the default virtual source — so the viewer's axis shows exactly the
+// durations the reports print, whichever source drove the run.
 
 // Trace span names (the catalogue in docs/observability.md).
 const (
@@ -46,8 +47,9 @@ func (l *lab) traceStart() {
 	l.cfg.Trace.Thread(l.tracePID, 0, "pipeline")
 }
 
-// vt converts an absolute virtual instant to a span offset.
-func vt(at time.Time) time.Duration { return at.Sub(zeroTime) }
+// vt converts an absolute source instant to a span offset from the
+// run's epoch.
+func (l *lab) vt(at time.Time) time.Duration { return at.Sub(l.epoch) }
 
 // emit records one span on the run's trace process.
 func (l *lab) emit(s telemetry.Span) {
@@ -63,7 +65,7 @@ func (l *lab) emit(s telemetry.Span) {
 func (l *lab) traceSetup() {
 	l.emit(telemetry.Span{
 		Name: spanSetup, Cat: "pipeline", TID: 0,
-		Start: 0, Dur: vt(l.clk.Now()),
+		Start: 0, Dur: l.vt(l.clk.Now()),
 	})
 }
 
@@ -71,7 +73,7 @@ func (l *lab) traceSetup() {
 func (l *lab) traceFeedIngest(prov *provider, n int) {
 	l.emit(telemetry.Span{
 		Name: spanFeedIngest, Cat: "pipeline", TID: 0,
-		Start: vt(l.clk.Now()), Peer: prov.name, N: n,
+		Start: l.vt(l.clk.Now()), Peer: prov.name, N: n,
 	})
 }
 
@@ -87,7 +89,7 @@ func (l *lab) traceEvent(st *eventState) {
 	l.cfg.Trace.Thread(l.tracePID, st.idx+1, name)
 	l.emit(telemetry.Span{
 		Name: spanEvent, Cat: "event", TID: st.idx + 1,
-		Start: vt(st.absAt), Kind: string(st.ev.Kind), Peer: st.ev.Peer,
+		Start: l.vt(st.absAt), Kind: string(st.ev.Kind), Peer: st.ev.Peer,
 	})
 }
 
@@ -96,14 +98,14 @@ func (l *lab) traceEvent(st *eventState) {
 func (l *lab) traceDetect(tid int, prov *provider, cutAt time.Time) {
 	l.emit(telemetry.Span{
 		Name: spanDetect, Cat: "pipeline", TID: tid,
-		Start: vt(cutAt), Dur: l.clk.Now().Sub(cutAt), Peer: prov.name,
+		Start: l.vt(cutAt), Dur: l.clk.Now().Sub(cutAt), Peer: prov.name,
 	})
 }
 
 // traceCtlNotified marks the controller reacting to a failure: the
 // engine's Listing-2 retarget ran, rewriting n rules.
 func (l *lab) traceCtlNotified(prov *provider, n int) {
-	now := vt(l.clk.Now())
+	now := l.vt(l.clk.Now())
 	l.emit(telemetry.Span{
 		Name: spanCtlNotified, Cat: "pipeline", TID: 0,
 		Start: now, Peer: prov.name,
@@ -119,7 +121,7 @@ func (l *lab) traceCtlNotified(prov *provider, n int) {
 func (l *lab) traceChurnFilter(prov *provider, in, out int) {
 	l.emit(telemetry.Span{
 		Name: spanChurnFilter, Cat: "pipeline", TID: 0,
-		Start: vt(l.clk.Now()), Peer: prov.name, N: in, Out: out,
+		Start: l.vt(l.clk.Now()), Peer: prov.name, N: in, Out: out,
 	})
 }
 
@@ -128,7 +130,7 @@ func (l *lab) traceChurnFilter(prov *provider, in, out int) {
 func (l *lab) traceRuleInstall(dur time.Duration) {
 	l.emit(telemetry.Span{
 		Name: spanRuleInstall, Cat: "pipeline", TID: 0,
-		Start: vt(l.clk.Now()), Dur: dur,
+		Start: l.vt(l.clk.Now()), Dur: dur,
 	})
 }
 
@@ -137,7 +139,7 @@ func (l *lab) traceRuleInstall(dur time.Duration) {
 func (l *lab) traceRouterCtl(start time.Time) {
 	l.emit(telemetry.Span{
 		Name: spanRouterCtl, Cat: "pipeline", TID: 0,
-		Start: vt(start), Dur: l.clk.Now().Sub(start),
+		Start: l.vt(start), Dur: l.clk.Now().Sub(start),
 	})
 }
 
@@ -150,7 +152,7 @@ func (l *lab) traceConverge(tid int, pr *probe, o outage, conv time.Duration) {
 		return
 	}
 	iv := l.cfg.ProbeInterval
-	lastBefore := alignDown(o.start.Sub(zeroTime)-pr.phase, iv) + pr.phase
+	lastBefore := alignDown(o.start.Sub(l.epoch)-pr.phase, iv) + pr.phase
 	l.emit(telemetry.Span{
 		Name: spanConverged, Cat: "pipeline", TID: tid,
 		Start: lastBefore, Dur: conv, Prefix: pr.prefix.String(),

@@ -365,7 +365,7 @@ func (l *lab) runTimeline(ctx context.Context) (*TimelineResult, error) {
 	}
 	l.assignFeeds()
 
-	if err := l.setup(); err != nil {
+	if err := l.setup(ctx); err != nil {
 		return nil, err
 	}
 	l.wireMetrics()
@@ -379,7 +379,7 @@ func (l *lab) runTimeline(ctx context.Context) (*TimelineResult, error) {
 		l.events = append(l.events, st)
 		l.clk.AfterFunc(st.ev.At, func() { l.applyEvent(st) })
 	}
-	if _, err := l.clk.RunUntilIdleCtx(ctx, 50_000_000); err != nil {
+	if _, err := l.clk.Drive(ctx, 50_000_000); err != nil {
 		return nil, fmt.Errorf("sim: timeline cancelled: %w", err)
 	}
 	return l.harvestTimeline(), nil

@@ -100,13 +100,13 @@ func (o Options) runner() func(context.Context, Unit) (scenario.RunReport, error
 		return o.Runner
 	}
 	return func(ctx context.Context, u Unit) (scenario.RunReport, error) {
-		ins := scenario.Instrumentation{Telemetry: o.Telemetry}
+		r := scenario.Runner{Telemetry: o.Telemetry}
 		if o.TraceDir != "" {
-			ins.Trace = telemetry.NewTrace()
+			r.Trace = telemetry.NewTrace()
 		}
-		rep, err := scenario.RunOneInstrumented(ctx, u.spec, u.Mode, u.Prefixes, u.Flows, u.Seed, ins)
-		if err == nil && ins.Trace != nil {
-			if werr := writeUnitTrace(o.TraceDir, u, ins.Trace); werr != nil {
+		rep, err := r.RunUnit(ctx, u.spec, u.Mode, u.Prefixes, u.Flows, u.Seed)
+		if err == nil && r.Trace != nil {
+			if werr := writeUnitTrace(o.TraceDir, u, r.Trace); werr != nil {
 				// Trace export is best-effort telemetry: the unit's
 				// measurement stands even when the disk write fails.
 				fmt.Fprintf(os.Stderr, "sweep: trace for %s: %v\n", u.Key(), werr)

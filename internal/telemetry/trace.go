@@ -10,11 +10,13 @@ import (
 )
 
 // Span is one recorded interval (or instant, when Dur is zero) of the
-// convergence pipeline. Start and Dur are *virtual* time: offsets from
-// the lab clock's epoch (time.Unix(0,0)), not host wall-clock. A span is
-// keyed by the process/thread pair its recorder registered — by
-// convention pid = one (mode, size) run, tid = one timeline event — plus
-// the structured fields below.
+// convergence pipeline. Start and Dur are *source* time: offsets from
+// the epoch of the time source that drove the run — time.Unix(0,0) for
+// the default virtual clock, the wall instant the lab was built for a
+// real-time source — never ambient host time. A span is keyed by the
+// process/thread pair its recorder registered — by convention pid = one
+// (mode, size) run, tid = one timeline event — plus the structured
+// fields below.
 type Span struct {
 	// Name is the span's pipeline stage (see docs/observability.md for
 	// the catalogue): setup, feed-ingest, failure-detected,
@@ -39,7 +41,8 @@ type Span struct {
 	Out    int    `json:"out,omitempty"`    // output count (after filtering)
 }
 
-// Trace records spans from one or more virtual-clock runs. All methods
+// Trace records spans from one or more runs, whichever time source
+// drove them (the offsets stay comparable run-to-run). All methods
 // are nil-safe: a nil *Trace drops everything, which is the disabled
 // configuration. Recording takes one mutex-guarded append; traces are
 // per-run (per sweep unit), so there is no cross-run contention.

@@ -5,8 +5,9 @@
 // minutes (one FIB entry at a time) to a constant ~150 ms (one switch rule
 // per backup-group).
 //
-// The package re-exports the library's stable surface; the implementation
-// lives under internal/:
+// The package re-exports the library's stable surface in six sections —
+// simulation, scenarios, sweeps, telemetry, feeds/MRT, and the service
+// runtime — while the implementation lives under internal/:
 //
 //   - internal/core — the supercharger: backup-group computation (paper
 //     Listing 1), VNH/VMAC allocation, the convergence engine (Listing 2)
@@ -16,29 +17,25 @@
 //   - internal/router, internal/dataplane, internal/netem — the legacy
 //     router model with its flat, entry-by-entry FIB, the switch flow
 //     table and the emulated links;
+//   - internal/clock — the pluggable time source: one discrete-event
+//     engine driven either virtually (instant, deterministic — the lab
+//     default) or against the wall clock, plus the free-threaded source
+//     the long-running daemon drains;
 //   - internal/sim, internal/lab — the discrete-event convergence lab and
 //     the harness regenerating every figure/table of the paper's §4;
 //   - internal/scenario — the declarative failure-scenario engine: named
-//     event timelines (peer failures, flaps, partial withdraws, rule loss,
-//     controller restarts, shared-risk link groups, session resets with
-//     RFC 4724 graceful restart, background UPDATE noise) compiled into
-//     lab runs with per-event metrics, plus the scenario fuzzer that
-//     hunts for standalone-vs-supercharged convergence regressions with
-//     a seeded grammar and a shrinking minimizer;
+//     event timelines compiled into lab runs with per-event metrics, plus
+//     the scenario fuzzer with a seeded grammar and shrinking minimizer;
 //   - internal/sweep — the parallel sweep executor: scenario × mode ×
-//     size × seed cross products run across a bounded worker pool with
-//     streamed per-run results, aggregated into multi-seed distributions
-//     (median + spread per cell, with per-event speedup ratios) that
-//     cmd/experiments renders as the committed EXPERIMENTS.md;
+//     size × seed cross products run across a bounded worker pool;
 //   - internal/results — the content-addressed on-disk store of per-unit
-//     sweep results that makes re-sweeps incremental: unchanged units are
-//     served from disk, invalidation is by hash of (scenario spec, mode,
-//     size, seed, sim.ModelVersion);
+//     sweep results that makes re-sweeps incremental;
+//   - internal/daemon — the concurrent controller service behind
+//     `supercharged serve`: per-peer ingestion into a sharded RIB, a
+//     batching pipeline to downstream routers, live telemetry;
 //   - internal/feed, internal/trafficgen — synthetic full-table feeds and
 //     the FPGA-style probe source/sink;
-//   - internal/mrt — streaming reader/writer for RFC 6396 MRT dumps
-//     (TABLE_DUMP_V2 + BGP4MP), the bridge that replays real collector
-//     RIBs through every scenario (feed.FromMRT, `scenario run --table`).
+//   - internal/mrt — streaming reader/writer for RFC 6396 MRT dumps.
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
@@ -47,13 +44,10 @@ package supercharged
 import (
 	"context"
 	"io"
-	"time"
 
-	"supercharged/internal/bgp"
-	"supercharged/internal/core"
+	"supercharged/internal/clock"
+	"supercharged/internal/daemon"
 	"supercharged/internal/feed"
-	"supercharged/internal/lab"
-	"supercharged/internal/microbench"
 	"supercharged/internal/mrt"
 	"supercharged/internal/results"
 	"supercharged/internal/scenario"
@@ -62,69 +56,8 @@ import (
 	"supercharged/internal/telemetry"
 )
 
-// Re-exported core types.
-type (
-	// Group is one backup-group: (primary, backup, …) next-hops sharing a
-	// virtual next-hop and virtual MAC.
-	Group = core.Group
-	// Processor implements the online backup-group algorithm (Listing 1).
-	Processor = core.Processor
-	// Engine implements data-plane convergence (Listing 2).
-	Engine = core.Engine
-	// GroupTable holds the backup-groups and their VNH/VMAC assignments.
-	GroupTable = core.GroupTable
-	// VNHPool allocates virtual next-hops and MACs.
-	VNHPool = core.VNHPool
-	// AllocMode selects sequential (paper-faithful) or deterministic
-	// (replica-safe) VNH allocation.
-	AllocMode = core.AllocMode
-	// PeerPort locates a next-hop in the data plane.
-	PeerPort = core.PeerPort
-	// ARPResponder answers ARP for virtual next-hops.
-	ARPResponder = core.ARPResponder
-)
+// --- Simulation: the Fig. 4 convergence lab ----------------------------
 
-// Allocation modes.
-const (
-	AllocSequential    = core.AllocSequential
-	AllocDeterministic = core.AllocDeterministic
-)
-
-// NewProcessor builds a Listing-1 processor; nil arguments create fresh
-// state.
-func NewProcessor(groups *GroupTable) *Processor { return core.NewProcessor(nil, groups) }
-
-// RecycleUpdates hands a batch emitted by Processor.Process/PeerDown back
-// to the update pool once the caller is done with it. Optional; never
-// recycle updates from any other source.
-func RecycleUpdates(upds []*bgp.Update) { core.RecycleUpdates(upds) }
-
-// NewRIB builds an empty BGP RIB (merged Adj-RIB-In with the full
-// decision process, a per-peer prefix index and interned attributes).
-func NewRIB() *bgp.RIB { return bgp.NewRIB() }
-
-// NewRIBSized builds a RIB pre-sized for about n prefixes — at
-// full-table scale this skips hundreds of megabytes of map-growth
-// re-zeroing.
-func NewRIBSized(n int) *bgp.RIB { return bgp.NewRIBSized(n) }
-
-// NewAttrsInterner builds a canonical-pointer pool for BGP path
-// attributes: semantically equal attribute sets intern to one pointer,
-// making downstream equality checks pointer compares.
-func NewAttrsInterner() *bgp.Interner { return bgp.NewInterner() }
-
-// NewGroupTable builds a backup-group table over pool (nil = sequential).
-func NewGroupTable(pool *VNHPool) *GroupTable { return core.NewGroupTable(pool) }
-
-// NewVNHPool builds a VNH/VMAC pool.
-func NewVNHPool(mode AllocMode) *VNHPool { return core.NewVNHPool(mode) }
-
-// NewEngine builds a Listing-2 convergence engine.
-func NewEngine(groups *GroupTable, pusher core.FlowPusher) *Engine {
-	return core.NewEngine(groups, pusher)
-}
-
-// Simulation re-exports: the Fig. 4 lab on a virtual clock.
 type (
 	// SimConfig parameterizes one convergence experiment.
 	SimConfig = sim.Config
@@ -138,16 +71,62 @@ const (
 	Supercharged = sim.Supercharged
 )
 
-// RunSim executes one convergence experiment (see internal/sim).
-func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+// RunSim executes one convergence experiment (see internal/sim). The
+// context cancels the run between simulator events.
+func RunSim(ctx context.Context, cfg SimConfig) (*SimResult, error) { return sim.Run(ctx, cfg) }
 
 // DefaultSimConfig returns the calibrated lab configuration.
 func DefaultSimConfig(mode sim.Mode, prefixes int) SimConfig {
 	return sim.DefaultConfig(mode, prefixes)
 }
 
-// Scenario engine re-exports: declarative failure scenarios over the lab
-// (see internal/scenario).
+// --- Service runtime: pluggable time sources ---------------------------
+
+// TimeSource is the engine every run drains: schedule callbacks, then
+// Drive them to quiescence. SimConfig.Source accepts one; nil keeps the
+// deterministic virtual default.
+type TimeSource = clock.Source
+
+// NewVirtualTimeSource builds the lab default: a discrete-event virtual
+// clock starting at the Unix epoch that jumps instantly between
+// deadlines. Same config, same source, same bytes out.
+func NewVirtualTimeSource() TimeSource { return clock.NewVirtualAtZero() }
+
+// NewWallTimeSource builds a real-time source with the virtual engine's
+// execution model (serial callbacks, same ordering contract), paced
+// against the system clock: the same experiment in real time.
+func NewWallTimeSource() TimeSource { return clock.NewWall() }
+
+type (
+	// Daemon is the long-running concurrent controller service behind
+	// `supercharged serve`: per-peer ingestion into a sharded RIB,
+	// batched fan-out to downstream routers, graceful drain.
+	Daemon = daemon.Daemon
+	// DaemonConfig assembles a Daemon.
+	DaemonConfig = daemon.Config
+	// DaemonSource is one upstream BGP feed the daemon ingests.
+	DaemonSource = daemon.PeerSource
+	// DaemonSink is one downstream router the daemon programs.
+	DaemonSink = daemon.RouterSink
+	// DaemonTableReplay replays a feed table (synthetic or MRT-sourced)
+	// as one peer's session — the daemon's load generator.
+	DaemonTableReplay = daemon.TableReplay
+	// RouteBatch is one batched set of best-path changes shipped to a
+	// router sink.
+	RouteBatch = daemon.Batch
+	// RouteChange is one prefix's post-decision outcome inside a batch.
+	RouteChange = daemon.RouteChange
+)
+
+// NewDaemon builds the controller daemon; Start/Wait/Drain run it.
+func NewDaemon(cfg DaemonConfig) *Daemon { return daemon.New(cfg) }
+
+// NewFIBSink builds an in-memory router sink that programs batches into
+// a map FIB — the downstream router stand-in for tests and soak runs.
+func NewFIBSink(name string) *daemon.FIBSink { return daemon.NewFIBSink(name) }
+
+// --- Scenarios: declarative failure timelines --------------------------
+
 type (
 	// Scenario is one declarative failure scenario: a parameterized peer
 	// topology plus a scripted event timeline.
@@ -156,8 +135,11 @@ type (
 	ScenarioPeer = scenario.Peer
 	// ScenarioEvent is one scripted event (peer-down, link-flap, ...).
 	ScenarioEvent = scenario.Event
-	// ScenarioOptions parameterizes one scenario execution.
-	ScenarioOptions = scenario.Options
+	// ScenarioRunner is the consolidated execution front door: modes,
+	// sizes, seed, table override, progress, trace/metrics attachments
+	// and the time-source factory, with Run/RunNamed/RunUnit methods.
+	// The zero value runs the default standalone-vs-supercharged compare.
+	ScenarioRunner = scenario.Runner
 	// ScenarioReport carries the per-event convergence measurements of a
 	// scenario execution, renderable as JSON, CSV or a text table.
 	ScenarioReport = scenario.Report
@@ -215,60 +197,27 @@ func LookupScenario(name string) (Scenario, bool) { return scenario.Lookup(name)
 // RegisterScenario validates and registers a user-defined scenario.
 func RegisterScenario(s Scenario) error { return scenario.Register(s) }
 
-// RunScenario executes a scenario and returns its report. The context
-// cancels the underlying simulations between events.
+// ScenarioOptions parameterizes one scenario execution.
+//
+// Deprecated: use ScenarioRunner.
+type ScenarioOptions = scenario.Options
+
+// RunScenario executes a scenario and returns its report.
+//
+// Deprecated: use ScenarioRunner.Run.
 func RunScenario(ctx context.Context, s Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.Run(ctx, s, opts)
 }
 
 // RunScenarioNamed executes a registered scenario by name.
+//
+// Deprecated: use ScenarioRunner.RunNamed.
 func RunScenarioNamed(ctx context.Context, name string, opts ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.RunNamed(ctx, name, opts)
 }
 
-// Fuzzer re-exports: randomized regression hunting over the scenario
-// engine (see internal/scenario and docs/fuzzing.md).
-type (
-	// FuzzOptions parameterizes a fuzzing session: grammar seed and
-	// bounds, per-run table size, and the allowed supercharged-vs-
-	// standalone convergence slack.
-	FuzzOptions = scenario.FuzzOptions
-	// FuzzResult is one fuzzing session's outcome; its findings carry
-	// the offending specs and their shrunk 1-minimal reproductions.
-	FuzzResult = scenario.FuzzResult
-	// FuzzFinding is one flagged spec with the oracle's verdict.
-	FuzzFinding = scenario.FuzzFinding
-)
+// --- Sweeps: parallel scenario × mode × size × seed execution ----------
 
-// FuzzScenarios generates random valid timelines from the seeded
-// grammar, checks each for a standalone-vs-supercharged convergence
-// regression, and shrinks every finding. The whole session is a pure
-// function of FuzzOptions.Seed. progress (optional) receives one
-// reproducible line per checked spec.
-func FuzzScenarios(ctx context.Context, opts FuzzOptions, progress io.Writer) (*FuzzResult, error) {
-	return scenario.Fuzz(ctx, opts, progress)
-}
-
-// GenerateFuzzSpec re-derives the index-th generated spec of a fuzzing
-// session — the reproduction contract behind every finding.
-func GenerateFuzzSpec(seed int64, index int, opts FuzzOptions) Scenario {
-	return scenario.GenerateSpec(seed, index, opts)
-}
-
-// CheckScenario runs one spec through the fuzzing oracle: both modes,
-// compared. A non-empty reason describes the supercharged regression;
-// an empty reason means the spec passes.
-func CheckScenario(ctx context.Context, s Scenario, opts FuzzOptions) (string, error) {
-	return scenario.CheckSpec(ctx, s, opts)
-}
-
-// ShrinkScenario greedily minimizes a failing spec to a 1-minimal
-// reproduction (removing any single event makes the oracle pass).
-func ShrinkScenario(ctx context.Context, s Scenario, opts FuzzOptions) (Scenario, string, error) {
-	return scenario.ShrinkSpec(ctx, s, opts)
-}
-
-// Sweep re-exports: the parallel sweep executor (see internal/sweep).
 type (
 	// SweepSpec declares a sweep: scenarios × modes × table sizes × seeds.
 	// The zero SweepSpec covers every registered scenario in both modes.
@@ -315,25 +264,21 @@ func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepAgg
 	return sweep.Run(ctx, spec, opts)
 }
 
-// TierSizes resolves a named table-size tier (s, m, l, xl — xl is the
-// 100k/1M full-Internet scale) to its prefix counts.
-func TierSizes(name string) ([]int, bool) { return scenario.TierSizes(name) }
+// --- Telemetry: opt-in observability (DESIGN.md §9) --------------------
+//
+// Everything is nil-is-off: instrumented and bare runs produce
+// byte-identical reports.
 
-// Telemetry re-exports: the observability layer (DESIGN.md §9,
-// docs/observability.md). Everything is opt-in and nil-is-off:
-// instrumented and bare runs produce byte-identical reports.
 type (
 	// MetricsRegistry holds counters, gauges and histograms and renders
 	// the Prometheus text exposition; a nil registry disables every hook.
 	MetricsRegistry = telemetry.Registry
 	// ConvergenceTrace records the convergence pipeline as structured
-	// spans in virtual time, exportable as JSONL or Chrome trace-event
+	// spans in source time, exportable as JSONL or Chrome trace-event
 	// JSON (Perfetto-openable).
 	ConvergenceTrace = telemetry.Trace
 	// TraceSpan is one recorded pipeline interval or instant.
 	TraceSpan = telemetry.Span
-	// Instrumentation bundles the attachments a scenario run carries.
-	Instrumentation = scenario.Instrumentation
 	// TelemetryServer is the opt-in HTTP endpoint serving /metrics,
 	// /runs and /debug/pprof.
 	TelemetryServer = telemetry.Server
@@ -355,52 +300,11 @@ func ServeTelemetry(addr string, reg *MetricsRegistry, runs *RunTracker) (*Telem
 	return telemetry.Serve(addr, reg, runs)
 }
 
-// RunScenarioInstrumented executes one (mode, size) scenario run with a
-// trace recorder and/or metrics registry attached.
-func RunScenarioInstrumented(ctx context.Context, s Scenario, mode sim.Mode, prefixes, flows int, seed int64, ins Instrumentation) (scenario.RunReport, error) {
-	return scenario.RunOneInstrumented(ctx, s, mode, prefixes, flows, seed, ins)
-}
+// --- Feeds and MRT: routing tables the lab announces -------------------
+//
+// From the synthetic generator or a real RFC 6396 dump (docs/feeds.md,
+// DESIGN.md §10).
 
-// Micro-benchmark re-exports: the hot-path suite behind `cmd/bench
-// micro` and the committed BENCH_micro.json baseline.
-type (
-	// MicroSnapshot is one suite run's measurements.
-	MicroSnapshot = microbench.Snapshot
-	// MicroOptions filters and wires progress for a suite run.
-	MicroOptions = microbench.Options
-)
-
-// RunMicroBench executes the hot-path micro-benchmark suite (RIB update
-// churn, indexed vs full-scan RemovePeer at the 1M shape, the
-// processor's zero-alloc churn filter, group allocation).
-func RunMicroBench(opts MicroOptions) (*MicroSnapshot, error) { return microbench.Run(opts) }
-
-// CompareMicroBench gates a suite run against a baseline snapshot; see
-// microbench.Compare for the tolerance and grace-floor semantics.
-func CompareMicroBench(baseline, current *MicroSnapshot, tol float64) []string {
-	return microbench.Compare(baseline, current, tol)
-}
-
-// Experiment harness re-exports.
-
-// RunFig5 regenerates Fig. 5 (convergence vs prefix count, both modes).
-func RunFig5(cfg lab.Fig5Config, progress io.Writer) (*lab.Fig5Result, error) {
-	return lab.RunFig5(cfg, progress)
-}
-
-// RunMicro regenerates the §4 controller micro-benchmark (E3).
-func RunMicro(cfg lab.MicroConfig) (*lab.MicroResult, error) { return lab.RunMicro(cfg) }
-
-// RunGroups regenerates the backup-group scaling check (E4, n(n-1)).
-func RunGroups(cfg lab.GroupsConfig) ([]lab.GroupsRow, error) { return lab.RunGroups(cfg) }
-
-// FirstEntry measures the standalone best case (E2, paper: 375 ms).
-func FirstEntry(prefixes, runs int, seed int64) (time.Duration, error) {
-	return lab.FirstEntry(prefixes, runs, seed)
-}
-
-// Feed re-exports: routing tables the lab announces, from the synthetic
-// generator or a real MRT dump (docs/feeds.md, DESIGN.md §10).
 type (
 	// FeedTable is a routing table: routes over a shared, interned
 	// attribute-template pool. Both backends produce one.
