@@ -135,6 +135,11 @@ fuzz flags:
   --max-peers N / --max-events N        grammar bounds (defaults 5 / 6)
   --slack F                             allowed supercharged/standalone
                                         worst-blackout ratio (default 1.5)
+  --axes A,A,...                        grammar axes to enable (default all):
+                                        group-size, detection, windows,
+                                        deployment, cost, replicas; the axis
+                                        list is part of a finding's
+                                        reproduction contract with the seed
   --no-shrink                           report findings unminimized
   --budget D                            wall-clock cap, e.g. 30s (0 = none)
   --json                                emit the session result as JSON
@@ -474,6 +479,7 @@ func cmdFuzz(args []string) {
 	maxPeers := fs.Int("max-peers", 0, "max generated peers (0 = 5)")
 	maxEvents := fs.Int("max-events", 0, "max generated events (0 = 6)")
 	slack := fs.Float64("slack", 0, "allowed supercharged/standalone ratio (0 = 1.5)")
+	axes := fs.String("axes", "", "comma-separated grammar axes to enable (empty = all; see usage)")
 	noShrink := fs.Bool("no-shrink", false, "report findings unminimized")
 	budget := fs.Duration("budget", 0, "wall-clock budget (0 = none)")
 	asJSON := fs.Bool("json", false, "emit the session result as JSON")
@@ -490,6 +496,17 @@ func cmdFuzz(args []string) {
 		Seed: *seed, Runs: *runs, Prefixes: *prefixes, Flows: *flows,
 		MaxPeers: *maxPeers, MaxEvents: *maxEvents, Slack: *slack,
 		NoShrink: *noShrink,
+	}
+	if *axes != "" {
+		for _, a := range strings.Split(*axes, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opts.Axes = append(opts.Axes, a)
+			}
+		}
+		if err := scenario.ValidateAxes(opts.Axes); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario fuzz: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

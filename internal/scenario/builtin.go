@@ -337,6 +337,134 @@ func init() {
 		},
 	})
 
+	// --- third generation: centralization economics — partial deployment,
+	// controller cost, replica failover (the Sermpezis & Dimitropoulos
+	// questions: when does centralized convergence actually win?) ---
+
+	// Six edge routers behind the same two providers; only the first k
+	// are supercharged in the partial-deployment builtins.
+	deployment := func(k int) []Router {
+		routers := make([]Router, 6)
+		for i := range routers {
+			routers[i] = Router{Supercharged: i < k}
+		}
+		return routers
+	}
+	MustRegister(Spec{
+		Name: "partial-deployment-k2",
+		Description: "Partial SDN deployment: six edge routers share the two " +
+			"providers but only two are supercharged; the primary (R2) fails " +
+			"once. Probed flows are dealt across all six routers.",
+		Paper: "§5's deployment discussion read against Sermpezis & " +
+			"Dimitropoulos (\"Can SDN Accelerate BGP Convergence?\"): " +
+			"centralized convergence only helps the routers that are behind " +
+			"the controller, and real deployments are incremental.",
+		Expect: "The crossover surface's deployment axis. The supercharged " +
+			"class converges flat (~130 ms, see the supercharged-class " +
+			"column) while the vanilla class walks its FIB linearly — so the " +
+			"aggregate speedup collapses toward 1, because the slowest flow " +
+			"always rides a vanilla router. Partial deployment buys exactly " +
+			"the deployed fraction, nothing more.",
+		Peers:   []Peer{{Name: "R2"}, {Name: "R3"}},
+		Routers: deployment(2),
+		Events: []Event{
+			{At: 1 * time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+		PrefixSweep: []int{5_000, 50_000},
+	})
+
+	MustRegister(Spec{
+		Name: "partial-deployment-k6",
+		Description: "The same six-router deployment with every router " +
+			"supercharged — full deployment expressed through the partial-" +
+			"deployment machinery.",
+		Paper: "The k=N end of the deployment axis; the paper's own setup " +
+			"(every edge router supercharged) recovered as a special case.",
+		Expect: "Equivalence check. With no vanilla routers left there is no " +
+			"per-class breakdown and every flow converges flat (~130 ms), " +
+			"matching paper-fig5 at the same size: the deployment refactor " +
+			"must not change what full deployment measures.",
+		Peers:    []Peer{{Name: "R2"}, {Name: "R3"}},
+		Routers:  deployment(6),
+		Prefixes: 10_000,
+		Events: []Event{
+			{At: 1 * time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+	})
+
+	cost := sim.DefaultControllerCost()
+	MustRegister(Spec{
+		Name: "costed-controller",
+		Description: "The paper-fig5 failover with a controller that is no " +
+			"longer free: the calibrated cost model (125 ms base reaction, " +
+			"per-update and per-rule taxes seeded from the committed " +
+			"churn-filter micro-benchmark) prices every centralized step.",
+		Paper: "E3's ~125 ms p99 reaction latency under load (§4), applied " +
+			"as a standing tax the way \"Analysing the Effects of Routing " +
+			"Centralization on BGP Convergence Time\" models controller " +
+			"processing delay.",
+		Expect: "The crossover surface's cost axis. At 1k prefixes the base " +
+			"tax eats most of the margin (speedup drops from ~7× to ~2×); " +
+			"at 50k the standalone FIB walk dwarfs the tax and supercharging " +
+			"still wins ≥10×. Centralization pays off exactly where the " +
+			"linear term hurts.",
+		Peers: []Peer{{Name: "R2"}, {Name: "R3"}},
+		Cost:  &cost,
+		Events: []Event{
+			{At: 1 * time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+		PrefixSweep: []int{1_000, 50_000},
+	})
+
+	MustRegister(Spec{
+		Name: "replica-failover-hard",
+		Description: "The controller primary is killed 100 ms before the " +
+			"primary peer fails; the standby needs a slow 3 s takeover and " +
+			"the dead primary's in-flight FLOW_MODs are lost (non-durable), " +
+			"so the standby resyncs the switch after taking over.",
+		Paper: "§5's single-point-of-failure discussion and examples/" +
+			"failover's deterministic-VNH replica story, stress-tested: the " +
+			"takeover window is when centralized convergence is worse than " +
+			"no centralization at all.",
+		Expect: "The crossover surface's failure axis — the builtin where " +
+			"supercharging loses outright (speedup < 1). The failover " +
+			"rewrite waits out the takeover (~3 s) while the standalone " +
+			"router converges on its own schedule in under a second at this " +
+			"size.",
+		Peers:    []Peer{{Name: "R2"}, {Name: "R3"}},
+		Replicas: 2,
+		Takeover: 3 * time.Second,
+		Prefixes: 1_000,
+		Events: []Event{
+			{At: 900 * time.Millisecond, Kind: sim.EventControllerFailover},
+			{At: 1 * time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+	})
+
+	MustRegister(Spec{
+		Name: "replica-failover-warm",
+		Description: "A warm standby: three replicas, 150 ms takeover, " +
+			"durable rule log. The primary peer fails and the controller " +
+			"primary is killed 100 ms later — mid-reaction, with the " +
+			"failover FLOW_MODs still in flight; the standby replays them.",
+		Paper: "The replica design §5 sketches (deterministic VNH allocation " +
+			"means the standby shares the primary's group table byte for " +
+			"byte; examples/failover demonstrates the allocation half).",
+		Expect: "Centralization done right survives its own failure: the " +
+			"replayed FLOW_MODs land right after the 150 ms takeover, so " +
+			"supercharged convergence degrades from ~130 ms to ~300 ms — " +
+			"still far ahead of the standalone walk, ≥10× at 50k prefixes.",
+		Peers:    []Peer{{Name: "R2"}, {Name: "R3"}},
+		Replicas: 3,
+		Takeover: 150 * time.Millisecond,
+		Durable:  true,
+		Events: []Event{
+			{At: 1 * time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+			{At: 1100 * time.Millisecond, Kind: sim.EventControllerFailover},
+		},
+		PrefixSweep: []int{5_000, 50_000},
+	})
+
 	MustRegister(Spec{
 		Name: "noisy-failover",
 		Description: "Background UPDATE noise during failover: a tertiary peer " +

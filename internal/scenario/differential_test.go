@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"supercharged/internal/sim"
+)
+
+// The partial-deployment refactor must be invisible at its boundaries:
+// a deployment of one supercharged router is the classic supercharged
+// run, and a deployment of one vanilla router is the standalone
+// baseline, byte-for-byte in the result JSON. This is checked for every
+// committed builtin at several seeds — the strongest statement that the
+// multi-router lab is a strict generalization, not a reimplementation
+// with drift.
+//
+// The spec's own deployment/table knobs are cleared first: the
+// differential compares deployment compilation, holding everything else
+// (events, cost, replicas, feed) fixed on both sides.
+func TestDeploymentDifferential(t *testing.T) {
+	const prefixes, flows = 800, 30
+	run := func(t *testing.T, cfg sim.TimelineConfig) []byte {
+		t.Helper()
+		res, err := sim.RunTimeline(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("RunTimeline: %v", err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, name := range Names() {
+		spec, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("builtin %s vanished", name)
+		}
+		spec.Routers = nil
+		spec.Table = "" // synthetic feed: the table axis is exec-layer, not compile-layer
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				// Full deployment (k=N): one supercharged router declared
+				// explicitly ≡ the classic implicit supercharged router.
+				classic := run(t, spec.compile(sim.Supercharged, prefixes, flows, seed))
+				full := spec.compile(sim.Supercharged, prefixes, flows, seed)
+				full.Routers = []sim.RouterSpec{{Supercharged: true}}
+				if got := run(t, full); string(got) != string(classic) {
+					t.Fatalf("seed %d: explicit supercharged deployment diverged from classic run\n got: %s\nwant: %s",
+						seed, got, classic)
+				}
+				// Zero deployment (k=0): one vanilla router under supercharged
+				// mode ≡ the standalone baseline.
+				standalone := run(t, spec.compile(sim.Standalone, prefixes, flows, seed))
+				zero := spec.compile(sim.Supercharged, prefixes, flows, seed)
+				zero.Routers = []sim.RouterSpec{{Supercharged: false}}
+				if got := run(t, zero); string(got) != string(standalone) {
+					t.Fatalf("seed %d: vanilla-only deployment diverged from standalone baseline\n got: %s\nwant: %s",
+						seed, got, standalone)
+				}
+			}
+		})
+	}
+}

@@ -20,10 +20,16 @@ import (
 // The grammar covers the network-side event kinds (peer failures and
 // recoveries, flaps, SRLG cuts, partial withdraws, burst re-announces,
 // session resets with and without graceful restart, background UPDATE
-// noise). It deliberately excludes rule-loss and controller-restart:
-// those model failures of the supercharger itself, where losing to the
-// standalone router is the documented expected outcome, not a regression
-// (see docs/scenarios.md).
+// noise) plus, behind selectable axes, the centralization-economics
+// dimensions: partial router deployments, priced controllers
+// (sim.ControllerCost) and controller replicas with scripted failovers.
+// It deliberately excludes rule-loss and controller-restart: those model
+// failures of the supercharger itself, where losing to the standalone
+// router is the documented expected outcome, not a regression (see
+// docs/scenarios.md). Replica failovers are generated only up to
+// Replicas-1 per run — the controller survives, so the acceleration
+// claims still apply (the oracle prices in the takeover windows via
+// costAllowance).
 //
 // Everything is deterministic: the same (Seed, Runs) generate the same
 // specs byte-for-byte, the labs under them are seeded, and the shrinker
@@ -54,6 +60,62 @@ type FuzzOptions struct {
 	Slack float64 `json:"slack,omitempty"`
 	// NoShrink reports findings as generated, without minimizing them.
 	NoShrink bool `json:"no_shrink,omitempty"`
+	// Axes names the optional grammar dimensions the generator may draw
+	// from (nil = all of KnownFuzzAxes; empty = none, the bare event
+	// grammar). Disabling an axis removes its random draws entirely, so
+	// the axis list is part of a finding's reproduction contract
+	// alongside the seed.
+	Axes []string `json:"axes,omitempty"`
+}
+
+// The generator's optional grammar dimensions, selectable per session
+// via FuzzOptions.Axes.
+const (
+	AxisGroupSize  = "group-size" // backup-group tuple sizes k > 2
+	AxisDetection  = "detection"  // hold-timer instead of BFD detection
+	AxisWindows    = "windows"    // partial / rotated per-peer feed windows
+	AxisDeployment = "deployment" // mixed supercharged/vanilla router fleets
+	AxisCost       = "cost"       // priced controller (sim.ControllerCost)
+	AxisReplicas   = "replicas"   // controller replicas + failover events
+)
+
+// KnownFuzzAxes lists the valid axis names in display order.
+func KnownFuzzAxes() []string {
+	return []string{
+		AxisGroupSize, AxisDetection, AxisWindows,
+		AxisDeployment, AxisCost, AxisReplicas,
+	}
+}
+
+// ValidateAxes rejects unknown axis names before a session starts.
+func ValidateAxes(axes []string) error {
+	for _, a := range axes {
+		known := false
+		for _, k := range KnownFuzzAxes() {
+			if a == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("fuzz: unknown axis %q (known: %s)",
+				a, strings.Join(KnownFuzzAxes(), ", "))
+		}
+	}
+	return nil
+}
+
+// axisEnabled reports whether the generator may draw from an axis.
+func (o FuzzOptions) axisEnabled(name string) bool {
+	if o.Axes == nil {
+		return true
+	}
+	for _, a := range o.Axes {
+		if a == name {
+			return true
+		}
+	}
+	return false
 }
 
 func (o FuzzOptions) withDefaults() FuzzOptions {
@@ -118,6 +180,9 @@ type FuzzResult struct {
 func Fuzz(ctx context.Context, opts FuzzOptions, progress io.Writer) (*FuzzResult, error) {
 	opts = opts.withDefaults()
 	res := &FuzzResult{Seed: opts.Seed, Runs: opts.Runs}
+	if err := ValidateAxes(opts.Axes); err != nil {
+		return res, err
+	}
 	for i := 0; i < opts.Runs; i++ {
 		spec := GenerateSpec(opts.Seed, i, opts)
 		reason, err := CheckSpec(ctx, spec, opts)
@@ -126,8 +191,8 @@ func Fuzz(ctx context.Context, opts FuzzOptions, progress io.Writer) (*FuzzResul
 		}
 		if progress != nil {
 			verdict := "ok"
-			if exhaustible(spec) {
-				verdict = "skip (k-exhaustible)"
+			if sr := skipReason(spec); sr != "" {
+				verdict = "skip (" + sr + ")"
 			}
 			if reason != "" {
 				verdict = "FINDING: " + reason
@@ -186,7 +251,7 @@ func GenerateSpec(seed int64, index int, opts FuzzOptions) Spec {
 		// Beyond the first two (kept full-feed so the topology always has
 		// a full primary and backup), peers may advertise partial and/or
 		// rotated windows — the fabric-style path diversity.
-		if i >= 2 {
+		if i >= 2 && opts.axisEnabled(AxisWindows) {
 			switch rng.Intn(3) {
 			case 1:
 				peers[i].Prefixes = opts.Prefixes/4 + rng.Intn(opts.Prefixes/2)
@@ -198,7 +263,7 @@ func GenerateSpec(seed int64, index int, opts FuzzOptions) Spec {
 	}
 
 	groupSize := 0 // default k=2
-	if numPeers > 2 && rng.Intn(2) == 1 {
+	if opts.axisEnabled(AxisGroupSize) && numPeers > 2 && rng.Intn(2) == 1 {
 		groupSize = 2 + rng.Intn(numPeers-1) // up to numPeers
 	}
 
@@ -240,7 +305,7 @@ func GenerateSpec(seed int64, index int, opts FuzzOptions) Spec {
 		}
 		switch ev.Kind {
 		case sim.EventPeerDown, sim.EventLinkFlap:
-			if rng.Intn(10) == 0 {
+			if opts.axisEnabled(AxisDetection) && rng.Intn(10) == 0 {
 				ev.Detection = sim.DetectHoldTimer // spec.HoldTimer below keeps this cheap
 			}
 		}
@@ -263,6 +328,44 @@ func GenerateSpec(seed int64, index int, opts FuzzOptions) Spec {
 		events = append(events, ev)
 	}
 
+	// The centralization-economics dimensions, drawn after the timeline in
+	// a fixed order so specs stay pure functions of (seed, index, opts).
+	var routers []Router
+	if opts.axisEnabled(AxisDeployment) && rng.Intn(3) == 0 {
+		n := 2 + rng.Intn(3)
+		sc := 1 + rng.Intn(n) // at least one supercharged router
+		routers = make([]Router, n)
+		for _, idx := range rng.Perm(n)[:sc] {
+			routers[idx].Supercharged = true
+		}
+	}
+	var cost *sim.ControllerCost
+	if opts.axisEnabled(AxisCost) && rng.Intn(3) == 0 {
+		cost = &sim.ControllerCost{
+			Base:      time.Duration(rng.Intn(201)) * time.Millisecond,
+			PerUpdate: time.Duration(rng.Intn(1001)) * time.Nanosecond,
+			PerRule:   time.Duration(rng.Intn(2001)) * time.Microsecond,
+		}
+	}
+	replicas := 0
+	var takeover time.Duration
+	durable := false
+	if opts.axisEnabled(AxisReplicas) && rng.Intn(3) == 0 {
+		replicas = 2 + rng.Intn(2)
+		takeover = time.Duration(100+rng.Intn(401)) * time.Millisecond
+		durable = rng.Intn(2) == 1
+		// Strictly fewer failovers than replicas: the controller survives
+		// the run, so the acceleration claims still bind (CheckSpec prices
+		// in the takeover windows; replica-exhausting timelines would be
+		// skipped by skipReason instead of checked).
+		for f := 1 + rng.Intn(replicas-1); f > 0; f-- {
+			events = append(events, Event{
+				At:   time.Duration(500+rng.Intn(7500)) * time.Millisecond,
+				Kind: sim.EventControllerFailover,
+			})
+		}
+	}
+
 	return Spec{
 		Name: fmt.Sprintf("fuzz-%d-%d", seed, index),
 		Description: fmt.Sprintf(
@@ -276,6 +379,11 @@ func GenerateSpec(seed int64, index int, opts FuzzOptions) Spec {
 		// Keep the hold-timer detection path affordable: 5 s instead of
 		// the protocol-default 90 s, still far above every other latency.
 		HoldTimer: 5 * time.Second,
+		Routers:   routers,
+		Cost:      cost,
+		Replicas:  replicas,
+		Takeover:  takeover,
+		Durable:   durable,
 	}
 }
 
@@ -291,14 +399,133 @@ func acceleratable(ev Event) bool {
 	return false
 }
 
+// sessionUpDelay mirrors the simulator's default session
+// re-establishment latency (sim.TimelineConfig.SessionUp) for the
+// interval analysis below.
+const sessionUpDelay = time.Second
+
+// downInterval is one span during which a peer may be unusable as a
+// backup-group target: [start, end), with end < 0 meaning "until the
+// end of the run".
+type downInterval struct{ start, end time.Duration }
+
+// overlapSlack widens interval close times past every delay that can
+// keep a "restored" peer effectively dead a while longer: session
+// re-establishment plus feed replay (the 2 s base is generous at
+// fuzzing-scale tables), controller outage windows, replica takeovers,
+// and the priced controller's processing tax. Over-widening only makes
+// more specs exhaustible — the safe direction for a zero-false-positive
+// oracle.
+func overlapSlack(s Spec) time.Duration {
+	slack := 2 * time.Second
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case sim.EventControllerRestart:
+			slack += ev.Hold
+		case sim.EventControllerFailover:
+			slack += takeoverFor(s, ev)
+		}
+	}
+	if s.Cost != nil {
+		slack += s.Cost.Base + time.Duration(s.Prefixes)*s.Cost.PerUpdate + 64*s.Cost.PerRule
+	}
+	return slack
+}
+
+// takeoverFor resolves a failover event's takeover window the way the
+// simulator does: event Hold, else spec Takeover, else the 2 s default.
+func takeoverFor(s Spec, ev Event) time.Duration {
+	if ev.Hold > 0 {
+		return ev.Hold
+	}
+	if s.Takeover > 0 {
+		return s.Takeover
+	}
+	return 2 * time.Second
+}
+
+// downIntervals expands the timeline into per-peer down intervals: an
+// interval opens the instant a link is cut (earlier than the true dead
+// window, which starts at detection) and closes only sessionUp +
+// overlapSlack after the restoring event (well after the replayed feed
+// has landed). Hard session resets contribute their own restart-window
+// intervals; graceful restarts preserve forwarding state and contribute
+// nothing. Each result is a superset of the peer's true dead window, so
+// interval overlap can only over-report exhaustibility.
+func downIntervals(s Spec) map[string][]downInterval {
+	slack := overlapSlack(s)
+	type point struct {
+		at   time.Duration
+		down bool
+	}
+	points := map[string][]point{}
+	iv := map[string][]downInterval{}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case sim.EventPeerDown:
+			points[ev.Peer] = append(points[ev.Peer], point{ev.At, true})
+		case sim.EventPeerUp:
+			points[ev.Peer] = append(points[ev.Peer], point{ev.At, false})
+		case sim.EventLinkFlap:
+			points[ev.Peer] = append(points[ev.Peer],
+				point{ev.At, true}, point{ev.At + ev.Hold, false})
+		case sim.EventSRLGDown:
+			for _, p := range ev.Peers {
+				points[p] = append(points[p], point{ev.At, true})
+			}
+		case sim.EventSessionReset:
+			if ev.Graceful {
+				continue // forwarding preserved across the restart
+			}
+			restart := ev.Hold
+			if restart == 0 {
+				restart = sessionUpDelay
+			}
+			iv[ev.Peer] = append(iv[ev.Peer],
+				downInterval{ev.At, ev.At + restart + slack})
+		}
+	}
+	for peer, pts := range points {
+		// Restores sort before cuts at the same instant: the restore
+		// closes any open interval and the cut reopens one — losing
+		// neither, and erring toward longer coverage.
+		sort.SliceStable(pts, func(i, j int) bool {
+			if pts[i].at != pts[j].at {
+				return pts[i].at < pts[j].at
+			}
+			return !pts[i].down && pts[j].down
+		})
+		var open time.Duration
+		opened := false
+		for _, p := range pts {
+			switch {
+			case p.down && !opened:
+				open, opened = p.at, true
+			case !p.down && opened:
+				iv[peer] = append(iv[peer],
+					downInterval{open, p.at + sessionUpDelay + slack})
+				opened = false
+			}
+		}
+		if opened {
+			iv[peer] = append(iv[peer], downInterval{open, -1}) // never restored
+		}
+	}
+	return iv
+}
+
 // exhaustible reports whether the timeline can drive every member of a
-// k-tuple backup-group dead: it takes down at least k distinct peers
-// (link cuts, SRLG members, hard session resets), where k is the
-// effective group size min(GroupSize, peers). This is deliberately
-// conservative — downs are counted across the whole timeline even if
-// they never overlap — because the oracle must have zero false
-// positives on CI's fixed seeds; the cost is that exhaustible specs go
-// unchecked (documented in docs/fuzzing.md).
+// k-tuple backup-group dead at once, where k is the effective group
+// size min(GroupSize, peers): it computes conservative per-peer down
+// intervals (downIntervals) and sweeps their start points for an
+// instant where at least k distinct peers are down simultaneously.
+// Earlier generations counted distinct downed peers across the whole
+// timeline, which also skipped timelines whose failures never overlap —
+// separated failures the supercharger handles one at a time and should
+// be held to. The oracle must still have zero false positives on CI's
+// fixed seeds, so the intervals are widened (overlapSlack), never
+// narrowed; genuinely overlapping exhaustion remains exempt (documented
+// in docs/fuzzing.md).
 func exhaustible(s Spec) bool {
 	k := s.GroupSize
 	if k == 0 {
@@ -307,22 +534,71 @@ func exhaustible(s Spec) bool {
 	if n := len(s.Peers); k > n {
 		k = n
 	}
-	down := map[string]bool{}
-	for _, ev := range s.Events {
-		switch ev.Kind {
-		case sim.EventPeerDown, sim.EventLinkFlap:
-			down[ev.Peer] = true
-		case sim.EventSessionReset:
-			if !ev.Graceful {
-				down[ev.Peer] = true
+	iv := downIntervals(s)
+	// The maximum overlap over continuous time is attained at some
+	// interval start, so sweeping the starts is exact.
+	for _, list := range iv {
+		for _, probe := range list {
+			t := probe.start
+			overlapping := 0
+			for _, peerIv := range iv {
+				for _, other := range peerIv {
+					if other.start <= t && (other.end < 0 || t < other.end) {
+						overlapping++
+						break
+					}
+				}
 			}
-		case sim.EventSRLGDown:
-			for _, p := range ev.Peers {
-				down[p] = true
+			if overlapping >= k {
+				return true
 			}
 		}
 	}
-	return len(down) >= k
+	return false
+}
+
+// skipReason reports why the oracle exempts a spec ("" = checked):
+// k-exhaustible timelines (see exhaustible) and replica-exhausting
+// timelines — at least as many controller-failover events as replicas,
+// after which the controller is dead and fail-standalone forwarding
+// with no new reactions is the documented expected behavior.
+func skipReason(s Spec) string {
+	if exhaustible(s) {
+		return "k-exhaustible"
+	}
+	failovers := 0
+	for _, ev := range s.Events {
+		if ev.Kind == sim.EventControllerFailover {
+			failovers++
+		}
+	}
+	replicas := s.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if failovers >= replicas {
+		return "replica-exhausted"
+	}
+	return ""
+}
+
+// costAllowance is the extra supercharged latency (in ms) the spec's
+// centralization economics legitimately add to a reaction: the priced
+// controller's processing tax plus, per failover event, the takeover
+// window a reaction may have to wait out (and the standby's resync
+// margin). Added to the oracle's ratio threshold so controllers that
+// are priced or failing over as configured don't produce findings.
+func costAllowance(s Spec) float64 {
+	var allow time.Duration
+	if s.Cost != nil {
+		allow += s.Cost.Base + time.Duration(s.Prefixes)*s.Cost.PerUpdate + 64*s.Cost.PerRule
+	}
+	for _, ev := range s.Events {
+		if ev.Kind == sim.EventControllerFailover {
+			allow += takeoverFor(s, ev) + 200*time.Millisecond
+		}
+	}
+	return float64(allow) / 1e6
 }
 
 // CheckSpec is the fuzzing oracle: it runs the spec in both modes and
@@ -331,18 +607,21 @@ func exhaustible(s Spec) bool {
 // than Slack× the standalone worst case on an event it claims to
 // accelerate. An empty reason means the spec passes.
 //
-// One documented carve-out: when the timeline can exhaust a
-// backup-group (take at least GroupSize distinct peers down, so every
-// member of a k-tuple may be dead while some k+1-th peer survives), the
-// supercharged mode legitimately degrades — stranded flows or
-// per-entry fallback convergence through the extra controller hop.
-// That is the k-sizing trade-off the srlg-dual-failure builtin
-// documents, not a code regression, so such specs are exempt.
+// Two documented carve-outs (skipReason): when the timeline can exhaust
+// a backup-group — take GroupSize distinct peers down at once, so every
+// member of a k-tuple may be dead while some k+1-th peer survives — the
+// supercharged mode legitimately degrades (stranded flows or per-entry
+// fallback convergence through the extra controller hop; the k-sizing
+// trade-off the srlg-dual-failure builtin documents). And when the
+// timeline kills every controller replica, fail-standalone forwarding
+// with no further reactions is the designed behavior. Neither is a code
+// regression, so such specs are exempt.
 func CheckSpec(ctx context.Context, spec Spec, opts FuzzOptions) (string, error) {
 	opts = opts.withDefaults()
-	if exhaustible(spec) {
+	if skipReason(spec) != "" {
 		return "", nil
 	}
+	allowMS := costAllowance(spec)
 	var r Runner
 	sa, err := r.RunUnit(ctx, spec, sim.Standalone, opts.Prefixes, opts.Flows, 1)
 	if err != nil {
@@ -372,13 +651,20 @@ func CheckSpec(ctx context.Context, spec Spec, opts FuzzOptions) (string, error)
 		if !acceleratable(spec.Events[i]) {
 			continue
 		}
-		if se.Convergence == nil || ue.Convergence == nil {
+		// On mixed partial deployments only the supercharged class is held
+		// to the acceleration claim: the vanilla routers converge like the
+		// baseline modulo their independent control-plane jitter draws.
+		uc := ue.Convergence
+		if ue.SuperchargedClass != nil {
+			uc = ue.SuperchargedClass.Convergence
+		}
+		if se.Convergence == nil || uc == nil {
 			continue
 		}
-		if ue.Convergence.MaxMS > se.Convergence.MaxMS*opts.Slack+convGraceMS {
+		if uc.MaxMS > se.Convergence.MaxMS*opts.Slack+convGraceMS+allowMS {
 			return fmt.Sprintf(
-				"event %d (%s): supercharged worst blackout %.0fms vs standalone %.0fms (slack %.2g)",
-				i, ue.Kind, ue.Convergence.MaxMS, se.Convergence.MaxMS, opts.Slack), nil
+				"event %d (%s): supercharged worst blackout %.0fms vs standalone %.0fms (slack %.2g, allowance %.0fms)",
+				i, ue.Kind, uc.MaxMS, se.Convergence.MaxMS, opts.Slack, allowMS), nil
 		}
 	}
 	return "", nil
@@ -470,6 +756,37 @@ func shrinkStep(ctx context.Context, spec Spec, opts FuzzOptions, check checkFun
 			}
 			return changed
 		},
+		func(s *Spec) bool {
+			if s.Cost == nil {
+				return false
+			}
+			s.Cost = nil
+			return true
+		},
+		func(s *Spec) bool {
+			if len(s.Routers) == 0 {
+				return false
+			}
+			s.Routers = nil
+			return true
+		},
+		func(s *Spec) bool {
+			// The replica model and its failover events stand or fall
+			// together: failovers without standby replicas would kill the
+			// controller outright and change what the verdict means.
+			if s.Replicas == 0 && s.Takeover == 0 && !s.Durable {
+				return false
+			}
+			s.Replicas, s.Takeover, s.Durable = 0, 0, false
+			kept := s.Events[:0]
+			for _, ev := range s.Events {
+				if ev.Kind != sim.EventControllerFailover {
+					kept = append(kept, ev)
+				}
+			}
+			s.Events = kept
+			return true
+		},
 	} {
 		cand := cloneSpec(spec)
 		if !simplify(&cand) {
@@ -518,6 +835,11 @@ func cloneSpec(s Spec) Spec {
 		out.Events[i].Peers = append([]string(nil), ev.Peers...)
 	}
 	out.PrefixSweep = append([]int(nil), s.PrefixSweep...)
+	out.Routers = append([]Router(nil), s.Routers...)
+	if s.Cost != nil {
+		c := *s.Cost
+		out.Cost = &c
+	}
 	return out
 }
 
@@ -529,7 +851,28 @@ func TimelineString(s Spec) string {
 	if k == 0 {
 		k = 2
 	}
-	fmt.Fprintf(&b, "%dp k=%d:", len(s.Peers), k)
+	fmt.Fprintf(&b, "%dp k=%d", len(s.Peers), k)
+	// Centralization-economics markers, appended only when the dimension
+	// is in play so the classic header bytes stay stable.
+	if len(s.Routers) > 0 {
+		sc := 0
+		for _, r := range s.Routers {
+			if r.Supercharged {
+				sc++
+			}
+		}
+		fmt.Fprintf(&b, " d=%d/%d", sc, len(s.Routers))
+	}
+	if s.Cost != nil {
+		b.WriteString(" cost")
+	}
+	if s.Replicas > 0 {
+		fmt.Fprintf(&b, " rep=%d", s.Replicas)
+	}
+	if s.Durable {
+		b.WriteString(" durable")
+	}
+	b.WriteString(":")
 	for _, ev := range s.Events {
 		b.WriteString(" ")
 		b.WriteString(string(ev.Kind))

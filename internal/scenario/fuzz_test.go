@@ -105,6 +105,25 @@ func TestExhaustibleCarveOut(t *testing.T) {
 		{"hard resets count", 0, []Event{
 			{At: time.Second, Kind: sim.EventSessionReset, Peer: "R2"},
 			{At: 2 * time.Second, Kind: sim.EventSessionReset, Peer: "R3"}}, true},
+		// The overlap analysis un-skips what the old distinct-peer count
+		// could not: two downs whose intervals never coexist. R2 is
+		// restored at 2 s and safely usable again by 2 s + sessionUp +
+		// overlapSlack = 5 s; R3 only fails at 7.5 s.
+		{"separated downs don't overlap", 0, []Event{
+			{At: time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+			{At: 2 * time.Second, Kind: sim.EventPeerUp, Peer: "R2"},
+			{At: 7500 * time.Millisecond, Kind: sim.EventPeerDown, Peer: "R3"}}, false},
+		// ...but a restore inside the widened window still counts as
+		// overlapping: R2's interval runs to 6 s, covering R3's failure.
+		{"downs within slack overlap", 0, []Event{
+			{At: time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+			{At: 3 * time.Second, Kind: sim.EventPeerUp, Peer: "R2"},
+			{At: 4 * time.Second, Kind: sim.EventPeerDown, Peer: "R3"}}, true},
+		// Hard resets are bounded intervals too: far enough apart they
+		// stop counting (R2's window [1 s, 1+1+2 = 4 s] misses R3's 7 s).
+		{"separated hard resets don't overlap", 0, []Event{
+			{At: time.Second, Kind: sim.EventSessionReset, Peer: "R2"},
+			{At: 7 * time.Second, Kind: sim.EventSessionReset, Peer: "R3"}}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -115,6 +134,133 @@ func TestExhaustibleCarveOut(t *testing.T) {
 				t.Fatalf("exhaustible = %v, want %v", got, tc.want)
 			}
 		})
+	}
+}
+
+// TestOverlapOracleChecksSeparatedDowns is the regression the
+// interval-overlap upgrade buys: a timeline that downs two distinct
+// peers at well-separated times was k-exhaustible under the old
+// distinct-peer count — and therefore never checked. The overlap oracle
+// must now actually run it in both modes, and the supercharger (which
+// handles each failure with a full backup-group available) must pass.
+func TestOverlapOracleChecksSeparatedDowns(t *testing.T) {
+	spec := Spec{
+		Name:  "fuzz-test-separated",
+		Peers: []Peer{{Name: "R2"}, {Name: "R3"}},
+		Events: []Event{
+			{At: time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+			{At: 2 * time.Second, Kind: sim.EventPeerUp, Peer: "R2"},
+			{At: 8 * time.Second, Kind: sim.EventPeerDown, Peer: "R3"},
+		},
+	}
+	if exhaustible(spec) {
+		t.Fatal("separated failures marked exhaustible: the overlap analysis regressed to counting")
+	}
+	if sr := skipReason(spec); sr != "" {
+		t.Fatalf("separated failures skipped (%s); the oracle must check them", sr)
+	}
+	reason, err := CheckSpec(context.Background(), spec, fastFuzz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != "" {
+		t.Fatalf("supercharger flagged on separated sequential failures: %s", reason)
+	}
+}
+
+func TestSkipReasonReplicaExhaustion(t *testing.T) {
+	spec := Spec{
+		Name:  "fuzz-test-replicas",
+		Peers: []Peer{{Name: "R2"}, {Name: "R3"}},
+		Events: []Event{
+			{At: time.Second, Kind: sim.EventControllerFailover},
+			{At: 2 * time.Second, Kind: sim.EventControllerFailover},
+			{At: 3 * time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+		Replicas: 2,
+	}
+	if sr := skipReason(spec); sr != "replica-exhausted" {
+		t.Fatalf("two failovers at two replicas: skipReason = %q, want replica-exhausted", sr)
+	}
+	spec.Replicas = 3
+	if sr := skipReason(spec); sr != "" {
+		t.Fatalf("two failovers at three replicas skipped (%s); a standby survives", sr)
+	}
+}
+
+func TestFuzzAxes(t *testing.T) {
+	if err := ValidateAxes([]string{AxisCost, AxisReplicas}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateAxes([]string{"bogus-axis"}); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	// An empty (non-nil) axis list is the bare event grammar: none of the
+	// optional dimensions may appear, across many indices.
+	bare := fastFuzz()
+	bare.Axes = []string{}
+	for i := 0; i < 40; i++ {
+		s := GenerateSpec(11, i, bare)
+		if s.GroupSize != 0 || len(s.Routers) > 0 || s.Cost != nil || s.Replicas != 0 {
+			t.Fatalf("spec %d drew a disabled axis: %+v", i, s)
+		}
+		for _, p := range s.Peers {
+			if p.Prefixes != 0 || p.Offset != 0 {
+				t.Fatalf("spec %d drew a feed window with windows axis off", i)
+			}
+		}
+		for _, ev := range s.Events {
+			if ev.Detection != "" {
+				t.Fatalf("spec %d drew hold-timer detection with detection axis off", i)
+			}
+			if ev.Kind == sim.EventControllerFailover {
+				t.Fatalf("spec %d drew a failover with replicas axis off", i)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("bare spec %d invalid: %v", i, err)
+		}
+	}
+	// With all axes on (nil), the new dimensions must each actually occur
+	// somewhere — the grammar really covers them.
+	all := fastFuzz()
+	var sawDeploy, sawCost, sawReplicas bool
+	for i := 0; i < 60; i++ {
+		s := GenerateSpec(11, i, all)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v", i, err)
+		}
+		if len(s.Routers) > 0 {
+			sawDeploy = true
+			sc := 0
+			for _, r := range s.Routers {
+				if r.Supercharged {
+					sc++
+				}
+			}
+			if sc == 0 {
+				t.Fatalf("spec %d drew an all-vanilla deployment", i)
+			}
+		}
+		if s.Cost != nil {
+			sawCost = true
+		}
+		if s.Replicas > 0 {
+			sawReplicas = true
+			failovers := 0
+			for _, ev := range s.Events {
+				if ev.Kind == sim.EventControllerFailover {
+					failovers++
+				}
+			}
+			if failovers == 0 || failovers >= s.Replicas {
+				t.Fatalf("spec %d drew %d failovers at %d replicas", i, failovers, s.Replicas)
+			}
+		}
+	}
+	if !sawDeploy || !sawCost || !sawReplicas {
+		t.Fatalf("60 all-axes specs never drew deployment=%v cost=%v replicas=%v",
+			sawDeploy, sawCost, sawReplicas)
 	}
 }
 
@@ -138,6 +284,7 @@ func TestShrinkerProducesOneMinimalSpec(t *testing.T) {
 		}
 		return "", nil
 	}
+	cost := sim.DefaultControllerCost()
 	spec := Spec{
 		Name: "fuzz-test-shrink",
 		Peers: []Peer{
@@ -150,7 +297,13 @@ func TestShrinkerProducesOneMinimalSpec(t *testing.T) {
 			{At: 3 * time.Second, Kind: sim.EventPartialWithdraw, Peer: "R5", Fraction: 0.5},
 			{At: 4 * time.Second, Kind: sim.EventLinkFlap, Peer: "R3", Hold: time.Second},
 			{At: 5 * time.Second, Kind: sim.EventUpdateNoise, Peer: "R4", Hold: time.Second, Rate: 500},
+			{At: 6 * time.Second, Kind: sim.EventControllerFailover},
 		},
+		Routers:  []Router{{Supercharged: true}, {Supercharged: false}},
+		Cost:     &cost,
+		Replicas: 2,
+		Takeover: 250 * time.Millisecond,
+		Durable:  true,
 	}
 	shrunk, reason, err := shrinkSpec(context.Background(), spec, fastFuzz(), oracle)
 	if err != nil {
@@ -176,6 +329,18 @@ func TestShrinkerProducesOneMinimalSpec(t *testing.T) {
 		if p.Prefixes != 0 || p.Offset != 0 {
 			t.Fatalf("feed shaping survived shrinking: %+v", p)
 		}
+	}
+	// The centralization-economics dimensions are irrelevant to the
+	// synthetic failure and must be simplified away too.
+	if shrunk.Cost != nil {
+		t.Fatal("controller cost survived shrinking")
+	}
+	if len(shrunk.Routers) != 0 {
+		t.Fatalf("deployment %v survived shrinking", shrunk.Routers)
+	}
+	if shrunk.Replicas != 0 || shrunk.Takeover != 0 || shrunk.Durable {
+		t.Fatalf("replica model survived shrinking: rep=%d takeover=%v durable=%v",
+			shrunk.Replicas, shrunk.Takeover, shrunk.Durable)
 	}
 	// 1-minimality: removing either remaining event passes the oracle.
 	for i := range shrunk.Events {
@@ -224,6 +389,30 @@ func TestTimelineStringStable(t *testing.T) {
 	}
 	want := "3p k=2: srlg-down(R2+R3 @1.5s) session-reset(R2 @2s hold=1s graceful)" +
 		" update-noise(R4 @3s hold=1s rate=1000) peer-down(R4 @4s hold-timer)"
+	if got := TimelineString(spec); got != want {
+		t.Fatalf("timeline string\n got: %s\nwant: %s", got, want)
+	}
+
+	// The centralization-economics markers: deployment mix, priced
+	// controller, replica count and durability flag in the header.
+	cost := sim.DefaultControllerCost()
+	spec = Spec{
+		Name: "fuzz-test-ts-econ",
+		Peers: []Peer{
+			{Name: "R2"}, {Name: "R3"},
+		},
+		Routers:  []Router{{Supercharged: true}, {}, {Supercharged: true}},
+		Cost:     &cost,
+		Replicas: 2,
+		Takeover: 300 * time.Millisecond,
+		Durable:  true,
+		Events: []Event{
+			{At: 900 * time.Millisecond, Kind: sim.EventControllerFailover},
+			{At: time.Second, Kind: sim.EventPeerDown, Peer: "R2"},
+		},
+	}
+	want = "2p k=2 d=2/3 cost rep=2 durable: controller-failover(@900ms)" +
+		" peer-down(R2 @1s)"
 	if got := TimelineString(spec); got != want {
 		t.Fatalf("timeline string\n got: %s\nwant: %s", got, want)
 	}

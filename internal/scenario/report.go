@@ -35,13 +35,30 @@ type EventReport struct {
 	Recovered   int                 `json:"recovered"`
 	Unrecovered int                 `json:"unrecovered"`
 	Convergence *ConvergenceSummary `json:"convergence,omitempty"`
+	// SuperchargedClass / VanillaClass break the event down by router
+	// class on mixed partial-deployment runs (absent otherwise).
+	SuperchargedClass *ClassSummary `json:"supercharged_class,omitempty"`
+	VanillaClass      *ClassSummary `json:"vanilla_class,omitempty"`
+}
+
+// ClassSummary is one router class's share of an event's impact in a
+// partial-deployment run.
+type ClassSummary struct {
+	Routers     int                 `json:"routers"`
+	Affected    int                 `json:"affected"`
+	Recovered   int                 `json:"recovered"`
+	Unrecovered int                 `json:"unrecovered"`
+	Convergence *ConvergenceSummary `json:"convergence,omitempty"`
 }
 
 // RunReport is one (mode, table size) execution of the scenario.
 type RunReport struct {
-	Mode         string        `json:"mode"`
-	Prefixes     int           `json:"prefixes"`
-	Peers        []string      `json:"peers"`
+	Mode     string   `json:"mode"`
+	Prefixes int      `json:"prefixes"`
+	Peers    []string `json:"peers"`
+	// Routers lists a multi-router deployment as "name" / "name*"
+	// (starred = supercharged); single-router runs omit it.
+	Routers      []string      `json:"routers,omitempty"`
 	Groups       int           `json:"groups"`
 	RuleRewrites int           `json:"rule_rewrites"`
 	FIBWrites    uint64        `json:"fib_writes"`
@@ -67,6 +84,13 @@ func buildRunReport(res *sim.TimelineResult) RunReport {
 		FIBWrites:    res.FIBWrites,
 		ElapsedMS:    durMS(res.Elapsed),
 	}
+	for _, r := range res.Routers {
+		name := r.Name
+		if r.Supercharged {
+			name += "*"
+		}
+		run.Routers = append(run.Routers, name)
+	}
 	for _, ev := range res.Events {
 		er := EventReport{
 			Index:       ev.Index,
@@ -77,20 +101,42 @@ func buildRunReport(res *sim.TimelineResult) RunReport {
 			Affected:    ev.Affected,
 			Recovered:   ev.Recovered,
 			Unrecovered: ev.Unrecovered,
+			Convergence: summarizeConv(ev.Convergence),
 		}
-		if len(ev.Convergence) > 0 {
-			s := metrics.SummarizeDurations(ev.Convergence)
-			er.Convergence = &ConvergenceSummary{
-				Samples: s.N,
-				MinMS:   s.Min * 1e3,
-				P50MS:   s.Median * 1e3,
-				P95MS:   s.P95 * 1e3,
-				MaxMS:   s.Max * 1e3,
-			}
-		}
+		er.SuperchargedClass = summarizeClass(ev.SuperchargedClass)
+		er.VanillaClass = summarizeClass(ev.VanillaClass)
 		run.Events = append(run.Events, er)
 	}
 	return run
+}
+
+// summarizeConv condenses raw blackout gaps (nil when there are none).
+func summarizeConv(conv []time.Duration) *ConvergenceSummary {
+	if len(conv) == 0 {
+		return nil
+	}
+	s := metrics.SummarizeDurations(conv)
+	return &ConvergenceSummary{
+		Samples: s.N,
+		MinMS:   s.Min * 1e3,
+		P50MS:   s.Median * 1e3,
+		P95MS:   s.P95 * 1e3,
+		MaxMS:   s.Max * 1e3,
+	}
+}
+
+// summarizeClass maps one simulator class breakdown into report form.
+func summarizeClass(cl *sim.ClassResult) *ClassSummary {
+	if cl == nil {
+		return nil
+	}
+	return &ClassSummary{
+		Routers:     cl.Routers,
+		Affected:    cl.Affected,
+		Recovered:   cl.Recovered,
+		Unrecovered: cl.Unrecovered,
+		Convergence: summarizeConv(cl.Convergence),
+	}
 }
 
 func durMS(d time.Duration) float64 { return float64(d) / 1e6 }

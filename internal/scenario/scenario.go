@@ -83,6 +83,19 @@ type Peer struct {
 	Offset int `json:"offset,omitempty"`
 }
 
+// Router declares one edge router of the scenario deployment. A spec
+// without routers runs the classic single router; a spec mixing
+// supercharged and vanilla routers models partial SDN deployment and
+// reports per-class convergence.
+type Router struct {
+	// Name identifies the router ("" = E1, E2, ... by position).
+	Name string `json:"name,omitempty"`
+	// Supercharged puts the controller in front of this router in
+	// supercharged mode. Standalone mode ignores the flag: the baseline
+	// deployment has no SDN anywhere.
+	Supercharged bool `json:"supercharged"`
+}
+
 // Event is one scripted event of the scenario timeline.
 type Event struct {
 	// At schedules the event relative to traffic steady-state.
@@ -148,6 +161,19 @@ type Spec struct {
 	// is only opened at run time, so registering a table-backed builtin
 	// does not require the file to exist.
 	Table string `json:"table,omitempty"`
+
+	// Routers declares the deployment (nil = one router per mode). Only
+	// supercharged-mode runs honor the class mix; the standalone baseline
+	// is always SDN-free.
+	Routers []Router `json:"routers,omitempty"`
+	// Cost prices the controller's work (nil = the free controller of
+	// the original experiments; see sim.ControllerCost).
+	Cost *sim.ControllerCost `json:"cost,omitempty"`
+	// Replicas, Takeover and Durable parameterize controller-failover
+	// events (see sim.TimelineConfig).
+	Replicas int           `json:"replicas,omitempty"`
+	Takeover time.Duration `json:"takeover,omitempty"`
+	Durable  bool          `json:"durable,omitempty"`
 }
 
 // Validate checks the spec without running it: scenario-level shape here,
@@ -180,6 +206,14 @@ func (s Spec) Validate() error {
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	// The standalone compile drops the deployment/replica axes, so specs
+	// using them are validated through the supercharged compile too.
+	if len(s.Routers) > 0 || s.Replicas != 0 || s.Takeover != 0 || s.Cost != nil {
+		cfg := s.compile(sim.Supercharged, 1000, 0, 1)
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -209,6 +243,20 @@ func (s Spec) compile(mode sim.Mode, prefixes, flows int, seed int64) sim.Timeli
 			Hold: e.Hold, Fraction: e.Fraction, Detection: e.Detection,
 			Graceful: e.Graceful, Rate: e.Rate,
 		})
+	}
+	if s.Cost != nil {
+		cfg.Cost = *s.Cost
+	}
+	cfg.Replicas = s.Replicas
+	cfg.Takeover = s.Takeover
+	cfg.Durable = s.Durable
+	if mode == sim.Supercharged {
+		// Standalone is the no-SDN baseline: it never gets the class mix,
+		// so "standalone vs supercharged" compares zero deployment against
+		// the spec's deployment.
+		for _, r := range s.Routers {
+			cfg.Routers = append(cfg.Routers, sim.RouterSpec{Name: r.Name, Supercharged: r.Supercharged})
+		}
 	}
 	return cfg
 }

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The default controller cost's per-UPDATE term is seeded from the
+// committed micro-benchmark of the controller's hottest per-update path
+// (proc/churn-filter in BENCH_micro.json). This test keeps the constant
+// honest: if the benchmark gate is re-baselined far away from the
+// modeled cost, the model must be re-seeded too.
+func TestPerUpdateCostMatchesCommittedBenchmark(t *testing.T) {
+	path := findUp(t, "BENCH_micro.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	var measured float64
+	for _, b := range doc.Benchmarks {
+		if b.Name == "proc/churn-filter" {
+			measured = b.NsPerOp
+		}
+	}
+	if measured == 0 {
+		t.Fatalf("%s has no proc/churn-filter entry", path)
+	}
+	// Calibration, not precision: the constant must sit within 2× of the
+	// committed measurement in either direction.
+	if benchPerUpdateNS < measured/2 || benchPerUpdateNS > measured*2 {
+		t.Fatalf("benchPerUpdateNS = %d, committed churn-filter ns/op = %.1f: "+
+			"re-seed DefaultControllerCost from BENCH_micro.json", benchPerUpdateNS, measured)
+	}
+}
+
+// findUp resolves a repo-root file from the package test directory.
+func findUp(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("%s not found above the test directory", name)
+		}
+		dir = parent
+	}
+}

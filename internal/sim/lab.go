@@ -16,23 +16,30 @@ import (
 // routerPortOnSwitch is the switch port facing R1.
 const routerPortOnSwitch uint16 = 1
 
-// setup populates the pre-failure steady state: feeds loaded, best paths
-// selected, FIB installed, and — in supercharged mode — backup-groups
-// allocated, VNHs announced, ARP resolved and switch rules installed.
-// Setup is not part of the measured experiment, so table loads are
-// synchronous.
+// setup populates the pre-failure steady state for every router: feeds
+// loaded, best paths selected, FIB installed, and — on supercharged
+// routers — backup-groups allocated, VNHs announced, ARP resolved and
+// switch rules installed. Setup is not part of the measured experiment,
+// so table loads are synchronous.
 func (l *lab) setup(ctx context.Context) error {
 	cfg := l.cfg
-	l.fib = dataplane.NewFlatFIBNoLPM(l.clk, cfg.PerEntry)
-	l.fib.Reserve(cfg.NumPrefixes)
-
-	switch cfg.Mode {
-	case Standalone:
-		return l.setupStandalone()
-	case Supercharged:
-		return l.setupSupercharged(ctx)
+	if cfg.Mode != Standalone && cfg.Mode != Supercharged {
+		return fmt.Errorf("sim: unknown mode %d", cfg.Mode)
 	}
-	return fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+	for _, r := range l.routers {
+		r.fib = dataplane.NewFlatFIBNoLPM(l.clk, cfg.PerEntry)
+		r.fib.Reserve(cfg.NumPrefixes)
+		var err error
+		if r.supercharged {
+			err = l.setupSupercharged(ctx, r)
+		} else {
+			err = l.setupStandalone(r)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // setupStandalone loads both provider feeds straight into the router's own
@@ -40,14 +47,14 @@ func (l *lab) setup(ctx context.Context) error {
 // stream one UPDATE at a time (feed.Table.StreamUpdates) and the change
 // buffer is reused across messages, so a 1M-prefix load never holds a
 // per-peer rendered table in memory.
-func (l *lab) setupStandalone() error {
-	l.routerRIB = bgp.NewRIBSized(l.cfg.NumPrefixes)
+func (l *lab) setupStandalone(r *router) error {
+	r.routerRIB = bgp.NewRIBSized(l.cfg.NumPrefixes)
 	codec := bgp.Codec{ASN4: true}
 	ops := make([]dataplane.FIBOp, 0, l.cfg.NumPrefixes)
 	var changes []bgp.Change
 	for _, prov := range l.providers {
 		err := prov.feed.StreamUpdates(prov.as, prov.nh, codec, func(u *bgp.Update) error {
-			changes = l.routerRIB.UpdateInto(prov.meta, u, changes[:0])
+			changes = r.routerRIB.UpdateInto(prov.meta, u, changes[:0])
 			for _, ch := range changes {
 				// Best-path selection; install/replace the FIB entry.
 				best := ch.New[0]
@@ -67,8 +74,8 @@ func (l *lab) setupStandalone() error {
 		}
 		l.traceFeedIngest(prov, prov.feed.Len())
 	}
-	l.fib.LoadSync(ops)
-	l.fib.OnApplied = l.onFIBApplied
+	r.fib.LoadSync(ops)
+	r.fib.OnApplied = func(op dataplane.FIBOp, at time.Time) { l.onFIBApplied(r, op, at) }
 	return nil
 }
 
@@ -76,31 +83,33 @@ func (l *lab) setupStandalone() error {
 // core.Processor, the router receives VNH announcements, resolves them via
 // the ARP responder and installs VMAC-tagged FIB entries; the engine
 // installs one switch rule per backup-group.
-func (l *lab) setupSupercharged(ctx context.Context) error {
+func (l *lab) setupSupercharged(ctx context.Context, r *router) error {
 	cfg := l.cfg
 	pool := core.NewVNHPool(cfg.AllocMode)
 	groups := core.NewGroupTable(pool)
-	l.flows = dataplane.NewFlowTable()
-	l.arp = core.NewARPResponder(groups)
-	l.engine = core.NewEngine(groups, core.FlowPusherFunc(l.pushRule))
+	r.flows = dataplane.NewFlowTable()
+	r.arp = core.NewARPResponder(groups)
+	r.engine = core.NewEngine(groups, core.FlowPusherFunc(func(g core.Group, target core.PeerPort) error {
+		return l.pushRule(r, g, target)
+	}))
 	for _, prov := range l.providers {
-		l.engine.RegisterPeer(core.PeerPort{NH: prov.nh, MAC: prov.mac, Port: prov.port})
+		r.engine.RegisterPeer(core.PeerPort{NH: prov.nh, MAC: prov.mac, Port: prov.port})
 	}
-	l.proc = core.NewProcessor(bgp.NewRIBSized(cfg.NumPrefixes), groups)
-	l.proc.GroupSize = cfg.GroupSize
-	l.proc.OnNewGroup = l.engine.InstallGroup
-	l.proc.Reserve(cfg.NumPrefixes)
-	l.wireCoreMetrics()
+	r.proc = core.NewProcessor(bgp.NewRIBSized(cfg.NumPrefixes), groups)
+	r.proc.GroupSize = cfg.GroupSize
+	r.proc.OnNewGroup = r.engine.InstallGroup
+	r.proc.Reserve(cfg.NumPrefixes)
+	l.wireCoreMetrics(r)
 
 	codec := bgp.Codec{ASN4: true}
 	ops := make([]dataplane.FIBOp, 0, cfg.NumPrefixes)
 	for _, prov := range l.providers {
 		err := prov.feed.StreamUpdates(prov.as, prov.nh, codec, func(u *bgp.Update) error {
-			out, err := l.proc.Process(prov.meta, u)
+			out, err := r.proc.Process(prov.meta, u)
 			if err != nil {
 				return err
 			}
-			ops = append(ops, l.routerApply(out)...)
+			ops = append(ops, l.routerApply(r, out)...)
 			core.RecycleUpdates(out)
 			return nil
 		})
@@ -109,8 +118,8 @@ func (l *lab) setupSupercharged(ctx context.Context) error {
 		}
 		l.traceFeedIngest(prov, prov.feed.Len())
 	}
-	l.fib.LoadSync(ops)
-	l.fib.OnApplied = l.onFIBApplied
+	r.fib.LoadSync(ops)
+	r.fib.OnApplied = func(op dataplane.FIBOp, at time.Time) { l.onFIBApplied(r, op, at) }
 	// Setup-phase rule installs happen synchronously; drain them now so
 	// they are in place before traffic starts.
 	if _, err := l.clk.Drive(ctx, 1_000_000); err != nil {
@@ -119,10 +128,10 @@ func (l *lab) setupSupercharged(ctx context.Context) error {
 	return nil
 }
 
-// routerApply models the supercharged router's control plane receiving
+// routerApply models a supercharged router's control plane receiving
 // UPDATEs from the controller: resolve the announced next-hop to a MAC
 // (via ARP: VNH→VMAC, or a real peer's MAC) and produce FIB ops.
-func (l *lab) routerApply(updates []*bgp.Update) []dataplane.FIBOp {
+func (l *lab) routerApply(r *router, updates []*bgp.Update) []dataplane.FIBOp {
 	var ops []dataplane.FIBOp
 	for _, u := range updates {
 		for _, w := range u.Withdrawn {
@@ -131,7 +140,7 @@ func (l *lab) routerApply(updates []*bgp.Update) []dataplane.FIBOp {
 		if u.Attrs == nil {
 			continue
 		}
-		mac, ok := l.resolveNH(u.Attrs.NextHop)
+		mac, ok := l.resolveNH(r, u.Attrs.NextHop)
 		if !ok {
 			continue // unresolvable next-hop: router keeps the route in RIB only
 		}
@@ -147,9 +156,9 @@ func (l *lab) routerApply(updates []*bgp.Update) []dataplane.FIBOp {
 
 // resolveNH is the router's ARP step: virtual next-hops answered by the
 // controller's responder, real peers by their own MAC.
-func (l *lab) resolveNH(nh netip.Addr) (packet.MAC, bool) {
-	if l.arp != nil {
-		if vmac, ok := l.arp.Lookup(nh); ok {
+func (l *lab) resolveNH(r *router, nh netip.Addr) (packet.MAC, bool) {
+	if r.arp != nil {
+		if vmac, ok := r.arp.Lookup(nh); ok {
 			return vmac, true
 		}
 	}
@@ -168,52 +177,132 @@ func (l *lab) providerByNH(nh netip.Addr) (*provider, bool) {
 	return nil, false
 }
 
+// hasSupercharged reports whether any router is SDN-assisted — i.e.
+// whether a controller exists in this deployment at all.
+func (l *lab) hasSupercharged() bool {
+	for _, r := range l.routers {
+		if r.supercharged {
+			return true
+		}
+	}
+	return false
+}
+
+// mixedDeployment reports whether the run mixes supercharged and vanilla
+// routers — the partial-deployment regime whose reports carry per-class
+// breakdowns.
+func (l *lab) mixedDeployment() bool {
+	vanilla := false
+	for _, r := range l.routers {
+		if !r.supercharged {
+			vanilla = true
+		}
+	}
+	return vanilla && l.hasSupercharged()
+}
+
+// afterCost defers fn by the controller's processing tax. A zero tax runs
+// fn inline — never through a zero-delay timer, which would reorder
+// same-instant events and break byte-identity with the free-controller
+// model.
+func (l *lab) afterCost(tax time.Duration, fn func()) {
+	if tax <= 0 {
+		fn()
+		return
+	}
+	l.traceControllerCost(tax)
+	l.clk.AfterFunc(tax, fn)
+}
+
 // pushRule is the engine's FlowPusher: controller reaction plus switch
-// programming latency, then the rule lands in the flow table. During setup
-// (before traffic) the same path is used but the virtual clock drains it
-// immediately.
-func (l *lab) pushRule(g core.Group, target core.PeerPort) error {
-	delay := l.cfg.ControllerReact + l.cfg.FlowModLatency
+// programming latency (plus the per-rule cost tax), then the rule lands in
+// the router's flow table. During setup (before traffic) the same path is
+// used but the virtual clock drains it immediately. The in-flight window
+// is tracked in l.pending so replica failover can replay or drop it.
+func (l *lab) pushRule(r *router, g core.Group, target core.PeerPort) error {
+	delay := l.cfg.ControllerReact + l.cfg.FlowModLatency + l.cfg.Cost.PerRule
 	l.traceRuleInstall(delay)
-	l.clk.AfterFunc(delay, func() {
-		l.flows.Upsert(dataplane.Flow{
+	p := &pendingRule{at: l.clk.Now().Add(delay)}
+	p.fire = func() {
+		l.unpend(p)
+		r.flows.Upsert(dataplane.Flow{
 			Priority: 100,
 			Match:    dataplane.MatchDstMAC(g.VMAC),
 			Actions:  []dataplane.Action{dataplane.SetDstMAC(target.MAC), dataplane.Output(target.Port)},
 		})
 		l.reevaluateAllProbes()
-	})
+	}
+	p.timer = l.clk.AfterFunc(delay, p.fire)
+	l.pending = append(l.pending, p)
 	return nil
+}
+
+// unpend removes one in-flight FLOW_MOD from the pending list,
+// preserving issue order for the remainder.
+func (l *lab) unpend(p *pendingRule) {
+	for i, q := range l.pending {
+		if q == p {
+			l.pending = append(l.pending[:i], l.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// stopPending drops every in-flight FLOW_MOD — the dead primary's
+// unacknowledged batch, lost with it.
+func (l *lab) stopPending() {
+	for _, p := range l.pending {
+		p.timer.Stop()
+	}
+	l.pending = nil
+}
+
+// rearmPending replays the in-flight batch from the standby: each rule
+// lands no earlier than the takeover completes and no earlier than its
+// original schedule, in issue order.
+func (l *lab) rearmPending(until time.Time) {
+	for _, p := range l.pending {
+		p.timer.Stop()
+		at := p.at
+		if at.Before(until) {
+			at = until
+		}
+		p.timer = l.clk.AfterFunc(at.Sub(l.clk.Now()), p.fire)
+	}
 }
 
 // setupProbes selects the probe prefixes (paper: 100 random prefixes
 // including the first and last advertised) and initializes their state.
+// With several routers the flows are dealt round-robin across them in
+// sample order, so every class carries probes.
 func (l *lab) setupProbes() {
-	for _, pfx := range l.table.SamplePrefixes(l.cfg.NumFlows, l.cfg.Seed+7) {
+	for i, pfx := range l.table.SamplePrefixes(l.cfg.NumFlows, l.cfg.Seed+7) {
 		pr := &probe{
 			prefix: pfx,
+			rtr:    l.routers[i%len(l.routers)],
 			phase:  time.Duration(l.rng.Int63n(int64(l.cfg.ProbeInterval))),
 		}
-		pr.working = l.pathWorks(pfx)
+		pr.working = l.pathWorks(pr.rtr, pfx)
 		l.probes[pfx] = pr
 	}
 }
 
-// pathWorks walks a probe's forwarding path through the real tables:
-// router FIB → (switch flow table if VMAC-tagged) → provider link state.
-func (l *lab) pathWorks(pfx netip.Prefix) bool {
-	nh, ok := l.fib.Get(pfx)
+// pathWorks walks a probe's forwarding path through its router's real
+// tables: router FIB → (switch flow table if VMAC-tagged) → provider link
+// state.
+func (l *lab) pathWorks(r *router, pfx netip.Prefix) bool {
+	nh, ok := r.fib.Get(pfx)
 	if !ok {
 		return false
 	}
 	mac := nh.MAC
-	if l.flows != nil {
+	if r.flows != nil {
 		if prov, direct := l.targets[mac]; direct {
 			return prov.forwarding() && !prov.withdrawn[pfx]
 		}
 		// VMAC: resolve through the switch table.
 		eth := &packet.Ethernet{Dst: mac, Type: packet.EtherTypeIPv4}
-		flow := l.flows.Lookup(routerPortOnSwitch, eth)
+		flow := r.flows.Lookup(routerPortOnSwitch, eth)
 		if flow == nil {
 			return false
 		}
@@ -230,7 +319,7 @@ func (l *lab) pathWorks(pfx netip.Prefix) bool {
 // --- failure sequence ---
 
 // failProvider cuts the link to prov and schedules the BFD detection and
-// reaction pipeline for the current mode (the single-shot Run path).
+// reaction pipeline (the single-shot Run path).
 func (l *lab) failProvider(prov *provider) {
 	cutAt := l.clk.Now()
 	l.linkDown(prov)
@@ -251,29 +340,31 @@ func (l *lab) linkDown(prov *provider) {
 	prov.up = false
 	now := l.clk.Now()
 	for _, pr := range l.probes {
-		if pr.working && !l.pathWorks(pr.prefix) {
+		if pr.working && !l.pathWorks(pr.rtr, pr.prefix) {
 			pr.working = false
 			pr.open(now)
 		}
 	}
 }
 
-// reactToFailure dispatches the post-detection convergence pipeline.
+// reactToFailure dispatches the post-detection convergence pipeline on
+// every router: each converges through its own class's path.
 func (l *lab) reactToFailure(prov *provider) {
-	switch l.cfg.Mode {
-	case Standalone:
-		l.standaloneReact(prov)
-	case Supercharged:
-		l.superchargedReact(prov)
+	for _, r := range l.routers {
+		if r.supercharged {
+			l.superchargedReact(r, prov)
+		} else {
+			l.standaloneReact(r, prov)
+		}
 	}
 }
 
-// ctlDelay draws the router's control-plane delay: RouterCtl plus the
-// per-reaction jitter.
-func (l *lab) ctlDelay() time.Duration {
+// ctlDelay draws one router's control-plane delay: RouterCtl plus the
+// per-reaction jitter from that router's own stream.
+func (l *lab) ctlDelay(r *router) time.Duration {
 	ctl := l.cfg.RouterCtl
 	if l.cfg.RouterCtlJitter > 0 {
-		ctl += time.Duration(l.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
+		ctl += time.Duration(r.rng.Int63n(int64(l.cfg.RouterCtlJitter)))
 	}
 	return ctl
 }
@@ -285,17 +376,17 @@ func (l *lab) ctlDelay() time.Duration {
 // withdraw burst could be applied after the re-announcement that
 // superseded it, deleting routes forever (the fuzzer found exactly that
 // interleaving).
-func (l *lab) afterRouterCtl(fn func()) {
-	at := l.clk.Now().Add(l.ctlDelay())
-	if at.Before(l.routerCtlFIFO) {
-		at = l.routerCtlFIFO
+func (l *lab) afterRouterCtl(r *router, fn func()) {
+	at := l.clk.Now().Add(l.ctlDelay(r))
+	if at.Before(r.routerCtlFIFO) {
+		at = r.routerCtlFIFO
 	}
-	l.routerCtlFIFO = at
+	r.routerCtlFIFO = at
 	l.clk.AfterFunc(at.Sub(l.clk.Now()), fn)
 }
 
 // controllerDelay is how long until the controller can react: zero
-// normally, the remaining restart window while it is down.
+// normally, the remaining restart/takeover window while it is down.
 func (l *lab) controllerDelay() time.Duration {
 	if l.ctrlDownUntil.IsZero() {
 		return 0
@@ -308,7 +399,7 @@ func (l *lab) controllerDelay() time.Duration {
 
 // enqueueFIBChanges converts RIB changes into FIB ops and enqueues them in
 // table-walk order — the hardware rewrites entries one by one.
-func (l *lab) enqueueFIBChanges(changes []bgp.Change) {
+func (l *lab) enqueueFIBChanges(r *router, changes []bgp.Change) {
 	ops := make([]dataplane.FIBOp, 0, len(changes))
 	for _, ch := range changes {
 		if len(ch.New) == 0 {
@@ -324,19 +415,19 @@ func (l *lab) enqueueFIBChanges(changes []bgp.Change) {
 			NH:     dataplane.L2NH{MAC: target.mac, Port: int(routerPortOnSwitch)},
 		})
 	}
-	l.enqueueWalkOrder(ops)
+	l.enqueueWalkOrder(r, ops)
 }
 
 // enqueueWalkOrder sorts ops by current FIB position (new prefixes first)
-// and feeds them to the serialized per-entry updater.
-func (l *lab) enqueueWalkOrder(ops []dataplane.FIBOp) {
+// and feeds them to the router's serialized per-entry updater.
+func (l *lab) enqueueWalkOrder(r *router, ops []dataplane.FIBOp) {
 	type pendingOp struct {
 		pos int
 		op  dataplane.FIBOp
 	}
 	pending := make([]pendingOp, 0, len(ops))
 	for _, op := range ops {
-		pos, _ := l.fib.Position(op.Prefix)
+		pos, _ := r.fib.Position(op.Prefix)
 		pending = append(pending, pendingOp{pos, op})
 	}
 	sort.SliceStable(pending, func(i, j int) bool { return pending[i].pos < pending[j].pos })
@@ -344,50 +435,61 @@ func (l *lab) enqueueWalkOrder(ops []dataplane.FIBOp) {
 	for i, p := range pending {
 		sorted[i] = p.op
 	}
-	l.fib.Enqueue(sorted...)
+	r.fib.Enqueue(sorted...)
 }
 
 // standaloneReact is the vanilla router's convergence: after its control
 // plane digests the failure (RouterCtl + jitter), it rewrites every FIB
 // entry one by one in table-walk order — the linear process of Fig. 5.
-func (l *lab) standaloneReact(prov *provider) {
+func (l *lab) standaloneReact(r *router, prov *provider) {
 	start := l.clk.Now()
-	l.afterRouterCtl(func() {
+	l.afterRouterCtl(r, func() {
 		l.traceRouterCtl(start)
-		l.enqueueFIBChanges(l.routerRIB.RemovePeer(prov.nh))
+		l.enqueueFIBChanges(r, r.routerRIB.RemovePeer(prov.nh))
 	})
 }
 
 // superchargedReact is Listing 2: the controller rewrites the affected
 // backup-group rules (constant count), restoring the data plane; the
 // router's own BGP/FIB cleanup then proceeds in the background without
-// traffic impact.
-func (l *lab) superchargedReact(prov *provider) {
+// traffic impact. The reaction pays the controller's Base cost tax, and
+// is dropped entirely once the last replica is gone (installed rules keep
+// forwarding — fail-standalone).
+func (l *lab) superchargedReact(r *router, prov *provider) {
+	if l.ctrlDead {
+		return
+	}
 	l.clk.AfterFunc(l.controllerDelay(), func() {
-		n, err := l.engine.PeerDown(prov.nh)
-		if err != nil {
-			panic(fmt.Sprintf("sim: engine.PeerDown: %v", err))
+		if l.ctrlDead {
+			return
 		}
-		l.traceCtlNotified(prov, n)
-		// Control-plane cleanup toward the router (unmeasured but real):
-		// the processor withdraws/re-announces, the router walks its FIB.
-		updates, err := l.proc.PeerDown(prov.nh)
-		if err != nil {
-			panic(fmt.Sprintf("sim: processor.PeerDown: %v", err))
-		}
-		ctlStart := l.clk.Now()
-		l.afterRouterCtl(func() {
-			l.traceRouterCtl(ctlStart)
-			l.enqueueWalkOrder(l.routerApply(updates))
-			core.RecycleUpdates(updates)
+		l.afterCost(l.cfg.Cost.Base, func() {
+			n, err := r.engine.PeerDown(prov.nh)
+			if err != nil {
+				panic(fmt.Sprintf("sim: engine.PeerDown: %v", err))
+			}
+			l.traceCtlNotified(prov, n)
+			// Control-plane cleanup toward the router (unmeasured but real):
+			// the processor withdraws/re-announces, the router walks its FIB.
+			updates, err := r.proc.PeerDown(prov.nh)
+			if err != nil {
+				panic(fmt.Sprintf("sim: processor.PeerDown: %v", err))
+			}
+			ctlStart := l.clk.Now()
+			l.afterRouterCtl(r, func() {
+				l.traceRouterCtl(ctlStart)
+				l.enqueueWalkOrder(r, l.routerApply(r, updates))
+				core.RecycleUpdates(updates)
+			})
 		})
 	})
 }
 
-// onFIBApplied re-evaluates the touched prefix's probe when the router's
-// serialized updater installs an entry.
-func (l *lab) onFIBApplied(op dataplane.FIBOp, at time.Time) {
-	if pr, ok := l.probes[op.Prefix.Masked()]; ok {
+// onFIBApplied re-evaluates the touched prefix's probe when a router's
+// serialized updater installs an entry — only the probes that enter
+// through that router.
+func (l *lab) onFIBApplied(r *router, op dataplane.FIBOp, at time.Time) {
+	if pr, ok := l.probes[op.Prefix.Masked()]; ok && pr.rtr == r {
 		l.reevaluateProbe(pr, at)
 	}
 }
@@ -400,7 +502,7 @@ func (l *lab) reevaluateAllProbes() {
 }
 
 func (l *lab) reevaluateProbe(pr *probe, at time.Time) {
-	works := l.pathWorks(pr.prefix)
+	works := l.pathWorks(pr.rtr, pr.prefix)
 	switch {
 	case !pr.working && works:
 		pr.working = true

@@ -91,6 +91,12 @@ type Config struct {
 	// R3 backup; A2 uses 3).
 	Providers int
 
+	// Cost prices the controller's work in virtual time (the
+	// centralization-economics model). The zero value is the free
+	// controller of the original experiments: no tax anywhere, and the
+	// event schedule is byte-identical to the pre-cost model.
+	Cost ControllerCost
+
 	// Source is the time source the lab runs on. Nil — the default —
 	// builds a fresh virtual discrete-event source starting at the Unix
 	// epoch: the deterministic lab. A clock.Wall source runs the same
@@ -127,6 +133,42 @@ func DefaultConfig(mode Mode, n int) Config {
 		ProbeInterval:   70 * time.Microsecond,
 		FailAt:          time.Second,
 		Providers:       2,
+	}
+}
+
+// ControllerCost models the controller's processing latency: the tax a
+// centralized reaction pays between failure-detected and rules-computed
+// (Sermpezis & Dimitropoulos, "Can SDN Accelerate BGP Convergence?").
+// Every field adds virtual time on the supercharged path only; vanilla
+// routers never consult it.
+type ControllerCost struct {
+	// Base is the fixed per-reaction latency: queueing, scheduling and
+	// decision logic at the controller (the paper's E3 reports ~125 ms
+	// p99 reaction under load for the prototype).
+	Base time.Duration
+	// PerUpdate is the per-BGP-UPDATE processing cost, paid on every
+	// ingest batch the controller relays (Base + N×PerUpdate).
+	PerUpdate time.Duration
+	// PerRule is the extra per-FLOW_MOD cost on top of the switch's own
+	// programming latency (FlowModLatency).
+	PerRule time.Duration
+}
+
+// benchPerUpdateNS mirrors the committed BENCH_micro.json churn-filter
+// measurement (proc/churn-filter ns/op, ~252 ns on the reference host).
+// A calibration test parses the snapshot and fails when the two drift
+// apart, so the default cost model stays anchored to the measured code.
+const benchPerUpdateNS = 252
+
+// DefaultControllerCost is the calibrated cost model: Base from the
+// paper's E3 p99 reaction latency, PerUpdate from the committed
+// churn-filter micro-benchmark, PerRule a conservative FLOW_MOD
+// serialization allowance.
+func DefaultControllerCost() ControllerCost {
+	return ControllerCost{
+		Base:      125 * time.Millisecond,
+		PerUpdate: benchPerUpdateNS * time.Nanosecond,
+		PerRule:   500 * time.Microsecond,
 	}
 }
 
@@ -214,7 +256,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: need at least 2 providers")
 	}
 
-	lab := newLab(cfg, nil)
+	lab := newLab(cfg, nil, nil)
 	return lab.run(ctx)
 }
 
@@ -273,15 +315,11 @@ type lab struct {
 
 	providers []*provider
 
-	// Router model.
-	fib       *dataplane.FlatFIB
-	routerRIB *bgp.RIB // standalone mode: the router's own BGP view
+	// routers are the edge routers under test: one in the classic
+	// full-deployment labs, N in partial-deployment timelines where
+	// supercharged and vanilla routers share the providers and probes.
+	routers []*router
 
-	// Supercharger (nil in standalone mode).
-	proc    *core.Processor
-	engine  *core.Engine
-	flows   *dataplane.FlowTable // switch table
-	arp     *core.ARPResponder
 	targets map[packet.MAC]*provider // real MAC -> provider
 
 	// Probes.
@@ -294,15 +332,59 @@ type lab struct {
 	tcfg          *TimelineConfig
 	events        []*eventState
 	base          time.Time
-	fibBase       uint64
 	ctrlDownUntil time.Time
+
+	// Replica failover state: replicasLeft counts live controller
+	// replicas; once the last one dies ctrlDead sticks and every
+	// controller-mediated reaction is dropped (installed rules keep
+	// forwarding — fail-standalone). pending tracks in-flight FLOW_MODs
+	// in issue order so a takeover can replay or drop them
+	// deterministically.
+	replicasLeft int
+	ctrlDead     bool
+	pending      []*pendingRule
+
+	// Telemetry wiring (zero when disabled; see telemetry.go).
+	tracePID  int
+	metrics   *simMetrics
+	coreWired bool
+}
+
+// router is one edge router under test. Partial deployment mixes
+// supercharged and vanilla routers in a single run; each keeps its own
+// FIB, control-plane FIFO and jitter stream, while the provider links,
+// the probe set and the (single, shared) controller live on the lab.
+type router struct {
+	name         string
+	idx          int
+	supercharged bool
+	// rng is the router's control-plane jitter stream. Router 0 shares
+	// the lab's stream, so a single-router run draws the exact sequence
+	// the pre-refactor lab drew — byte-identical results.
+	rng *rand.Rand
+
+	fib       *dataplane.FlatFIB
+	routerRIB *bgp.RIB // vanilla: the router's own BGP view
+
+	// Supercharger state (nil on vanilla routers).
+	proc   *core.Processor
+	engine *core.Engine
+	flows  *dataplane.FlowTable // switch table in front of this router
+	arp    *core.ARPResponder
+
+	fibBase uint64
 	// routerCtlFIFO is the in-order floor of the router's control-plane
 	// channel: no batch may be applied before one emitted earlier.
 	routerCtlFIFO time.Time
+}
 
-	// Telemetry wiring (zero when disabled; see telemetry.go).
-	tracePID int
-	metrics  *simMetrics
+// pendingRule is one FLOW_MOD in flight between the controller and the
+// switch, tracked so replica failover can replay (durable) or drop
+// (non-durable) the batch.
+type pendingRule struct {
+	at    time.Time // when the rule lands on the original schedule
+	timer clock.Timer
+	fire  func()
 }
 
 // outage is one contiguous blackout window of a probed flow.
@@ -313,6 +395,7 @@ type outage struct {
 
 type probe struct {
 	prefix  netip.Prefix
+	rtr     *router       // the edge router this flow enters through
 	phase   time.Duration // probe phase offset in [0, ProbeInterval)
 	working bool
 	// outages records every blackout window in chronological order; the
@@ -338,8 +421,10 @@ func (p *probe) closeAt(at time.Time) {
 
 // newLab builds the lab. peers parameterizes the provider topology; nil
 // synthesizes cfg.Providers identical full-feed peers (R2 preferred, then
-// descending), the paper's fixed setup.
-func newLab(cfg Config, peers []PeerSpec) *lab {
+// descending), the paper's fixed setup. routers parameterizes the
+// deployment; nil builds the classic single edge router whose class
+// follows cfg.Mode.
+func newLab(cfg Config, peers []PeerSpec, routers []RouterSpec) *lab {
 	src := cfg.Source
 	if src == nil {
 		src = clock.NewVirtualAtZero()
@@ -352,6 +437,26 @@ func newLab(cfg Config, peers []PeerSpec) *lab {
 		probes:  make(map[netip.Prefix]*probe),
 		targets: make(map[packet.MAC]*provider),
 		result:  &Result{Mode: cfg.Mode, NumPrefixes: cfg.NumPrefixes},
+	}
+	if len(routers) == 0 {
+		routers = []RouterSpec{{Supercharged: cfg.Mode == Supercharged}}
+	}
+	for i, spec := range routers {
+		r := &router{name: spec.Name, idx: i, supercharged: spec.Supercharged, rng: l.rng}
+		if r.name == "" {
+			if len(routers) == 1 {
+				r.name = "R1"
+			} else {
+				r.name = fmt.Sprintf("E%d", i+1)
+			}
+		}
+		if i > 0 {
+			// Routers after the first get their own jitter stream; the
+			// large odd stride keeps per-router sequences disjoint for
+			// nearby seeds.
+			r.rng = rand.New(rand.NewSource(cfg.Seed + int64(i)*1_000_003))
+		}
+		l.routers = append(l.routers, r)
 	}
 	if peers == nil {
 		for i := 0; i < cfg.Providers; i++ {
@@ -438,11 +543,12 @@ func (l *lab) run(ctx context.Context) (*Result, error) {
 
 	// Harvest measurements.
 	res := l.result
+	r0 := l.routers[0]
 	res.ControlPlaneDone = l.clk.Now().Sub(failAbs)
 	res.Groups = 0
-	if l.proc != nil {
-		res.Groups = l.proc.Groups().Len()
-		res.RuleRewrites = int(l.engine.Rewrites())
+	if r0.proc != nil {
+		res.Groups = r0.proc.Groups().Len()
+		res.RuleRewrites = int(r0.engine.Rewrites())
 	}
 	for _, pr := range l.sortedProbes() {
 		if len(pr.outages) == 0 || !pr.outages[0].ended {
@@ -452,7 +558,7 @@ func (l *lab) run(ctx context.Context) (*Result, error) {
 		// (a later failure must not shift an already-measured flow).
 		first := pr.outages[0]
 		conv := l.quantizedGap(pr, first)
-		pos, _ := l.fib.Position(pr.prefix)
+		pos, _ := pr.rtr.fib.Position(pr.prefix)
 		res.Flows = append(res.Flows, FlowResult{Prefix: pr.prefix, Position: pos, Convergence: conv})
 		l.traceConverge(0, pr, first, conv)
 		l.metrics.observeConvergence(conv)
@@ -460,7 +566,7 @@ func (l *lab) run(ctx context.Context) (*Result, error) {
 			res.DataPlaneDone = d
 		}
 	}
-	l.metrics.runDone(l.fib.Applied())
+	l.metrics.runDone(r0.fib.Applied())
 	return res, nil
 }
 

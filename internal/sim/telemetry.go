@@ -35,6 +35,8 @@ const (
 	spanRuleInstall   = "rule-install"
 	spanRouterCtl     = "router-ctl"
 	spanConverged     = "flow-converged"
+	spanCtlCost       = "controller-cost"
+	spanTakeover      = "controller-takeover"
 )
 
 // traceStart registers the run's trace process and pipeline thread.
@@ -134,6 +136,25 @@ func (l *lab) traceRuleInstall(dur time.Duration) {
 	})
 }
 
+// traceControllerCost spans the controller's processing tax: the
+// centralization-economics latency between a batch arriving (or a failure
+// being detected) and the rules/updates leaving the controller.
+func (l *lab) traceControllerCost(tax time.Duration) {
+	l.emit(telemetry.Span{
+		Name: spanCtlCost, Cat: "pipeline", TID: 0,
+		Start: l.vt(l.clk.Now()), Dur: tax,
+	})
+}
+
+// traceTakeover spans a controller replica takeover: primary killed now,
+// the standby (one of n remaining replicas) is in charge after dur.
+func (l *lab) traceTakeover(dur time.Duration, n int) {
+	l.emit(telemetry.Span{
+		Name: spanTakeover, Cat: "pipeline", TID: 0,
+		Start: l.vt(l.clk.Now()), Dur: dur, N: n,
+	})
+}
+
 // traceRouterCtl spans the router's control-plane digestion window:
 // batch handed over at start, FIB walk begins at the end of the span.
 func (l *lab) traceRouterCtl(start time.Time) {
@@ -192,14 +213,18 @@ func (l *lab) wireMetrics() {
 
 // wireCoreMetrics attaches the processor/engine bundles. setupSupercharged
 // calls it right after constructing both, so the counters see the
-// setup-phase feed ingest too — not just post-steady-state traffic.
-func (l *lab) wireCoreMetrics() {
+// setup-phase feed ingest too — not just post-steady-state traffic. Only
+// the first supercharged router is instrumented: the registry rejects
+// duplicate series names, and one router's counters characterize the
+// deployment.
+func (l *lab) wireCoreMetrics(r *router) {
 	reg := l.cfg.Telemetry
-	if reg == nil || l.proc == nil {
+	if reg == nil || r.proc == nil || l.coreWired {
 		return
 	}
-	l.proc.Metrics = core.NewProcMetrics(reg)
-	l.engine.Metrics = core.NewEngineMetrics(reg)
+	l.coreWired = true
+	r.proc.Metrics = core.NewProcMetrics(reg)
+	r.engine.Metrics = core.NewEngineMetrics(reg)
 }
 
 func (m *simMetrics) runDone(fibWrites uint64) {

@@ -78,6 +78,16 @@ const (
 	// With Graceful (RFC 4724) forwarding state is preserved across the
 	// restart: zero blackout, and only the replay churn remains.
 	EventSessionReset EventKind = "session-reset"
+	// EventControllerFailover kills the current controller primary. With
+	// replicas left (TimelineConfig.Replicas), a standby — holding the
+	// same deterministic VNH allocation, as in examples/failover — takes
+	// over after the takeover latency (Hold, else TimelineConfig.Takeover,
+	// else 2 s); in-flight FLOW_MODs are replayed by the standby when
+	// TimelineConfig.Durable, lost otherwise (the standby resyncs the
+	// switch instead). Killing the last replica leaves the deployment
+	// controller-less for the rest of the run: installed rules keep
+	// forwarding (fail-standalone) but no new reaction ever happens.
+	EventControllerFailover EventKind = "controller-failover"
 	// EventUpdateNoise has the peer re-announce chunks of its feed in
 	// 100 ms bursts at Rate updates/s for Hold — background churn during
 	// failover, the control-plane load of the paper's E3 micro-benchmark.
@@ -92,7 +102,8 @@ const (
 var knownEventKinds = []EventKind{
 	EventPeerDown, EventPeerUp, EventLinkFlap, EventPartialWithdraw,
 	EventBurstReannounce, EventRuleLoss, EventControllerRestart,
-	EventSRLGDown, EventSessionReset, EventUpdateNoise,
+	EventControllerFailover, EventSRLGDown, EventSessionReset,
+	EventUpdateNoise,
 }
 
 // KnownEventKinds returns the valid event kinds in display order.
@@ -138,6 +149,18 @@ type PeerSpec struct {
 	Offset int
 }
 
+// RouterSpec declares one edge router of a timeline deployment: partial
+// deployment mixes SDN-assisted (Supercharged) and vanilla-BGP routers
+// behind the same providers in a single run.
+type RouterSpec struct {
+	// Name identifies the router ("" = E1, E2, ... by position; a single
+	// unnamed router keeps the classic name R1).
+	Name string
+	// Supercharged puts the controller and switch in front of this
+	// router; false is the vanilla baseline class.
+	Supercharged bool
+}
+
 // TimelineEvent is one scripted event, At after traffic steady-state.
 type TimelineEvent struct {
 	At   time.Duration
@@ -181,6 +204,22 @@ type TimelineConfig struct {
 	// SessionUp is the BGP re-establishment delay after a link returns
 	// (default 1 s).
 	SessionUp time.Duration
+
+	// Routers declares the deployment (nil = the classic single router
+	// whose class follows Config.Mode). Supercharged routers are only
+	// valid in Supercharged mode; a run whose Routers mix classes
+	// reports per-class convergence breakdowns.
+	Routers []RouterSpec
+	// Replicas is the controller replica count for controller-failover
+	// events (0 = 1: a single primary, no standby).
+	Replicas int
+	// Takeover is the standby's default takeover latency after a
+	// controller-failover (0 = 2 s; a failover event's Hold overrides).
+	Takeover time.Duration
+	// Durable replays in-flight FLOW_MODs from the standby after a
+	// takeover; without it the dead primary's unacknowledged batch is
+	// lost and the standby resyncs the switch instead.
+	Durable bool
 }
 
 // eventState tracks one scheduled event through the run.
@@ -207,14 +246,41 @@ type EventResult struct {
 	Unrecovered int `json:"unrecovered"`
 	// Convergence holds the per-recovered-flow quantized blackout gaps.
 	Convergence []time.Duration `json:"convergence,omitempty"`
+	// SuperchargedClass / VanillaClass break the counts above down by
+	// router class. Only populated on genuinely mixed (partial
+	// deployment) runs, so full-deployment reports keep their exact
+	// legacy encoding.
+	SuperchargedClass *ClassResult `json:"supercharged_class,omitempty"`
+	VanillaClass      *ClassResult `json:"vanilla_class,omitempty"`
+}
+
+// ClassResult is one router class's share of an event's impact in a
+// mixed partial-deployment run.
+type ClassResult struct {
+	// Routers counts the deployment's routers of this class.
+	Routers     int `json:"routers"`
+	Affected    int `json:"affected"`
+	Recovered   int `json:"recovered"`
+	Unrecovered int `json:"unrecovered"`
+	// Convergence holds this class's recovered-flow blackout gaps.
+	Convergence []time.Duration `json:"convergence,omitempty"`
+}
+
+// RouterResult names one router of a multi-router deployment.
+type RouterResult struct {
+	Name         string `json:"name"`
+	Supercharged bool   `json:"supercharged"`
 }
 
 // TimelineResult is one timeline run's measurements.
 type TimelineResult struct {
-	Mode        Mode          `json:"-"`
-	NumPrefixes int           `json:"prefixes"`
-	Peers       []string      `json:"peers"`
-	Events      []EventResult `json:"events"`
+	Mode        Mode     `json:"-"`
+	NumPrefixes int      `json:"prefixes"`
+	Peers       []string `json:"peers"`
+	// Routers lists the deployment when it has more than one router;
+	// classic single-router runs omit it (legacy encoding).
+	Routers []RouterResult `json:"routers,omitempty"`
+	Events  []EventResult  `json:"events"`
 	// Groups and RuleRewrites mirror Result (supercharged mode only).
 	Groups       int `json:"groups"`
 	RuleRewrites int `json:"rule_rewrites"`
@@ -244,8 +310,12 @@ func RunTimeline(ctx context.Context, cfg TimelineConfig) (*TimelineResult, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l := newLab(cfg.Config, cfg.Peers)
+	l := newLab(cfg.Config, cfg.Peers, cfg.Routers)
 	l.tcfg = &cfg
+	l.replicasLeft = cfg.Replicas
+	if l.replicasLeft <= 0 {
+		l.replicasLeft = 1
+	}
 	return l.runTimeline(ctx)
 }
 
@@ -271,6 +341,36 @@ func (cfg *TimelineConfig) Validate() error {
 		if p.Offset < 0 {
 			return fmt.Errorf("sim: peer %q: negative feed offset %d", name, p.Offset)
 		}
+	}
+	rnames := make(map[string]bool, len(cfg.Routers))
+	for i, r := range cfg.Routers {
+		name := r.Name
+		if name == "" {
+			if len(cfg.Routers) == 1 {
+				name = "R1"
+			} else {
+				name = fmt.Sprintf("E%d", i+1)
+			}
+		}
+		if rnames[name] {
+			return fmt.Errorf("sim: duplicate router name %q", name)
+		}
+		if names[name] {
+			return fmt.Errorf("sim: router name %q collides with a peer", name)
+		}
+		rnames[name] = true
+		if r.Supercharged && cfg.Mode != Supercharged {
+			return fmt.Errorf("sim: router %q: supercharged routers need Supercharged mode", name)
+		}
+	}
+	if cfg.Replicas < 0 {
+		return fmt.Errorf("sim: negative replica count %d", cfg.Replicas)
+	}
+	if cfg.Takeover < 0 {
+		return fmt.Errorf("sim: negative takeover latency %v", cfg.Takeover)
+	}
+	if cfg.Cost.Base < 0 || cfg.Cost.PerUpdate < 0 || cfg.Cost.PerRule < 0 {
+		return fmt.Errorf("sim: controller cost fields must be non-negative")
 	}
 	for i, ev := range cfg.Events {
 		if ev.At < 0 {
@@ -316,7 +416,7 @@ func (cfg *TimelineConfig) Validate() error {
 			if ev.Fraction <= 0 || ev.Fraction > 1 {
 				return fmt.Errorf("sim: event %d (%s): Fraction %v outside (0, 1]", i, ev.Kind, ev.Fraction)
 			}
-		case EventSessionReset:
+		case EventSessionReset, EventControllerFailover:
 			if ev.Hold < 0 {
 				return fmt.Errorf("sim: event %d (%s): negative Hold %v", i, ev.Kind, ev.Hold)
 			}
@@ -373,7 +473,9 @@ func (l *lab) runTimeline(ctx context.Context) (*TimelineResult, error) {
 	l.traceSetup()
 
 	l.base = l.clk.Now()
-	l.fibBase = l.fib.Applied()
+	for _, r := range l.routers {
+		r.fibBase = r.fib.Applied()
+	}
 	for i := range l.tcfg.Events {
 		st := &eventState{ev: l.tcfg.Events[i], idx: i, absAt: l.base.Add(l.tcfg.Events[i].At)}
 		l.events = append(l.events, st)
@@ -411,6 +513,8 @@ func (l *lab) applyEvent(st *eventState) {
 		l.eventRuleLoss()
 	case EventControllerRestart:
 		l.eventControllerRestart(st)
+	case EventControllerFailover:
+		l.eventControllerFailover(st)
 	case EventSRLGDown:
 		for _, name := range st.ev.Peers {
 			member, ok := l.providerByName(name)
@@ -645,17 +749,37 @@ func (l *lab) eventBurstReannounce(prov *provider) {
 	l.ingestFeed(prov, chunk, false)
 }
 
-// eventRuleLoss wipes the switch flow table; the controller detects the
-// loss and resyncs every group rule from its own state.
+// eventRuleLoss wipes every supercharged router's switch flow table; the
+// controller detects the loss and resyncs every group rule from its own
+// state (paying its Base cost) — unless the last replica is already gone,
+// in which case nobody is left to resync.
 func (l *lab) eventRuleLoss() {
-	if l.flows == nil {
-		return // standalone: no switch rules in the forwarding path
+	wiped := false
+	for _, r := range l.routers {
+		if r.flows == nil {
+			continue // vanilla: no switch rules in the forwarding path
+		}
+		r.flows = dataplane.NewFlowTable()
+		wiped = true
 	}
-	l.flows = dataplane.NewFlowTable()
+	if !wiped {
+		return
+	}
 	l.reevaluateAllProbes()
-	l.clk.AfterFunc(l.controllerDelay()+l.cfg.ControllerReact, func() {
-		if _, err := l.engine.Resync(); err != nil {
-			panic(fmt.Sprintf("sim: engine.Resync: %v", err))
+	if l.ctrlDead {
+		return
+	}
+	l.clk.AfterFunc(l.controllerDelay()+l.cfg.ControllerReact+l.cfg.Cost.Base, func() {
+		if l.ctrlDead {
+			return
+		}
+		for _, r := range l.routers {
+			if r.engine == nil {
+				continue
+			}
+			if _, err := r.engine.Resync(); err != nil {
+				panic(fmt.Sprintf("sim: engine.Resync: %v", err))
+			}
 		}
 	})
 }
@@ -663,13 +787,68 @@ func (l *lab) eventRuleLoss() {
 // eventControllerRestart takes the controller down for Hold; reactions
 // arriving in the window are deferred via controllerDelay.
 func (l *lab) eventControllerRestart(st *eventState) {
-	if l.cfg.Mode != Supercharged {
+	if !l.hasSupercharged() {
 		return
 	}
 	until := l.clk.Now().Add(st.ev.Hold)
 	if until.After(l.ctrlDownUntil) {
 		l.ctrlDownUntil = until
 	}
+}
+
+// takeoverWindow resolves one failover event's takeover latency: the
+// event's Hold, else the config default, else 2 s.
+func (l *lab) takeoverWindow(ev TimelineEvent) time.Duration {
+	if ev.Hold > 0 {
+		return ev.Hold
+	}
+	if l.tcfg.Takeover > 0 {
+		return l.tcfg.Takeover
+	}
+	return 2 * time.Second
+}
+
+// eventControllerFailover kills the controller primary. A surviving
+// standby — which holds the same deterministic VNH/group allocation, so
+// no recomputation is needed — takes over after the takeover window;
+// in-flight FLOW_MODs are replayed (durable) or lost (the standby
+// resyncs the switch instead). Killing the last replica leaves the run
+// controller-less: installed rules keep forwarding, nothing new happens.
+func (l *lab) eventControllerFailover(st *eventState) {
+	if !l.hasSupercharged() || l.ctrlDead {
+		return
+	}
+	if l.replicasLeft <= 1 {
+		l.replicasLeft = 0
+		l.ctrlDead = true
+		l.stopPending()
+		return
+	}
+	l.replicasLeft--
+	take := l.takeoverWindow(st.ev)
+	until := l.clk.Now().Add(take)
+	if until.After(l.ctrlDownUntil) {
+		l.ctrlDownUntil = until
+	}
+	l.traceTakeover(take, l.replicasLeft)
+	if l.tcfg.Durable {
+		l.rearmPending(until)
+		return
+	}
+	l.stopPending()
+	l.clk.AfterFunc(take+l.cfg.ControllerReact+l.cfg.Cost.Base, func() {
+		if l.ctrlDead {
+			return
+		}
+		for _, r := range l.routers {
+			if r.engine == nil {
+				continue
+			}
+			if _, err := r.engine.Resync(); err != nil {
+				panic(fmt.Sprintf("sim: engine.Resync: %v", err))
+			}
+		}
+	})
 }
 
 // ingest feeds a peer's materialized UPDATE batch through the mode's
@@ -694,59 +873,82 @@ func (l *lab) ingestFeed(prov *provider, table *feed.Table, peerUp bool) {
 	}, peerUp)
 }
 
-// ingestStream feeds a peer's UPDATE stream through the mode's control
-// plane: straight into the router's RIB in standalone mode, through the
+// ingestStream feeds a peer's UPDATE stream through every router's
+// control plane: straight into a vanilla router's own RIB, through the
 // supercharger's processor (and, on session recovery, the engine's PeerUp
-// retarget) in supercharged mode. The router's FIB walk follows after its
-// usual control-plane delay. The source function is invoked once, inside
-// the control-plane stage, so streams render at ingestion time rather
-// than at scheduling time.
+// retarget) on supercharged routers. The router's FIB walk follows after
+// its usual control-plane delay. The source function is invoked once per
+// router, inside the control-plane stage, so streams render at ingestion
+// time rather than at scheduling time (and each router sees its own
+// deterministic rendering of the same session).
 func (l *lab) ingestStream(prov *provider, source func(fn func(*bgp.Update) error) error, peerUp bool) {
-	switch l.cfg.Mode {
-	case Standalone:
-		ctlStart := l.clk.Now()
-		l.afterRouterCtl(func() {
-			l.traceRouterCtl(ctlStart)
-			var changes []bgp.Change
-			err := source(func(u *bgp.Update) error {
-				changes = append(changes, l.routerRIB.Update(prov.meta, u)...)
-				return nil
-			})
-			if err != nil {
-				panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
-			}
-			l.enqueueFIBChanges(changes)
+	for _, r := range l.routers {
+		if r.supercharged {
+			l.ingestSupercharged(r, prov, source, peerUp)
+		} else {
+			l.ingestStandalone(r, prov, source)
+		}
+	}
+}
+
+// ingestStandalone is the vanilla router's ingest leg of ingestStream.
+func (l *lab) ingestStandalone(r *router, prov *provider, source func(fn func(*bgp.Update) error) error) {
+	ctlStart := l.clk.Now()
+	l.afterRouterCtl(r, func() {
+		l.traceRouterCtl(ctlStart)
+		var changes []bgp.Change
+		err := source(func(u *bgp.Update) error {
+			changes = append(changes, r.routerRIB.Update(prov.meta, u)...)
+			return nil
 		})
-	case Supercharged:
-		l.clk.AfterFunc(l.controllerDelay(), func() {
-			var toRouter []*bgp.Update
-			nIn := 0
-			err := source(func(u *bgp.Update) error {
-				nIn++
-				out, err := l.proc.Process(prov.meta, u)
-				if err != nil {
-					panic(fmt.Sprintf("sim: processor.Process: %v", err))
-				}
-				toRouter = append(toRouter, out...)
-				return nil
-			})
+		if err != nil {
+			panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
+		}
+		l.enqueueFIBChanges(r, changes)
+	})
+}
+
+// ingestSupercharged is the SDN-assisted ingest leg of ingestStream: the
+// controller relays the session, paying Base + N×PerUpdate of processing
+// tax after the churn filter counts the batch. A dead controller (last
+// replica gone) relays nothing — the router's view freezes.
+func (l *lab) ingestSupercharged(r *router, prov *provider, source func(fn func(*bgp.Update) error) error, peerUp bool) {
+	if l.ctrlDead {
+		return
+	}
+	l.clk.AfterFunc(l.controllerDelay(), func() {
+		if l.ctrlDead {
+			return
+		}
+		var toRouter []*bgp.Update
+		nIn := 0
+		err := source(func(u *bgp.Update) error {
+			nIn++
+			out, err := r.proc.Process(prov.meta, u)
 			if err != nil {
-				panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
+				panic(fmt.Sprintf("sim: processor.Process: %v", err))
 			}
-			l.traceChurnFilter(prov, nIn, len(toRouter))
+			toRouter = append(toRouter, out...)
+			return nil
+		})
+		if err != nil {
+			panic(fmt.Sprintf("sim: render feed for %s: %v", prov.name, err))
+		}
+		l.traceChurnFilter(prov, nIn, len(toRouter))
+		l.afterCost(l.cfg.Cost.Base+time.Duration(nIn)*l.cfg.Cost.PerUpdate, func() {
 			if peerUp {
-				if _, err := l.engine.PeerUp(prov.nh); err != nil {
+				if _, err := r.engine.PeerUp(prov.nh); err != nil {
 					panic(fmt.Sprintf("sim: engine.PeerUp: %v", err))
 				}
 			}
 			ctlStart := l.clk.Now()
-			l.afterRouterCtl(func() {
+			l.afterRouterCtl(r, func() {
 				l.traceRouterCtl(ctlStart)
-				l.enqueueWalkOrder(l.routerApply(toRouter))
+				l.enqueueWalkOrder(r, l.routerApply(r, toRouter))
 				core.RecycleUpdates(toRouter)
 			})
 		})
-	}
+	})
 }
 
 func (l *lab) providerByName(name string) (*provider, bool) {
@@ -759,30 +961,50 @@ func (l *lab) providerByName(name string) (*provider, bool) {
 }
 
 // harvestTimeline attributes every probe outage to the most recent event
-// at or before its start and assembles the result.
+// at or before its start and assembles the result. Mixed-deployment runs
+// additionally break every event's impact down by router class.
 func (l *lab) harvestTimeline() *TimelineResult {
 	res := &TimelineResult{
 		Mode:        l.cfg.Mode,
 		NumPrefixes: l.cfg.NumPrefixes,
-		FIBWrites:   l.fib.Applied() - l.fibBase,
 		Elapsed:     l.clk.Now().Sub(l.base),
 	}
 	for _, prov := range l.providers {
 		res.Peers = append(res.Peers, prov.name)
 	}
-	if l.proc != nil {
-		res.Groups = l.proc.Groups().Len()
-		res.RuleRewrites = int(l.engine.Rewrites())
+	scRouters, vanRouters := 0, 0
+	for _, r := range l.routers {
+		res.FIBWrites += r.fib.Applied() - r.fibBase
+		if r.proc != nil {
+			res.Groups += r.proc.Groups().Len()
+			res.RuleRewrites += int(r.engine.Rewrites())
+		}
+		if r.supercharged {
+			scRouters++
+		} else {
+			vanRouters++
+		}
 	}
+	if len(l.routers) > 1 {
+		for _, r := range l.routers {
+			res.Routers = append(res.Routers, RouterResult{Name: r.name, Supercharged: r.supercharged})
+		}
+	}
+	mixed := l.mixedDeployment()
 	for i, st := range l.events {
 		peer := st.ev.Peer
 		if len(st.ev.Peers) > 0 {
 			peer = strings.Join(st.ev.Peers, "+") // SRLG: the whole risk group
 		}
-		res.Events = append(res.Events, EventResult{
+		er := EventResult{
 			Index: i, Kind: st.ev.Kind, Peer: peer,
 			At: st.ev.At, DetectAt: st.detectAt,
-		})
+		}
+		if mixed {
+			er.SuperchargedClass = &ClassResult{Routers: scRouters}
+			er.VanillaClass = &ClassResult{Routers: vanRouters}
+		}
+		res.Events = append(res.Events, er)
 	}
 	for _, pr := range l.sortedProbes() {
 		for _, o := range pr.outages {
@@ -791,14 +1013,28 @@ func (l *lab) harvestTimeline() *TimelineResult {
 				continue
 			}
 			er := &res.Events[idx]
+			cl := er.SuperchargedClass
+			if !pr.rtr.supercharged {
+				cl = er.VanillaClass
+			}
 			er.Affected++
+			if cl != nil {
+				cl.Affected++
+			}
 			if !o.ended {
 				er.Unrecovered++
+				if cl != nil {
+					cl.Unrecovered++
+				}
 				continue
 			}
 			er.Recovered++
 			conv := l.quantizedGap(pr, o)
 			er.Convergence = append(er.Convergence, conv)
+			if cl != nil {
+				cl.Recovered++
+				cl.Convergence = append(cl.Convergence, conv)
+			}
 			l.traceConverge(idx+1, pr, o, conv)
 			l.metrics.observeConvergence(conv)
 		}

@@ -113,6 +113,12 @@ type Comparison struct {
 	DetectMS     float64    `json:"detect_ms"`
 	Standalone   *ModeStats `json:"standalone,omitempty"`
 	Supercharged *ModeStats `json:"supercharged,omitempty"`
+	// SuperchargedClass / VanillaClass split the supercharged-mode runs
+	// by router class on mixed partial deployments (absent otherwise):
+	// the crossover surface of incremental SDN rollout, measured per
+	// event. The supercharged totals above mix both classes.
+	SuperchargedClass *ModeStats `json:"supercharged_class,omitempty"`
+	VanillaClass      *ModeStats `json:"vanilla_class,omitempty"`
 	// SpeedupP50 and SpeedupMax are standalone/supercharged ratios of the
 	// per-seed-median blackout (median of p50s, median of maxes). >1 means
 	// the supercharger converged faster. They are 0 — "nothing honest to
@@ -121,6 +127,11 @@ type Comparison struct {
 	// a mode that blackholed traffic forever.
 	SpeedupP50 float64 `json:"speedup_p50,omitempty"`
 	SpeedupMax float64 `json:"speedup_max,omitempty"`
+	// SpeedupClassMax is the standalone / supercharged-class ratio of the
+	// per-seed-median worst blackout on mixed deployments — what the SDN
+	// routers alone gained over the baseline, with the same honesty rules
+	// as SpeedupMax. 0 when the run was not a mixed deployment.
+	SpeedupClassMax float64 `json:"speedup_class_max,omitempty"`
 }
 
 // aggregate assembles the deterministic report from expansion-ordered
@@ -208,6 +219,16 @@ func compare(runs []RunRow) []Comparison {
 			}
 			c.Standalone = modeStats(g.standalone, ev)
 			c.Supercharged = modeStats(g.supercharged, ev)
+			c.SuperchargedClass = classStats(g.supercharged, ev,
+				func(e scenario.EventReport) *scenario.ClassSummary { return e.SuperchargedClass })
+			c.VanillaClass = classStats(g.supercharged, ev,
+				func(e scenario.EventReport) *scenario.ClassSummary { return e.VanillaClass })
+			if c.Standalone != nil && c.SuperchargedClass != nil &&
+				c.Standalone.Unrecovered == 0 && c.SuperchargedClass.Unrecovered == 0 {
+				if m := c.SuperchargedClass.Max; m != nil && m.MedianMS > 0 && c.Standalone.Max != nil {
+					c.SpeedupClassMax = c.Standalone.Max.MedianMS / m.MedianMS
+				}
+			}
 			if c.Standalone == nil && c.Supercharged == nil &&
 				sa.Affected == 0 && su.Affected == 0 {
 				continue // event never touched traffic in either mode or seed
@@ -247,6 +268,38 @@ func modeStats(rs []*RunRow, ev int) *ModeStats {
 		}
 	}
 	if st.Affected == 0 {
+		return nil
+	}
+	st.P50 = distOf(p50s)
+	st.Max = distOf(maxs)
+	return st
+}
+
+// classStats folds one router class's share of an event across the
+// supercharged-mode per-seed runs (nil when the runs carried no class
+// breakdown — i.e. anything but a mixed partial deployment — or the
+// class was never touched).
+func classStats(rs []*RunRow, ev int, pick func(scenario.EventReport) *scenario.ClassSummary) *ModeStats {
+	st := &ModeStats{}
+	var p50s, maxs []float64
+	for _, r := range rs {
+		if ev >= len(r.Events) {
+			continue
+		}
+		cl := pick(r.Events[ev])
+		if cl == nil {
+			continue
+		}
+		st.Seeds++
+		st.Affected += cl.Affected
+		st.Recovered += cl.Recovered
+		st.Unrecovered += cl.Unrecovered
+		if cl.Convergence != nil {
+			p50s = append(p50s, cl.Convergence.P50MS)
+			maxs = append(maxs, cl.Convergence.MaxMS)
+		}
+	}
+	if st.Seeds == 0 || st.Affected == 0 {
 		return nil
 	}
 	st.P50 = distOf(p50s)
