@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"time"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/chaos"
+	"supercharged/internal/feed"
+	"supercharged/internal/telemetry"
+)
+
+// chaoscheckMain is the `supercharged chaoscheck` subcommand: one
+// seeded chaos soak against the daemon pipeline, with the resilience
+// invariants (no silent update loss, every gap healed, breakers
+// re-closed, drain completes mid-fault) checked at the end. Exits
+// non-zero if any invariant is violated, so CI can gate on it.
+func chaoscheckMain(args []string) {
+	fs := flag.NewFlagSet("chaoscheck", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "fault schedule seed")
+	mixName := fs.String("mix", "all", "fault mix: drop, stall, crash, corrupt, jitter or all")
+	peers := fs.Int("peers", 2, "number of upstream peers")
+	routers := fs.Int("routers", 2, "number of downstream routers (FIB sinks)")
+	prefixes := fs.Int("prefixes", 5000, "prefixes in the synthetic table (ignored with -mrt)")
+	mrtPath := fs.String("mrt", "", "soak against this MRT TABLE_DUMP_V2 file instead of a synthetic table")
+	sample := fs.Int("sample", 0, "down-sample the MRT table to this many routes (0 = all)")
+	rate := fs.Int("rate", 0, "per-peer replay rate in routes/s (0 = unpaced)")
+	timeout := fs.Duration("timeout", 60*time.Second, "replay time budget")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "drain-and-heal time budget")
+	verbose := fs.Bool("v", false, "log daemon events during the soak")
+	fs.Parse(args)
+
+	var table *feed.Table
+	if *mrtPath != "" {
+		f, err := os.Open(*mrtPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dump, err := feed.FromMRT(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("chaoscheck: parse MRT %s: %v", *mrtPath, err)
+		}
+		table = dump.Table
+		if *sample > 0 && table.Len() > *sample {
+			table = table.Sample(*sample)
+		}
+		log.Printf("chaoscheck: MRT table %s: %d prefixes", *mrtPath, table.Len())
+	} else {
+		table = feed.Generate(feed.Config{N: *prefixes, Seed: *seed})
+		log.Printf("chaoscheck: synthetic table: %d prefixes", table.Len())
+	}
+
+	mix, err := chaos.Mix(*mixName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix = clampCrashPoint(mix, table)
+	cfg := chaos.SoakConfig{
+		Table:        table,
+		Peers:        *peers,
+		Routers:      *routers,
+		Rate:         *rate,
+		Seed:         uint64(*seed),
+		Faults:       mix,
+		Timeout:      *timeout,
+		DrainTimeout: *drainTimeout,
+		Telemetry:    telemetry.NewRegistry(),
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	log.Printf("chaoscheck: mix %s, seed %d, %d peers -> %d routers", *mixName, *seed, *peers, *routers)
+	rep := chaos.RunSoak(cfg)
+	fmt.Println(rep)
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}
+
+// clampCrashPoint bounds a mix's crash point to the session it will
+// actually see. The presets are sized for full-table feeds; a small or
+// heavily down-sampled table renders to only a handful of UPDATE
+// messages (prefixes pack ~hundreds per message), and a crash point
+// past the end of the session would silently never fire. Clamping to
+// about a third of the rendered message count keeps the crash inside
+// every session while leaving big-table behavior untouched. The count
+// is a pure function of the table, so the schedule stays reproducible.
+func clampCrashPoint(mix chaos.Config, table *feed.Table) chaos.Config {
+	if mix.CrashEvery <= 0 {
+		return mix
+	}
+	msgs := 0
+	err := table.StreamUpdates(65001, netip.AddrFrom4([4]byte{203, 0, 113, 10}), bgp.Codec{},
+		func(*bgp.Update) error { msgs++; return nil })
+	if err != nil {
+		return mix
+	}
+	if bound := max(msgs/3, 2); mix.CrashEvery > bound {
+		log.Printf("chaos: table renders to %d update messages; crash point %d -> %d", msgs, mix.CrashEvery, bound)
+		mix.CrashEvery = bound
+	}
+	return mix
+}

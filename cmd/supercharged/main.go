@@ -12,6 +12,15 @@
 //	supercharged serve -peers 4 -prefixes 50000 -listen 127.0.0.1:9090
 //	supercharged serve -mrt rib.mrt -rate 25000 -duration 30s
 //
+// With -chaos, serve additionally injects a seeded fault schedule
+// (drops, stalls, session crashes, corrupt records) and turns on the
+// resilient delivery policies (retries, circuit breakers, resync).
+// The chaoscheck subcommand runs a bounded soak under the same fault
+// plans and exits non-zero if any resilience invariant is violated:
+//
+//	supercharged serve -chaos -chaos-mix all -chaos-seed 7 -duration 30s
+//	supercharged chaoscheck -mix crash -seed 42 -mrt rib.mrt -sample 2000
+//
 // Configuration (JSON):
 //
 //	{
@@ -84,6 +93,10 @@ type configJSON struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaoscheck" {
+		chaoscheckMain(os.Args[2:])
 		return
 	}
 	configPath := flag.String("config", "", "path to JSON configuration (required)")

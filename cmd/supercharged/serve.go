@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"supercharged/internal/bgp"
+	"supercharged/internal/chaos"
+	"supercharged/internal/clock"
 	"supercharged/internal/daemon"
 	"supercharged/internal/feed"
 	"supercharged/internal/telemetry"
@@ -36,6 +38,9 @@ func serveMain(args []string) {
 	shards := fs.Int("shards", 8, "RIB lock shards")
 	duration := fs.Duration("duration", 0, "stop and drain after this long (0 = run until signal)")
 	failAfter := fs.Int("fail-after", 0, "fail the first peer's session after this many routes (0 = never)")
+	chaosOn := fs.Bool("chaos", false, "inject seeded faults (drops, stalls, crashes) and enable the resilient delivery policies")
+	chaosMix := fs.String("chaos-mix", "all", "fault mix with -chaos: drop, stall, crash, corrupt, jitter or all")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault schedule seed with -chaos")
 	fs.Parse(args)
 	if *peers < 1 {
 		log.Fatal("serve: -peers must be >= 1")
@@ -98,14 +103,49 @@ func serveMain(args []string) {
 	defer srv.Close()
 	log.Printf("serve: metrics on http://%s/metrics", srv.Addr)
 
-	d := daemon.New(daemon.Config{
+	cfg := daemon.Config{
 		Sources:   sources,
 		Routers:   sinks,
 		Shards:    *shards,
 		SizeHint:  table.Len(),
 		Telemetry: reg,
 		Logf:      log.Printf,
-	})
+	}
+
+	// -chaos wraps every source and sink in a seeded fault plan and
+	// switches delivery onto the resilient path (retries, breakers,
+	// resync). Without it the config stays zero-valued and the daemon
+	// behaves exactly as before this flag existed.
+	var plan *chaos.Plan
+	if *chaosOn {
+		mix, err := chaos.Mix(*chaosMix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = clampCrashPoint(mix, table)
+		plan = chaos.NewPlan(mix, uint64(*chaosSeed), clock.System).WithTelemetry(reg)
+		for i := range sources {
+			sources[i] = plan.Source(sources[i])
+		}
+		for i := range sinks {
+			sinks[i] = plan.Sink(sinks[i])
+		}
+		cfg.Sources, cfg.Routers = sources, sinks
+		cfg.Delivery = daemon.DefaultDeliveryPolicy()
+		cfg.Delivery.Seed = uint64(*chaosSeed)
+		cfg.Reconnect = daemon.DefaultReconnectPolicy()
+		cfg.Reconnect.Seed = uint64(*chaosSeed)
+		// Ride out the whole per-entity fault budget: a peer must never
+		// exhaust its reconnect attempts while the plan can still crash it.
+		cfg.Reconnect.MaxAttempts = chaos.DefaultMaxFaults + 2
+		// The soak's fine-grained batching: more flushes means more
+		// sink-side operations for the fault schedule to bite on.
+		cfg.BatchSize = 1024
+		cfg.BatchInterval = 5 * time.Millisecond
+		log.Printf("serve: chaos on: mix %s, seed %d", *chaosMix, *chaosSeed)
+	}
+
+	d := daemon.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -128,8 +168,22 @@ func serveMain(args []string) {
 		log.Printf("serve: drain: %v", err)
 	}
 	log.Printf("serve: final RIB %d prefixes across %d shards", d.RIB().Len(), *shards)
+	states := d.DeliveryStates()
 	for _, s := range routerSinks {
 		log.Printf("serve: router %s: %d FIB entries, %d batches, %d gaps",
 			s.Name(), s.Len(), s.Batches(), s.Gaps())
+		if *chaosOn {
+			st := s.State()
+			log.Printf("serve: router %s: chaos recovery: %d healed, %d unhealed, %d stale, breaker %s",
+				s.Name(), st.Healed, len(st.Missing), st.Stale, states[s.Name()])
+		}
+	}
+	if plan != nil {
+		unhealed := 0
+		for _, s := range routerSinks {
+			unhealed += s.Unhealed()
+		}
+		log.Printf("serve: chaos: mix %s seed %d injected %v, %d unhealed gap ranges",
+			*chaosMix, *chaosSeed, plan.Stats(), unhealed)
 	}
 }

@@ -1,0 +1,258 @@
+// Package chaos is the repository's seeded fault-injection layer: it
+// wraps the daemon's upstream sources and downstream router sinks in
+// deterministic fault schedules — latency jitter, stalls, silent
+// drops, transient errors, session crashes, corrupted records — and
+// pairs them with a soak runner that asserts the resilience invariants
+// the daemon's delivery policies promise (no silent update loss, every
+// gap healed by resync, all breakers eventually re-closed, graceful
+// drain under fire).
+//
+// Determinism is the design center. Every fault decision is a pure
+// function of (seed, entity, fault kind, operation index) — never of
+// wall time, goroutine interleaving, or how many decisions came before
+// it on other entities. Two runs that present the same operation
+// sequence to a wrapper draw the same schedule; under the virtual
+// clock the whole run is byte-reproducible, and under the real clock
+// the converged state (final FIB hash) still is, because the per-entity
+// fault budget guarantees the injected storm always ends while the
+// delivery policies guarantee everything lost in it is re-delivered.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"supercharged/internal/clock"
+	"supercharged/internal/telemetry"
+)
+
+// Injected fault errors. They are distinguishable from real failures so
+// logs and tests can tell the storm from the weather.
+var (
+	// ErrInjected is a transient push failure (the fault analogue of a
+	// refused TCP write): retryable, and the policies do.
+	ErrInjected = errors.New("chaos: injected transient fault")
+	// ErrInjectedCrash ends a source session (the fault analogue of a
+	// BGP session reset): the daemon withdraws and reconnects.
+	ErrInjectedCrash = errors.New("chaos: injected session crash")
+)
+
+// Config is one fault mix: per-operation probabilities and shapes.
+// Probabilities are evaluated independently per operation in the order
+// drop, transient, stall, jitter (sinks) and crash, corrupt (sources).
+type Config struct {
+	// DropP silently swallows a sink push: Apply reports success,
+	// nothing lands. The nastiest fault — only read-back verification
+	// (resync + SinkState) catches the tail case.
+	DropP float64
+	// TransientP fails a sink push with ErrInjected.
+	TransientP float64
+	// StallP delays a sink push by a uniform duration in
+	// [StallMin, StallMax] before letting it through — long stalls
+	// exercise the push timeout.
+	StallP   float64
+	StallMin time.Duration
+	StallMax time.Duration
+	// JitterP adds benign latency in [0, JitterMax) to a sink push.
+	// Jitter does not count against the fault budget (it can never
+	// prevent convergence).
+	JitterP   float64
+	JitterMax time.Duration
+	// CrashEvery, when positive, crashes each source session after
+	// about that many updates (uniformly ±50%, drawn per session).
+	CrashEvery int
+	// CorruptP replaces an emitted update with a mangled copy (an
+	// invalid NLRI prefix) — ingest validation fails the session.
+	CorruptP float64
+	// MaxFaults bounds injected faults per entity (router or peer);
+	// past it the entity runs clean. The budget is what turns "keeps
+	// retrying" into "provably converges": every soak invariant leans
+	// on the storm being finite. 0 means DefaultMaxFaults, not
+	// unlimited.
+	MaxFaults int
+}
+
+// DefaultMaxFaults is the per-entity budget a zero MaxFaults means.
+const DefaultMaxFaults = 48
+
+// Mix returns a named preset. Known names: "drop", "stall", "crash",
+// "corrupt", "jitter", "all".
+func Mix(name string) (Config, error) {
+	switch name {
+	case "drop":
+		return Config{DropP: 0.08, TransientP: 0.08}, nil
+	case "stall":
+		return Config{StallP: 0.10, StallMin: time.Millisecond, StallMax: 20 * time.Millisecond,
+			JitterP: 0.30, JitterMax: 2 * time.Millisecond}, nil
+	case "crash":
+		return Config{CrashEvery: 400}, nil
+	case "corrupt":
+		return Config{CorruptP: 0.01}, nil
+	case "jitter":
+		return Config{JitterP: 0.50, JitterMax: 2 * time.Millisecond}, nil
+	case "all":
+		return Config{
+			DropP:      0.05,
+			TransientP: 0.05,
+			StallP:     0.05,
+			StallMin:   time.Millisecond,
+			StallMax:   10 * time.Millisecond,
+			JitterP:    0.20,
+			JitterMax:  2 * time.Millisecond,
+			CrashEvery: 600,
+			CorruptP:   0.005,
+		}, nil
+	}
+	return Config{}, fmt.Errorf("chaos: unknown mix %q (want drop, stall, crash, corrupt, jitter or all)", name)
+}
+
+// Plan is a compiled fault schedule: one seed, one clock, one shared
+// per-entity budget. Wrap sinks with Plan.Sink and sources with
+// Plan.Source; the wrappers consult the plan on every operation.
+type Plan struct {
+	cfg  Config
+	seed uint64
+	clk  clock.Clock
+
+	mu     sync.Mutex
+	faults map[string]int
+	stats  map[string]uint64
+	reg    *telemetry.Registry
+}
+
+// NewPlan compiles a fault mix against a clock (nil = system). Stalls
+// and jitter sleep on clk, so a virtual clock makes even the latency
+// faults reproducible tick-for-tick.
+func NewPlan(cfg Config, seed uint64, clk clock.Clock) *Plan {
+	if clk == nil {
+		clk = clock.System
+	}
+	if cfg.MaxFaults <= 0 {
+		cfg.MaxFaults = DefaultMaxFaults
+	}
+	if cfg.StallMax < cfg.StallMin {
+		cfg.StallMax = cfg.StallMin
+	}
+	return &Plan{
+		cfg:    cfg,
+		seed:   seed,
+		clk:    clk,
+		faults: make(map[string]int),
+		stats:  make(map[string]uint64),
+	}
+}
+
+// faultKinds is every kind the stats and metrics report.
+var faultKinds = []string{"drop", "transient", "stall", "jitter", "crash", "corrupt"}
+
+// WithTelemetry registers the plan's fault counters
+// (supercharged_chaos_faults_total{kind=...}, pre-created at zero) and
+// returns the plan for chaining.
+func (p *Plan) WithTelemetry(reg *telemetry.Registry) *Plan {
+	p.mu.Lock()
+	p.reg = reg
+	p.mu.Unlock()
+	if reg != nil {
+		for _, k := range faultKinds {
+			p.counter(reg, k)
+		}
+	}
+	return p
+}
+
+func (p *Plan) counter(reg *telemetry.Registry, kind string) *telemetry.Counter {
+	return reg.Counter(telemetry.Series("supercharged_chaos_faults_total", "kind", kind),
+		"Faults injected by the chaos plan, by kind.")
+}
+
+// Stats snapshots the per-kind injected fault counts.
+func (p *Plan) Stats() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.stats))
+	for k, v := range p.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Faults reports the total injected fault count (budgeted kinds only).
+func (p *Plan) Faults() uint64 {
+	var n uint64
+	for k, v := range p.Stats() {
+		if k != "jitter" {
+			n += v
+		}
+	}
+	return n
+}
+
+// decide rolls a fault: true when the (seed, entity, kind, op) draw
+// lands under prob AND the entity still has budget. The draw comes
+// first so budget exhaustion never shifts later draws — the schedule
+// stays a pure function of the operation sequence.
+func (p *Plan) decide(entity, kind string, op uint64, prob float64) bool {
+	if prob <= 0 || unitRand(p.seed, entity, kind, op) >= prob {
+		return false
+	}
+	return p.take(entity, kind)
+}
+
+// take consumes one unit of the entity's fault budget.
+func (p *Plan) take(entity, kind string) bool {
+	p.mu.Lock()
+	if p.faults[entity] >= p.cfg.MaxFaults {
+		p.mu.Unlock()
+		return false
+	}
+	p.faults[entity]++
+	p.stats[kind]++
+	reg := p.reg
+	p.mu.Unlock()
+	if reg != nil {
+		p.counter(reg, kind).Inc()
+	}
+	return true
+}
+
+// note records a budget-free fault (jitter) in stats/metrics.
+func (p *Plan) note(kind string) {
+	p.mu.Lock()
+	p.stats[kind]++
+	reg := p.reg
+	p.mu.Unlock()
+	if reg != nil {
+		p.counter(reg, kind).Inc()
+	}
+}
+
+// dur draws a deterministic duration in [lo, hi] for (entity, kind, op).
+func (p *Plan) dur(entity, kind string, op uint64, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	r := unitRand(p.seed, entity, kind, op)
+	return lo + time.Duration(r*float64(hi-lo))
+}
+
+// unitRand maps (seed, entity, kind, n) to uniform [0,1) — stateless,
+// so a decision depends only on its own coordinates.
+func unitRand(seed uint64, entity, kind string, n uint64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(entity))
+	h.Write([]byte{0})
+	h.Write([]byte(kind))
+	x := splitmix64(seed ^ h.Sum64() ^ (n * 0x9e3779b97f4a7c15))
+	return float64(x>>11) / float64(1<<53)
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

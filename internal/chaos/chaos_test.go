@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/clock"
+	"supercharged/internal/daemon"
+)
+
+// countSink records how many batches actually landed.
+type countSink struct {
+	mu      sync.Mutex
+	applied int
+}
+
+func (c *countSink) Name() string { return "edge0" }
+func (c *countSink) Apply(daemon.Batch) error {
+	c.mu.Lock()
+	c.applied++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *countSink) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applied
+}
+
+// sinkSchedule drives a wrapped sink through a fixed operation
+// sequence (seqs × attempts) and renders the observed fault schedule
+// as one string per operation.
+func sinkSchedule(t *testing.T, seed uint64, seqs, attempts int) []string {
+	t.Helper()
+	plan := NewPlan(Config{DropP: 0.25, TransientP: 0.25, MaxFaults: 1 << 30}, seed, clock.System)
+	inner := &countSink{}
+	s := plan.Sink(inner)
+	var log []string
+	for seq := 1; seq <= seqs; seq++ {
+		for a := 0; a < attempts; a++ {
+			before := inner.count()
+			err := s.Apply(daemon.Batch{Seq: uint64(seq)})
+			switch {
+			case errors.Is(err, ErrInjected):
+				log = append(log, fmt.Sprintf("%d/%d transient", seq, a))
+			case err != nil:
+				t.Fatalf("unexpected error: %v", err)
+			case inner.count() == before:
+				log = append(log, fmt.Sprintf("%d/%d drop", seq, a))
+			default:
+				log = append(log, fmt.Sprintf("%d/%d ok", seq, a))
+			}
+		}
+	}
+	return log
+}
+
+func TestSinkScheduleIsSeedDeterministic(t *testing.T) {
+	a := sinkSchedule(t, 42, 50, 3)
+	b := sinkSchedule(t, 42, 50, 3)
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	faults := 0
+	for _, e := range a {
+		if e[len(e)-2:] != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("0.25+0.25 over 150 ops injected nothing — schedule is inert")
+	}
+	c := sinkSchedule(t, 43, 50, 3)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultBudgetBoundsTheStorm(t *testing.T) {
+	plan := NewPlan(Config{DropP: 1, MaxFaults: 5}, 1, clock.System)
+	inner := &countSink{}
+	s := plan.Sink(inner)
+	for seq := 1; seq <= 40; seq++ {
+		if err := s.Apply(daemon.Batch{Seq: uint64(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.count(); got != 35 {
+		t.Fatalf("%d batches landed, want 35 (5 budgeted drops out of 40)", got)
+	}
+	if got := plan.Faults(); got != 5 {
+		t.Fatalf("plan reports %d faults, want 5", got)
+	}
+}
+
+// sourceSchedule runs a wrapped replay through its session loop,
+// logging per session how many updates were emitted and how it ended.
+func sourceSchedule(t *testing.T, seed uint64) []string {
+	t.Helper()
+	plan := NewPlan(Config{CrashEvery: 8, CorruptP: 0.05, MaxFaults: 6}, seed, clock.System)
+	src := plan.Source(&daemon.TableReplay{
+		PeerName: "peer0",
+		Meta:     bgp.PeerMeta{Addr: netip.MustParseAddr("203.0.113.10"), AS: 65001},
+		Table:    testTable(400),
+	})
+	var log []string
+	for session := 0; session < 20; session++ {
+		emitted, corrupt := 0, 0
+		err := src.Run(context.Background(), func(u *bgp.Update) error {
+			for _, p := range u.NLRI {
+				if !p.IsValid() {
+					corrupt++
+					return fmt.Errorf("corrupt record")
+				}
+			}
+			emitted++
+			return nil
+		})
+		switch {
+		case err == nil:
+			log = append(log, fmt.Sprintf("s%d: %d updates, clean", session, emitted))
+			return log
+		case errors.Is(err, ErrInjectedCrash):
+			log = append(log, fmt.Sprintf("s%d: %d updates, crash", session, emitted))
+		default:
+			log = append(log, fmt.Sprintf("s%d: %d updates, %d corrupt", session, emitted, corrupt))
+		}
+	}
+	t.Fatal("source never completed a clean session inside the fault budget")
+	return nil
+}
+
+func TestSourceScheduleIsSeedDeterministicAndConverges(t *testing.T) {
+	a := sourceSchedule(t, 7)
+	b := sourceSchedule(t, 7)
+	if len(a) != len(b) {
+		t.Fatalf("session logs differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at session %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if len(a) < 2 {
+		t.Fatalf("CrashEvery=8 over 400 routes should crash at least once: %v", a)
+	}
+	if last := a[len(a)-1]; last[len(last)-5:] != "clean" {
+		t.Fatalf("final session not clean: %v", a)
+	}
+}
+
+func TestMixRejectsUnknownName(t *testing.T) {
+	for _, name := range []string{"drop", "stall", "crash", "corrupt", "jitter", "all"} {
+		if _, err := Mix(name); err != nil {
+			t.Fatalf("Mix(%q): %v", name, err)
+		}
+	}
+	if _, err := Mix("kitchen-sink"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}

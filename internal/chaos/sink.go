@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"sync"
+
+	"supercharged/internal/daemon"
+)
+
+// Sink wraps a RouterSink in the plan's push-side faults. Operations
+// are keyed (batch seq, attempt-at-that-seq): a retry of the same batch
+// is a new coordinate, so a transient fault really is transient while
+// the schedule stays replayable.
+type Sink struct {
+	inner daemon.RouterSink
+	plan  *Plan
+
+	mu       sync.Mutex
+	attempts map[uint64]int
+}
+
+// Sink wraps a downstream router in this plan's fault schedule. When
+// the inner sink exposes delivery state (daemon.StatefulSink), the
+// wrapper passes it through, so the daemon's read-back verification
+// still sees the truth the faults tried to hide.
+func (p *Plan) Sink(inner daemon.RouterSink) daemon.RouterSink {
+	s := &Sink{inner: inner, plan: p, attempts: make(map[uint64]int)}
+	if st, ok := inner.(daemon.StatefulSink); ok {
+		return &statefulSink{Sink: s, st: st}
+	}
+	return s
+}
+
+func (s *Sink) Name() string { return s.inner.Name() }
+
+// Apply rolls the push-side faults for this (seq, attempt) coordinate,
+// then forwards to the inner sink if the batch survived. A drop returns
+// success without applying — the silent loss the daemon's resync
+// read-back exists to catch. A stall sleeps on the plan's clock before
+// forwarding, so a late apply can land after the daemon's push timeout
+// already gave up on it (the sink's stale-skip absorbs the duplicate).
+func (s *Sink) Apply(b daemon.Batch) error {
+	s.mu.Lock()
+	a := s.attempts[b.Seq]
+	s.attempts[b.Seq] = a + 1
+	s.mu.Unlock()
+	op := b.Seq<<16 | uint64(a&0xffff)
+
+	ent := s.inner.Name()
+	p, cfg := s.plan, s.plan.cfg
+	if p.decide(ent, "drop", op, cfg.DropP) {
+		return nil
+	}
+	if p.decide(ent, "transient", op, cfg.TransientP) {
+		return ErrInjected
+	}
+	if p.decide(ent, "stall", op, cfg.StallP) {
+		p.clk.Sleep(p.dur(ent, "stalldur", op, cfg.StallMin, cfg.StallMax))
+	} else if cfg.JitterP > 0 && unitRand(p.seed, ent, "jitter", op) < cfg.JitterP {
+		p.note("jitter")
+		p.clk.Sleep(p.dur(ent, "jitterdur", op, 0, cfg.JitterMax))
+	}
+	return s.inner.Apply(b)
+}
+
+// statefulSink is Sink plus the inner sink's State passthrough.
+type statefulSink struct {
+	*Sink
+	st daemon.StatefulSink
+}
+
+func (s *statefulSink) State() daemon.SinkState { return s.st.State() }

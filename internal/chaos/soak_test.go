@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"supercharged/internal/feed"
+	"supercharged/internal/testutil"
+)
+
+// testTable is the synthetic feed the unit tests drive.
+func testTable(n int) *feed.Table {
+	return feed.Generate(feed.Config{N: n, Seed: 3})
+}
+
+// loadMRT loads the committed RIS sample and down-samples it so the
+// soak stays fast under -race.
+func loadMRT(t *testing.T, n int) *feed.Table {
+	t.Helper()
+	f, err := os.Open("../../testdata/ris-sample.mrt")
+	if err != nil {
+		t.Fatalf("open MRT sample: %v", err)
+	}
+	defer f.Close()
+	dump, err := feed.FromMRT(f)
+	if err != nil {
+		t.Fatalf("load MRT sample: %v", err)
+	}
+	table := dump.Table
+	if table.Len() > n {
+		table = table.Sample(n)
+	}
+	return table
+}
+
+// soakBase is the shared soak shape: the real-table replay from two
+// peers into two FIB routers, with time budgets that scale under -race.
+func soakBase(t *testing.T) SoakConfig {
+	return SoakConfig{
+		Table:        loadMRT(t, 1200),
+		Peers:        2,
+		Routers:      2,
+		Timeout:      testutil.Budget(t, 60*time.Second),
+		DrainTimeout: testutil.Budget(t, 30*time.Second),
+	}
+}
+
+// TestSoakChaosMixesConvergeToFaultFreeFIB is the headline invariant:
+// for every fault mix, the post-recovery FIB must equal the fault-free
+// FIB byte-for-byte (compared via the canonical sorted-entry hash) —
+// injected drops, stalls and session crashes may delay convergence but
+// never change where it lands.
+func TestSoakChaosMixesConvergeToFaultFreeFIB(t *testing.T) {
+	base := soakBase(t)
+
+	control := base
+	control.Seed = 99
+	ctl := RunSoak(control)
+	if !ctl.Ok() {
+		t.Fatalf("fault-free control run violated invariants:\n%s", ctl)
+	}
+	if ctl.RIBPrefixes == 0 {
+		t.Fatal("control run programmed nothing")
+	}
+
+	for _, name := range []string{"drop", "stall", "crash", "all"} {
+		t.Run(name, func(t *testing.T) {
+			mix, err := Mix(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mix.CrashEvery > 0 {
+				// The down-sampled table replays in a few dozen update
+				// messages; crash well inside a session.
+				mix.CrashEvery = 12
+			}
+			cfg := base
+			cfg.Seed = 99
+			cfg.Faults = mix
+			rep := RunSoak(cfg)
+			t.Logf("\n%s", rep)
+			if !rep.Ok() {
+				t.Fatalf("invariants violated under %q:\n%s", name, rep)
+			}
+			if rep.Faults["drop"]+rep.Faults["transient"]+rep.Faults["stall"]+rep.Faults["crash"] == 0 && name != "stall" {
+				t.Fatalf("mix %q injected nothing — the soak proved nothing", name)
+			}
+			if rep.RIBHash != ctl.RIBHash {
+				t.Fatalf("RIB hash under %q = %016x, fault-free %016x", name, rep.RIBHash, ctl.RIBHash)
+			}
+			for _, rt := range rep.Routers {
+				if rt.Hash != ctl.RIBHash {
+					t.Fatalf("router %s hash %016x != fault-free FIB %016x", rt.Name, rt.Hash, ctl.RIBHash)
+				}
+			}
+		})
+	}
+}
+
+// TestSoakSameSeedReproducesFinalState pins the determinism contract:
+// one seed, one converged state, run after run.
+func TestSoakSameSeedReproducesFinalState(t *testing.T) {
+	base := soakBase(t)
+	mix, err := Mix("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix.CrashEvery = 12
+	run := func() *SoakReport {
+		cfg := base
+		cfg.Seed = 7
+		cfg.Faults = mix
+		rep := RunSoak(cfg)
+		if !rep.Ok() {
+			t.Fatalf("soak violated invariants:\n%s", rep)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.RIBHash != b.RIBHash {
+		t.Fatalf("same seed, different converged state: %016x vs %016x", a.RIBHash, b.RIBHash)
+	}
+	for i := range a.Routers {
+		if a.Routers[i].Hash != b.Routers[i].Hash {
+			t.Fatalf("router %s hash differs across identical runs", a.Routers[i].Name)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+
+	"supercharged/internal/bgp"
+	"supercharged/internal/daemon"
+)
+
+// Source wraps a PeerSource in the plan's feed-side faults: session
+// crashes (a per-session crash point around CrashEvery updates) and
+// corrupted records (a mangled update that fails ingest validation and
+// resets the session the way a malformed wire message would).
+// Operations are keyed (session number, update index), so each
+// reconnected session draws a fresh but replayable schedule.
+type Source struct {
+	inner daemon.PeerSource
+	plan  *Plan
+
+	mu      sync.Mutex
+	session uint64
+}
+
+// Source wraps an upstream feed in this plan's fault schedule.
+func (p *Plan) Source(inner daemon.PeerSource) daemon.PeerSource {
+	return &Source{inner: inner, plan: p}
+}
+
+func (s *Source) Peer() bgp.PeerMeta { return s.inner.Peer() }
+func (s *Source) Name() string       { return s.inner.Name() }
+
+// Run streams the inner source through the fault filter. Each Run call
+// is one session; the daemon's reconnect policy produces the next one.
+func (s *Source) Run(ctx context.Context, emit func(*bgp.Update) error) error {
+	s.mu.Lock()
+	sess := s.session
+	s.session++
+	s.mu.Unlock()
+
+	ent := s.inner.Name()
+	p, cfg := s.plan, s.plan.cfg
+	var crashAt uint64
+	if cfg.CrashEvery > 0 {
+		// Uniform over [0.5, 1.5)·CrashEvery, drawn once per session.
+		r := unitRand(p.seed, ent, "crashpoint", sess)
+		crashAt = uint64(float64(cfg.CrashEvery) * (0.5 + r))
+		if crashAt < 1 {
+			crashAt = 1
+		}
+	}
+	var idx uint64
+	return s.inner.Run(ctx, func(u *bgp.Update) error {
+		i := idx
+		idx++
+		op := sess<<32 | (i & 0xffffffff)
+		if crashAt > 0 && i >= crashAt && p.take(ent, "crash") {
+			return ErrInjectedCrash
+		}
+		if p.decide(ent, "corrupt", op, cfg.CorruptP) {
+			bad := *u
+			bad.NLRI = append(append([]netip.Prefix(nil), u.NLRI...), netip.Prefix{})
+			return emit(&bad)
+		}
+		return emit(u)
+	})
+}

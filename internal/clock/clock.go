@@ -6,7 +6,10 @@
 // CPU time, deterministically.
 package clock
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Clock is the minimal timer surface used throughout the repository. Real
 // wraps package time; Virtual implements a discrete-event scheduler.
@@ -42,6 +45,26 @@ type Timer interface {
 type Ticker interface {
 	C() <-chan time.Time
 	Stop()
+}
+
+// SleepCtx blocks for d of clk time, abandoning the wait when ctx is
+// done (returning ctx's error, nil after a full sleep). It is the
+// shared pacing/backoff primitive for services that must stay
+// cancellable mid-sleep: the daemon's rate pacer, its retry backoff and
+// the chaos layer's injected stalls all wait through it.
+func SleepCtx(ctx context.Context, clk Clock, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	done := make(chan struct{})
+	tm := clk.AfterFunc(d, func() { close(done) })
+	defer tm.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Real is a Clock backed by package time. The zero value is ready to use.

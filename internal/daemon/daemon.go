@@ -56,6 +56,17 @@ type Config struct {
 	// latency and failover convergence histograms. Nil disables all of
 	// it — the pipeline behaves identically either way.
 	Telemetry *telemetry.Registry
+	// Trace, if set, receives instant spans for resilience events
+	// (breaker transitions, resyncs, gaps, reconnects).
+	Trace *telemetry.Trace
+	// Delivery, when non-zero, turns on the resilient delivery path:
+	// push timeouts, retries, per-sink circuit breakers with degraded
+	// buffering, and gap-driven resyncs. Zero keeps the plain apply
+	// loop, byte-identical to the policy-free daemon.
+	Delivery DeliveryPolicy
+	// Reconnect, when non-zero, re-runs failed sources with backoff
+	// after their withdraw. Zero leaves failed sessions down.
+	Reconnect ReconnectPolicy
 	// Logf, if set, receives lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -71,7 +82,13 @@ type Daemon struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	hardStop chan struct{} // closed by Stop: lets a blocked flush abort
+	hardStop chan struct{} // closed by Stop (or an expired Drain): lets blocked work abort
+	hardOnce sync.Once
+
+	epoch    time.Time // Start instant; trace span timestamps are offsets from it
+	tracePID int
+
+	workers []*sinkWorker // resilient delivery workers (policy enabled only)
 
 	mu      sync.Mutex
 	started bool
@@ -113,6 +130,8 @@ func New(cfg Config) *Daemon {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	cfg.Delivery = cfg.Delivery.normalize()
+	cfg.Reconnect = cfg.Reconnect.normalize()
 	d := &Daemon{
 		cfg:      cfg,
 		clk:      cfg.Clock,
@@ -139,6 +158,10 @@ func (d *Daemon) Start(ctx context.Context) {
 	}
 	d.started = true
 	d.ctx, d.cancel = context.WithCancel(ctx)
+	d.epoch = d.clk.Now()
+	if d.cfg.Trace != nil {
+		d.tracePID = d.cfg.Trace.Process("daemon")
+	}
 	d.queues = make([]chan Batch, len(d.cfg.Routers))
 	for i := range d.cfg.Routers {
 		d.queues[i] = make(chan Batch, d.cfg.QueueDepth)
@@ -147,7 +170,13 @@ func (d *Daemon) Start(ctx context.Context) {
 
 	for i, sink := range d.cfg.Routers {
 		d.sinkWG.Add(1)
-		go d.deliver(d.queues[i], sink)
+		if d.cfg.Delivery.Enabled() {
+			w := newSinkWorker(d, d.queues[i], sink)
+			d.workers = append(d.workers, w)
+			go w.run()
+		} else {
+			go d.deliver(d.queues[i], sink)
+		}
 	}
 	for _, src := range d.cfg.Sources {
 		d.srcWG.Add(1)
@@ -159,12 +188,87 @@ func (d *Daemon) Start(ctx context.Context) {
 		len(d.cfg.Sources), len(d.cfg.Routers), d.cfg.Shards)
 }
 
-// ingest runs one source and applies its stream to the sharded RIB.
+// ErrCorruptUpdate marks an UPDATE that failed ingest validation. Like
+// a malformed wire message in BGP proper, it fails the whole session
+// (RFC 4271's treat-as-session-reset for fatal UPDATE errors): the
+// peer's routes are withdrawn, and the reconnect policy — if enabled —
+// brings the session back, at which point the peer re-announces its
+// full table and the pipeline reconverges.
+var ErrCorruptUpdate = errors.New("daemon: corrupt update")
+
+// validateUpdate is the ingest guard against corrupted records (the
+// chaos layer's corruption faults land here, as would a broken bridge).
+func validateUpdate(u *bgp.Update) error {
+	if u == nil {
+		return fmt.Errorf("%w: nil update", ErrCorruptUpdate)
+	}
+	if len(u.NLRI) > 0 && u.Attrs == nil {
+		return fmt.Errorf("%w: NLRI without path attributes", ErrCorruptUpdate)
+	}
+	for _, p := range u.NLRI {
+		if !p.IsValid() {
+			return fmt.Errorf("%w: invalid NLRI prefix", ErrCorruptUpdate)
+		}
+	}
+	for _, p := range u.Withdrawn {
+		if !p.IsValid() {
+			return fmt.Errorf("%w: invalid withdrawn prefix", ErrCorruptUpdate)
+		}
+	}
+	return nil
+}
+
+// ingest runs one source's session loop: stream into the RIB until the
+// feed ends; on session failure, withdraw (PeerDown) and — under a
+// reconnect policy — back off and re-run the source, which re-announces
+// its table and reconverges the pipeline.
 func (d *Daemon) ingest(src PeerSource) {
 	defer d.srcWG.Done()
+	name := src.Name()
+	for attempt := 0; ; attempt++ {
+		err := d.runSession(src)
+		switch {
+		case err == nil:
+			// Clean end of feed: session stays up, routes stay in.
+			d.cfg.Logf("daemon: peer %s: feed complete (%d routes)", name, d.rib.PeerLen(src.Peer().Addr))
+			return
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// Shutdown, not failure.
+			return
+		}
+		d.cfg.Logf("daemon: peer %s: session failed: %v", name, err)
+		if errors.Is(err, ErrCorruptUpdate) {
+			d.metrics.corruptUpdate(src)
+		}
+		d.PeerDown(src)
+		rp := d.cfg.Reconnect
+		if !rp.Enabled() || attempt >= rp.MaxAttempts-1 {
+			return
+		}
+		if clock.SleepCtx(d.ctx, d.clk, rp.delay(name, attempt)) != nil {
+			return
+		}
+		// Re-arm the peer's down latch so a later failure withdraws
+		// again, then re-run the source from the top (a fresh session
+		// re-announces the full table; the RIB dedups unchanged paths).
+		d.downMu.Lock()
+		delete(d.down, name)
+		d.downMu.Unlock()
+		d.metrics.sessionUp(src, true)
+		d.metrics.reconnect(src)
+		d.span("peer-reconnect", name)
+		d.cfg.Logf("daemon: peer %s: reconnecting (attempt %d/%d)", name, attempt+1, rp.MaxAttempts)
+	}
+}
+
+// runSession is one pass of a source's Run: validate, apply, emit.
+func (d *Daemon) runSession(src PeerSource) error {
 	peer := src.Peer()
-	err := src.Run(d.ctx, func(u *bgp.Update) error {
+	return src.Run(d.ctx, func(u *bgp.Update) error {
 		if err := d.ctx.Err(); err != nil {
+			return err
+		}
+		if err := validateUpdate(u); err != nil {
 			return err
 		}
 		// Changes are enqueued from inside the shard lock (UpdateEmit's
@@ -182,16 +286,6 @@ func (d *Daemon) ingest(src PeerSource) {
 		d.metrics.updates(src, len(u.NLRI), len(u.Withdrawn), changed)
 		return nil
 	})
-	switch {
-	case err == nil:
-		// Clean end of feed: session stays up, routes stay in.
-		d.cfg.Logf("daemon: peer %s: feed complete (%d routes)", src.Name(), d.rib.PeerLen(peer.Addr))
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// Shutdown, not failure.
-	default:
-		d.cfg.Logf("daemon: peer %s: session failed: %v", src.Name(), err)
-		d.PeerDown(src)
-	}
 }
 
 // PeerDown withdraws every route learned from the source's peer — the
@@ -280,6 +374,69 @@ func (d *Daemon) flush() {
 	}
 }
 
+// resyncBatch builds a full-state snapshot batch for a recovering sink.
+// The sequence stamp is read BEFORE the snapshot walk: every batch at
+// or below it was flushed before the read, so its RIB mutations
+// happened-before the walk and are in the snapshot — which is exactly
+// the claim the stamp makes (the snapshot subsumes all batches ≤ Seq).
+// Batches above the stamp may or may not be reflected; either way they
+// reapply cleanly on top, last-writer-wins. The stamp deliberately does
+// NOT consume a fresh sequence number: a per-sink resync must not punch
+// holes in the other sinks' dense streams.
+func (d *Daemon) resyncBatch() Batch {
+	d.mu.Lock()
+	seq := d.seq
+	d.mu.Unlock()
+	return Batch{
+		Seq:     seq,
+		At:      d.clk.Now(),
+		Changes: d.rib.Snapshot(nil),
+		Resync:  true,
+	}
+}
+
+// finalSeq is the last flushed sequence number; valid as the stream's
+// end mark once intake has closed.
+func (d *Daemon) finalSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
+
+// hardStopNow closes hardStop exactly once: Stop does it by definition,
+// and an expired Drain does it so blocked flushes and healing workers
+// abort instead of hanging past the deadline the caller set.
+func (d *Daemon) hardStopNow() {
+	d.hardOnce.Do(func() { close(d.hardStop) })
+}
+
+// span emits an instant trace span for a resilience event (no-op
+// without Config.Trace).
+func (d *Daemon) span(name, entity string) {
+	tr := d.cfg.Trace
+	if tr == nil {
+		return
+	}
+	tr.Add(telemetry.Span{
+		Name:  name,
+		Cat:   "daemon",
+		PID:   d.tracePID,
+		Start: d.clk.Now().Sub(d.epoch),
+		Peer:  entity,
+	})
+}
+
+// DeliveryStates reports each resilient worker's breaker state by
+// router name ("closed", "open", "half-open"); empty without a
+// delivery policy.
+func (d *Daemon) DeliveryStates() map[string]string {
+	out := make(map[string]string, len(d.workers))
+	for _, w := range d.workers {
+		out[w.sink.Name()] = w.stateName()
+	}
+	return out
+}
+
 // deliver consumes one router's queue until it closes.
 func (d *Daemon) deliver(q chan Batch, sink RouterSink) {
 	defer d.sinkWG.Done()
@@ -346,6 +503,10 @@ func (d *Daemon) Drain(ctx context.Context) error {
 		d.cfg.Logf("daemon: drained (%d prefixes in RIB)", d.rib.Len())
 		return d.err()
 	case <-ctx.Done():
+		// Past the caller's deadline a graceful finish is off the table:
+		// release anything still blocked (full queues, healing workers)
+		// so the shutdown goroutine can unwind.
+		d.hardStopNow()
 		d.stopFlushTimer()
 		d.recordErr(fmt.Errorf("daemon: drain: %w", ctx.Err()))
 		return d.err()
@@ -366,7 +527,7 @@ func (d *Daemon) Stop() {
 	if !d.drained {
 		d.drained = true
 		d.cancel()
-		close(d.hardStop)
+		d.hardStopNow()
 		d.srcWG.Wait()
 		d.closeQueues()
 		d.sinkWG.Wait()

@@ -11,6 +11,7 @@ import (
 	"supercharged/internal/bgp"
 	"supercharged/internal/feed"
 	"supercharged/internal/telemetry"
+	"supercharged/internal/testutil"
 )
 
 // peerMeta builds a distinct session identity per index.
@@ -22,11 +23,13 @@ func peerMeta(i int) bgp.PeerMeta {
 	}
 }
 
-// drain waits for every finite feed to complete, then drains, with a
-// test deadline on both.
+// drain waits for every finite feed to complete, then drains. The
+// budget scales with the race detector and clamps under `go test
+// -timeout`, so a loaded -race runner fails the test with diagnostics
+// instead of the runtime killing the whole binary.
 func drain(t *testing.T, d *Daemon) {
 	t.Helper()
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := testutil.Context(t, 30*time.Second)
 	defer cancel()
 	if err := d.Wait(ctx); err != nil {
 		t.Fatalf("wait: %v", err)
@@ -115,7 +118,7 @@ func TestDrainIsIdempotentAndConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			ctx, cancel := testutil.Context(t, 30*time.Second)
 			defer cancel()
 			if err := d.Drain(ctx); err != nil {
 				t.Errorf("drain: %v", err)
@@ -226,7 +229,7 @@ func TestHardStopInterruptsBlockedPipeline(t *testing.T) {
 	close(stuck)
 	select {
 	case <-done:
-	case <-time.After(10 * time.Second):
+	case <-time.After(testutil.Budget(t, 10*time.Second)):
 		t.Fatal("Stop never returned on a jammed pipeline")
 	}
 }

@@ -200,6 +200,33 @@ func flatten(changes []bgp.Change, out []RouteChange) []RouteChange {
 	return out
 }
 
+// Snapshot appends every prefix's current best path to out as a
+// RouteChange and returns the extended slice — the payload of a resync
+// batch. It reads through each shard's bgp.RIB under the RIB's own
+// internal lock and deliberately does NOT take the shard mutexes: a
+// snapshot is requested by a sink worker whose queue may be full, while
+// an ingest goroutine holds a shard mutex blocked on enqueueing into
+// that very queue — taking shard.mu here would deadlock the pair. The
+// cost of the narrower lock is only that a snapshot is not a single
+// cross-shard atomic cut; the resync protocol already tolerates that
+// (the stamped Seq bounds which batches the snapshot subsumes, and
+// later batches reapply idempotently, last-writer-wins).
+func (s *ShardedRIB) Snapshot(out []RouteChange) []RouteChange {
+	for i := range s.shards {
+		s.shards[i].rib.Walk(func(p netip.Prefix, paths []*bgp.Path) bool {
+			if len(paths) > 0 {
+				out = append(out, RouteChange{
+					Prefix:  p,
+					Peer:    paths[0].Peer,
+					NextHop: paths[0].NextHop(),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // Len sums the prefix counts of all shards.
 func (s *ShardedRIB) Len() int {
 	n := 0

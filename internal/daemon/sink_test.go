@@ -1,0 +1,126 @@
+package daemon
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+func rc(p string, nh string) RouteChange {
+	out := RouteChange{Prefix: netip.MustParsePrefix(p)}
+	if nh != "" {
+		out.NextHop = netip.MustParseAddr(nh)
+		out.Peer = out.NextHop
+	}
+	return out
+}
+
+func TestFIBSinkRecordsForcedGap(t *testing.T) {
+	s := NewFIBSink("edge0")
+	if err := s.Apply(Batch{Seq: 1, Changes: []RouteChange{rc("1.0.0.0/24", "10.0.0.1")}}); err != nil {
+		t.Fatalf("seq 1: %v", err)
+	}
+	// Seq 2 never arrives; seq 3 must expose it — applied AND reported.
+	err := s.Apply(Batch{Seq: 3, Changes: []RouteChange{rc("2.0.0.0/24", "10.0.0.1")}})
+	var gap *GapError
+	if !errors.As(err, &gap) {
+		t.Fatalf("seq 3 after seq 1 returned %v, want *GapError", err)
+	}
+	if gap.From != 2 || gap.To != 2 {
+		t.Fatalf("gap range %d-%d, want 2-2", gap.From, gap.To)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("gap batch was not applied: %d entries, want 2", s.Len())
+	}
+	st := s.State()
+	if st.Gaps != 1 || len(st.Missing) != 1 || st.Missing[0] != (SeqRange{2, 2}) {
+		t.Fatalf("state after gap: %+v", st)
+	}
+	if s.Gaps() != 1 || s.Unhealed() != 1 {
+		t.Fatalf("Gaps=%d Unhealed=%d, want 1/1", s.Gaps(), s.Unhealed())
+	}
+
+	// A wider jump records the full missing range.
+	err = s.Apply(Batch{Seq: 7, Changes: []RouteChange{rc("3.0.0.0/24", "10.0.0.1")}})
+	if !errors.As(err, &gap) || gap.From != 4 || gap.To != 6 {
+		t.Fatalf("second gap = %v, want 4-6", err)
+	}
+	if got := s.State().Missing; len(got) != 2 || got[1] != (SeqRange{4, 6}) {
+		t.Fatalf("missing ranges = %v", got)
+	}
+}
+
+func TestFIBSinkResyncHealsAndSkipsStale(t *testing.T) {
+	s := NewFIBSink("edge0")
+	if err := s.Apply(Batch{Seq: 1, Changes: []RouteChange{
+		rc("1.0.0.0/24", "10.0.0.1"),
+		rc("9.0.0.0/24", "10.0.0.9"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Batch{Seq: 4, Changes: []RouteChange{rc("2.0.0.0/24", "10.0.0.1")}}); err == nil {
+		t.Fatal("expected gap error at seq 4")
+	}
+
+	// The resync snapshot replaces the FIB wholesale: 9.0.0.0/24 is
+	// absent from it (withdrawn while the sink was degraded) and must
+	// disappear; every missing range heals.
+	resync := Batch{Seq: 6, Resync: true, Changes: []RouteChange{
+		rc("1.0.0.0/24", "10.0.0.2"),
+		rc("2.0.0.0/24", "10.0.0.1"),
+		rc("3.0.0.0/24", "10.0.0.3"),
+	}}
+	if err := s.Apply(resync); err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	st := s.State()
+	if len(st.Missing) != 0 || st.Healed != 1 || st.LastSeq != 6 {
+		t.Fatalf("state after resync: %+v", st)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("FIB has %d entries after resync, want 3", s.Len())
+	}
+	if _, ok := s.NextHop(netip.MustParsePrefix("9.0.0.0/24")); ok {
+		t.Fatal("resync kept an entry absent from the snapshot")
+	}
+	if nh, _ := s.NextHop(netip.MustParsePrefix("1.0.0.0/24")); nh != netip.MustParseAddr("10.0.0.2") {
+		t.Fatalf("resync did not replace 1.0.0.0/24: %v", nh)
+	}
+
+	// Seq 5 flushed before the snapshot but arrives after: stale, its
+	// changes already reflected — it must be skipped, not regress state.
+	if err := s.Apply(Batch{Seq: 5, Changes: []RouteChange{rc("1.0.0.0/24", "10.0.0.1")}}); err != nil {
+		t.Fatalf("stale batch: %v", err)
+	}
+	if nh, _ := s.NextHop(netip.MustParsePrefix("1.0.0.0/24")); nh != netip.MustParseAddr("10.0.0.2") {
+		t.Fatal("stale batch overwrote post-resync state")
+	}
+	if got := s.State().Stale; got != 1 {
+		t.Fatalf("stale count = %d, want 1", got)
+	}
+	// Seq 7 is the next dense sequence after the resync stamp: no gap.
+	if err := s.Apply(Batch{Seq: 7, Changes: []RouteChange{rc("4.0.0.0/24", "10.0.0.4")}}); err != nil {
+		t.Fatalf("post-resync continuation: %v", err)
+	}
+}
+
+func TestFIBSinkHashIsOrderInsensitiveAndContentSensitive(t *testing.T) {
+	a, b := NewFIBSink("a"), NewFIBSink("b")
+	one := rc("1.0.0.0/24", "10.0.0.1")
+	two := rc("2.0.0.0/24", "10.0.0.2")
+	if err := a.Apply(Batch{Seq: 1, Changes: []RouteChange{one, two}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(Batch{Seq: 1, Changes: []RouteChange{two, one}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same FIB content, different hashes")
+	}
+	if err := b.Apply(Batch{Seq: 2, Changes: []RouteChange{rc("2.0.0.0/24", "10.0.0.3")}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == b.Hash() {
+		t.Fatal("diverged FIBs share a hash")
+	}
+}

@@ -156,7 +156,7 @@ func (p *pacer) wait(ctx context.Context, n int) error {
 	for p.avail < 0 {
 		d := p.next.Sub(p.clk.Now())
 		if d > 0 {
-			if err := sleepCtx(ctx, p.clk, d); err != nil {
+			if err := clock.SleepCtx(ctx, p.clk, d); err != nil {
 				return err
 			}
 		}
@@ -164,17 +164,4 @@ func (p *pacer) wait(ctx context.Context, n int) error {
 		p.next = p.next.Add(p.quantum)
 	}
 	return nil
-}
-
-// sleepCtx sleeps d on clk, abandoning the wait when ctx is done.
-func sleepCtx(ctx context.Context, clk clock.Clock, d time.Duration) error {
-	done := make(chan struct{})
-	tm := clk.AfterFunc(d, func() { close(done) })
-	defer tm.Stop()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }

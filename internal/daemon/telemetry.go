@@ -127,3 +127,124 @@ func (m *metrics) failover(d time.Duration, routes int) {
 	m.failoverRoutes.Add(uint64(routes))
 	m.failoverLatency.ObserveDuration(d)
 }
+
+// --- resilient delivery series (per router) ---------------------------
+//
+// Registry lookups are get-or-create, so these helpers fetch on use;
+// preRegisterRouter creates every series up front at zero so the
+// /metrics page (and the CI greps against it) shows them before the
+// first fault.
+
+func (m *metrics) routerCounter(sink RouterSink, name, help string) *telemetry.Counter {
+	return m.reg.Counter(telemetry.Series(name, "router", sink.Name()), help)
+}
+
+func (m *metrics) routerGauge(sink RouterSink, name, help string) *telemetry.Gauge {
+	return m.reg.Gauge(telemetry.Series(name, "router", sink.Name()), help)
+}
+
+const (
+	helpRetries    = "Delivery attempts retried after a failed push."
+	helpTimeouts   = "Pushes abandoned at the delivery policy's timeout."
+	helpBreaker    = "Breaker state: 0 closed, 1 open, 2 half-open."
+	helpTrips      = "Circuit breaker trips (closed/half-open to open)."
+	helpResyncs    = "Full-state snapshot resyncs shipped to the router."
+	helpResyncRts  = "Routes carried by resync snapshots."
+	helpGaps       = "Batch sequence gaps the router reported."
+	helpGapLast    = "Highest batch sequence lost in the router's most recent gap."
+	helpShed       = "Oldest-batch coalescing events while degraded (load shedding)."
+	helpBufBytes   = "Bytes currently buffered for the router while its breaker is open."
+	helpReconnects = "Session reconnects performed for the peer."
+	helpCorrupt    = "UPDATEs rejected by ingest validation for the peer."
+)
+
+// preRegisterRouter creates the router's resilience series at zero.
+func (m *metrics) preRegisterRouter(sink RouterSink) {
+	if m == nil {
+		return
+	}
+	m.routerCounter(sink, "supercharged_daemon_push_retries_total", helpRetries)
+	m.routerCounter(sink, "supercharged_daemon_push_timeouts_total", helpTimeouts)
+	m.routerGauge(sink, "supercharged_daemon_breaker_state", helpBreaker).Set(0)
+	m.routerCounter(sink, "supercharged_daemon_breaker_trips_total", helpTrips)
+	m.routerCounter(sink, "supercharged_daemon_resyncs_total", helpResyncs)
+	m.routerCounter(sink, "supercharged_daemon_resync_routes_total", helpResyncRts)
+	m.routerCounter(sink, "supercharged_daemon_sink_gaps_total", helpGaps)
+	m.routerGauge(sink, "supercharged_daemon_sink_gap_last_seq", helpGapLast).Set(0)
+	m.routerCounter(sink, "supercharged_daemon_shed_coalesced_total", helpShed)
+	m.routerGauge(sink, "supercharged_daemon_buffered_bytes", helpBufBytes).Set(0)
+}
+
+func (m *metrics) retry(sink RouterSink) {
+	if m == nil {
+		return
+	}
+	m.routerCounter(sink, "supercharged_daemon_push_retries_total", helpRetries).Inc()
+}
+
+func (m *metrics) pushTimeout(sink RouterSink) {
+	if m == nil {
+		return
+	}
+	m.routerCounter(sink, "supercharged_daemon_push_timeouts_total", helpTimeouts).Inc()
+}
+
+func (m *metrics) breakerState(sink RouterSink, state int32) {
+	if m == nil {
+		return
+	}
+	m.routerGauge(sink, "supercharged_daemon_breaker_state", helpBreaker).Set(float64(state))
+}
+
+func (m *metrics) breakerTrip(sink RouterSink) {
+	if m == nil {
+		return
+	}
+	m.routerCounter(sink, "supercharged_daemon_breaker_trips_total", helpTrips).Inc()
+}
+
+func (m *metrics) resync(sink RouterSink, routes int) {
+	if m == nil {
+		return
+	}
+	m.routerCounter(sink, "supercharged_daemon_resyncs_total", helpResyncs).Inc()
+	m.routerCounter(sink, "supercharged_daemon_resync_routes_total", helpResyncRts).Add(uint64(routes))
+}
+
+func (m *metrics) gap(sink RouterSink, from, to uint64) {
+	if m == nil {
+		return
+	}
+	m.routerCounter(sink, "supercharged_daemon_sink_gaps_total", helpGaps).Inc()
+	m.routerGauge(sink, "supercharged_daemon_sink_gap_last_seq", helpGapLast).Set(float64(to))
+}
+
+func (m *metrics) shed(sink RouterSink) {
+	if m == nil {
+		return
+	}
+	m.routerCounter(sink, "supercharged_daemon_shed_coalesced_total", helpShed).Inc()
+}
+
+func (m *metrics) bufferedBytes(sink RouterSink, n int) {
+	if m == nil {
+		return
+	}
+	m.routerGauge(sink, "supercharged_daemon_buffered_bytes", helpBufBytes).Set(float64(n))
+}
+
+func (m *metrics) reconnect(src PeerSource) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(telemetry.Series("supercharged_daemon_reconnects_total", "peer", src.Name()),
+		helpReconnects).Inc()
+}
+
+func (m *metrics) corruptUpdate(src PeerSource) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(telemetry.Series("supercharged_daemon_corrupt_updates_total", "peer", src.Name()),
+		helpCorrupt).Inc()
+}

@@ -1,0 +1,57 @@
+// Package testutil holds shared test plumbing. Its main export is the
+// test budget helper: wall-clock phase deadlines for concurrency tests
+// (daemon drains, chaos soaks) that scale with the race detector's
+// slowdown and never outlive the test binary's own -timeout deadline —
+// a pinned 30 s context.WithTimeout flakes under -race on a loaded
+// runner, while a budget derived here shrinks or grows with the
+// environment and fails the *test* before the *binary* is killed (which
+// would lose every other test's output with it).
+package testutil
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// deadlineGrace is how much of the binary's remaining -timeout budget a
+// single phase leaves for cleanup and the other tests behind it.
+const deadlineGrace = 5 * time.Second
+
+// Scale reports the wall-clock slowdown multiplier for the current
+// build: raceScale (see race_on.go) with the race detector on, 1
+// without. Multiply expected durations, divide expected throughput.
+func Scale() int {
+	if RaceEnabled {
+		return raceScale
+	}
+	return 1
+}
+
+// Budget returns base scaled for the build (race slowdown), clamped so
+// it expires at least deadlineGrace before the test binary's -timeout
+// deadline. The floor is one second: a budget that cannot fit still
+// returns something usable, and the caller's work simply fails fast
+// with the test's own diagnostics instead of the runtime's panic dump.
+func Budget(t testing.TB, base time.Duration) time.Duration {
+	d := base * time.Duration(Scale())
+	// Deadline lives on *testing.T, not testing.TB — assert for it so
+	// benchmarks (no deadline) can share the helper.
+	if dt, ok := t.(interface{ Deadline() (time.Time, bool) }); ok {
+		if dl, ok := dt.Deadline(); ok {
+			if rem := time.Until(dl) - deadlineGrace; rem < d {
+				d = rem
+			}
+		}
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Context returns a context bounded by Budget(t, base). The cancel func
+// must be called (or deferred) as usual.
+func Context(t testing.TB, base time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), Budget(t, base))
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether this binary was built with -race.
+const RaceEnabled = false
+
+const raceScale = 1

@@ -1,0 +1,11 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether this binary was built with -race.
+const RaceEnabled = true
+
+// raceScale is the assumed race-detector slowdown: the Go docs quote
+// 2-20x; 4x covers this repository's channel-heavy tests with room to
+// spare while keeping budgets finite.
+const raceScale = 4

@@ -5,9 +5,10 @@
 // minutes (one FIB entry at a time) to a constant ~150 ms (one switch rule
 // per backup-group).
 //
-// The package re-exports the library's stable surface in six sections —
-// simulation, scenarios, sweeps, telemetry, feeds/MRT, and the service
-// runtime — while the implementation lives under internal/:
+// The package re-exports the library's stable surface in seven sections
+// — simulation, scenarios, sweeps, telemetry, feeds/MRT, the service
+// runtime, and robustness — while the implementation lives under
+// internal/:
 //
 //   - internal/core — the supercharger: backup-group computation (paper
 //     Listing 1), VNH/VMAC allocation, the convergence engine (Listing 2)
@@ -32,7 +33,11 @@
 //     sweep results that makes re-sweeps incremental;
 //   - internal/daemon — the concurrent controller service behind
 //     `supercharged serve`: per-peer ingestion into a sharded RIB, a
-//     batching pipeline to downstream routers, live telemetry;
+//     batching pipeline to downstream routers with resilient delivery
+//     (retries, circuit breakers, gap-healing resync), live telemetry;
+//   - internal/chaos — the seeded fault-injection layer and soak runner
+//     behind `supercharged chaoscheck`, asserting the delivery path's
+//     resilience invariants under deterministic fault storms;
 //   - internal/feed, internal/trafficgen — synthetic full-table feeds and
 //     the FPGA-style probe source/sink;
 //   - internal/mrt — streaming reader/writer for RFC 6396 MRT dumps.
@@ -45,6 +50,7 @@ import (
 	"context"
 	"io"
 
+	"supercharged/internal/chaos"
 	"supercharged/internal/clock"
 	"supercharged/internal/daemon"
 	"supercharged/internal/feed"
@@ -124,6 +130,63 @@ func NewDaemon(cfg DaemonConfig) *Daemon { return daemon.New(cfg) }
 // NewFIBSink builds an in-memory router sink that programs batches into
 // a map FIB — the downstream router stand-in for tests and soak runs.
 func NewFIBSink(name string) *daemon.FIBSink { return daemon.NewFIBSink(name) }
+
+// --- Robustness: resilient delivery + seeded chaos ---------------------
+
+type (
+	// DeliveryPolicy turns on the daemon's resilient push path: per-push
+	// timeouts, bounded-jitter retries, a per-sink circuit breaker with
+	// degraded buffering, and gap-driven snapshot resync. The zero value
+	// keeps the legacy direct-apply path.
+	DeliveryPolicy = daemon.DeliveryPolicy
+	// ReconnectPolicy governs session re-establishment after a feed
+	// fails: bounded attempts with jittered exponential backoff.
+	ReconnectPolicy = daemon.ReconnectPolicy
+	// SinkState is a stateful sink's delivery accounting: last applied
+	// sequence, missing ranges, gap/heal/stale counts.
+	SinkState = daemon.SinkState
+	// SeqRange is one inclusive range of lost batch sequence numbers.
+	SeqRange = daemon.SeqRange
+	// GapError reports a detected sequence gap (applied AND reported).
+	GapError = daemon.GapError
+	// StatefulSink is a RouterSink whose delivery state can be read
+	// back, enabling verified resync.
+	StatefulSink = daemon.StatefulSink
+	// FIBEntry is one programmed prefix->next-hop pair.
+	FIBEntry = daemon.FIBEntry
+	// ChaosConfig is one seeded fault mix (drops, stalls, transients,
+	// jitter, session crashes, corrupt records) with a per-entity budget.
+	ChaosConfig = chaos.Config
+	// ChaosPlan is a compiled fault schedule; wrap sources and sinks
+	// with its Source/Sink methods.
+	ChaosPlan = chaos.Plan
+	// ChaosSoakConfig assembles one chaos soak run.
+	ChaosSoakConfig = chaos.SoakConfig
+	// ChaosSoakReport is a soak's outcome, including every resilience
+	// invariant violation found (none = passed).
+	ChaosSoakReport = chaos.SoakReport
+)
+
+// DefaultDeliveryPolicy returns the production resilient-delivery knobs.
+func DefaultDeliveryPolicy() DeliveryPolicy { return daemon.DefaultDeliveryPolicy() }
+
+// DefaultReconnectPolicy returns the production reconnect knobs.
+func DefaultReconnectPolicy() ReconnectPolicy { return daemon.DefaultReconnectPolicy() }
+
+// ChaosMix returns a named fault preset: "drop", "stall", "crash",
+// "corrupt", "jitter" or "all".
+func ChaosMix(name string) (ChaosConfig, error) { return chaos.Mix(name) }
+
+// NewChaosPlan compiles a fault mix under the system clock. For
+// tick-reproducible latency faults build the plan directly against a
+// virtual clock via internal-facing tests, or run a soak with
+// ChaosSoakConfig.Clock.
+func NewChaosPlan(cfg ChaosConfig, seed uint64) *ChaosPlan { return chaos.NewPlan(cfg, seed, nil) }
+
+// RunChaosSoak runs one seeded chaos soak against the daemon pipeline
+// and checks the resilience invariants (no silent update loss, every
+// gap healed by resync, breakers re-closed, graceful drain mid-fault).
+func RunChaosSoak(cfg ChaosSoakConfig) *ChaosSoakReport { return chaos.RunSoak(cfg) }
 
 // --- Scenarios: declarative failure timelines --------------------------
 
